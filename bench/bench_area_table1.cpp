@@ -1,0 +1,76 @@
+// Experiment Table 1: synchro-tokens component area models in average
+// 2-input-gate equivalents, plus the system-wide overhead discussion of §5.
+//
+// The paper measured a 0.25 um cell library [15]; we re-derive the models
+// from gate-level netlists of each component characterized against a
+// relative-size cell library (see DESIGN.md §2 for the substitution). The
+// paper's structural claims reproduced here:
+//   * FIFO interface and FIFO stage areas are base + per_bit * data bits,
+//   * the node is data-width-independent (paper: 145 gate-eq),
+//   * system-wide overhead is low because there is one node pair per
+//     communicating SB pair, and comparisons with other GALS schemes should
+//     exclude the FIFO components (any scheme needs those).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "system/testbenches.hpp"
+
+namespace {
+
+using namespace st;
+
+void print_table1() {
+    area::GateLibrary lib;
+    const auto t = area::make_table1(lib);
+
+    bench::banner("Table 1: synchro-tokens component area models");
+    std::printf("%s", t.to_string().c_str());
+    std::printf("paper reference row: Node = 145 (ours: %.0f, %+.1f%%)\n",
+                t.node, 100.0 * (t.node - 145.0) / 145.0);
+
+    bench::banner("Component areas at common bus widths (gate-eq)");
+    std::printf("%8s | %14s | %15s | %10s\n", "bits", "in interface",
+                "out interface", "FIFO stage");
+    for (const unsigned bits : {8u, 16u, 32u, 64u}) {
+        std::printf("%8u | %14.1f | %15.1f | %10.1f\n", bits,
+                    area::input_interface_netlist(bits).total_gate_eq(lib),
+                    area::output_interface_netlist(bits).total_gate_eq(lib),
+                    area::fifo_stage_netlist(bits).total_gate_eq(lib));
+    }
+
+    bench::banner("System-wide overhead (paper validation system + variants)");
+    std::printf("%-10s | %10s | %12s | %12s | %12s\n", "system", "nodes",
+                "interfaces", "FIFO stages", "total");
+    const auto row = [&](const char* name, const sys::SocSpec& spec) {
+        const auto o = area::system_overhead(spec, lib);
+        std::printf("%-10s | %10.0f | %12.0f | %12.0f | %12.0f\n", name,
+                    o.nodes, o.interfaces, o.fifo_stages, o.total());
+    };
+    row("pair", sys::make_pair_spec());
+    row("triangle", sys::make_triangle_spec());
+    sys::ChainOptions chain;
+    chain.length = 8;
+    row("chain-8", sys::make_chain_spec(chain));
+    std::printf("(synchro-tokens-specific overhead = the node column only)\n");
+}
+
+void BM_Table1Fit(benchmark::State& state) {
+    area::GateLibrary lib;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(area::make_table1(lib).node);
+    }
+}
+BENCHMARK(BM_Table1Fit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

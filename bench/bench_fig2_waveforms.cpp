@@ -1,0 +1,147 @@
+// Experiment Fig. 2: waveforms illustrating the operation of the node state
+// machine, with the paper's event annotations:
+//   A token arrives        B recycle counter reaches zero
+//   C SB-enable asserts    D hold counter decrements
+//   E hold counter presets F token passed
+//   G SBs disabled         H recycle counter decrements
+//   I clken deasserted     J clock stops
+//   K late token returns   L clock restarts
+// The bench runs one on-time round (A..H) followed by a late round (I..L)
+// by lengthening the ring wire mid-experiment is impossible (delays are
+// fixed), so it uses a ring delay > one period: the token is late every
+// round and the full A..L sequence appears. Output: ASCII waveform on
+// stdout and a GTKWave-compatible fig2.vcd next to the binary.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "sim/vcd.hpp"
+#include "sim/waveform.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+
+namespace {
+
+using namespace st;
+
+void emit_waveforms() {
+    sys::PairOptions opt;
+    opt.hold = 3;
+    opt.token_delay = 1600;  // > T: tokens are late, exercising I/J/K/L
+    opt.recycle_override = 5;
+    sys::Soc soc(sys::make_pair_spec(opt));
+    auto& node = soc.ring_node(0, 0);
+    auto& clk = soc.wrapper(0).clock();
+
+    sim::WaveRecorder wave;
+    const int w_tin = wave.add_signal("TokenIn", true, 0);
+    const int w_tout = wave.add_signal("TokenOut", true, 0);
+    const int w_clk = wave.add_signal("clk", true, 0);
+    const int w_clken = wave.add_signal("clken", true, 1);
+    const int w_sben = wave.add_signal("sb_en", true, 1);
+    const int w_hold = wave.add_signal("hold_ctr", false, opt.hold);
+    const int w_rec = wave.add_signal("recycle_ctr", false, 0);
+
+    std::ofstream vcd_file("fig2.vcd");
+    sim::VcdWriter vcd(vcd_file, "synchro_tokens");
+    const int v_tin = vcd.add_signal("token_in");
+    const int v_tout = vcd.add_signal("token_out");
+    const int v_clken = vcd.add_signal("clken");
+    const int v_sben = vcd.add_signal("sb_en");
+    const int v_hold = vcd.add_signal("hold_ctr", 8);
+    const int v_rec = vcd.add_signal("recycle_ctr", 8);
+
+    const sim::Time dt = 250;  // one ASCII column per quarter period
+
+    soc.ring(0).on_pass([&](std::size_t i, sim::Time t) {
+        if (i != 0) return;
+        wave.change(w_tout, 1, t);
+        wave.change(w_tout, 0, t + dt);
+        wave.annotate(w_tout, 'F', t);
+        vcd.change(v_tout, 1, t);
+        vcd.change(v_tout, 0, t + 100);
+    });
+    soc.ring(0).on_arrive([&](std::size_t i, sim::Time t) {
+        if (i != 0) return;
+        wave.change(w_tin, 1, t);
+        wave.change(w_tin, 0, t + dt);
+        wave.annotate(w_tin, node.waiting() ? 'K' : 'A', t);
+        vcd.change(v_tin, 1, t);
+        vcd.change(v_tin, 0, t + 100);
+    });
+
+    struct Prev {
+        bool clken = true;
+        bool sb_en = true;
+        std::uint32_t rec = 0;
+    } prev;
+    clk.on_edge([&](std::uint64_t, sim::Time t) {
+        wave.change(w_clk, 1, t);
+        wave.change(w_clk, 0, t + dt);
+        wave.change(w_clken, node.clken(), t);
+        wave.change(w_sben, node.sb_en(), t);
+        wave.change(w_hold, node.hold_count(), t);
+        wave.change(w_rec, node.recycle_count(), t);
+        vcd.change(v_clken, node.clken(), t);
+        vcd.change(v_sben, node.sb_en(), t);
+        vcd.change(v_hold, node.hold_count(), t);
+        vcd.change(v_rec, node.recycle_count(), t);
+        if (prev.clken && !node.clken()) {
+            wave.annotate(w_clken, 'I', t);
+            wave.annotate(w_clk, 'J', t + dt);
+        }
+        if (!prev.clken && node.clken()) wave.annotate(w_clk, 'L', t);
+        if (!prev.sb_en && node.sb_en()) wave.annotate(w_sben, 'C', t);
+        if (prev.sb_en && !node.sb_en()) {
+            wave.annotate(w_sben, 'G', t);
+            wave.annotate(w_hold, 'E', t);
+        }
+        if (node.sb_en() && node.hold_count() < static_cast<std::uint32_t>(opt.hold)) {
+            wave.annotate(w_hold, 'D', t);
+        }
+        if (node.recycle_count() > 0 && node.recycle_count() < prev.rec) {
+            wave.annotate(w_rec, 'H', t);
+        }
+        if (prev.rec > 0 && node.recycle_count() == 0) {
+            wave.annotate(w_rec, 'B', t);
+        }
+        prev = {node.clken(), node.sb_en(), node.recycle_count()};
+    });
+
+    soc.run_cycles(24, sim::us(1));
+
+    bench::banner("Figure 2: node state machine waveforms (alpha node)");
+    std::printf("legend: A arrive, B recycle=0, C enable, D hold--, E preset,\n"
+                "        F pass, G disable, H recycle--, I clken low,\n"
+                "        J clock stops, K late arrival, L async restart\n\n");
+    std::printf("%s\n", wave.render(0, sim::ns(26), dt).c_str());
+    std::printf("VCD written to fig2.vcd (%llu clock stops observed)\n",
+                static_cast<unsigned long long>(clk.stop_events()));
+}
+
+void BM_NodeCommit(benchmark::State& state) {
+    core::TokenNode::Params p;
+    p.hold = 4;
+    p.recycle = 6;
+    p.initial_holder = true;
+    core::TokenNode node("bench", p);
+    node.set_pass_fn([&node] { node.token_arrive(); });
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        node.commit(cycle++);
+        benchmark::DoNotOptimize(node.sb_en());
+    }
+}
+BENCHMARK(BM_NodeCommit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    emit_waveforms();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

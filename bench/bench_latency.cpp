@@ -1,0 +1,174 @@
+// Experiment §5 latency analysis, equations (1) and (2):
+//   L_STARI   = F*H/2 + T*H/2                          (eq. 1)
+//   L_SYNCHRO = T*(R+H+1)/2 + F*H + T*(H+1)/2          (eq. 2)
+// The bench measures word latency (generation time -> delivery to the
+// receiving SB) in full simulation for both schemes and prints it against
+// the closed-form models across H, T and F sweeps. Absolute agreement is
+// not the bar (the equations themselves average over token phase); the
+// *shape* — synchro-tokens slower, the gap trending toward ~2x as H grows,
+// linear growth in T and F — is.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "analytic/models.hpp"
+#include "baselines/stari.hpp"
+#include "bench_util.hpp"
+#include "sb/kernel.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+
+namespace {
+
+using namespace st;
+
+using NowFn = std::function<sim::Time()>;
+
+/// Generates one timestamped word every `gen_every` cycles and pushes as
+/// channel capacity allows.
+class StampedSource final : public sb::Kernel {
+  public:
+    StampedSource(NowFn now, std::uint32_t gen_every)
+        : now_(std::move(now)), gen_every_(gen_every) {}
+
+    void on_cycle(sb::SbContext& ctx) override {
+        if ((phase_++ % gen_every_) == 0) queue_.push_back(now_());
+        if (ctx.num_out() > 0 && !queue_.empty() && ctx.out(0).can_push()) {
+            ctx.out(0).push(queue_.front());
+            queue_.pop_front();
+        }
+    }
+
+  private:
+    NowFn now_;
+    std::uint32_t gen_every_;
+    std::uint64_t phase_ = 0;
+    std::deque<sim::Time> queue_;
+};
+
+/// Consumes timestamped words and accumulates latency.
+class StampedSink final : public sb::Kernel {
+  public:
+    explicit StampedSink(NowFn now) : now_(std::move(now)) {}
+
+    void on_cycle(sb::SbContext& ctx) override {
+        if (ctx.num_in() == 0 || !ctx.in(0).has_data()) return;
+        const Word stamp = ctx.in(0).take();
+        sum_ += now_() - stamp;
+        ++count_;
+    }
+
+    double mean_latency() const {
+        return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+    }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    NowFn now_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+struct LatencyResult {
+    double measured = 0.0;
+    std::uint64_t words = 0;
+};
+
+LatencyResult measure_synchro_latency(std::uint32_t hold, sim::Time period,
+                                      sim::Time stage_delay) {
+    sys::PairOptions opt;
+    opt.hold = hold;
+    opt.stage_delay = stage_delay;
+    opt.period_a = period;
+    opt.period_b = period;
+    opt.data_bits = 64;  // timestamps need full width
+    auto spec = sys::make_pair_spec(opt);
+
+    // The kernels need simulated time; the Soc owns the scheduler and the
+    // factories run inside its constructor, so route `now` through a slot
+    // filled in before any event executes.
+    auto now_slot = std::make_shared<sim::Scheduler*>(nullptr);
+    const NowFn now = [now_slot] { return (*now_slot)->now(); };
+    const std::uint32_t r = hold + 2;
+    const std::uint32_t gen_every = (hold + r + hold - 1) / hold + 1;
+    spec.sbs[0].make_kernel = [now, gen_every] {
+        return std::make_unique<StampedSource>(now, gen_every);
+    };
+    spec.sbs[1].make_kernel = [now] {
+        return std::make_unique<StampedSink>(now);
+    };
+
+    sys::Soc soc(spec);
+    *now_slot = &soc.scheduler();
+    soc.run_cycles(4000, sim::ms(60));
+    const auto& sink =
+        dynamic_cast<const StampedSink&>(soc.wrapper(1).block().kernel());
+    return LatencyResult{sink.mean_latency(), sink.count()};
+}
+
+double measure_stari_latency(std::size_t depth, sim::Time period,
+                             sim::Time stage_delay) {
+    sim::Scheduler sched;
+    baseline::StariLink::Params p;
+    p.depth = depth;
+    p.period = period;
+    p.stage_delay = stage_delay;
+    p.rx_skew = period / 2;
+    baseline::StariLink link(sched, "stari", p);
+    link.start();
+    sched.run_until(sim::us(4));
+    return link.mean_latency_ps();
+}
+
+void run_experiment() {
+    bench::banner("§5 latency: eq.(1) STARI vs eq.(2) synchro-tokens");
+    std::printf("T=1000 ps, F=100 ps, R=H+2 (minimal tuned schedule)\n");
+    std::printf("%4s | %10s %10s | %10s %10s | %7s\n", "H", "eq2 model",
+                "ST meas", "eq1 model", "STARI meas", "gap");
+    std::printf("-----+------------------------+------------------------+------\n");
+    for (const std::uint32_t h : {2u, 4u, 8u, 16u}) {
+        const double eq2 = model::synchro_latency(1000, 100, h, h + 2);
+        const auto st = measure_synchro_latency(h, 1000, 100);
+        const double eq1 = model::stari_latency(1000, 100, h);
+        const double stari = measure_stari_latency(h < 2 ? 2 : h, 1000, 100);
+        std::printf("%4u | %10.0f %10.0f | %10.0f %10.0f | %6.2fx\n", h, eq2,
+                    st.measured, eq1, stari, st.measured / stari);
+    }
+
+    bench::banner("latency scaling in T and F (H=4)");
+    std::printf("%6s %6s | %10s %10s\n", "T", "F", "eq2 model", "ST meas");
+    for (const sim::Time t : {800u, 1000u, 1600u}) {
+        for (const sim::Time f : {50u, 100u, 200u}) {
+            const double eq2 = model::synchro_latency(
+                static_cast<double>(t), static_cast<double>(f), 4, 6);
+            const auto st = measure_synchro_latency(4, t, f);
+            std::printf("%6llu %6llu | %10.0f %10.0f\n",
+                        static_cast<unsigned long long>(t),
+                        static_cast<unsigned long long>(f), eq2, st.measured);
+        }
+    }
+    std::printf("\npaper claim: synchro-tokens pays a latency penalty vs "
+                "STARI, reducible by shrinking T and H at a throughput "
+                "cost.\n");
+}
+
+void BM_LatencyMeasurementRun(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(measure_synchro_latency(4, 1000, 100).measured);
+    }
+}
+BENCHMARK(BM_LatencyMeasurementRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

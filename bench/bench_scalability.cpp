@@ -1,0 +1,116 @@
+// Paper future work: "the implementation of a larger system for further
+// performance studies". This bench scales the methodology up — pipelines to
+// 16 stages, meshes to 4x4 (16 clock domains, 24 rings, 48 channels) — and
+// reports simulation speed, traffic, stall behaviour and rule-check status,
+// plus a determinism spot-check per topology.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "deadlock/rules.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/determinism.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+using namespace st;
+
+struct Row {
+    std::string name;
+    sys::SocSpec spec;
+};
+
+void run_experiment() {
+    std::vector<Row> rows;
+    for (const std::size_t len : {4u, 8u, 16u}) {
+        sys::ChainOptions opt;
+        opt.length = len;
+        rows.push_back({"chain-" + std::to_string(len),
+                        sys::make_chain_spec(opt)});
+    }
+    for (const std::size_t n : {4u, 8u}) {
+        sys::BusOptions opt;
+        opt.size = n;
+        rows.push_back({"bus-" + std::to_string(n), sys::make_bus_spec(opt)});
+    }
+    for (const std::size_t dim : {2u, 3u, 4u}) {
+        sys::MeshOptions opt;
+        opt.width = dim;
+        opt.height = dim;
+        rows.push_back({"mesh-" + std::to_string(dim) + "x" +
+                            std::to_string(dim),
+                        sys::make_mesh_spec(opt)});
+    }
+
+    bench::banner("Scaling study (paper future work: larger systems)");
+    std::printf("%-10s | %4s %5s %5s | %8s | %9s | %7s | %6s | %s\n",
+                "system", "SBs", "rings", "chans", "events", "events/s",
+                "stops", "rules", "determinism spot-check");
+    for (auto& row : rows) {
+        const auto rules_ok = dl::check_rules(row.spec).ok;
+        const auto t0 = std::chrono::steady_clock::now();
+        sys::Soc soc(row.spec);
+        soc.run_cycles(400, sim::ms(20));
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        std::uint64_t stops = 0;
+        for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+            stops += soc.wrapper(i).clock().stop_events();
+        }
+
+        // Determinism spot-check: one aggressive joint perturbation.
+        verify::DeterminismHarness<sys::DelayConfig> harness(
+            [&](const sys::DelayConfig& cfg) {
+                sys::Soc s(sys::apply(row.spec, cfg));
+                s.run_cycles(140, sim::ms(20));
+                return s.traces();
+            },
+            sys::DelayConfig::nominal(row.spec), 100);
+        auto cfg = sys::DelayConfig::nominal(row.spec);
+        for (std::size_t d = 0;
+             d < cfg.dimensions() - cfg.clock_pct.size(); ++d) {
+            cfg.set(d, d % 2 ? 200 : 50);
+        }
+        const auto diff = harness.check(cfg);
+
+        std::printf("%-10s | %4zu %5zu %5zu | %8llu | %9.0f | %7llu | %6s | %s\n",
+                    row.name.c_str(), row.spec.sbs.size(), row.spec.rings.size(),
+                    row.spec.channels.size(),
+                    static_cast<unsigned long long>(
+                        soc.scheduler().events_executed()),
+                    static_cast<double>(soc.scheduler().events_executed()) /
+                        (secs > 0 ? secs : 1e-9),
+                    static_cast<unsigned long long>(stops),
+                    rules_ok ? "safe" : "RISK",
+                    diff.identical ? "match" : "MISMATCH");
+    }
+}
+
+void BM_Mesh4x4Run(benchmark::State& state) {
+    sys::MeshOptions opt;
+    opt.width = 4;
+    opt.height = 4;
+    const auto spec = sys::make_mesh_spec(opt);
+    for (auto _ : state) {
+        sys::Soc soc(spec);
+        soc.run_cycles(100, sim::ms(20));
+        benchmark::DoNotOptimize(soc.scheduler().events_executed());
+    }
+}
+BENCHMARK(BM_Mesh4x4Run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment §5 throughput analysis: STARI moves 1 word per clock cycle;
+// the synchro-tokens FIFO moves at most H/(H+R) words per cycle, and the
+// paper's remedy is widening the channel by at least (H+R)/H (an
+// area/performance trade-off). This bench measures simulated throughput
+// against the closed-form bound across H and R sweeps and prints the
+// widening factor and its area cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analytic/models.hpp"
+#include "area/area_model.hpp"
+#include "baselines/stari.hpp"
+#include "bench_util.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+using namespace st;
+
+double measure_synchro_throughput(std::uint32_t hold, std::uint32_t recycle) {
+    sys::PairOptions opt;
+    opt.hold = hold;
+    opt.recycle_override = recycle;
+    sys::Soc soc(sys::make_pair_spec(opt));
+    soc.run_cycles(2000, sim::ms(60));
+    const auto& k = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    return static_cast<double>(k.words_emitted()) /
+           static_cast<double>(soc.wrapper(0).clock().cycles());
+}
+
+double measure_stari_throughput(std::size_t depth) {
+    sim::Scheduler sched;
+    baseline::StariLink::Params p;
+    p.depth = depth;
+    baseline::StariLink link(sched, "stari", p);
+    link.start();
+    sched.run_until(sim::us(2));
+    return link.throughput();
+}
+
+void run_experiment() {
+    area::GateLibrary lib;
+    bench::banner("§5 throughput: synchro-tokens vs STARI");
+    std::printf("%4s %4s | %9s %9s | %7s | %9s | %s\n", "H", "R", "model",
+                "measured", "STARI", "widening", "widened-channel area cost");
+    std::printf("----------+---------------------+---------+-----------+----\n");
+    const std::uint32_t holds[] = {2, 4, 8};
+    const std::uint32_t extra[] = {2, 4, 8, 16};
+    for (const auto h : holds) {
+        for (const auto e : extra) {
+            const std::uint32_t r = h + e;
+            const double model = model::synchro_throughput(h, r);
+            const double measured = measure_synchro_throughput(h, r);
+            const double stari = measure_stari_throughput(h < 2 ? 2 : h);
+            const double widen = model::widening_factor(h, r);
+            // Area cost of widening: interfaces + stages scale with bits.
+            const double base_bits = 32;
+            const double widened_bits = base_bits * widen;
+            const double base_area =
+                area::input_interface_netlist(32).total_gate_eq(lib) +
+                area::output_interface_netlist(32).total_gate_eq(lib) +
+                static_cast<double>(h) *
+                    area::fifo_stage_netlist(32).total_gate_eq(lib);
+            const auto widened = static_cast<unsigned>(widened_bits + 0.5);
+            const double widened_area =
+                area::input_interface_netlist(widened).total_gate_eq(lib) +
+                area::output_interface_netlist(widened).total_gate_eq(lib) +
+                static_cast<double>(h) *
+                    area::fifo_stage_netlist(widened).total_gate_eq(lib);
+            std::printf("%4u %4u | %9.3f %9.3f | %7.3f | %8.2fx | %.0f -> %.0f gate-eq (%.2fx)\n",
+                        h, r, model, measured, stari, widen, base_area,
+                        widened_area, widened_area / base_area);
+        }
+    }
+    std::printf("\npaper: STARI achieves 1 word/cycle; synchro-tokens at most "
+                "H/(H+R); widening by (H+R)/H recovers parity at area cost.\n");
+}
+
+void BM_PairThroughputRun(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(measure_synchro_throughput(4, 6));
+    }
+}
+BENCHMARK(BM_PairThroughputRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

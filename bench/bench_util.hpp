@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace st::bench {
+
+/// Honour ST_QUICK=1 for CI-speed runs of the heavyweight sweeps.
+inline bool quick_mode() {
+    const char* v = std::getenv("ST_QUICK");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline void banner(const std::string& title) {
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace st::bench

@@ -1,0 +1,65 @@
+// Quickstart: build the smallest synchro-tokens system — two synchronous
+// blocks with independent clocks exchanging data over one token ring — run
+// it, and verify the deterministic-GALS property by rerunning with every
+// analog delay perturbed.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/io_trace.hpp"
+#include "workload/traffic.hpp"
+
+int main() {
+    using namespace st;
+
+    // 1. Describe the system. make_pair_spec() returns a ready-made spec;
+    //    build your own SocSpec for custom topologies (see dsp_pipeline).
+    sys::PairOptions opt;
+    opt.hold = 4;          // each node keeps the token for 4 local cycles
+    opt.period_a = 1000;   // ps — alpha's local ring-oscillator period
+    opt.period_b = 1000;   // beta's
+    const sys::SocSpec spec = sys::make_pair_spec(opt);
+
+    // 2. Elaborate and simulate.
+    sys::Soc soc(spec);
+    soc.run_cycles(/*n_cycles=*/500, /*deadline=*/sim::ms(1));
+
+    const auto& alpha = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    const auto& beta = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(1).block().kernel());
+    std::printf("after 500 local cycles:\n");
+    std::printf("  alpha emitted %llu words, consumed %llu, signature %08x\n",
+                (unsigned long long)alpha.words_emitted(),
+                (unsigned long long)alpha.words_consumed(), alpha.signature());
+    std::printf("  beta  emitted %llu words, consumed %llu, signature %08x\n",
+                (unsigned long long)beta.words_emitted(),
+                (unsigned long long)beta.words_consumed(), beta.signature());
+    std::printf("  clock stops: %llu (the tuned schedule never stalls)\n",
+                (unsigned long long)(soc.wrapper(0).clock().stop_events() +
+                                     soc.wrapper(1).clock().stop_events()));
+
+    // 3. The headline property: perturb every delay in the design — FIFO
+    //    stages to 200%, token wires to 50%, beta's clock 25% slower — and
+    //    the cycle-indexed I/O sequences are *identical*.
+    const auto nominal_traces = verify::truncated(soc.traces(), 100);
+
+    auto cfg = sys::DelayConfig::nominal(spec);
+    cfg.fifo_pct.assign(cfg.fifo_pct.size(), 200);
+    cfg.ring_ab_pct.assign(cfg.ring_ab_pct.size(), 50);
+    cfg.ring_ba_pct.assign(cfg.ring_ba_pct.size(), 50);
+    cfg.clock_pct.back() = 125;
+    sys::Soc perturbed(sys::apply(spec, cfg));
+    perturbed.run_cycles(500, sim::ms(1));
+
+    const auto diff = verify::diff_traces(
+        nominal_traces, verify::truncated(perturbed.traces(), 100));
+    std::printf("\nperturbed rerun (FIFO 200%%, wires 50%%, beta clock 125%%): %s\n",
+                diff.identical ? "traces IDENTICAL — deterministic GALS"
+                               : diff.first_mismatch.c_str());
+    return diff.identical ? 0 : 1;
+}

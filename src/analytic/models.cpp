@@ -1,0 +1,32 @@
+#include "analytic/models.hpp"
+
+namespace st::model {
+
+double stari_latency(double t_period, double f_stage, double h_depth) {
+    return f_stage * h_depth / 2.0 + t_period * h_depth / 2.0;
+}
+
+double synchro_latency(double t_period, double f_stage, double h_hold,
+                       double r_recycle) {
+    return t_period * (r_recycle + h_hold + 1.0) / 2.0 + f_stage * h_hold +
+           t_period * (h_hold + 1.0) / 2.0;
+}
+
+double synchro_throughput(double h_hold, double r_recycle) {
+    return h_hold / (h_hold + r_recycle);
+}
+
+double widening_factor(double h_hold, double r_recycle) {
+    return (h_hold + r_recycle) / h_hold;
+}
+
+std::uint32_t min_recycle(sim::Time t_local, sim::Time t_peer,
+                          std::uint32_t hold_peer, sim::Time d_ab,
+                          sim::Time d_ba) {
+    const sim::Time away =
+        d_ab + d_ba + static_cast<sim::Time>(hold_peer + 1) * t_peer;
+    // Smallest R with R * t_local >= away.
+    return static_cast<std::uint32_t>((away + t_local - 1) / t_local);
+}
+
+}  // namespace st::model

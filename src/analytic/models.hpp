@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace st::model {
+
+/// Closed-form performance models from the paper's §5, with T = clock period,
+/// F = FIFO stage propagation delay, H = hold register value = FIFO depth,
+/// R = recycle register value. All times in picoseconds, returned as double
+/// picoseconds (the equations divide by 2).
+
+/// Eq. (1): latency of a STARI FIFO kept roughly half full —
+/// L_STARI = F*H/2 + T*H/2.
+double stari_latency(double t_period, double f_stage, double h_depth);
+
+/// Eq. (2): latency of the synchro-tokens FIFO, repeatedly filled by the
+/// transmitter and emptied by the receiver —
+/// L_SYNCHRO = T*(R+H+1)/2 + F*H + T*(H+1)/2.
+double synchro_latency(double t_period, double f_stage, double h_hold,
+                       double r_recycle);
+
+/// Throughput upper bound of the synchro-tokens channel, in words per local
+/// clock cycle: H/(H+R). (STARI's is 1 word per cycle.)
+double synchro_throughput(double h_hold, double r_recycle);
+
+/// Channel-widening factor (H+R)/H needed for synchro-tokens to match the
+/// STARI throughput (the paper's area/performance trade-off).
+double widening_factor(double h_hold, double r_recycle);
+
+/// Smallest recycle register value that keeps the local clock from stopping
+/// due to a late token on a two-node ring, given the peer's hold time and
+/// the two token wire delays. Derived from the schedule analysis in
+/// DESIGN.md §5/§6: the token is away for D_ab + (H_peer+1)*T_peer + D_ba in
+/// the worst alignment.
+std::uint32_t min_recycle(sim::Time t_local, sim::Time t_peer,
+                          std::uint32_t hold_peer, sim::Time d_ab,
+                          sim::Time d_ba);
+
+}  // namespace st::model

@@ -1,0 +1,132 @@
+#include "area/area_model.hpp"
+
+#include <cstdio>
+
+namespace st::area {
+
+Netlist input_interface_netlist(unsigned data_bits) {
+    Netlist n;
+    // Per-bit holding latch with enable (the word register the SB reads).
+    n.add("DFFE", static_cast<int>(data_bits));
+    // Handshake control: req/ack FSM (2 state flops), sb_en gating, valid /
+    // empty generation, latch-full flag.
+    n.add("DFF", 3);
+    n.add("CEL2", 1);
+    n.add("NAND2", 4);
+    n.add("INV", 3);
+    n.add("AND2", 2);
+    return n;
+}
+
+Netlist output_interface_netlist(unsigned data_bits) {
+    Netlist n;
+    // Per-bit staging register driving the bundled-data wires.
+    n.add("DFF", static_cast<int>(data_bits));
+    // Request generation, full/valid logic, completion detection.
+    n.add("DFF", 3);
+    n.add("CEL2", 1);
+    n.add("NAND2", 4);
+    n.add("INV", 3);
+    n.add("AND2", 2);
+    return n;
+}
+
+Netlist fifo_stage_netlist(unsigned data_bits) {
+    Netlist n;
+    // Per-bit transparent latch.
+    n.add("DLATCH", static_cast<int>(data_bits));
+    // Muller-pipeline latch controller.
+    n.add("CEL2", 1);
+    n.add("INV", 2);
+    n.add("NAND2", 1);
+    return n;
+}
+
+Netlist node_netlist() {
+    Netlist n;
+    // Two 8-bit decrementing counters (hold, recycle): enable flops with
+    // parallel preset, decrement logic, ripple borrow chain, zero detection.
+    for (int counter = 0; counter < 2; ++counter) {
+        n.add("DFFE", 8);  // counter bits (enable doubles as preset path)
+        n.add("XOR2", 8);  // decrement
+        n.add("AND2", 7);  // borrow chain
+        n.add("NOR2", 2);  // zero-detect tree
+    }
+    // Token latch, phase and clken registers, arrival edge detector,
+    // pass-pulse generation and glue (sb_en decodes combinationally).
+    n.add("DLATCH", 1);
+    n.add("DFF", 2);
+    n.add("XOR2", 1);
+    n.add("NAND2", 2);
+    n.add("INV", 2);
+    return n;
+}
+
+namespace {
+LinearModel fit_linear(double a8, double a16) {
+    LinearModel m;
+    m.per_bit = (a16 - a8) / 8.0;
+    m.base = a8 - m.per_bit * 8.0;
+    return m;
+}
+}  // namespace
+
+LinearModel fit_interface_model(const GateLibrary& lib) {
+    const auto at = [&](unsigned bits) {
+        return (input_interface_netlist(bits).total_gate_eq(lib) +
+                output_interface_netlist(bits).total_gate_eq(lib)) /
+               2.0;
+    };
+    return fit_linear(at(8), at(16));
+}
+
+LinearModel fit_stage_model(const GateLibrary& lib) {
+    const auto at = [&](unsigned bits) {
+        return fifo_stage_netlist(bits).total_gate_eq(lib);
+    };
+    return fit_linear(at(8), at(16));
+}
+
+double node_area(const GateLibrary& lib) {
+    return node_netlist().total_gate_eq(lib);
+}
+
+Table1 make_table1(const GateLibrary& lib) {
+    Table1 t;
+    t.fifo_interface = fit_interface_model(lib);
+    t.fifo_stage = fit_stage_model(lib);
+    t.node = node_area(lib);
+    return t;
+}
+
+std::string Table1::to_string() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "Component        | Area (2-input gates)\n"
+        "-----------------+---------------------------\n"
+        "FIFO interface   | %.1f + %.2f * (number of data bits)\n"
+        "FIFO stage       | %.1f + %.2f * (number of data bits)\n"
+        "Node             | %.0f\n",
+        fifo_interface.base, fifo_interface.per_bit, fifo_stage.base,
+        fifo_stage.per_bit, node);
+    return buf;
+}
+
+SystemOverhead system_overhead(const sys::SocSpec& spec,
+                               const GateLibrary& lib) {
+    SystemOverhead o;
+    o.nodes = 2.0 * static_cast<double>(spec.rings.size()) * node_area(lib);
+    for (const auto& c : spec.channels) {
+        o.interfaces += input_interface_netlist(c.fifo.data_bits)
+                            .total_gate_eq(lib);
+        o.interfaces += output_interface_netlist(c.fifo.data_bits)
+                            .total_gate_eq(lib);
+        o.fifo_stages += static_cast<double>(c.fifo.depth) *
+                         fifo_stage_netlist(c.fifo.data_bits)
+                             .total_gate_eq(lib);
+    }
+    return o;
+}
+
+}  // namespace st::area

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "area/gate_library.hpp"
+#include "system/spec.hpp"
+
+namespace st::area {
+
+/// Gate-level netlist of one synchro-tokens input FIFO interface
+/// (latch + handshake control) for `data_bits`-wide channels.
+Netlist input_interface_netlist(unsigned data_bits);
+
+/// Gate-level netlist of one output FIFO interface (staging register,
+/// request generation, full/valid logic).
+Netlist output_interface_netlist(unsigned data_bits);
+
+/// Gate-level netlist of one self-timed FIFO stage (per-bit latch plus
+/// C-element latch controller).
+Netlist fifo_stage_netlist(unsigned data_bits);
+
+/// Gate-level netlist of one token-ring node: hold and recycle counters
+/// (8-bit, parallel-loadable), token latch, phase/sb_en/clken registers and
+/// glue. The paper reports this as a data-width-independent 145 2-input-gate
+/// equivalents.
+Netlist node_netlist();
+
+/// Linear area model A(bits) = base + per_bit * bits, the shape of the
+/// paper's Table 1 rows.
+struct LinearModel {
+    double base = 0.0;
+    double per_bit = 0.0;
+
+    double at(unsigned bits) const { return base + per_bit * bits; }
+};
+
+/// Fit the (exactly linear) component models by evaluating the netlist
+/// builders at two widths.
+LinearModel fit_interface_model(const GateLibrary& lib);
+LinearModel fit_stage_model(const GateLibrary& lib);
+double node_area(const GateLibrary& lib);
+
+/// Paper Table 1, regenerated from our netlists.
+struct Table1 {
+    LinearModel fifo_interface;  ///< averaged over input/output interfaces
+    LinearModel fifo_stage;
+    double node = 0.0;
+
+    std::string to_string() const;
+};
+
+Table1 make_table1(const GateLibrary& lib);
+
+/// System-wide overhead breakdown for a SocSpec (paper §5: "Since there is
+/// just one pair of nodes for each pair of communicating SBs, the
+/// system-wide area overhead is reasonably low"; the comparison with other
+/// GALS schemes excludes FIFO interfaces and stages, which any scheme needs).
+struct SystemOverhead {
+    double nodes = 0.0;
+    double interfaces = 0.0;
+    double fifo_stages = 0.0;
+
+    double synchro_tokens_specific() const { return nodes; }
+    double total() const { return nodes + interfaces + fifo_stages; }
+};
+
+SystemOverhead system_overhead(const sys::SocSpec& spec,
+                               const GateLibrary& lib);
+
+}  // namespace st::area

@@ -1,0 +1,50 @@
+#include "area/gate_library.hpp"
+
+#include <stdexcept>
+
+namespace st::area {
+
+GateLibrary::GateLibrary() {
+    // Relative sizes in units of the average 2-input gate (NAND2/NOR2 ~ 1.0).
+    cells_ = {
+        {"INV", 0.6},     //
+        {"NAND2", 1.0},   //
+        {"NOR2", 1.0},    //
+        {"AND2", 1.2},    //
+        {"OR2", 1.2},     //
+        {"XOR2", 1.6},    //
+        {"AOI22", 1.4},   //
+        {"MUX2", 1.8},    //
+        {"DFF", 4.5},     // D flip-flop with reset
+        {"DFFE", 5.2},    // D flip-flop with enable
+        {"DLATCH", 2.5},  // transparent latch
+        {"CEL2", 2.9},    // 2-input Muller C-element (async control)
+        {"MUTEX", 3.4},   // mutual-exclusion element (baselines only)
+    };
+}
+
+double GateLibrary::gate_eq(const std::string& cell) const {
+    const auto it = cells_.find(cell);
+    if (it == cells_.end()) {
+        throw std::invalid_argument("GateLibrary: unknown cell '" + cell + "'");
+    }
+    return it->second;
+}
+
+void Netlist::add(const Netlist& other) {
+    for (const auto& [cell, n] : other.counts()) counts_[cell] += n;
+}
+
+double Netlist::total_gate_eq(const GateLibrary& lib) const {
+    double total = 0.0;
+    for (const auto& [cell, n] : counts_) total += lib.gate_eq(cell) * n;
+    return total;
+}
+
+int Netlist::instances() const {
+    int total = 0;
+    for (const auto& [cell, n] : counts_) total += n;
+    return total;
+}
+
+}  // namespace st::area

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace st::area {
+
+/// Standard-cell library characterized in *average-2-input-gate
+/// equivalents*, the unit the paper's Table 1 uses ("using the average area
+/// of the library's 2-input gates as the unit of measurement").
+///
+/// The paper measured a 0.25 µm MOSIS/TSMC library [15]; that layout data is
+/// not available, so the equivalents below are re-derived from typical
+/// relative cell sizes of 4-metal 0.25 µm standard-cell libraries. The
+/// *structure* of the resulting models (a constant control term plus a
+/// per-data-bit term, and a fixed node cost) is what the reproduction
+/// targets; DESIGN.md §2 records this substitution.
+class GateLibrary {
+  public:
+    GateLibrary();
+
+    /// Area of one cell instance, in 2-input-gate equivalents.
+    double gate_eq(const std::string& cell) const;
+
+    bool has_cell(const std::string& cell) const {
+        return cells_.count(cell) != 0;
+    }
+
+    const std::map<std::string, double>& cells() const { return cells_; }
+
+  private:
+    std::map<std::string, double> cells_;
+};
+
+/// A flat gate-level netlist: cell name -> instance count.
+class Netlist {
+  public:
+    void add(const std::string& cell, int count = 1) { counts_[cell] += count; }
+    void add(const Netlist& other);
+
+    double total_gate_eq(const GateLibrary& lib) const;
+    int instances() const;
+    const std::map<std::string, int>& counts() const { return counts_; }
+
+  private:
+    std::map<std::string, int> counts_;
+};
+
+}  // namespace st::area

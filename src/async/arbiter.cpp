@@ -1,0 +1,98 @@
+#include "async/arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace st::achan {
+
+void MutexElement::request_a() {
+    if (req_a_) throw std::logic_error("MutexElement[" + name_ + "]: A re-request");
+    req_a_ = true;
+    req_a_time_ = sched_.now();
+    arbitrate();
+}
+
+void MutexElement::request_b() {
+    if (req_b_) throw std::logic_error("MutexElement[" + name_ + "]: B re-request");
+    req_b_ = true;
+    req_b_time_ = sched_.now();
+    arbitrate();
+}
+
+void MutexElement::release_a() {
+    req_a_ = false;
+    if (granted_a_) {
+        granted_a_ = false;
+    } else {
+        // Withdrawn while pending: void any in-flight decision.
+        ++decision_gen_;
+        deciding_ = false;
+    }
+    arbitrate();
+}
+
+void MutexElement::release_b() {
+    req_b_ = false;
+    if (granted_b_) {
+        granted_b_ = false;
+    } else {
+        ++decision_gen_;
+        deciding_ = false;
+    }
+    arbitrate();
+}
+
+void MutexElement::arbitrate() {
+    if (granted_a_ || granted_b_ || deciding_) return;
+    if (!req_a_ && !req_b_) return;
+    deciding_ = true;
+    const std::uint64_t gen = ++decision_gen_;
+    sched_.schedule_after(params_.grant_delay, [this, gen] {
+        if (gen != decision_gen_ || !deciding_) return;
+        // Winner: the earlier request (ties go to A — a fixed, physical
+        // asymmetry; which side wins a tie is exactly the delay-sensitive
+        // bit that varies die to die).
+        bool to_a = req_a_;
+        sim::Time extra = 0;
+        if (req_a_ && req_b_) {
+            to_a = req_a_time_ <= req_b_time_;
+            const sim::Time sep = req_a_time_ <= req_b_time_
+                                      ? req_b_time_ - req_a_time_
+                                      : req_a_time_ - req_b_time_;
+            if (sep < params_.window) {
+                // tau model: t_res = tau * ln(window / separation).
+                const double s = std::max<double>(1.0, static_cast<double>(sep));
+                const double res =
+                    static_cast<double>(params_.tau) *
+                    std::log(static_cast<double>(params_.window) / s);
+                extra = std::min(params_.max_resolution,
+                                 static_cast<sim::Time>(res + 0.5));
+                ++metastable_events_;
+                worst_resolution_ = std::max(worst_resolution_, extra);
+            }
+        }
+        if (extra > 0) {
+            sched_.schedule_after(extra, [this, gen, to_a] {
+                if (gen != decision_gen_ || !deciding_) return;
+                issue_grant(to_a, 0);
+            });
+        } else {
+            issue_grant(to_a, 0);
+        }
+    });
+}
+
+void MutexElement::issue_grant(bool to_a, sim::Time /*extra*/) {
+    deciding_ = false;
+    ++grants_;
+    if (to_a) {
+        granted_a_ = true;
+        if (grant_a_) grant_a_();
+    } else {
+        granted_b_ = true;
+        if (grant_b_) grant_b_();
+    }
+}
+
+}  // namespace st::achan

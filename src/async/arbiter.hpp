@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace st::achan {
+
+/// Mutual-exclusion (mutex) element — the circuit the paper's §1 singles
+/// out, with arbiters and synchronizers, as the principal source of
+/// nondeterminism: "The output sequence of these circuits depends on the
+/// relative order of input transitions, which is in turn sensitive to
+/// variables such as clock frequencies, clock skew, process variation, and
+/// noise."
+///
+/// Behaviour: two request inputs compete for one grant. The earlier request
+/// wins; when the separation between the two requests falls inside the
+/// metastability window the element still resolves to the earlier one, but
+/// only after an extra resolution delay that grows as the separation
+/// shrinks (the classic tau model: t_res = tau * ln(window / separation)).
+/// Metastability is thus modelled *without* nondeterminism inside one run —
+/// matching §1's observation that the absence of metastability does not
+/// imply determinism; it is the delay-sensitivity of the winner that makes
+/// systems built on this element nondeterministic across delay variations.
+class MutexElement {
+  public:
+    struct Params {
+        sim::Time grant_delay = 30;    ///< request-to-grant, uncontended
+        sim::Time window = 60;         ///< metastability window, ps
+        sim::Time tau = 25;            ///< resolution time constant, ps
+        sim::Time max_resolution = 500; ///< cap on the extra delay
+    };
+
+    MutexElement(sim::Scheduler& sched, std::string name, Params p)
+        : sched_(sched), name_(std::move(name)), params_(p) {}
+
+    MutexElement(const MutexElement&) = delete;
+    MutexElement& operator=(const MutexElement&) = delete;
+
+    /// Grant callbacks, invoked with the grant time.
+    void on_grant_a(std::function<void()> fn) { grant_a_ = std::move(fn); }
+    void on_grant_b(std::function<void()> fn) { grant_b_ = std::move(fn); }
+
+    /// Raise request A/B. A granted side must release before re-requesting.
+    void request_a();
+    void request_b();
+
+    /// Drop a granted or pending request.
+    void release_a();
+    void release_b();
+
+    bool granted_a() const { return granted_a_; }
+    bool granted_b() const { return granted_b_; }
+
+    std::uint64_t grants() const { return grants_; }
+    std::uint64_t metastable_events() const { return metastable_events_; }
+    sim::Time worst_resolution() const { return worst_resolution_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    void arbitrate();
+    void issue_grant(bool to_a, sim::Time extra);
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    Params params_;
+    std::function<void()> grant_a_;
+    std::function<void()> grant_b_;
+
+    bool req_a_ = false;
+    bool req_b_ = false;
+    sim::Time req_a_time_ = 0;
+    sim::Time req_b_time_ = 0;
+    bool granted_a_ = false;
+    bool granted_b_ = false;
+    bool deciding_ = false;
+    std::uint64_t decision_gen_ = 0;
+
+    std::uint64_t grants_ = 0;
+    std::uint64_t metastable_events_ = 0;
+    sim::Time worst_resolution_ = 0;
+};
+
+}  // namespace st::achan

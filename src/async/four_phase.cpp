@@ -1,0 +1,51 @@
+#include "async/four_phase.hpp"
+
+#include <stdexcept>
+
+namespace st::achan {
+
+void FourPhaseLink::send(Word w) {
+    if (state_ != State::kIdle) {
+        throw std::logic_error("FourPhaseLink[" + name_ + "]: send while busy");
+    }
+    if (sink_ == nullptr) {
+        throw std::logic_error("FourPhaseLink[" + name_ + "]: no sink bound");
+    }
+    state_ = State::kReqFlight;
+    word_ = mask_word(w, params_.data_bits);
+    send_time_ = sched_.now();
+    sched_.schedule_after(params_.req_delay, [this] { sink_sees_req(); });
+}
+
+void FourPhaseLink::sink_sees_req() {
+    if (sink_->can_accept()) {
+        do_accept();
+    } else {
+        state_ = State::kReqPending;
+    }
+}
+
+void FourPhaseLink::poke() {
+    if (state_ == State::kReqPending && sink_->can_accept()) {
+        do_accept();
+    }
+}
+
+void FourPhaseLink::do_accept() {
+    state_ = State::kAckFlight;
+    sink_->accept(word_);
+    // ack+ back to producer, req- forward, ack- back: the return-to-zero half
+    // takes one ack_delay + one req_delay + one ack_delay. The producer's
+    // *next* send is legal once the final ack- lands.
+    const sim::Time rtz = params_.ack_delay + params_.req_delay +
+                          params_.ack_delay;
+    sched_.schedule_after(rtz, [this] {
+        state_ = State::kIdle;
+        ++transfers_;
+        last_latency_ = sched_.now() - send_time_;
+        if (last_latency_ > max_latency_) max_latency_ = last_latency_;
+        if (complete_) complete_();
+    });
+}
+
+}  // namespace st::achan

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "async/link.hpp"
+#include "async/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::achan {
+
+/// Consumer-side policy of a four-phase link.
+class LinkSink {
+  public:
+    virtual ~LinkSink() = default;
+
+    /// May the pending word be latched right now? Returning false leaves the
+    /// request asserted (backpressure); the consumer later calls
+    /// FourPhaseLink::poke() when it becomes ready.
+    virtual bool can_accept() const = 0;
+
+    /// Latch the word (called exactly once per transfer, when accepted).
+    virtual void accept(Word w) = 0;
+};
+
+/// Four-phase (return-to-zero) bundled-data handshake link.
+///
+/// Producer calls `send()`; req rises and, after the request wire delay, the
+/// sink either latches the data and raises ack, or leaves the request pending
+/// (backpressure) until `poke()`d. The return-to-zero half then completes and
+/// the producer's completion callback fires. Unloaded handshake latency is
+/// 2·(req_delay + ack_delay) — the paper requires this to fit within one
+/// local clock cycle, which `verify::TimingChecker` audits.
+class FourPhaseLink final : public Link {
+  public:
+    struct Params {
+        unsigned data_bits = 32;
+        sim::Time req_delay = 20;  ///< producer→consumer wire delay, ps
+        sim::Time ack_delay = 20;  ///< consumer→producer wire delay, ps
+        /// Protocol selector honoured by make_link(); FourPhaseLink itself
+        /// always runs return-to-zero.
+        LinkProtocol protocol = LinkProtocol::kFourPhase;
+    };
+
+    FourPhaseLink(sim::Scheduler& sched, std::string name, Params p)
+        : sched_(sched), name_(std::move(name)), params_(p) {}
+
+    FourPhaseLink(const FourPhaseLink&) = delete;
+    FourPhaseLink& operator=(const FourPhaseLink&) = delete;
+
+    void bind_sink(LinkSink* sink) override { sink_ = sink; }
+
+    /// True once a consumer is attached (FIFOs skip head delivery otherwise,
+    /// e.g. when a synchronous consumer uses SelfTimedFifo::pop_head).
+    bool has_sink() const override { return sink_ != nullptr; }
+
+    /// Producer-side completion callback (link returned to idle).
+    void on_complete(std::function<void()> fn) override {
+        complete_ = std::move(fn);
+    }
+
+    /// True when the producer may start a new transfer.
+    bool idle() const override { return state_ == State::kIdle; }
+
+    /// True when a request is asserted but the sink has not accepted yet.
+    bool request_pending() const override {
+        return state_ == State::kReqPending;
+    }
+
+    /// Begin a transfer. Precondition: idle().
+    void send(Word w) override;
+
+    /// Consumer-side nudge: re-evaluate a pending request (the sink became
+    /// ready). Safe to call in any state.
+    void poke() override;
+
+    // --- statistics (used by timing checker and benches) ---
+    std::uint64_t transfers() const override { return transfers_; }
+    sim::Time last_latency() const override { return last_latency_; }
+    sim::Time max_latency() const override { return max_latency_; }
+    sim::Time unloaded_latency() const override {
+        return 2 * (params_.req_delay + params_.ack_delay);
+    }
+    const Params& params() const { return params_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    enum class State {
+        kIdle,        ///< req low, ack low
+        kReqFlight,   ///< req rising, in flight to sink
+        kReqPending,  ///< req seen by sink, sink not ready (backpressure)
+        kAckFlight,   ///< data latched, ack rising / return-to-zero running
+    };
+
+    void sink_sees_req();
+    void do_accept();
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    Params params_;
+    LinkSink* sink_ = nullptr;
+    std::function<void()> complete_;
+
+    State state_ = State::kIdle;
+    Word word_ = 0;
+    sim::Time send_time_ = 0;
+    std::uint64_t transfers_ = 0;
+    sim::Time last_latency_ = 0;
+    sim::Time max_latency_ = 0;
+};
+
+}  // namespace st::achan

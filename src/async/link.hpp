@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "async/types.hpp"
+#include "sim/time.hpp"
+
+namespace st::achan {
+
+class LinkSink;
+
+/// Protocol-independent view of a point-to-point bundled-data link. Two
+/// implementations exist: FourPhaseLink (return-to-zero, level signalling)
+/// and TwoPhaseLink (non-return-to-zero, transition signalling). Producers
+/// call send(); consumers provide a LinkSink and nudge a back-pressured
+/// transfer with poke().
+class Link {
+  public:
+    virtual ~Link() = default;
+
+    virtual void bind_sink(LinkSink* sink) = 0;
+    virtual bool has_sink() const = 0;
+    virtual void on_complete(std::function<void()> fn) = 0;
+
+    virtual bool idle() const = 0;
+    virtual bool request_pending() const = 0;
+    virtual void send(Word w) = 0;
+    virtual void poke() = 0;
+
+    // --- statistics ---
+    virtual std::uint64_t transfers() const = 0;
+    virtual sim::Time last_latency() const = 0;
+    virtual sim::Time max_latency() const = 0;
+
+    /// Unloaded handshake completion latency, for timing budgets.
+    virtual sim::Time unloaded_latency() const = 0;
+};
+
+/// Handshake protocol selector used by channel configuration.
+enum class LinkProtocol : std::uint8_t {
+    kFourPhase,  ///< return-to-zero: 2*(req+ack) per transfer
+    kTwoPhase,   ///< transition signalling: req+ack per transfer
+};
+
+}  // namespace st::achan

@@ -1,0 +1,25 @@
+#include "async/make_link.hpp"
+
+namespace st::achan {
+
+std::unique_ptr<Link> make_link(sim::Scheduler& sched, std::string name,
+                                FourPhaseLink::Params params) {
+    if (params.protocol == LinkProtocol::kTwoPhase) {
+        return std::make_unique<TwoPhaseLink>(sched, std::move(name), params);
+    }
+    return std::make_unique<FourPhaseLink>(sched, std::move(name), params);
+}
+
+sim::Time unloaded_link_latency(const FourPhaseLink::Params& params) {
+    return params.protocol == LinkProtocol::kTwoPhase
+               ? params.req_delay + params.ack_delay
+               : 2 * (params.req_delay + params.ack_delay);
+}
+
+sim::Time post_accept_link_latency(const FourPhaseLink::Params& params) {
+    return params.protocol == LinkProtocol::kTwoPhase
+               ? params.ack_delay
+               : params.ack_delay + params.req_delay + params.ack_delay;
+}
+
+}  // namespace st::achan

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "async/four_phase.hpp"
+#include "async/link.hpp"
+#include "async/two_phase.hpp"
+
+namespace st::achan {
+
+/// Construct a link of the protocol selected in `params.protocol`.
+std::unique_ptr<Link> make_link(sim::Scheduler& sched, std::string name,
+                                FourPhaseLink::Params params);
+
+/// Unloaded handshake completion latency of the selected protocol.
+sim::Time unloaded_link_latency(const FourPhaseLink::Params& params);
+
+/// Latency from sink acceptance to link idle (the tail a pending transfer
+/// still needs after the enable gate opens) of the selected protocol.
+sim::Time post_accept_link_latency(const FourPhaseLink::Params& params);
+
+}  // namespace st::achan

@@ -1,0 +1,118 @@
+#include "async/self_timed_fifo.hpp"
+
+#include <stdexcept>
+
+namespace st::achan {
+
+SelfTimedFifo::SelfTimedFifo(sim::Scheduler& sched, std::string name, Params p)
+    : sched_(sched),
+      name_(std::move(name)),
+      params_(p),
+      stages_(p.depth),
+      moving_(p.depth, false),
+      head_link_(make_link(sched, name_ + ".head",
+                           FourPhaseLink::Params{p.data_bits,
+                                                 p.head_req_delay,
+                                                 p.head_ack_delay,
+                                                 p.head_protocol})) {
+    if (params_.depth == 0) {
+        throw std::invalid_argument("SelfTimedFifo: zero depth");
+    }
+    head_link_->on_complete([this] {
+        // Downstream latched the head word and the handshake returned to
+        // zero: free the head stage and keep the pipeline moving.
+        stages_.back().reset();
+        head_sending_ = false;
+        ++words_out_;
+        if (params_.depth >= 2) try_advance(params_.depth - 2);
+        if (params_.depth == 1 && tail_link_ != nullptr) tail_link_->poke();
+        try_send_head();
+    });
+}
+
+bool SelfTimedFifo::can_accept() const { return !stages_.front().has_value(); }
+
+void SelfTimedFifo::accept(Word w) {
+    if (stages_.front().has_value()) {
+        throw std::logic_error("SelfTimedFifo[" + name_ + "]: tail overrun");
+    }
+    stages_.front() = mask_word(w, params_.data_bits);
+    ++words_in_;
+    if (params_.depth == 1) {
+        last_head_arrival_ = sched_.now();
+        try_send_head();
+    } else {
+        try_advance(0);
+    }
+}
+
+std::size_t SelfTimedFifo::occupancy() const {
+    std::size_t n = 0;
+    for (const auto& s : stages_) n += s.has_value() ? 1 : 0;
+    return n;
+}
+
+void SelfTimedFifo::try_advance(std::size_t i) {
+    if (i + 1 >= params_.depth) return;
+    if (!stages_[i].has_value() || moving_[i]) return;
+    if (stages_[i + 1].has_value() || moving_[i + 1]) return;
+    moving_[i] = true;
+    sched_.schedule_after(params_.stage_delay, [this, i] {
+        stages_[i + 1] = *stages_[i];
+        stages_[i].reset();
+        moving_[i] = false;
+        if (i + 1 == params_.depth - 1) {
+            last_head_arrival_ = sched_.now();
+            try_send_head();
+        } else {
+            try_advance(i + 1);
+        }
+        if (i > 0) {
+            try_advance(i - 1);
+        } else if (tail_link_ != nullptr) {
+            // Tail stage freed: a backpressured upstream transfer can land.
+            tail_link_->poke();
+        }
+    });
+}
+
+void SelfTimedFifo::try_send_head() {
+    if (!head_link_->has_sink()) return;  // synchronous consumer pops directly
+    if (head_sending_ || !stages_.back().has_value() || !head_link_->idle()) {
+        return;
+    }
+    head_sending_ = true;
+    head_link_->send(*stages_.back());
+}
+
+Word SelfTimedFifo::pop_head() {
+    if (!stages_.back().has_value() || head_sending_) {
+        throw std::logic_error("SelfTimedFifo[" + name_ + "]: pop on empty head");
+    }
+    const Word w = *stages_.back();
+    stages_.back().reset();
+    ++words_out_;
+    if (params_.depth >= 2) {
+        try_advance(params_.depth - 2);
+    } else if (tail_link_ != nullptr) {
+        tail_link_->poke();
+    }
+    return w;
+}
+
+void SelfTimedFifo::preload(const std::vector<Word>& words) {
+    if (occupancy() != 0 || words_in_ != 0) {
+        throw std::logic_error("SelfTimedFifo[" + name_ + "]: preload on used FIFO");
+    }
+    if (words.size() > params_.depth) {
+        throw std::invalid_argument("SelfTimedFifo[" + name_ +
+                                    "]: preload exceeds depth");
+    }
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        stages_[params_.depth - 1 - i] = mask_word(words[i], params_.data_bits);
+    }
+    words_in_ += words.size();
+    try_send_head();
+}
+
+}  // namespace st::achan

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "async/four_phase.hpp"
+#include "async/make_link.hpp"
+#include "async/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::achan {
+
+/// Behavioural self-timed (micropipeline) FIFO.
+///
+/// Words ripple stage-to-stage with a per-stage propagation delay; movement
+/// is purely event-driven, exactly like a chain of asynchronous latch
+/// controllers. The upstream producer talks to the *tail* through a
+/// FourPhaseLink bound to `tail_sink()`; the FIFO itself owns the *head*
+/// link, which pushes the head word to whatever sink is bound downstream
+/// (normally a synchro-tokens input interface).
+///
+/// The paper's head-visibility timing constraint — data added to the tail
+/// just before the token departs must reach the head before the token enables
+/// the head interface — is auditable via `last_head_arrival()`.
+class SelfTimedFifo : public LinkSink {
+  public:
+    struct Params {
+        std::size_t depth = 4;        ///< number of stages (>= 1)
+        sim::Time stage_delay = 100;  ///< per-stage propagation delay F, ps
+        unsigned data_bits = 32;
+        sim::Time head_req_delay = 20;  ///< head link request wire delay
+        sim::Time head_ack_delay = 20;  ///< head link acknowledge wire delay
+        /// Handshake protocol of the FIFO-owned head link.
+        LinkProtocol head_protocol = LinkProtocol::kFourPhase;
+    };
+
+    SelfTimedFifo(sim::Scheduler& sched, std::string name, Params p);
+
+    SelfTimedFifo(const SelfTimedFifo&) = delete;
+    SelfTimedFifo& operator=(const SelfTimedFifo&) = delete;
+
+    /// The sink the upstream producer's link must bind to.
+    LinkSink& tail_sink() { return *this; }
+
+    /// Let the FIFO nudge the upstream link when the tail stage frees
+    /// (completes a backpressured transfer).
+    void attach_tail_link(Link* link) { tail_link_ = link; }
+
+    /// FIFO-owned producer link feeding the downstream consumer.
+    Link& head_link() { return *head_link_; }
+
+    // --- LinkSink (tail side) ---
+    bool can_accept() const override;
+    void accept(Word w) override;
+
+    // --- direct synchronous access (STARI-style endpoints) ---
+    /// Pop the head word without a head link handshake. Precondition:
+    /// head_valid() and no head-link delivery in flight.
+    Word pop_head();
+
+    /// Place words directly into the head-most stages of an empty FIFO, as
+    /// if they had settled long ago (STARI initializes its FIFO roughly half
+    /// full before the clocks start). words.front() becomes the head.
+    void preload(const std::vector<Word>& words);
+
+    // --- observation ---
+    std::size_t depth() const { return params_.depth; }
+    std::size_t occupancy() const;  ///< words currently inside stages
+    bool head_valid() const { return stages_.back().has_value(); }
+    bool tail_free() const { return can_accept(); }
+    std::uint64_t words_in() const { return words_in_; }
+    std::uint64_t words_out() const { return words_out_; }
+    sim::Time last_head_arrival() const { return last_head_arrival_; }
+    const Params& params() const { return params_; }
+    const std::string& name() const { return name_; }
+
+    /// Change the per-stage delay (used by perturbation sweeps before t=0).
+    void set_stage_delay(sim::Time d) { params_.stage_delay = d; }
+
+  private:
+    void try_advance(std::size_t i);
+    void try_send_head();
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    Params params_;
+    std::vector<std::optional<Word>> stages_;  // [0]=tail, [depth-1]=head
+    std::vector<bool> moving_;                 // stage i -> i+1 in flight
+    std::unique_ptr<Link> head_link_;
+    Link* tail_link_ = nullptr;
+    bool head_sending_ = false;
+    std::uint64_t words_in_ = 0;
+    std::uint64_t words_out_ = 0;
+    sim::Time last_head_arrival_ = 0;
+};
+
+}  // namespace st::achan

@@ -1,0 +1,47 @@
+#include "async/two_phase.hpp"
+
+#include <stdexcept>
+
+namespace st::achan {
+
+void TwoPhaseLink::send(Word w) {
+    if (state_ != State::kIdle) {
+        throw std::logic_error("TwoPhaseLink[" + name_ + "]: send while busy");
+    }
+    if (sink_ == nullptr) {
+        throw std::logic_error("TwoPhaseLink[" + name_ + "]: no sink bound");
+    }
+    state_ = State::kReqFlight;
+    word_ = mask_word(w, params_.data_bits);
+    send_time_ = sched_.now();
+    sched_.schedule_after(params_.req_delay, [this] { sink_sees_req(); });
+}
+
+void TwoPhaseLink::sink_sees_req() {
+    if (sink_->can_accept()) {
+        do_accept();
+    } else {
+        state_ = State::kReqPending;
+    }
+}
+
+void TwoPhaseLink::poke() {
+    if (state_ == State::kReqPending && sink_->can_accept()) {
+        do_accept();
+    }
+}
+
+void TwoPhaseLink::do_accept() {
+    state_ = State::kAckFlight;
+    sink_->accept(word_);
+    // NRZ: the ack transition alone completes the transfer.
+    sched_.schedule_after(params_.ack_delay, [this] {
+        state_ = State::kIdle;
+        ++transfers_;
+        last_latency_ = sched_.now() - send_time_;
+        if (last_latency_ > max_latency_) max_latency_ = last_latency_;
+        if (complete_) complete_();
+    });
+}
+
+}  // namespace st::achan

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+
+#include "async/four_phase.hpp"
+#include "async/link.hpp"
+
+namespace st::achan {
+
+/// Two-phase (transition-signalling / NRZ) bundled-data link: every
+/// transition of req carries one word; the matching ack transition completes
+/// it. Half the handshake latency of the four-phase link (req + ack instead
+/// of 2*(req + ack)) at the cost of transition-detecting latch controllers
+/// (reflected in the area models).
+class TwoPhaseLink final : public Link {
+  public:
+    /// Reuses FourPhaseLink::Params (same wire-delay fields).
+    TwoPhaseLink(sim::Scheduler& sched, std::string name,
+                 FourPhaseLink::Params p)
+        : sched_(sched), name_(std::move(name)), params_(p) {}
+
+    TwoPhaseLink(const TwoPhaseLink&) = delete;
+    TwoPhaseLink& operator=(const TwoPhaseLink&) = delete;
+
+    void bind_sink(LinkSink* sink) override { sink_ = sink; }
+    bool has_sink() const override { return sink_ != nullptr; }
+    void on_complete(std::function<void()> fn) override {
+        complete_ = std::move(fn);
+    }
+
+    bool idle() const override { return state_ == State::kIdle; }
+    bool request_pending() const override {
+        return state_ == State::kReqPending;
+    }
+    void send(Word w) override;
+    void poke() override;
+
+    std::uint64_t transfers() const override { return transfers_; }
+    sim::Time last_latency() const override { return last_latency_; }
+    sim::Time max_latency() const override { return max_latency_; }
+    sim::Time unloaded_latency() const override {
+        return params_.req_delay + params_.ack_delay;
+    }
+    const FourPhaseLink::Params& params() const { return params_; }
+
+  private:
+    enum class State { kIdle, kReqFlight, kReqPending, kAckFlight };
+
+    void sink_sees_req();
+    void do_accept();
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    FourPhaseLink::Params params_;
+    LinkSink* sink_ = nullptr;
+    std::function<void()> complete_;
+
+    State state_ = State::kIdle;
+    Word word_ = 0;
+    sim::Time send_time_ = 0;
+    std::uint64_t transfers_ = 0;
+    sim::Time last_latency_ = 0;
+    sim::Time max_latency_ = 0;
+};
+
+}  // namespace st::achan

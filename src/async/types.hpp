@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace st {
+
+/// One bundled data word. Channels carry up to 64 data bits; the actual
+/// bus width of a channel is configuration (it only affects area models and
+/// value masking), so a single POD word type serves every channel.
+using Word = std::uint64_t;
+
+/// Mask a word to `bits` data bits (bits == 64 passes through).
+constexpr Word mask_word(Word w, unsigned bits) {
+    return bits >= 64 ? w : (w & ((Word{1} << bits) - 1));
+}
+
+}  // namespace st

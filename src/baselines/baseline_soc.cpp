@@ -1,0 +1,97 @@
+#include "baselines/baseline_soc.hpp"
+
+#include <stdexcept>
+
+namespace st::baseline {
+
+BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind)
+    : spec_(spec), kind_(kind) {
+    for (const auto& s : spec_.sbs) {
+        if (kind_ == Kind::kTwoFlop) {
+            two_flop_.push_back(std::make_unique<TwoFlopWrapper>(
+                sched_, s.name, s.clock, s.make_kernel()));
+        } else {
+            PausibleClock::Params pc;
+            pc.period = s.clock.base_period * s.clock.divider;
+            pc.phase = s.clock.phase;
+            pausible_.push_back(std::make_unique<PausibleWrapper>(
+                sched_, s.name, pc, s.make_kernel()));
+        }
+        traces_.emplace(s.name, verify::IoTrace{s.name, {}});
+    }
+
+    for (const auto& c : spec_.channels) {
+        auto fifo = std::make_unique<achan::SelfTimedFifo>(sched_, c.name, c.fifo);
+        const auto record = [this](const std::string& sb, verify::IoEvent ev) {
+            traces_[sb].events.push_back(ev);
+        };
+        if (kind_ == Kind::kTwoFlop) {
+            auto& out = two_flop_[c.from_sb]->attach_output(*fifo, c.tail_link);
+            auto& in = two_flop_[c.to_sb]->attach_input(*fifo);
+            const auto out_port = static_cast<std::uint32_t>(
+                two_flop_[c.from_sb]->num_outputs() - 1);
+            const auto in_port = static_cast<std::uint32_t>(
+                two_flop_[c.to_sb]->num_inputs() - 1);
+            out.on_send([record, sb = spec_.sbs[c.from_sb].name, out_port](
+                            std::uint64_t cycle, Word w) {
+                record(sb, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
+            });
+            in.on_deliver([record, sb = spec_.sbs[c.to_sb].name, in_port](
+                              std::uint64_t cycle, Word w) {
+                record(sb, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
+            });
+        } else {
+            auto& out = pausible_[c.from_sb]->attach_output(*fifo, c.tail_link);
+            auto& in = pausible_[c.to_sb]->attach_input(*fifo);
+            const auto out_port = static_cast<std::uint32_t>(
+                pausible_[c.from_sb]->num_outputs() - 1);
+            const auto in_port = static_cast<std::uint32_t>(
+                pausible_[c.to_sb]->num_inputs() - 1);
+            out.on_send([record, sb = spec_.sbs[c.from_sb].name, out_port](
+                            std::uint64_t cycle, Word w) {
+                record(sb, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
+            });
+            in.on_deliver([record, sb = spec_.sbs[c.to_sb].name, in_port](
+                              std::uint64_t cycle, Word w) {
+                record(sb, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
+            });
+        }
+        fifos_.push_back(std::move(fifo));
+    }
+}
+
+void BaselineSoc::start() {
+    if (started_) return;
+    started_ = true;
+    for (auto& w : two_flop_) w->start();
+    for (auto& w : pausible_) w->start();
+}
+
+std::uint64_t BaselineSoc::cycles(std::size_t i) const {
+    return kind_ == Kind::kTwoFlop ? two_flop_.at(i)->clock().cycles()
+                                   : pausible_.at(i)->clock().cycles();
+}
+
+sb::SyncBlock& BaselineSoc::block(std::size_t i) {
+    return kind_ == Kind::kTwoFlop ? two_flop_.at(i)->block()
+                                   : pausible_.at(i)->block();
+}
+
+bool BaselineSoc::run_cycles(std::uint64_t n_cycles, sim::Time deadline) {
+    start();
+    const auto goal_met = [&] {
+        for (std::size_t i = 0; i < num_sbs(); ++i) {
+            if (cycles(i) < n_cycles) return false;
+        }
+        return true;
+    };
+    while (!goal_met()) {
+        if (sched_.quiescent() || sched_.next_event_time() > deadline) {
+            return false;
+        }
+        sched_.step();
+    }
+    return true;
+}
+
+}  // namespace st::baseline

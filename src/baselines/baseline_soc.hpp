@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/pausible.hpp"
+#include "baselines/two_flop.hpp"
+#include "system/spec.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::baseline {
+
+/// Elaborates the *same* SocSpec as sys::Soc but with the synchro-tokens
+/// control logic bypassed: no token rings, free-running (or pausible) local
+/// clocks, always-enabled interfaces. This is the control arm of the paper's
+/// determinism experiment — identical kernels, identical channels, identical
+/// perturbations, nondeterministic traces.
+class BaselineSoc {
+  public:
+    enum class Kind {
+        kTwoFlop,   ///< two-flip-flop synchronizers on channel inputs
+        kPausible,  ///< pausible-clock arbitration on channel inputs
+    };
+
+    BaselineSoc(const sys::SocSpec& spec, Kind kind);
+
+    BaselineSoc(const BaselineSoc&) = delete;
+    BaselineSoc& operator=(const BaselineSoc&) = delete;
+
+    void start();
+
+    /// Run until every SB has executed `n_cycles` local cycles (baseline
+    /// clocks never stop, so only the deadline can prevent completion).
+    bool run_cycles(std::uint64_t n_cycles, sim::Time deadline);
+
+    sim::Scheduler& scheduler() { return sched_; }
+    std::size_t num_sbs() const { return spec_.sbs.size(); }
+    sb::SyncBlock& block(std::size_t i);
+    std::uint64_t cycles(std::size_t i) const;
+
+    verify::TraceSet traces() const { return traces_; }
+
+  private:
+    sys::SocSpec spec_;
+    Kind kind_;
+    sim::Scheduler sched_;
+    std::vector<std::unique_ptr<TwoFlopWrapper>> two_flop_;
+    std::vector<std::unique_ptr<PausibleWrapper>> pausible_;
+    std::vector<std::unique_ptr<achan::SelfTimedFifo>> fifos_;
+    verify::TraceSet traces_;
+    bool started_ = false;
+};
+
+}  // namespace st::baseline

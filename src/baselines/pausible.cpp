@@ -1,0 +1,134 @@
+#include "baselines/pausible.hpp"
+
+#include <stdexcept>
+
+namespace st::baseline {
+
+PausibleClock::PausibleClock(sim::Scheduler& sched, std::string name,
+                             Params p)
+    : sched_(sched), name_(std::move(name)), params_(p) {
+    if (params_.period == 0) {
+        throw std::invalid_argument("PausibleClock: zero period");
+    }
+}
+
+void PausibleClock::start() {
+    if (started_) return;
+    started_ = true;
+    schedule_edge(params_.phase);
+}
+
+void PausibleClock::schedule_edge(sim::Time t) {
+    next_edge_ = t;
+    const std::uint64_t gen = ++generation_;
+    sched_.schedule_at(t, sim::Priority::kClockEdge,
+                       [this, gen] { edge(gen); });
+}
+
+void PausibleClock::edge(std::uint64_t generation) {
+    if (generation != generation_) return;  // postponed: stale edge
+    const std::uint64_t cycle = cycles_++;
+    const sim::Time t = sched_.now();
+    for (auto* s : sinks_) s->sample(cycle);
+    sched_.schedule_at(t, sim::Priority::kCommit, [this, cycle] {
+        for (auto* s : sinks_) s->commit(cycle);
+    });
+    schedule_edge(t + params_.period);
+}
+
+void PausibleClock::request() {
+    if (!started_) return;
+    const sim::Time now = sched_.now();
+    if (next_edge_ > now && next_edge_ - now <= params_.guard_window) {
+        // The request wins the arbitration: stretch the ring oscillator.
+        ++pauses_;
+        schedule_edge(next_edge_ + params_.pause_delay);
+    }
+}
+
+PausibleInputInterface::PausibleInputInterface(std::string name,
+                                               PausibleClock& clock,
+                                               achan::SelfTimedFifo& fifo)
+    : name_(std::move(name)), clock_(clock), fifo_(fifo) {
+    fifo_.head_link().bind_sink(this);
+}
+
+void PausibleInputInterface::accept(Word w) {
+    if (latch_valid_) {
+        throw std::logic_error("PausibleInputInterface[" + name_ + "]: overrun");
+    }
+    latch_ = w;
+    latch_valid_ = true;
+    clock_.request();  // arbitrate against the oscillator
+}
+
+void PausibleInputInterface::sample(std::uint64_t cycle) {
+    cycle_ = cycle;
+    cycle_valid_ = latch_valid_;
+    cycle_word_ = latch_;
+    taken_ = false;
+}
+
+Word PausibleInputInterface::take() {
+    if (!cycle_valid_) {
+        throw std::logic_error("PausibleInputInterface[" + name_ +
+                               "]: take without data");
+    }
+    cycle_valid_ = false;
+    taken_ = true;
+    ++delivered_;
+    if (deliver_probe_) deliver_probe_(cycle_, cycle_word_);
+    return cycle_word_;
+}
+
+void PausibleInputInterface::commit(std::uint64_t) {
+    if (taken_) latch_valid_ = false;
+    fifo_.head_link().poke();
+}
+
+PausibleWrapper::PausibleWrapper(sim::Scheduler& sched, std::string name,
+                                 PausibleClock::Params clock_params,
+                                 std::unique_ptr<sb::Kernel> kernel)
+    : sched_(sched),
+      name_(std::move(name)),
+      clock_(sched, name_ + ".clk", clock_params),
+      block_(name_ + ".sb", std::move(kernel)) {}
+
+PausibleInputInterface& PausibleWrapper::attach_input(
+    achan::SelfTimedFifo& fifo) {
+    if (finalized_) {
+        throw std::logic_error("PausibleWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<PausibleInputInterface>(
+        name_ + ".in" + std::to_string(inputs_.size()), clock_, fifo);
+    block_.add_in_port(iface.get());
+    inputs_.push_back(std::move(iface));
+    return *inputs_.back();
+}
+
+FreeOutputInterface& PausibleWrapper::attach_output(
+    achan::SelfTimedFifo& fifo, achan::FourPhaseLink::Params p) {
+    if (finalized_) {
+        throw std::logic_error("PausibleWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<FreeOutputInterface>(
+        sched_, name_ + ".out" + std::to_string(outputs_.size()), fifo, p);
+    block_.add_out_port(iface.get());
+    outputs_.push_back(std::move(iface));
+    return *outputs_.back();
+}
+
+void PausibleWrapper::finalize() {
+    if (finalized_) return;
+    for (auto& i : inputs_) clock_.add_sink(i.get());
+    for (auto& o : outputs_) clock_.add_sink(o.get());
+    clock_.add_sink(&block_);
+    finalized_ = true;
+}
+
+void PausibleWrapper::start() {
+    finalize();
+    clock_.start();
+}
+
+}  // namespace st::baseline

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "async/four_phase.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "baselines/two_flop.hpp"
+#include "clock/clock_sink.hpp"
+#include "sb/kernel.hpp"
+#include "sb/sync_block.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::baseline {
+
+/// Pausible (stretchable) local clock: an arbiter between asynchronous
+/// requests and the ring oscillator (Yun & Dooply [9], Muttersbach [10]).
+///
+/// A request that lands inside the `guard_window` before the next scheduled
+/// edge wins the arbitration and *postpones* that edge by `pause_delay` —
+/// metastability-safe, but the number of cycles elapsed by a given absolute
+/// time (and hence which cycle first samples a given word) depends on the
+/// analog request arrival times: nondeterministic across delay perturbations.
+class PausibleClock {
+  public:
+    struct Params {
+        sim::Time period = 1000;
+        sim::Time phase = 0;
+        sim::Time guard_window = 150;  ///< arbitration window before an edge
+        sim::Time pause_delay = 200;   ///< stretch applied when a req wins
+    };
+
+    PausibleClock(sim::Scheduler& sched, std::string name, Params p);
+
+    PausibleClock(const PausibleClock&) = delete;
+    PausibleClock& operator=(const PausibleClock&) = delete;
+
+    void add_sink(clk::ClockSink* sink) { sinks_.push_back(sink); }
+    void start();
+
+    /// Asynchronous request arbitration: possibly stretches the next edge.
+    void request();
+
+    std::uint64_t cycles() const { return cycles_; }
+    std::uint64_t pauses() const { return pauses_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    void schedule_edge(sim::Time t);
+    void edge(std::uint64_t generation);
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    Params params_;
+    std::vector<clk::ClockSink*> sinks_;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t pauses_ = 0;
+    std::uint64_t generation_ = 0;  ///< stale-edge cancellation
+    sim::Time next_edge_ = 0;
+    bool started_ = false;
+};
+
+/// Input interface of the pausible-clock wrapper: accepting a word pauses
+/// the clock if the handshake lands near an edge; the word is visible at the
+/// next edge (no synchronizer flops needed — that is the scheme's selling
+/// point; determinism is what it gives up).
+class PausibleInputInterface final : public clk::ClockSink,
+                                     public achan::LinkSink,
+                                     public sb::InPortIf {
+  public:
+    PausibleInputInterface(std::string name, PausibleClock& clock,
+                           achan::SelfTimedFifo& fifo);
+
+    bool can_accept() const override { return !latch_valid_; }
+    void accept(Word w) override;
+
+    bool has_data() const override { return cycle_valid_; }
+    Word peek() const override { return cycle_word_; }
+    Word take() override;
+
+    void sample(std::uint64_t cycle) override;
+    void commit(std::uint64_t cycle) override;
+
+    void on_deliver(std::function<void(std::uint64_t, Word)> fn) {
+        deliver_probe_ = std::move(fn);
+    }
+    std::uint64_t words_delivered() const { return delivered_; }
+
+  private:
+    std::string name_;
+    PausibleClock& clock_;
+    achan::SelfTimedFifo& fifo_;
+    Word latch_ = 0;
+    bool latch_valid_ = false;
+    Word cycle_word_ = 0;
+    bool cycle_valid_ = false;
+    bool taken_ = false;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::function<void(std::uint64_t, Word)> deliver_probe_;
+};
+
+/// GALS wrapper built on a pausible clock (second nondeterministic baseline).
+class PausibleWrapper {
+  public:
+    PausibleWrapper(sim::Scheduler& sched, std::string name,
+                    PausibleClock::Params clock_params,
+                    std::unique_ptr<sb::Kernel> kernel);
+
+    PausibleWrapper(const PausibleWrapper&) = delete;
+    PausibleWrapper& operator=(const PausibleWrapper&) = delete;
+
+    PausibleInputInterface& attach_input(achan::SelfTimedFifo& fifo);
+    /// Output side reuses the ungated FreeOutputInterface since production
+    /// needs no arbitration.
+    FreeOutputInterface& attach_output(achan::SelfTimedFifo& fifo,
+                                       achan::FourPhaseLink::Params p);
+
+    void finalize();
+    void start();
+
+    sb::SyncBlock& block() { return block_; }
+    PausibleClock& clock() { return clock_; }
+    const std::string& name() const { return name_; }
+    std::size_t num_inputs() const { return inputs_.size(); }
+    PausibleInputInterface& input(std::size_t i) { return *inputs_.at(i); }
+    std::size_t num_outputs() const { return outputs_.size(); }
+    FreeOutputInterface& output(std::size_t i) { return *outputs_.at(i); }
+
+  private:
+    sim::Scheduler& sched_;
+    std::string name_;
+    PausibleClock clock_;
+    sb::SyncBlock block_;
+    std::vector<std::unique_ptr<PausibleInputInterface>> inputs_;
+    std::vector<std::unique_ptr<FreeOutputInterface>> outputs_;
+    bool finalized_ = false;
+};
+
+}  // namespace st::baseline

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "async/self_timed_fifo.hpp"
+#include "clock/stoppable_clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::baseline {
+
+/// STARI (Self-Timed At Receiver's Input) link, Greenstreet [13]: the
+/// paper's deterministic comparator for the performance analysis of §5.
+///
+/// Transmitter and receiver run from a common-source clock (equal periods,
+/// arbitrary skew). The self-timed FIFO between them is initialized roughly
+/// half full; the transmitter inserts and the receiver removes exactly one
+/// word *every* cycle, so the FIFO absorbs the skew, neither end ever
+/// synchronizes, and throughput is one word per cycle — at the price of
+/// rigid rate matching (the dataflow-profile constraint synchro-tokens
+/// relaxes).
+class StariLink {
+  public:
+    struct Params {
+        std::size_t depth = 8;        ///< FIFO depth H (init fill = H/2)
+        sim::Time stage_delay = 100;  ///< F
+        sim::Time period = 1000;      ///< T (both clocks)
+        sim::Time rx_skew = 300;      ///< receiver clock phase offset
+        unsigned data_bits = 32;
+        /// Cycles before the receiver starts popping (lets the preload plus
+        /// skew settle; Greenstreet's chip enforces this with init logic).
+        std::uint64_t rx_warmup = 1;
+    };
+
+    StariLink(sim::Scheduler& sched, std::string name, Params p);
+
+    StariLink(const StariLink&) = delete;
+    StariLink& operator=(const StariLink&) = delete;
+
+    /// Word supplied per transmitter cycle index.
+    void set_source(std::function<Word(std::uint64_t)> fn) {
+        source_ = std::move(fn);
+    }
+    /// Consumer of (receiver cycle index, word).
+    void set_sink(std::function<void(std::uint64_t, Word)> fn) {
+        sink_ = std::move(fn);
+    }
+
+    void start();
+
+    // --- measurements ---
+    std::uint64_t words_sent() const { return sent_; }
+    std::uint64_t words_received() const { return received_; }
+    /// Transfer latency (push time -> pop time) averaged over measured words.
+    double mean_latency_ps() const {
+        return received_measured_ == 0
+                   ? 0.0
+                   : static_cast<double>(latency_sum_) /
+                         static_cast<double>(received_measured_);
+    }
+    /// Throughput in words per receiver cycle (should be 1.0 steady-state).
+    double throughput() const {
+        return rx_cycles_ == 0 ? 0.0
+                               : static_cast<double>(received_) /
+                                     static_cast<double>(rx_cycles_);
+    }
+    std::uint64_t underflows() const { return underflows_; }
+    std::uint64_t overflows() const { return overflows_; }
+    const achan::SelfTimedFifo& fifo() const { return fifo_; }
+
+  private:
+    class TxSink;
+    class RxSink;
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    Params params_;
+    achan::SelfTimedFifo fifo_;
+    clk::StoppableClock tx_clk_;
+    clk::StoppableClock rx_clk_;
+    std::unique_ptr<clk::ClockSink> tx_sink_;
+    std::unique_ptr<clk::ClockSink> rx_sink_;
+
+    std::function<Word(std::uint64_t)> source_;
+    std::function<void(std::uint64_t, Word)> sink_;
+    std::deque<sim::Time> push_times_;  // parallel to in-flight words
+    std::uint64_t next_word_index_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+    std::uint64_t received_measured_ = 0;
+    std::uint64_t rx_cycles_ = 0;
+    std::uint64_t latency_sum_ = 0;
+    std::uint64_t underflows_ = 0;
+    std::uint64_t overflows_ = 0;
+    bool started_ = false;
+
+    friend class TxSink;
+    friend class RxSink;
+};
+
+}  // namespace st::baseline

@@ -1,0 +1,126 @@
+#include "baselines/two_flop.hpp"
+
+#include <stdexcept>
+
+namespace st::baseline {
+
+TwoFlopInputInterface::TwoFlopInputInterface(std::string name,
+                                             achan::SelfTimedFifo& fifo)
+    : name_(std::move(name)), fifo_(fifo) {
+    fifo_.head_link().bind_sink(this);
+}
+
+void TwoFlopInputInterface::accept(Word w) {
+    if (latch_valid_) {
+        throw std::logic_error("TwoFlopInputInterface[" + name_ + "]: overrun");
+    }
+    latch_ = w;
+    latch_valid_ = true;
+}
+
+void TwoFlopInputInterface::sample(std::uint64_t cycle) {
+    cycle_ = cycle;
+    // The SB sees the word only after valid made it through both
+    // synchronizer flops.
+    cycle_valid_ = sync2_;
+    cycle_word_ = latch_;
+    taken_ = false;
+}
+
+Word TwoFlopInputInterface::take() {
+    if (!cycle_valid_) {
+        throw std::logic_error("TwoFlopInputInterface[" + name_ +
+                               "]: take without data");
+    }
+    cycle_valid_ = false;
+    taken_ = true;
+    ++delivered_;
+    if (deliver_probe_) deliver_probe_(cycle_, cycle_word_);
+    return cycle_word_;
+}
+
+void TwoFlopInputInterface::commit(std::uint64_t) {
+    if (taken_) {
+        latch_valid_ = false;
+        sync1_ = false;
+        sync2_ = false;
+    } else {
+        sync2_ = sync1_;
+        sync1_ = latch_valid_;
+    }
+    fifo_.head_link().poke();
+}
+
+FreeOutputInterface::FreeOutputInterface(sim::Scheduler& sched,
+                                         std::string name,
+                                         achan::SelfTimedFifo& fifo,
+                                         achan::FourPhaseLink::Params p)
+    : name_(std::move(name)), fifo_(fifo), link_(sched, name_ + ".link", p) {
+    link_.bind_sink(&fifo.tail_sink());
+    fifo_.attach_tail_link(&link_);
+}
+
+void FreeOutputInterface::push(Word w) {
+    if (!can_push()) {
+        throw std::logic_error("FreeOutputInterface[" + name_ +
+                               "]: push while full");
+    }
+    staged_word_ = w;
+    staged_ = true;
+    if (send_probe_) send_probe_(cycle_, w);
+}
+
+void FreeOutputInterface::commit(std::uint64_t) {
+    if (staged_) {
+        link_.send(staged_word_);
+        staged_ = false;
+        ++sent_;
+    }
+}
+
+TwoFlopWrapper::TwoFlopWrapper(sim::Scheduler& sched, std::string name,
+                               clk::StoppableClock::Params clock_params,
+                               std::unique_ptr<sb::Kernel> kernel)
+    : sched_(sched),
+      name_(std::move(name)),
+      clock_(sched, name_ + ".clk", clock_params),
+      block_(name_ + ".sb", std::move(kernel)) {}
+
+TwoFlopInputInterface& TwoFlopWrapper::attach_input(
+    achan::SelfTimedFifo& fifo) {
+    if (finalized_) {
+        throw std::logic_error("TwoFlopWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<TwoFlopInputInterface>(
+        name_ + ".in" + std::to_string(inputs_.size()), fifo);
+    block_.add_in_port(iface.get());
+    inputs_.push_back(std::move(iface));
+    return *inputs_.back();
+}
+
+FreeOutputInterface& TwoFlopWrapper::attach_output(
+    achan::SelfTimedFifo& fifo, achan::FourPhaseLink::Params p) {
+    if (finalized_) {
+        throw std::logic_error("TwoFlopWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<FreeOutputInterface>(
+        sched_, name_ + ".out" + std::to_string(outputs_.size()), fifo, p);
+    block_.add_out_port(iface.get());
+    outputs_.push_back(std::move(iface));
+    return *outputs_.back();
+}
+
+void TwoFlopWrapper::finalize() {
+    if (finalized_) return;
+    for (auto& i : inputs_) clock_.add_sink(i.get());
+    for (auto& o : outputs_) clock_.add_sink(o.get());
+    clock_.add_sink(&block_);
+    finalized_ = true;
+}
+
+void TwoFlopWrapper::start() {
+    finalize();
+    clock_.start();
+}
+
+}  // namespace st::baseline

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "async/four_phase.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "clock/stoppable_clock.hpp"
+#include "sb/kernel.hpp"
+#include "sb/sync_block.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::baseline {
+
+/// Input interface of the classic nondeterministic GALS wrapper: the FIFO
+/// head word is latched whenever the latch is free (no token gating) and its
+/// *valid* flag crosses into the clock domain through a two-flip-flop
+/// synchronizer. Which local cycle first sees the word therefore depends on
+/// the analog arrival time relative to the clock edge — the canonical
+/// nondeterminism the paper eliminates. (Metastability itself is not
+/// simulated; as §1 notes, lack of metastability does not imply determinism,
+/// and the cycle-assignment sensitivity alone breaks trace uniqueness.)
+class TwoFlopInputInterface final : public clk::ClockSink,
+                                    public achan::LinkSink,
+                                    public sb::InPortIf {
+  public:
+    TwoFlopInputInterface(std::string name, achan::SelfTimedFifo& fifo);
+
+    // --- LinkSink (async side) ---
+    bool can_accept() const override { return !latch_valid_; }
+    void accept(Word w) override;
+
+    // --- InPortIf (SB side) ---
+    bool has_data() const override { return cycle_valid_; }
+    Word peek() const override { return cycle_word_; }
+    Word take() override;
+
+    // --- ClockSink ---
+    void sample(std::uint64_t cycle) override;
+    void commit(std::uint64_t cycle) override;
+
+    void on_deliver(std::function<void(std::uint64_t, Word)> fn) {
+        deliver_probe_ = std::move(fn);
+    }
+    std::uint64_t words_delivered() const { return delivered_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    achan::SelfTimedFifo& fifo_;
+
+    Word latch_ = 0;
+    bool latch_valid_ = false;  // asynchronous domain
+    bool sync1_ = false;        // synchronizer flop 1
+    bool sync2_ = false;        // synchronizer flop 2
+
+    Word cycle_word_ = 0;
+    bool cycle_valid_ = false;
+    bool taken_ = false;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::function<void(std::uint64_t, Word)> deliver_probe_;
+};
+
+/// Output interface of the baseline wrapper: ungated, pushes whenever the
+/// link is idle.
+class FreeOutputInterface final : public clk::ClockSink, public sb::OutPortIf {
+  public:
+    FreeOutputInterface(sim::Scheduler& sched, std::string name,
+                        achan::SelfTimedFifo& fifo,
+                        achan::FourPhaseLink::Params link_params);
+
+    bool can_push() const override { return link_.idle() && !staged_; }
+    void push(Word w) override;
+
+    void sample(std::uint64_t cycle) override { cycle_ = cycle; }
+    void commit(std::uint64_t cycle) override;
+
+    void on_send(std::function<void(std::uint64_t, Word)> fn) {
+        send_probe_ = std::move(fn);
+    }
+    std::uint64_t words_sent() const { return sent_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    achan::SelfTimedFifo& fifo_;
+    achan::FourPhaseLink link_;
+    Word staged_word_ = 0;
+    bool staged_ = false;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t sent_ = 0;
+    std::function<void(std::uint64_t, Word)> send_probe_;
+};
+
+/// A GALS wrapper with no synchro-tokens control: free-running local clock,
+/// always-enabled interfaces, two-flop input synchronizers. This is the
+/// paper's §5 control experiment ("when the synchro-tokens control logic was
+/// bypassed by forcing the interfaces and local clocks always to be enabled,
+/// the data sequences were observed to be nondeterministic").
+class TwoFlopWrapper {
+  public:
+    TwoFlopWrapper(sim::Scheduler& sched, std::string name,
+                   clk::StoppableClock::Params clock_params,
+                   std::unique_ptr<sb::Kernel> kernel);
+
+    TwoFlopWrapper(const TwoFlopWrapper&) = delete;
+    TwoFlopWrapper& operator=(const TwoFlopWrapper&) = delete;
+
+    TwoFlopInputInterface& attach_input(achan::SelfTimedFifo& fifo);
+    FreeOutputInterface& attach_output(achan::SelfTimedFifo& fifo,
+                                       achan::FourPhaseLink::Params p);
+
+    void finalize();
+    void start();
+
+    sb::SyncBlock& block() { return block_; }
+    clk::StoppableClock& clock() { return clock_; }
+    const std::string& name() const { return name_; }
+    std::size_t num_inputs() const { return inputs_.size(); }
+    TwoFlopInputInterface& input(std::size_t i) { return *inputs_.at(i); }
+    std::size_t num_outputs() const { return outputs_.size(); }
+    FreeOutputInterface& output(std::size_t i) { return *outputs_.at(i); }
+
+  private:
+    sim::Scheduler& sched_;
+    std::string name_;
+    clk::StoppableClock clock_;
+    sb::SyncBlock block_;
+    std::vector<std::unique_ptr<TwoFlopInputInterface>> inputs_;
+    std::vector<std::unique_ptr<FreeOutputInterface>> outputs_;
+    bool finalized_ = false;
+};
+
+}  // namespace st::baseline

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace st::clk {
+
+/// A clocked process attached to a local clock.
+///
+/// Every rising edge runs in two phases across *all* sinks of the clock:
+/// first every sink `sample()`s (reads other sinks' registered outputs),
+/// then every sink `commit()`s (updates its own registered state). This
+/// models flip-flop simultaneity: no sink ever observes another sink's
+/// same-edge update during sample, so registration order cannot change
+/// behaviour.
+class ClockSink {
+  public:
+    virtual ~ClockSink() = default;
+
+    /// Phase 1: read inputs. Must not mutate state visible to other sinks.
+    virtual void sample(std::uint64_t cycle) = 0;
+
+    /// Phase 2: update registered state / launch outputs.
+    virtual void commit(std::uint64_t cycle) = 0;
+};
+
+}  // namespace st::clk

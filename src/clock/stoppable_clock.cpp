@@ -1,0 +1,91 @@
+#include "clock/stoppable_clock.hpp"
+
+#include <stdexcept>
+
+namespace st::clk {
+
+StoppableClock::StoppableClock(sim::Scheduler& sched, std::string name,
+                               Params p)
+    : sched_(sched), name_(std::move(name)), params_(p) {
+    if (params_.base_period == 0) {
+        throw std::invalid_argument("StoppableClock: zero period");
+    }
+    if (params_.divider == 0) {
+        throw std::invalid_argument("StoppableClock: zero divider");
+    }
+}
+
+void StoppableClock::add_sink(ClockSink* sink) {
+    if (sink == nullptr) {
+        throw std::invalid_argument("StoppableClock: null sink");
+    }
+    sinks_.push_back(sink);
+}
+
+void StoppableClock::set_divider(unsigned d) {
+    if (d == 0) throw std::invalid_argument("StoppableClock: zero divider");
+    params_.divider = d;
+}
+
+void StoppableClock::set_base_period(sim::Time p) {
+    if (p == 0) throw std::invalid_argument("StoppableClock: zero period");
+    params_.base_period = p;
+}
+
+void StoppableClock::start() {
+    if (started_) return;
+    started_ = true;
+    schedule_edge(params_.phase);
+}
+
+void StoppableClock::schedule_edge(sim::Time t) {
+    edge_pending_ = true;
+    sched_.schedule_at(t, sim::Priority::kClockEdge, [this] { edge(); });
+}
+
+void StoppableClock::edge() {
+    edge_pending_ = false;
+    if (halted_) return;
+    const std::uint64_t cycle = cycles_++;
+    const sim::Time t = sched_.now();
+
+    // Phase 1: all sinks sample registered state.
+    for (auto* s : sinks_) s->sample(cycle);
+
+    // Phase 2: all sinks commit new state.
+    sched_.schedule_at(t, sim::Priority::kCommit, [this, cycle] {
+        for (auto* s : sinks_) s->commit(cycle);
+    });
+
+    // Phase 3: evaluate the (now committed) enable and decide whether the
+    // ring oscillator produces another edge.
+    sched_.schedule_at(t, sim::Priority::kPostCommit, [this, t] {
+        if (halted_) return;
+        const bool enabled = !enable_fn_ || enable_fn_();
+        if (enabled) {
+            schedule_edge(t + effective_period());
+        } else {
+            stopped_ = true;
+            stop_began_ = t;
+            ++stop_events_;
+        }
+    });
+
+    // Monitors observe the fully settled post-edge state.
+    if (!edge_observers_.empty()) {
+        sched_.schedule_at(t, sim::Priority::kMonitor, [this, cycle, t] {
+            for (auto& f : edge_observers_) f(cycle, t);
+        });
+    }
+}
+
+void StoppableClock::async_restart() {
+    if (!started_ || halted_ || !stopped_) return;
+    stopped_ = false;
+    total_stopped_ += sched_.now() - stop_began_;
+    if (!edge_pending_) {
+        schedule_edge(sched_.now() + params_.restart_delay);
+    }
+}
+
+}  // namespace st::clk

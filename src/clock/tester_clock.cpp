@@ -1,0 +1,16 @@
+#include "clock/tester_clock.hpp"
+
+namespace st::clk {
+
+bool TesterClock::pulse() {
+    if (gate_fn_ && !gate_fn_()) {
+        ++swallowed_;
+        return false;
+    }
+    const std::uint64_t cycle = cycles_++;
+    for (auto* s : sinks_) s->sample(cycle);
+    for (auto* s : sinks_) s->commit(cycle);
+    return true;
+}
+
+}  // namespace st::clk

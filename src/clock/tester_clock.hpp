@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clock/clock_sink.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::clk {
+
+/// Externally driven test clock (the TCK pin).
+///
+/// Unlike StoppableClock, edges are produced only when the host-side tester
+/// model calls `pulse()` — there is no free-running oscillator. An optional
+/// *interlock* gate (paper §4.2, Interlocked Mode) can swallow edges: when the
+/// gate function returns false the pulse is absorbed and reported to the
+/// tester as a wait state, keeping tester/SoC data exchange deterministic.
+class TesterClock {
+  public:
+    explicit TesterClock(sim::Scheduler& sched, std::string name = "tck")
+        : sched_(sched), name_(std::move(name)) {}
+
+    TesterClock(const TesterClock&) = delete;
+    TesterClock& operator=(const TesterClock&) = delete;
+
+    void add_sink(ClockSink* sink) { sinks_.push_back(sink); }
+
+    /// Interlock gate; nullptr (default) means every pulse lands.
+    void set_gate_fn(std::function<bool()> fn) { gate_fn_ = std::move(fn); }
+
+    /// Drive one TCK rising edge *now*. Returns true if the edge was
+    /// delivered, false if the interlock swallowed it (a tester wait state).
+    bool pulse();
+
+    std::uint64_t cycles() const { return cycles_; }
+    std::uint64_t swallowed() const { return swallowed_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    sim::Scheduler& sched_;
+    std::string name_;
+    std::vector<ClockSink*> sinks_;
+    std::function<bool()> gate_fn_;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t swallowed_ = 0;
+};
+
+}  // namespace st::clk

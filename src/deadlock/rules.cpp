@@ -1,0 +1,162 @@
+#include "deadlock/rules.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st::dl {
+
+namespace {
+
+sim::Time effective_period(const sys::SbSpec& sb) {
+    return sb.clock.base_period * sb.clock.divider;
+}
+
+struct NodeView {
+    std::size_t ring = 0;
+    std::size_t sb = 0;        // SB hosting this node
+    std::size_t peer_sb = 0;   // SB hosting the ring's other node
+    sim::Time provisioned = 0;  // R * T_local
+    sim::Time away_nominal = 0; // round trip + peer hold + alignment
+};
+
+}  // namespace
+
+RuleReport check_rules(const sys::SocSpec& spec) {
+    RuleReport report;
+    report.stall_bound.assign(spec.sbs.size(), 0);
+
+    std::vector<NodeView> nodes;
+    for (std::size_t r = 0; r < spec.rings.size(); ++r) {
+        const auto& ring = spec.rings[r];
+        const sim::Time t_a = effective_period(spec.sbs[ring.sb_a]);
+        const sim::Time t_b = effective_period(spec.sbs[ring.sb_b]);
+        const sim::Time round_trip = ring.delay_ab + ring.delay_ba;
+
+        NodeView a;
+        a.ring = r;
+        a.sb = ring.sb_a;
+        a.peer_sb = ring.sb_b;
+        a.provisioned = static_cast<sim::Time>(ring.node_a.recycle) * t_a;
+        a.away_nominal =
+            round_trip + static_cast<sim::Time>(ring.node_b.hold + 1) * t_b;
+        nodes.push_back(a);
+
+        NodeView b;
+        b.ring = r;
+        b.sb = ring.sb_b;
+        b.peer_sb = ring.sb_a;
+        b.provisioned = static_cast<sim::Time>(ring.node_b.recycle) * t_b;
+        b.away_nominal =
+            round_trip + static_cast<sim::Time>(ring.node_a.hold + 1) * t_a;
+        nodes.push_back(b);
+    }
+
+    // Multi-rings (token buses): from each member's view the token is away
+    // for the full hop circumference plus every other member's hold (and one
+    // alignment cycle each). The transitive peer is modelled as the
+    // worst-stalled other member.
+    for (std::size_t r = 0; r < spec.multi_rings.size(); ++r) {
+        const auto& mr = spec.multi_rings[r];
+        sim::Time hops_total = 0;
+        for (const auto& m : mr.members) hops_total += m.hop_delay;
+        for (std::size_t i = 0; i < mr.members.size(); ++i) {
+            const auto& me = mr.members[i];
+            const sim::Time t_local = effective_period(spec.sbs[me.sb]);
+            sim::Time others = 0;
+            for (std::size_t j = 0; j < mr.members.size(); ++j) {
+                if (j == i) continue;
+                const auto& other = mr.members[j];
+                others += static_cast<sim::Time>(other.node.hold + 1) *
+                          effective_period(spec.sbs[other.sb]);
+            }
+            // One NodeView per (member, other-member) pair so the fixpoint
+            // can propagate stalls from any co-member's SB.
+            for (std::size_t j = 0; j < mr.members.size(); ++j) {
+                if (j == i) continue;
+                NodeView v;
+                v.ring = spec.rings.size() + r;  // distinct ring id space
+                v.sb = me.sb;
+                v.peer_sb = mr.members[j].sb;
+                v.provisioned =
+                    static_cast<sim::Time>(me.node.recycle) * t_local;
+                v.away_nominal = hops_total + others;
+                nodes.push_back(v);
+            }
+        }
+    }
+
+    // Per-node fixpoint:
+    //   stall(n) = max(0, away(n) + cross(n) - provisioned(n))
+    //   cross(n) = max stall(m) over nodes m in n's *peer* SB on rings
+    //              OTHER than n's own ring.
+    // Excluding n's own ring is essential: a node waiting on ring r cannot
+    // delay ring r's token (it just passed it), so a single-ring pair can
+    // never deadlock. Divergence of the fixpoint means a genuine cyclic
+    // chain of under-provisioned rings (deadlock risk).
+    const std::size_t max_iters = (spec.sbs.size() + 2) * (nodes.size() + 2);
+    std::vector<sim::Time> stall(nodes.size(), 0);
+    bool diverged = false;
+    for (std::size_t iter = 0;; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const auto& n = nodes[i];
+            sim::Time cross = 0;
+            for (std::size_t j = 0; j < nodes.size(); ++j) {
+                if (nodes[j].sb == n.peer_sb && nodes[j].ring != n.ring) {
+                    cross = std::max(cross, stall[j]);
+                }
+            }
+            const sim::Time pressure = n.away_nominal + cross;
+            const sim::Time s =
+                pressure > n.provisioned ? pressure - n.provisioned : 0;
+            if (s > stall[i]) {
+                stall[i] = s;
+                changed = true;
+            }
+        }
+        if (!changed) break;
+        if (iter >= max_iters) {
+            diverged = true;
+            break;
+        }
+    }
+
+    if (diverged) {
+        report.ok = false;
+        report.violations.push_back(
+            "cyclic chain of under-provisioned recycle registers: stall "
+            "bounds diverge (deadlock possible)");
+    }
+    report.stall_bound.assign(spec.sbs.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        report.stall_bound[nodes[i].sb] =
+            std::max(report.stall_bound[nodes[i].sb], stall[i]);
+    }
+
+    // Per-node report: rings whose recycle provisioning cannot even cover
+    // the nominal token round trip are flagged individually (they stall the
+    // clock routinely; combined with a cycle they deadlock).
+    for (const auto& n : nodes) {
+        if (n.provisioned < n.away_nominal) {
+            std::ostringstream os;
+            os << "ring '" << spec.rings[n.ring].name << "' node in SB '"
+               << spec.sbs[n.sb].name << "': provisioned wait "
+               << sim::format_time(n.provisioned)
+               << " < nominal token absence "
+               << sim::format_time(n.away_nominal)
+               << " (late tokens guaranteed; verify transitive slack)";
+            report.violations.push_back(os.str());
+        }
+    }
+    return report;
+}
+
+std::string RuleReport::summary() const {
+    std::ostringstream os;
+    os << (ok ? "OK" : "DEADLOCK RISK") << "; " << violations.size()
+       << " advisories";
+    for (const auto& v : violations) os << "\n  - " << v;
+    return os.str();
+}
+
+}  // namespace st::dl

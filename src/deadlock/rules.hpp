@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/spec.hpp"
+
+namespace st::dl {
+
+/// Result of the static deadlock-rule check.
+struct RuleReport {
+    bool ok = true;
+    std::vector<std::string> violations;
+    /// Worst-case transitive stall bound per SB (ps); meaningful when ok.
+    std::vector<sim::Time> stall_bound;
+
+    std::string summary() const;
+};
+
+/// Static deadlock-preventing design rules for hold/recycle register values
+/// (the paper formally derives such rules but leaves them out of scope;
+/// DESIGN.md §6 documents this derivation).
+///
+/// Model: node n on ring r in SB s provisions `R_n * T_s` of wait after
+/// passing the token. The token is away for the wire round trip plus the
+/// peer's hold phase plus up to one peer cycle of recycle alignment — and,
+/// transitively, plus any stall the *peer SB* suffers from its other rings.
+/// We compute a fixpoint of per-SB stall bounds; if it diverges there is a
+/// cyclic chain of under-provisioned rings that can deadlock.
+RuleReport check_rules(const sys::SocSpec& spec);
+
+}  // namespace st::dl

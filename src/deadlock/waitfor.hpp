@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/soc.hpp"
+
+namespace st::dl {
+
+/// Runtime deadlock diagnosis over a quiescent Soc.
+///
+/// A synchro-tokens system deadlocks when SBs form a cycle: each has stopped
+/// its clock waiting for a token currently held (and never passable) inside
+/// another stopped SB. The simulator makes detection exact: when the event
+/// queue drains while clocks are stopped, the system can never progress.
+struct Diagnosis {
+    bool deadlocked = false;
+    /// Wrapper names on the cyclic wait (empty when not deadlocked).
+    std::vector<std::string> cycle;
+    /// Human-readable per-edge description ("alpha waits on ring_x held by beta").
+    std::vector<std::string> edges;
+
+    std::string summary() const;
+};
+
+/// Analyze a Soc. Call when soc.scheduler().quiescent(); a non-quiescent
+/// system is reported as not deadlocked.
+Diagnosis diagnose(sys::Soc& soc);
+
+}  // namespace st::dl

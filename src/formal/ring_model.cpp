@@ -1,0 +1,325 @@
+#include "formal/ring_model.hpp"
+
+#include <array>
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace st::formal {
+
+namespace {
+
+struct NodeS {
+    std::uint8_t phase = 1;  // 0 holding, 1 recycling
+    std::uint32_t hold = 0;
+    std::uint32_t rec = 0;
+    bool token_here = false;
+    bool waiting = false;
+    std::uint32_t cycle = 0;
+
+    bool holding() const { return phase == 0; }
+};
+
+struct SysS {
+    NodeS a, b;
+    bool flight_ab = false;
+    bool flight_ba = false;
+
+    std::array<std::uint32_t, 14> key() const {
+        return {a.phase, a.hold,  a.rec,  a.token_here, a.waiting, a.cycle,
+                b.phase, b.hold,  b.rec,  b.token_here, b.waiting, b.cycle,
+                flight_ab, flight_ba};
+    }
+};
+
+int token_count(const SysS& s) {
+    return (s.a.token_here ? 1 : 0) + (s.b.token_here ? 1 : 0) +
+           (s.flight_ab ? 1 : 0) + (s.flight_ba ? 1 : 0);
+}
+
+}  // namespace
+
+RingModel::Result RingModel::explore() const {
+    Result result;
+    result.schedule_a.assign(cfg_.max_cycles, -1);
+    result.schedule_b.assign(cfg_.max_cycles, -1);
+
+    SysS init;
+    init.a.phase = 0;
+    init.a.hold = cfg_.hold_a;
+    init.a.token_here = true;
+    init.b.phase = 1;
+    init.b.rec = cfg_.initial_recycle_b;
+
+    std::set<std::array<std::uint32_t, 14>> visited;
+    std::deque<SysS> frontier;
+    visited.insert(init.key());
+    frontier.push_back(init);
+
+    const auto record = [&](std::vector<int>& sched, std::uint32_t cycle,
+                            bool enabled, const char* who) {
+        if (cycle >= sched.size()) return true;
+        const int v = enabled ? 1 : 0;
+        if (sched[cycle] == -1) {
+            sched[cycle] = v;
+            return true;
+        }
+        if (sched[cycle] != v) {
+            std::ostringstream os;
+            os << "node " << who << " cycle " << cycle
+               << ": enable observed both 0 and 1 across interleavings";
+            result.violation = os.str();
+            return false;
+        }
+        return true;
+    };
+
+    // Node commit: returns false on an invariant break. `out_flight` is the
+    // flight flag the pass sets.
+    const auto commit = [&](NodeS& n, std::uint32_t hold_reg,
+                            std::uint32_t rec_reg, bool& out_flight,
+                            std::vector<int>& sched, const char* who) {
+        if (!record(sched, n.cycle, n.holding(), who)) return false;
+        ++n.cycle;
+        if (n.holding()) {
+            if (--n.hold == 0) {
+                n.phase = 1;
+                n.rec = rec_reg;
+                n.token_here = false;
+                out_flight = true;  // pass the token onto the wire
+            }
+        } else {
+            if (n.rec > 0) --n.rec;
+            if (n.rec == 0) {
+                if (n.token_here) {
+                    n.phase = 0;
+                    n.hold = hold_reg;
+                } else {
+                    n.waiting = true;  // clock stops
+                }
+            }
+        }
+        return true;
+    };
+
+    const auto deliver = [&](NodeS& n, bool& flight, std::uint32_t hold_reg) {
+        flight = false;
+        if (n.holding()) {
+            result.invariants_hold = false;
+            result.violation = "token delivered to a holding node";
+            return false;
+        }
+        n.token_here = true;
+        if (n.waiting) {  // late token: asynchronous restart
+            n.waiting = false;
+            n.phase = 0;
+            n.hold = hold_reg;
+        }
+        return true;
+    };
+
+    while (!frontier.empty() && result.violation.empty()) {
+        const SysS s = frontier.front();
+        frontier.pop_front();
+        ++result.states_explored;
+
+        if (token_count(s) != 1) {
+            result.invariants_hold = false;
+            result.violation = "token conservation broken";
+            break;
+        }
+        if ((s.a.holding() && s.a.waiting) || (s.b.holding() && s.b.waiting)) {
+            result.invariants_hold = false;
+            result.violation = "node both holding and waiting";
+            break;
+        }
+
+        const auto push = [&](const SysS& next) {
+            ++result.transitions;
+            if (visited.insert(next.key()).second) frontier.push_back(next);
+        };
+
+        if (!s.a.waiting && s.a.cycle < cfg_.max_cycles) {
+            SysS next = s;
+            if (!commit(next.a, cfg_.hold_a, cfg_.recycle_a, next.flight_ab,
+                        result.schedule_a, "A")) {
+                break;
+            }
+            push(next);
+        }
+        if (!s.b.waiting && s.b.cycle < cfg_.max_cycles) {
+            SysS next = s;
+            if (!commit(next.b, cfg_.hold_b, cfg_.recycle_b, next.flight_ba,
+                        result.schedule_b, "B")) {
+                break;
+            }
+            push(next);
+        }
+        if (s.flight_ab) {
+            SysS next = s;
+            if (!deliver(next.b, next.flight_ab, cfg_.hold_b)) break;
+            push(next);
+        }
+        if (s.flight_ba) {
+            SysS next = s;
+            if (!deliver(next.a, next.flight_ba, cfg_.hold_a)) break;
+            push(next);
+        }
+    }
+
+    result.deterministic = result.violation.empty();
+    return result;
+}
+
+
+
+namespace {
+
+struct MNode {
+    std::uint8_t phase = 1;  // 0 holding, 1 recycling
+    std::uint32_t hold = 0;
+    std::uint32_t rec = 0;
+    bool token_here = false;
+    bool waiting = false;
+    std::uint32_t cycle = 0;
+};
+
+struct MState {
+    std::vector<MNode> nodes;
+    int flight_from = -1;  // hop in flight from this index, -1 = none
+
+    std::vector<std::uint32_t> key() const {
+        std::vector<std::uint32_t> k;
+        k.reserve(nodes.size() * 6 + 1);
+        for (const auto& n : nodes) {
+            k.push_back(n.phase);
+            k.push_back(n.hold);
+            k.push_back(n.rec);
+            k.push_back(n.token_here);
+            k.push_back(n.waiting);
+            k.push_back(n.cycle);
+        }
+        k.push_back(static_cast<std::uint32_t>(flight_from + 1));
+        return k;
+    }
+};
+
+}  // namespace
+
+MultiRingModel::Result MultiRingModel::explore() const {
+    Result result;
+    const std::size_t n = cfg_.stations.size();
+    if (n < 2) {
+        result.deterministic = false;
+        result.violation = "need at least two stations";
+        return result;
+    }
+    result.schedules.assign(
+        n, std::vector<int>(cfg_.max_cycles, -1));
+
+    MState init;
+    init.nodes.resize(n);
+    init.nodes[0].phase = 0;
+    init.nodes[0].hold = cfg_.stations[0].hold;
+    init.nodes[0].token_here = true;
+    for (std::size_t i = 1; i < n; ++i) {
+        init.nodes[i].phase = 1;
+        init.nodes[i].rec = cfg_.stations[i].initial_recycle;
+    }
+
+    std::set<std::vector<std::uint32_t>> visited;
+    std::deque<MState> frontier;
+    visited.insert(init.key());
+    frontier.push_back(init);
+
+    const auto record = [&](std::size_t i, std::uint32_t cycle, bool en) {
+        auto& sched = result.schedules[i];
+        if (cycle >= sched.size()) return true;
+        const int v = en ? 1 : 0;
+        if (sched[cycle] == -1) {
+            sched[cycle] = v;
+            return true;
+        }
+        if (sched[cycle] != v) {
+            std::ostringstream os;
+            os << "station " << i << " cycle " << cycle
+               << ": enable diverges across interleavings";
+            result.violation = os.str();
+            return false;
+        }
+        return true;
+    };
+
+    while (!frontier.empty() && result.violation.empty()) {
+        const MState s = frontier.front();
+        frontier.pop_front();
+        ++result.states_explored;
+
+        int tokens = s.flight_from >= 0 ? 1 : 0;
+        for (const auto& node : s.nodes) tokens += node.token_here ? 1 : 0;
+        if (tokens != 1) {
+            result.invariants_hold = false;
+            result.violation = "token conservation broken";
+            break;
+        }
+
+        const auto push = [&](MState next) {
+            if (visited.insert(next.key()).second) {
+                frontier.push_back(std::move(next));
+            }
+        };
+
+        for (std::size_t i = 0; i < n && result.violation.empty(); ++i) {
+            const auto& node = s.nodes[i];
+            if (node.waiting || node.cycle >= cfg_.max_cycles) continue;
+            MState next = s;
+            auto& m = next.nodes[i];
+            if (!record(i, m.cycle, m.phase == 0)) break;
+            ++m.cycle;
+            if (m.phase == 0) {
+                if (--m.hold == 0) {
+                    m.phase = 1;
+                    m.rec = cfg_.stations[i].recycle;
+                    m.token_here = false;
+                    next.flight_from = static_cast<int>(i);
+                }
+            } else {
+                if (m.rec > 0) --m.rec;
+                if (m.rec == 0) {
+                    if (m.token_here) {
+                        m.phase = 0;
+                        m.hold = cfg_.stations[i].hold;
+                    } else {
+                        m.waiting = true;
+                    }
+                }
+            }
+            push(std::move(next));
+        }
+
+        if (s.flight_from >= 0 && result.violation.empty()) {
+            MState next = s;
+            const std::size_t to =
+                (static_cast<std::size_t>(s.flight_from) + 1) % n;
+            next.flight_from = -1;
+            auto& m = next.nodes[to];
+            if (m.phase == 0) {
+                result.invariants_hold = false;
+                result.violation = "token delivered to a holding station";
+                break;
+            }
+            m.token_here = true;
+            if (m.waiting) {
+                m.waiting = false;
+                m.phase = 0;
+                m.hold = cfg_.stations[to].hold;
+            }
+            push(std::move(next));
+        }
+    }
+
+    result.deterministic = result.violation.empty();
+    return result;
+}
+
+}  // namespace st::formal

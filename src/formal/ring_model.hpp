@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace st::formal {
+
+/// Bounded formal verification of the synchro-tokens determinism property —
+/// the paper's future-work item "Formal methods need to be applied to prove
+/// that synchro-tokens enforces deterministic behavior".
+///
+/// The model abstracts a two-node token ring to its timing-relevant state:
+/// per node the FSM phase, hold/recycle counters, token latch, waiting flag
+/// and local cycle count; plus the token's position (parked or in flight in
+/// either direction). *All* analog timing is abstracted into nondeterministic
+/// interleaving: from any state, any running node may commit its next local
+/// cycle, and any in-flight token may be delivered. This is a strict
+/// superset of physically realizable timings (it includes zero and unbounded
+/// wire delays and arbitrary clock ratios), so a property proved over this
+/// model holds for every delay assignment.
+///
+/// Property checked (prefix determinism): across every reachable
+/// interleaving, the enable value a node exhibits at local cycle i is unique
+/// — i.e. the cycle-indexed enable schedule of each node is a function of
+/// the configuration only, not of timing. Auxiliary invariants: exactly one
+/// token exists, and no state both holds and waits.
+class RingModel {
+  public:
+    struct Config {
+        std::uint32_t hold_a = 3;
+        std::uint32_t recycle_a = 5;
+        std::uint32_t hold_b = 3;
+        std::uint32_t recycle_b = 5;
+        std::uint32_t initial_recycle_b = 4;
+        std::uint32_t max_cycles = 24;  ///< exploration bound per node
+    };
+
+    struct Result {
+        bool deterministic = true;
+        bool invariants_hold = true;
+        std::uint64_t states_explored = 0;
+        std::uint64_t transitions = 0;
+        std::string violation;  ///< human-readable locus if either fails
+        /// The proven canonical schedule: enable bit per cycle per node.
+        std::vector<int> schedule_a;  // -1 never observed, 0/1 proven value
+        std::vector<int> schedule_b;
+    };
+
+    explicit RingModel(Config cfg) : cfg_(cfg) {}
+
+    /// Exhaustive BFS over all interleavings up to the cycle bound.
+    Result explore() const;
+
+  private:
+    Config cfg_;
+};
+
+/// Generalization of RingModel to N-node round-robin rings (the repository's
+/// multi-station TokenRing extension). Same abstraction and property: all
+/// interleavings of station commits and hop deliveries must yield one unique
+/// cycle-indexed enable schedule per station.
+class MultiRingModel {
+  public:
+    struct Station {
+        std::uint32_t hold = 3;
+        std::uint32_t recycle = 12;
+        /// Initial recycle count for non-holders (station 0 always holds).
+        std::uint32_t initial_recycle = 12;
+    };
+
+    struct Config {
+        std::vector<Station> stations;  // >= 2
+        std::uint32_t max_cycles = 18;
+    };
+
+    struct Result {
+        bool deterministic = true;
+        bool invariants_hold = true;
+        std::uint64_t states_explored = 0;
+        std::string violation;
+        /// Proven schedule per station (-1 unobserved, else 0/1).
+        std::vector<std::vector<int>> schedules;
+    };
+
+    explicit MultiRingModel(Config cfg) : cfg_(std::move(cfg)) {}
+
+    Result explore() const;
+
+  private:
+    Config cfg_;
+};
+
+}  // namespace st::formal

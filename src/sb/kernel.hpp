@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sb/ports.hpp"
+
+namespace st::sb {
+
+/// Port bundle a kernel computes against each cycle.
+class SbContext {
+  public:
+    virtual ~SbContext() = default;
+    virtual std::size_t num_in() const = 0;
+    virtual std::size_t num_out() const = 0;
+    virtual InPortIf& in(std::size_t i) = 0;
+    virtual OutPortIf& out(std::size_t i) = 0;
+    virtual std::uint64_t local_cycle() const = 0;
+};
+
+/// User logic of a synchronous block.
+///
+/// `on_cycle` runs in the sample phase of every local clock edge (stopped
+/// clocks produce no edges, so a kernel never observes a stalled cycle —
+/// exactly like synchronous hardware behind an escapement clock).
+///
+/// Kernels are *delay-insensitive synchronous logic* in the paper's sense:
+/// next state and outputs are a pure function of current state and sampled
+/// inputs, so any nondeterminism an SB exhibits comes from its input
+/// sequence, never from the kernel itself.
+class Kernel {
+  public:
+    virtual ~Kernel() = default;
+
+    /// Compute one local clock cycle against the port bundle.
+    virtual void on_cycle(SbContext& ctx) = 0;
+
+    /// Expose internal registers for scan-chain debug access (TAP module).
+    virtual std::vector<std::uint64_t> scan_state() const { return {}; }
+
+    /// Overwrite internal registers from a scanned-in image. Images shorter
+    /// than scan_state() update a prefix; longer images are an error.
+    virtual void load_state(const std::vector<std::uint64_t>& image) {
+        (void)image;
+    }
+};
+
+}  // namespace st::sb

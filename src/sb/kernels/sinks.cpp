@@ -1,0 +1,23 @@
+#include "sb/kernels/sinks.hpp"
+
+namespace st::sb {
+
+void RecorderSink::on_cycle(SbContext& ctx) {
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (ctx.in(i).has_data()) {
+            samples_.push_back(Sample{ctx.local_cycle(), i, ctx.in(i).take()});
+        }
+    }
+}
+
+void CheckerSink::on_cycle(SbContext& ctx) {
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (ctx.in(i).has_data()) {
+            const Word got = ctx.in(i).take();
+            if (got != golden_(consumed_)) ++mismatches_;
+            ++consumed_;
+        }
+    }
+}
+
+}  // namespace st::sb

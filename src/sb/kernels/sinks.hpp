@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sb/kernel.hpp"
+
+namespace st::sb {
+
+/// Consumes every available word on every input port and records
+/// (local cycle, port, word) triples — the raw material of the determinism
+/// experiment's per-SB I/O trace.
+class RecorderSink final : public Kernel {
+  public:
+    struct Sample {
+        std::uint64_t cycle = 0;
+        std::size_t port = 0;
+        Word word = 0;
+        bool operator==(const Sample&) const = default;
+    };
+
+    void on_cycle(SbContext& ctx) override;
+
+    const std::vector<Sample>& samples() const { return samples_; }
+    std::uint64_t words_consumed() const { return samples_.size(); }
+
+    std::vector<std::uint64_t> scan_state() const override {
+        return {samples_.size()};
+    }
+
+  private:
+    std::vector<Sample> samples_;
+};
+
+/// Consumes words and checks them against a golden generator function
+/// word_index -> expected value; counts mismatches.
+class CheckerSink final : public Kernel {
+  public:
+    explicit CheckerSink(std::function<Word(std::uint64_t)> golden)
+        : golden_(std::move(golden)) {}
+
+    void on_cycle(SbContext& ctx) override;
+
+    std::uint64_t words_consumed() const { return consumed_; }
+    std::uint64_t mismatches() const { return mismatches_; }
+
+  private:
+    std::function<Word(std::uint64_t)> golden_;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace st::sb

@@ -1,0 +1,53 @@
+#include "sb/kernels/sources.hpp"
+
+#include <stdexcept>
+
+namespace st::sb {
+
+LfsrSource::LfsrSource(std::uint64_t seed, unsigned emit_every)
+    : state_(seed), emit_every_(emit_every) {
+    if (seed == 0) throw std::invalid_argument("LfsrSource: zero seed");
+    if (emit_every == 0) {
+        throw std::invalid_argument("LfsrSource: emit_every must be >= 1");
+    }
+}
+
+std::uint64_t LfsrSource::step() {
+    // 64-bit Galois LFSR, maximal-length taps 64,63,61,60.
+    const bool lsb = state_ & 1;
+    state_ >>= 1;
+    if (lsb) state_ ^= 0xd800000000000000ull;
+    return state_;
+}
+
+void LfsrSource::on_cycle(SbContext& ctx) {
+    const bool emit = (phase_++ % emit_every_) == 0;
+    if (!emit) return;
+    for (std::size_t i = 0; i < ctx.num_out(); ++i) {
+        if (ctx.out(i).can_push()) {
+            ctx.out(i).push(step());
+            ++emitted_;
+        }
+    }
+}
+
+std::vector<std::uint64_t> LfsrSource::scan_state() const {
+    return {state_, phase_, emitted_};
+}
+
+void LfsrSource::load_state(const std::vector<std::uint64_t>& image) {
+    if (image.size() > 3) throw std::invalid_argument("LfsrSource: image too long");
+    if (image.size() > 0) state_ = image[0];
+    if (image.size() > 1) phase_ = image[1];
+    if (image.size() > 2) emitted_ = image[2];
+}
+
+void CounterSource::on_cycle(SbContext& ctx) {
+    for (std::size_t i = 0; i < ctx.num_out(); ++i) {
+        if (ctx.out(i).can_push()) {
+            ctx.out(i).push((static_cast<Word>(tag_) << 56) | (next_++ & 0xffffffffffffffull));
+        }
+    }
+}
+
+}  // namespace st::sb

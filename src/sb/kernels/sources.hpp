@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sb/kernel.hpp"
+
+namespace st::sb {
+
+/// Pseudo-random traffic source: a Galois LFSR emits one word per cycle into
+/// every output port that can accept one. The emitted sequence depends only
+/// on the seed and on *how many* words each port accepted — so under a
+/// deterministic enable schedule the stream each consumer sees is unique.
+class LfsrSource final : public Kernel {
+  public:
+    /// `seed` must be nonzero. `emit_every` > 1 throttles production.
+    explicit LfsrSource(std::uint64_t seed, unsigned emit_every = 1);
+
+    void on_cycle(SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override;
+    void load_state(const std::vector<std::uint64_t>& image) override;
+
+    std::uint64_t words_emitted() const { return emitted_; }
+    std::uint64_t state() const { return state_; }
+
+  private:
+    std::uint64_t step();
+
+    std::uint64_t state_;
+    unsigned emit_every_;
+    std::uint64_t phase_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+/// Sequential-number source: emits 0,1,2,... tagged with a block id in the
+/// upper byte, making interleaving errors obvious in traces.
+class CounterSource final : public Kernel {
+  public:
+    explicit CounterSource(std::uint8_t tag) : tag_(tag) {}
+
+    void on_cycle(SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override { return {next_}; }
+    void load_state(const std::vector<std::uint64_t>& image) override {
+        if (!image.empty()) next_ = image[0];
+    }
+
+    std::uint64_t words_emitted() const { return next_; }
+
+  private:
+    std::uint8_t tag_;
+    std::uint64_t next_ = 0;
+};
+
+}  // namespace st::sb

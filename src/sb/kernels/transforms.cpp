@@ -1,0 +1,75 @@
+#include "sb/kernels/transforms.hpp"
+
+#include <stdexcept>
+
+namespace st::sb {
+
+void AccumulatorKernel::on_cycle(SbContext& ctx) {
+    if (ctx.num_in() == 0) return;
+    auto& input = ctx.in(0);
+    if (!input.has_data()) return;
+    // Only consume when the result can leave, so backpressure propagates.
+    if (ctx.num_out() > 0 && !ctx.out(0).can_push()) return;
+    acc_ += input.take();
+    ++consumed_;
+    if (ctx.num_out() > 0) ctx.out(0).push(acc_);
+}
+
+FirKernel::FirKernel(std::vector<std::int32_t> taps) : taps_(std::move(taps)) {
+    if (taps_.empty()) throw std::invalid_argument("FirKernel: no taps");
+    delay_line_.assign(taps_.size(), 0);
+}
+
+void FirKernel::on_cycle(SbContext& ctx) {
+    if (ctx.num_in() == 0 || !ctx.in(0).has_data()) return;
+    if (ctx.num_out() > 0 && !ctx.out(0).can_push()) return;
+    const Word sample = ctx.in(0).take();
+    for (std::size_t i = delay_line_.size() - 1; i > 0; --i) {
+        delay_line_[i] = delay_line_[i - 1];
+    }
+    delay_line_[0] = sample;
+    std::uint64_t y = 0;
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+        y += static_cast<std::uint64_t>(taps_[i]) * delay_line_[i];
+    }
+    if (ctx.num_out() > 0) ctx.out(0).push(y);
+}
+
+std::vector<std::uint64_t> FirKernel::scan_state() const {
+    return delay_line_;
+}
+
+void FirKernel::load_state(const std::vector<std::uint64_t>& image) {
+    if (image.size() > delay_line_.size()) {
+        throw std::invalid_argument("FirKernel: image too long");
+    }
+    for (std::size_t i = 0; i < image.size(); ++i) delay_line_[i] = image[i];
+}
+
+std::uint32_t Crc32Kernel::update(std::uint32_t crc, std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+        crc ^= static_cast<std::uint32_t>((word >> (8 * byte)) & 0xff);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1) + 1));
+        }
+    }
+    return crc;
+}
+
+void Crc32Kernel::on_cycle(SbContext& ctx) {
+    if (ctx.num_in() == 0 || !ctx.in(0).has_data()) return;
+    if (ctx.num_out() > 0 && !ctx.out(0).can_push()) return;
+    crc_ = update(crc_, ctx.in(0).take());
+    if (ctx.num_out() > 0) ctx.out(0).push(crc_);
+}
+
+void TransformKernel::on_cycle(SbContext& ctx) {
+    const std::size_t pairs = std::min(ctx.num_in(), ctx.num_out());
+    for (std::size_t i = 0; i < pairs; ++i) {
+        if (ctx.in(i).has_data() && ctx.out(i).can_push()) {
+            ctx.out(i).push(fn_(ctx.in(i).take()));
+        }
+    }
+}
+
+}  // namespace st::sb

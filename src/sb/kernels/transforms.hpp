@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sb/kernel.hpp"
+
+namespace st::sb {
+
+/// Running-sum pipeline stage: consumes one word per cycle from input 0,
+/// accumulates, forwards the accumulator value to output 0.
+class AccumulatorKernel final : public Kernel {
+  public:
+    void on_cycle(SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override {
+        return {acc_, consumed_};
+    }
+    void load_state(const std::vector<std::uint64_t>& image) override {
+        if (image.size() > 0) acc_ = image[0];
+        if (image.size() > 1) consumed_ = image[1];
+    }
+
+    std::uint64_t accumulator() const { return acc_; }
+    std::uint64_t words_consumed() const { return consumed_; }
+
+  private:
+    std::uint64_t acc_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+/// Integer FIR filter over the incoming sample stream (the DSP-style core
+/// the paper's escapement predecessor [12] targeted). Taps are fixed at
+/// construction; one sample in, one filtered sample out.
+class FirKernel final : public Kernel {
+  public:
+    explicit FirKernel(std::vector<std::int32_t> taps);
+
+    void on_cycle(SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override;
+    void load_state(const std::vector<std::uint64_t>& image) override;
+
+  private:
+    std::vector<std::int32_t> taps_;
+    std::vector<std::uint64_t> delay_line_;  // newest first
+};
+
+/// CRC-32 (IEEE 802.3, bitwise) over every consumed word; emits the running
+/// CRC after each update. A compact "signature analyzer" core: any
+/// nondeterminism upstream scrambles its entire output tail, which makes it
+/// an aggressive determinism witness.
+class Crc32Kernel final : public Kernel {
+  public:
+    void on_cycle(SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override { return {crc_}; }
+    void load_state(const std::vector<std::uint64_t>& image) override {
+        if (!image.empty()) crc_ = static_cast<std::uint32_t>(image[0]);
+    }
+
+    std::uint32_t crc() const { return crc_; }
+
+    /// Pure CRC update exposed for golden-model checking in tests.
+    static std::uint32_t update(std::uint32_t crc, std::uint64_t word);
+
+  private:
+    std::uint32_t crc_ = 0xffffffffu;
+};
+
+/// Stateless word transformer: out(i) = fn(in(i)) for every paired port.
+class TransformKernel final : public Kernel {
+  public:
+    explicit TransformKernel(std::function<Word(Word)> fn)
+        : fn_(std::move(fn)) {}
+
+    void on_cycle(SbContext& ctx) override;
+
+  private:
+    std::function<Word(Word)> fn_;
+};
+
+}  // namespace st::sb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "async/types.hpp"
+
+namespace st::sb {
+
+/// SB-side view of a channel input (paper Fig. 1B: Data / Valid / Empty).
+///
+/// Implemented by the wrapper's input interface. All methods are meant to be
+/// called from a kernel's `on_cycle` (the sample phase): `has_data()` reflects
+/// the word latched for the *current* local cycle; `take()` consumes it (the
+/// latch frees and the next asynchronous handshake proceeds at commit).
+class InPortIf {
+  public:
+    virtual ~InPortIf() = default;
+
+    /// A word is available this cycle (interface enabled and latch full).
+    virtual bool has_data() const = 0;
+
+    /// The latched word. Precondition: has_data().
+    virtual Word peek() const = 0;
+
+    /// Consume the latched word this cycle. Precondition: has_data().
+    virtual Word take() = 0;
+};
+
+/// SB-side view of a channel output (paper Fig. 1B: Data / Valid / Full).
+///
+/// Implemented by the wrapper's output interface. `can_push()` is false when
+/// the interface is disabled (node not holding the token) or the FIFO is
+/// exerting backpressure (Full).
+class OutPortIf {
+  public:
+    virtual ~OutPortIf() = default;
+
+    /// The interface can accept a word this cycle.
+    virtual bool can_push() const = 0;
+
+    /// Hand a word to the interface; the four-phase handshake into the FIFO
+    /// launches at this cycle's commit. Precondition: can_push().
+    virtual void push(Word w) = 0;
+};
+
+}  // namespace st::sb

@@ -1,0 +1,35 @@
+#include "sb/sync_block.hpp"
+
+#include <stdexcept>
+
+namespace st::sb {
+
+SyncBlock::SyncBlock(std::string name, std::unique_ptr<Kernel> kernel)
+    : name_(std::move(name)), kernel_(std::move(kernel)) {
+    if (!kernel_) throw std::invalid_argument("SyncBlock: null kernel");
+}
+
+std::size_t SyncBlock::add_in_port(InPortIf* port) {
+    if (port == nullptr) throw std::invalid_argument("SyncBlock: null port");
+    ins_.push_back(port);
+    return ins_.size() - 1;
+}
+
+std::size_t SyncBlock::add_out_port(OutPortIf* port) {
+    if (port == nullptr) throw std::invalid_argument("SyncBlock: null port");
+    outs_.push_back(port);
+    return outs_.size() - 1;
+}
+
+void SyncBlock::sample(std::uint64_t cycle) {
+    cycle_ = cycle;
+    kernel_->on_cycle(*this);
+    for (auto& f : observers_) f(cycle);
+}
+
+void SyncBlock::commit(std::uint64_t) {
+    // Kernel state updates happen inside on_cycle (pure function of sampled
+    // inputs); nothing registered at SB level needs a separate commit.
+}
+
+}  // namespace st::sb

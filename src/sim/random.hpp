@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+namespace st::sim {
+
+/// Deterministic, explicitly-seeded PRNG (splitmix64 core).
+///
+/// All randomness in the repository flows through instances of this class so
+/// that every simulation is exactly reproducible from its seed. The kernel
+/// itself never consults a PRNG; only workloads and sweep generators do.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ull) {}
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound). bound == 0 yields 0.
+    std::uint64_t next_below(std::uint64_t bound) {
+        if (bound == 0) return 0;
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = bound * ((~0ull) / bound);
+        std::uint64_t v = next_u64();
+        while (v >= limit) v = next_u64();
+        return v % bound;
+    }
+
+    /// Uniform value in the inclusive range [lo, hi].
+    std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+        return lo + next_below(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli draw with probability p of returning true.
+    bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+}  // namespace st::sim

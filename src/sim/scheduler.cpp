@@ -1,0 +1,42 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace st::sim {
+
+void Scheduler::schedule_at(Time t, Priority p, Callback cb) {
+    if (t < now_) {
+        throw std::logic_error("Scheduler: event scheduled in the past");
+    }
+    queue_.push(Event{t, static_cast<int>(p), next_seq_++, std::move(cb)});
+}
+
+bool Scheduler::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() returns const&; move out via const_cast is UB-free
+    // here because we pop immediately and Event's move leaves it destructible.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t Scheduler::run_until(Time t_end) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().t <= t_end) {
+        step();
+        ++n;
+    }
+    if (now_ < t_end) now_ = t_end;
+    return n;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+}
+
+}  // namespace st::sim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::sim {
+
+/// Event evaluation priority within one timestamp. Smaller runs first.
+///
+/// Priorities encode the two-phase clock-edge semantics (DESIGN.md §5):
+/// at a given instant all clock edges fire, clocked processes sample their
+/// inputs, then commit their new state, then combinational settling /
+/// clock-gating decisions run last.
+enum class Priority : int {
+    kClockEdge = 0,   ///< clock edge bookkeeping, sample phase
+    kCommit = 1,      ///< registered-state update phase
+    kPostCommit = 2,  ///< clock-enable evaluation, gating decisions
+    kDefault = 3,     ///< plain asynchronous events (handshakes, wires)
+    kMonitor = 4,     ///< trace capture, checkers — observe settled state
+};
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events are totally ordered by (time, priority, insertion sequence), so two
+/// runs that schedule the same events in the same order replay identically —
+/// the kernel itself contributes no nondeterminism. Model nondeterminism (the
+/// subject of the paper) is represented as *data*: perturbed delay values fed
+/// to the models, never hidden simulator state.
+class Scheduler {
+  public:
+    using Callback = std::function<void()>;
+
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Current simulation time.
+    Time now() const { return now_; }
+
+    /// Schedule `cb` at absolute time `t` (must be >= now()).
+    void schedule_at(Time t, Priority p, Callback cb);
+
+    /// Schedule `cb` `delay` picoseconds from now.
+    void schedule_after(Time delay, Priority p, Callback cb) {
+        schedule_at(now_ + delay, p, std::move(cb));
+    }
+
+    /// Schedule with default (asynchronous-event) priority.
+    void schedule_after(Time delay, Callback cb) {
+        schedule_after(delay, Priority::kDefault, std::move(cb));
+    }
+
+    /// Execute the single earliest event. Returns false if the queue is empty.
+    bool step();
+
+    /// Run until the queue is empty or simulated time would exceed `t_end`.
+    /// Events at exactly `t_end` are executed. Returns events executed.
+    std::uint64_t run_until(Time t_end);
+
+    /// Run until the queue is empty or `max_events` executed.
+    std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+    /// True when no event is pending — with stopped clocks this means the
+    /// system is quiescent (the deadlock detector builds on this).
+    bool quiescent() const { return queue_.empty(); }
+
+    /// Time of the earliest pending event, or kNever when quiescent.
+    Time next_event_time() const {
+        return queue_.empty() ? kNever : queue_.top().t;
+    }
+
+    /// Total events executed since construction.
+    std::uint64_t events_executed() const { return executed_; }
+
+  private:
+    struct Event {
+        Time t = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.t != b.t) return a.t > b.t;
+            if (a.priority != b.priority) return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace st::sim {
+
+std::string format_time(Time t) {
+    char buf[64];
+    if (t == kNever) return "never";
+    if (t < 1000) {
+        std::snprintf(buf, sizeof buf, "%llu ps", static_cast<unsigned long long>(t));
+    } else if (t < ns(1000)) {
+        std::snprintf(buf, sizeof buf, "%.3f ns", static_cast<double>(t) / 1e3);
+    } else if (t < us(1000)) {
+        std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(t) / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(t) / 1e9);
+    }
+    return buf;
+}
+
+}  // namespace st::sim

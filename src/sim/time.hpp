@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace st::sim {
+
+/// Simulation time in picoseconds.
+///
+/// All model delays (clock periods, FIFO stage propagation, token-ring wire
+/// delay, ...) are expressed in this unit. 64 bits of picoseconds covers
+/// ~213 days of simulated time, far beyond any experiment in this repo.
+using Time = std::uint64_t;
+
+/// Sentinel meaning "no scheduled time" / "never happens".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Convenience constructors so model code reads in natural units.
+constexpr Time ps(std::uint64_t v) { return v; }
+constexpr Time ns(std::uint64_t v) { return v * 1000; }
+constexpr Time us(std::uint64_t v) { return v * 1000 * 1000; }
+constexpr Time ms(std::uint64_t v) { return v * 1000ull * 1000 * 1000; }
+
+/// Scale a delay by a perturbation factor expressed in percent
+/// (the paper perturbs delays to 50/75/150/200 % of nominal).
+/// Rounds to nearest picosecond.
+constexpr Time scale_percent(Time nominal, unsigned percent) {
+    return (nominal * percent + 50) / 100;
+}
+
+/// Render a time as a human-readable string ("12.345 ns").
+std::string format_time(Time t);
+
+}  // namespace st::sim

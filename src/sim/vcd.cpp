@@ -1,0 +1,77 @@
+#include "sim/vcd.hpp"
+
+#include <stdexcept>
+
+namespace st::sim {
+
+namespace {
+/// VCD identifier codes are short printable-ASCII strings.
+std::string id_code(int index) {
+    std::string id;
+    int v = index;
+    do {
+        id.push_back(static_cast<char>('!' + v % 94));
+        v /= 94;
+    } while (v > 0);
+    return id;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, std::string top_module)
+    : out_(out), top_(std::move(top_module)) {}
+
+int VcdWriter::add_signal(const std::string& name, unsigned width) {
+    if (header_done_) {
+        throw std::logic_error("VcdWriter: add_signal after header finalized");
+    }
+    Signal s;
+    s.name = name;
+    s.width = width;
+    s.id = id_code(static_cast<int>(signals_.size()));
+    signals_.push_back(std::move(s));
+    return static_cast<int>(signals_.size()) - 1;
+}
+
+void VcdWriter::finalize_header() {
+    if (header_done_) return;
+    out_ << "$date synchro-tokens simulation $end\n"
+         << "$version st::sim VcdWriter $end\n"
+         << "$timescale 1ps $end\n"
+         << "$scope module " << top_ << " $end\n";
+    for (const auto& s : signals_) {
+        out_ << "$var wire " << s.width << ' ' << s.id << ' ' << s.name
+             << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_done_ = true;
+}
+
+void VcdWriter::emit_value(const Signal& s, std::uint64_t value) {
+    if (s.width == 1) {
+        out_ << (value ? '1' : '0') << s.id << '\n';
+    } else {
+        out_ << 'b';
+        bool leading = true;
+        for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+            const bool b = (value >> bit) & 1;
+            if (b) leading = false;
+            if (!leading || bit == 0) out_ << (b ? '1' : '0');
+        }
+        out_ << ' ' << s.id << '\n';
+    }
+}
+
+void VcdWriter::change(int handle, std::uint64_t value, Time t) {
+    finalize_header();
+    auto& s = signals_.at(static_cast<std::size_t>(handle));
+    if (s.ever_written && s.last == value) return;
+    if (current_time_ == kNever || t != current_time_) {
+        out_ << '#' << t << '\n';
+        current_time_ = t;
+    }
+    emit_value(s, value);
+    s.last = value;
+    s.ever_written = true;
+}
+
+}  // namespace st::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::sim {
+
+/// Minimal Value Change Dump (IEEE 1364 §18) writer.
+///
+/// Models register signals during elaboration, then report value changes as
+/// simulation progresses; the writer emits a standard VCD stream viewable in
+/// GTKWave. Used by `bench_fig2_waveforms` to regenerate the paper's Figure 2.
+class VcdWriter {
+  public:
+    /// `timescale_ps` picoseconds per VCD time unit (1 → "1ps").
+    explicit VcdWriter(std::ostream& out, std::string top_module = "soc");
+
+    VcdWriter(const VcdWriter&) = delete;
+    VcdWriter& operator=(const VcdWriter&) = delete;
+
+    /// Register a signal before the first change is reported.
+    /// Returns the handle used with `change()`.
+    int add_signal(const std::string& name, unsigned width = 1);
+
+    /// Finish the header. Called automatically on the first change.
+    void finalize_header();
+
+    /// Report a new value for a registered signal at time `t`.
+    /// Times must be non-decreasing across calls.
+    void change(int handle, std::uint64_t value, Time t);
+
+  private:
+    struct Signal {
+        std::string name;
+        unsigned width = 1;
+        std::string id;  // VCD identifier code
+        std::uint64_t last = ~0ull;
+        bool ever_written = false;
+    };
+
+    void emit_value(const Signal& s, std::uint64_t value);
+
+    std::ostream& out_;
+    std::string top_;
+    std::vector<Signal> signals_;
+    bool header_done_ = false;
+    Time current_time_ = kNever;  // kNever: no timestamp emitted yet
+};
+
+}  // namespace st::sim

@@ -1,0 +1,74 @@
+#include "sim/waveform.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st::sim {
+
+int WaveRecorder::add_signal(std::string name, bool is_bit,
+                             std::uint64_t initial) {
+    Track t;
+    t.name = std::move(name);
+    t.is_bit = is_bit;
+    t.initial = initial;
+    tracks_.push_back(std::move(t));
+    return static_cast<int>(tracks_.size()) - 1;
+}
+
+void WaveRecorder::change(int handle, std::uint64_t value, Time t) {
+    tracks_.at(static_cast<std::size_t>(handle)).changes[t] = value;
+}
+
+void WaveRecorder::annotate(int handle, char letter, Time t) {
+    tracks_.at(static_cast<std::size_t>(handle)).annotations.emplace(t, letter);
+}
+
+std::uint64_t WaveRecorder::Track::value_at(Time t) const {
+    auto it = changes.upper_bound(t);
+    if (it == changes.begin()) return initial;
+    return std::prev(it)->second;
+}
+
+std::string WaveRecorder::render(Time t0, Time t1, Time dt) const {
+    std::ostringstream out;
+    if (dt == 0 || t1 <= t0) return {};
+    const std::size_t cols = static_cast<std::size_t>((t1 - t0 + dt - 1) / dt);
+
+    std::size_t label_w = 0;
+    for (const auto& tr : tracks_) label_w = std::max(label_w, tr.name.size());
+
+    for (const auto& tr : tracks_) {
+        // Annotation row (only when this track has annotations in range).
+        std::string notes(cols, ' ');
+        bool any_note = false;
+        for (const auto& [at, letter] : tr.annotations) {
+            if (at < t0 || at >= t1) continue;
+            notes[static_cast<std::size_t>((at - t0) / dt)] = letter;
+            any_note = true;
+        }
+        if (any_note) {
+            out << std::string(label_w + 2, ' ') << notes << '\n';
+        }
+
+        out << tr.name << std::string(label_w - tr.name.size(), ' ') << " |";
+        std::uint64_t prev = tr.value_at(t0 == 0 ? 0 : t0 - 1);
+        for (std::size_t c = 0; c < cols; ++c) {
+            const Time t = t0 + static_cast<Time>(c) * dt;
+            const std::uint64_t v = tr.value_at(t);
+            if (tr.is_bit) {
+                if (v != prev) {
+                    out << (v ? '/' : '\\');
+                } else {
+                    out << (v ? '^' : '_');
+                }
+            } else {
+                out << (v <= 9 ? static_cast<char>('0' + v) : '+');
+            }
+            prev = v;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace st::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::sim {
+
+/// Records value changes of named signals and renders an ASCII waveform —
+/// the textual analogue of the paper's Figure 2. Counter-valued signals
+/// render their digits; single-bit signals render as high/low rails.
+class WaveRecorder {
+  public:
+    /// Register a signal. `is_bit` selects rail rendering vs digit rendering.
+    int add_signal(std::string name, bool is_bit, std::uint64_t initial = 0);
+
+    /// Report a value change at time `t` (non-decreasing per signal).
+    void change(int handle, std::uint64_t value, Time t);
+
+    /// Attach an annotation letter (the paper marks events A..M) at time `t`
+    /// on the given signal's row.
+    void annotate(int handle, char letter, Time t);
+
+    /// Render all signals over [t0, t1) with one column per `dt` picoseconds.
+    std::string render(Time t0, Time t1, Time dt) const;
+
+  private:
+    struct Track {
+        std::string name;
+        bool is_bit = true;
+        std::uint64_t initial = 0;
+        std::map<Time, std::uint64_t> changes;     // time -> new value
+        std::multimap<Time, char> annotations;
+        std::uint64_t value_at(Time t) const;
+    };
+    std::vector<Track> tracks_;
+};
+
+}  // namespace st::sim

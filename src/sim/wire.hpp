@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace st::sim {
+
+/// A value-carrying signal with change observers.
+///
+/// `set()` updates immediately (used inside clocked commit phases);
+/// `drive()` models a wire/propagation delay by scheduling the update.
+/// Observers run in subscription order, preserving kernel determinism.
+template <typename T>
+class Wire {
+  public:
+    using Observer = std::function<void(const T& new_value)>;
+
+    Wire(Scheduler& sched, T initial)
+        : sched_(&sched), value_(std::move(initial)) {}
+
+    const T& value() const { return value_; }
+
+    /// Immediate update; notifies observers only when the value changes.
+    void set(const T& v) {
+        if (v == value_) return;
+        value_ = v;
+        last_change_ = sched_->now();
+        for (auto& obs : observers_) obs(value_);
+    }
+
+    /// Update after `delay` picoseconds (transport delay: every scheduled
+    /// transition is delivered, in order, like an ideal wire).
+    void drive(T v, Time delay, Priority p = Priority::kDefault) {
+        sched_->schedule_after(delay, p,
+                               [this, v = std::move(v)] { set(v); });
+    }
+
+    /// Register a change observer.
+    void observe(Observer obs) { observers_.push_back(std::move(obs)); }
+
+    /// Time of the most recent value change (0 if never changed).
+    Time last_change() const { return last_change_; }
+
+    Scheduler& scheduler() const { return *sched_; }
+
+  private:
+    Scheduler* sched_;
+    T value_;
+    Time last_change_ = 0;
+    std::vector<Observer> observers_;
+};
+
+/// Boolean wire helpers for edge-sensitive logic (handshake signals, tokens).
+class BitWire : public Wire<bool> {
+  public:
+    BitWire(Scheduler& sched, bool initial) : Wire<bool>(sched, initial) {}
+
+    /// Register a callback invoked on rising edges only.
+    void on_rise(std::function<void()> cb) {
+        observe([cb = std::move(cb)](bool v) {
+            if (v) cb();
+        });
+    }
+
+    /// Register a callback invoked on falling edges only.
+    void on_fall(std::function<void()> cb) {
+        observe([cb = std::move(cb)](bool v) {
+            if (!v) cb();
+        });
+    }
+
+    /// Register a callback invoked on any transition.
+    void on_edge(std::function<void(bool)> cb) { observe(std::move(cb)); }
+
+    void toggle() { set(!value()); }
+};
+
+}  // namespace st::sim

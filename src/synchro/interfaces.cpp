@@ -1,0 +1,85 @@
+#include "synchro/interfaces.hpp"
+
+#include <stdexcept>
+
+namespace st::core {
+
+InputInterface::InputInterface(sim::Scheduler& sched, std::string name,
+                               TokenNode& node, achan::SelfTimedFifo& fifo)
+    : sched_(sched), name_(std::move(name)), node_(node), fifo_(fifo) {
+    fifo_.head_link().bind_sink(this);
+}
+
+void InputInterface::accept(Word w) {
+    if (latch_valid_) {
+        throw std::logic_error("InputInterface[" + name_ + "]: latch overrun");
+    }
+    latch_ = w;
+    latch_valid_ = true;
+    latch_time_ = sched_.now();
+}
+
+void InputInterface::sample(std::uint64_t cycle) {
+    // Snapshot the latch for this cycle: a word arriving asynchronously
+    // later in the same cycle is only visible from the next edge on.
+    cycle_ = cycle;
+    cycle_valid_ = latch_valid_ && node_.sb_en();
+    cycle_word_ = latch_;
+    taken_ = false;
+}
+
+Word InputInterface::take() {
+    if (!cycle_valid_) {
+        throw std::logic_error("InputInterface[" + name_ + "]: take without data");
+    }
+    cycle_valid_ = false;
+    taken_ = true;
+    ++delivered_;
+    if (deliver_probe_) deliver_probe_(cycle_, cycle_word_);
+    return cycle_word_;
+}
+
+void InputInterface::commit(std::uint64_t) {
+    if (taken_) {
+        latch_valid_ = false;
+        taken_ = false;
+    }
+    // Enablement may have turned on this edge, or the latch may have freed:
+    // let a pending head handshake complete during the coming cycle.
+    fifo_.head_link().poke();
+}
+
+OutputInterface::OutputInterface(sim::Scheduler& sched, std::string name,
+                                 TokenNode& node, achan::SelfTimedFifo& fifo,
+                                 achan::FourPhaseLink::Params link_params)
+    : name_(std::move(name)),
+      node_(node),
+      fifo_(fifo),
+      gated_tail_([&node] { return node.sb_en(); }, fifo.tail_sink()),
+      link_(achan::make_link(sched, name_ + ".link", link_params)) {
+    link_->bind_sink(&gated_tail_);
+    fifo_.attach_tail_link(link_.get());
+}
+
+void OutputInterface::push(Word w) {
+    if (!can_push()) {
+        throw std::logic_error("OutputInterface[" + name_ + "]: push while full");
+    }
+    staged_word_ = w;
+    staged_ = true;
+    if (send_probe_) send_probe_(cycle_, w);
+}
+
+void OutputInterface::commit(std::uint64_t) {
+    if (staged_) {
+        link_->send(staged_word_);
+        staged_ = false;
+        ++sent_;
+    } else if (node_.sb_en()) {
+        // Re-enabled with a transfer still pending from the previous hold
+        // phase: let it land now that the gate is open again.
+        link_->poke();
+    }
+}
+
+}  // namespace st::core

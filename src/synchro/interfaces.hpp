@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "async/four_phase.hpp"
+#include "async/make_link.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "clock/clock_sink.hpp"
+#include "sb/ports.hpp"
+#include "synchro/token_node.hpp"
+
+namespace st::core {
+
+/// LinkSink adapter that gates acceptance on a predicate — used to make FIFO
+/// access mutually exclusive between the two SBs on a channel (paper §3:
+/// "make access to the FIFO mutually exclusive ... using the master handshake
+/// signal to decide which SB is enabled").
+class GatedLinkSink final : public achan::LinkSink {
+  public:
+    GatedLinkSink(std::function<bool()> gate, achan::LinkSink& inner)
+        : gate_(std::move(gate)), inner_(inner) {}
+
+    bool can_accept() const override { return gate_() && inner_.can_accept(); }
+    void accept(Word w) override { inner_.accept(w); }
+
+  private:
+    std::function<bool()> gate_;
+    achan::LinkSink& inner_;
+};
+
+/// Input interface: sync/async boundary on the receiving side of a channel
+/// (paper Fig. 1B). The FIFO's head link deposits a word into a one-deep
+/// latch, but only while the node holds the token (`sb_en`); the SB sees the
+/// latched word through the InPortIf view with Valid/Empty semantics.
+///
+/// The four-phase handshake that refills the latch completes within one local
+/// clock cycle (audited by verify::TimingChecker), so "FIFO non-empty" maps
+/// to "word available" at a deterministic local cycle.
+class InputInterface final : public clk::ClockSink, public achan::LinkSink,
+                             public sb::InPortIf {
+  public:
+    InputInterface(sim::Scheduler& sched, std::string name, TokenNode& node,
+                   achan::SelfTimedFifo& fifo);
+
+    InputInterface(const InputInterface&) = delete;
+    InputInterface& operator=(const InputInterface&) = delete;
+
+    // --- LinkSink (async side, bound to fifo.head_link()) ---
+    bool can_accept() const override { return node_.sb_en() && !latch_valid_; }
+    void accept(Word w) override;
+
+    // --- InPortIf (SB side) ---
+    bool has_data() const override { return cycle_valid_; }
+    Word peek() const override { return cycle_word_; }
+    Word take() override;
+
+    // --- ClockSink ---
+    void sample(std::uint64_t cycle) override;
+    void commit(std::uint64_t cycle) override;
+
+    // --- observation ---
+    std::uint64_t words_delivered() const { return delivered_; }
+    sim::Time last_latch_time() const { return latch_time_; }
+    const std::string& name() const { return name_; }
+    const TokenNode& node() const { return node_; }
+    achan::SelfTimedFifo& fifo() const { return fifo_; }
+
+    /// Probe invoked whenever the SB consumes a word: (local cycle, word).
+    void on_deliver(std::function<void(std::uint64_t, Word)> fn) {
+        deliver_probe_ = std::move(fn);
+    }
+
+    /// Re-evaluate a pending head handshake (enable gate opened).
+    void poke() { fifo_.head_link().poke(); }
+
+  private:
+    sim::Scheduler& sched_;
+    std::string name_;
+    TokenNode& node_;
+    achan::SelfTimedFifo& fifo_;
+
+    Word latch_ = 0;
+    bool latch_valid_ = false;
+    sim::Time latch_time_ = 0;
+
+    // per-cycle snapshot (stable during the sample phase)
+    Word cycle_word_ = 0;
+    bool cycle_valid_ = false;
+    bool taken_ = false;
+    std::uint64_t cycle_ = 0;
+
+    std::uint64_t delivered_ = 0;
+    std::function<void(std::uint64_t, Word)> deliver_probe_;
+};
+
+/// Output interface: sync/async boundary on the transmitting side. The SB
+/// pushes a word during sample; the interface launches the four-phase
+/// handshake into the FIFO tail at commit. `can_push()` is the inverse of
+/// the paper's Full: false while disabled or while the FIFO back-pressures.
+class OutputInterface final : public clk::ClockSink, public sb::OutPortIf {
+  public:
+    OutputInterface(sim::Scheduler& sched, std::string name, TokenNode& node,
+                    achan::SelfTimedFifo& fifo,
+                    achan::FourPhaseLink::Params link_params);
+
+    OutputInterface(const OutputInterface&) = delete;
+    OutputInterface& operator=(const OutputInterface&) = delete;
+
+    // --- OutPortIf (SB side) ---
+    bool can_push() const override {
+        return node_.sb_en() && link_->idle() && !staged_;
+    }
+    void push(Word w) override;
+
+    // --- ClockSink ---
+    void sample(std::uint64_t cycle) override { cycle_ = cycle; }
+    void commit(std::uint64_t cycle) override;
+
+    // --- observation ---
+    std::uint64_t words_sent() const { return sent_; }
+    const achan::Link& link() const { return *link_; }
+    const std::string& name() const { return name_; }
+    const TokenNode& node() const { return node_; }
+    achan::SelfTimedFifo& fifo() const { return fifo_; }
+
+    /// Probe invoked whenever the SB pushes a word: (local cycle, word).
+    void on_send(std::function<void(std::uint64_t, Word)> fn) {
+        send_probe_ = std::move(fn);
+    }
+
+    /// Re-evaluate a pending tail handshake (enable gate opened).
+    void poke() { link_->poke(); }
+
+  private:
+    std::string name_;
+    TokenNode& node_;
+    achan::SelfTimedFifo& fifo_;
+    GatedLinkSink gated_tail_;
+    std::unique_ptr<achan::Link> link_;
+
+    Word staged_word_ = 0;
+    bool staged_ = false;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t sent_ = 0;
+    std::function<void(std::uint64_t, Word)> send_probe_;
+};
+
+}  // namespace st::core

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <functional>
+
+namespace st::core {
+
+/// One station on a token ring. TokenNode is the standard implementation;
+/// the Test SB's interlockable port (module `tap`) is another — it forwards
+/// tokens combinationally in Independent mode and behaves like a TCK-clocked
+/// node in Interlocked mode.
+class TokenEndpoint {
+  public:
+    virtual ~TokenEndpoint() = default;
+
+    /// Asynchronous token arrival from the ring.
+    virtual void token_arrive() = 0;
+
+    /// Install the callback the endpoint must invoke to pass the token on.
+    virtual void set_pass_fn(std::function<void()> fn) = 0;
+};
+
+}  // namespace st::core

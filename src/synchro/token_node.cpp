@@ -1,0 +1,106 @@
+#include "synchro/token_node.hpp"
+
+#include <stdexcept>
+
+#include "synchro/wrapper.hpp"
+
+namespace st::core {
+
+TokenNode::TokenNode(std::string name, Params p)
+    : name_(std::move(name)), hold_reg_(p.hold), recycle_reg_(p.recycle) {
+    if (hold_reg_ == 0) {
+        throw std::invalid_argument("TokenNode[" + name_ + "]: hold must be >= 1");
+    }
+    if (p.initial_holder) {
+        phase_ = Phase::kHolding;
+        hold_ctr_ = hold_reg_;
+        token_here_ = true;
+        sb_en_ = true;
+    } else {
+        phase_ = Phase::kRecycling;
+        recycle_ctr_ = (p.initial_recycle == Params::kUseRecycle)
+                           ? recycle_reg_
+                           : p.initial_recycle;
+    }
+}
+
+void TokenNode::load_hold_register(std::uint32_t h) {
+    if (h == 0) {
+        throw std::invalid_argument("TokenNode[" + name_ + "]: hold must be >= 1");
+    }
+    hold_reg_ = h;
+}
+
+void TokenNode::sample(std::uint64_t) {
+    // Pure register machine: nothing to read from other sinks.
+}
+
+void TokenNode::commit(std::uint64_t) {
+    switch (phase_) {
+        case Phase::kHolding:
+            if (debug_hold_) return;  // breakpoint: counter frozen (paper M)
+            if (hold_ctr_ == 0 || --hold_ctr_ == 0) {
+                pass_token();  // events E, F, G
+            }
+            return;
+        case Phase::kRecycling:
+            if (waiting_) return;  // only the async arrival path leaves this
+            if (recycle_ctr_ > 0) --recycle_ctr_;  // event H
+            if (recycle_ctr_ == 0) {
+                if (token_here_) {
+                    enter_holding();  // events A+B -> C
+                } else {
+                    // Event I: token late; stop the whole SB clock after
+                    // this edge (the wrapper ANDs clken over all nodes).
+                    waiting_ = true;
+                    clken_ = false;
+                }
+            }
+            return;
+    }
+}
+
+void TokenNode::pass_token() {
+    hold_ctr_ = hold_reg_;  // immediate preset (event E)
+    phase_ = Phase::kRecycling;
+    recycle_ctr_ = recycle_reg_;
+    sb_en_ = false;
+    token_here_ = false;
+    ++tokens_passed_;
+    if (pass_fn_) pass_fn_();  // event F: token onto the ring
+}
+
+void TokenNode::enter_holding() {
+    phase_ = Phase::kHolding;
+    hold_ctr_ = hold_reg_;
+    sb_en_ = true;
+    clken_ = true;
+    // sb_en gates interface handshakes combinationally: transfers that went
+    // pending while the node was not holding may complete the instant the
+    // enable rises, whether this entry happened at a commit or via the
+    // asynchronous late-token path.
+    if (wrapper_ != nullptr) wrapper_->on_sb_en_rise(*this);
+}
+
+void TokenNode::token_arrive() {
+    ++tokens_received_;
+    if (phase_ == Phase::kHolding) {
+        // A second token while holding means the ring is misconfigured
+        // (more than one token in flight). Record, don't crash: benches use
+        // this counter to demonstrate protocol-rule violations.
+        ++protocol_errors_;
+        return;
+    }
+    token_here_ = true;
+    if (waiting_) {
+        // Events K, L: late token; recognize immediately and restart the
+        // local clock asynchronously. The restarted edge is the edge that
+        // "would have happened", so the local-cycle schedule is unchanged.
+        ++late_arrivals_;
+        waiting_ = false;
+        enter_holding();
+        if (wrapper_ != nullptr) wrapper_->maybe_restart();
+    }
+}
+
+}  // namespace st::core

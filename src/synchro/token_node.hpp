@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "clock/clock_sink.hpp"
+#include "synchro/token_endpoint.hpp"
+
+namespace st::core {
+
+class SbWrapper;
+
+/// Token-ring node: the master-handshake state machine of a synchro-tokens
+/// wrapper (paper §4.1, Figure 2).
+///
+/// The node is synchronous logic clocked by its SB's stoppable clock. It owns
+/// two decrementing counters loaded from tester-accessible registers:
+///
+///  * **hold counter** — local cycles the node keeps the token; while holding,
+///    `sb_en` enables the node's FIFO interfaces and data exchange may occur.
+///    On reaching zero it presets, the token departs (event F), interfaces
+///    disable (G).
+///  * **recycle counter** — local cycles after passing the token until it is
+///    expected back. While recycling `clken` stays asserted but `sb_en` does
+///    not (H). If the counter expires with no token, `clken` deasserts (I)
+///    and the whole SB clock stops synchronously (J); the returning token
+///    restarts it asynchronously (K, L).
+///
+/// An **early** token is latched but not recognized before the recycle
+/// counter reaches zero; a **late** token freezes the local cycle counter.
+/// Either way the enable schedule *in local-cycle-index space* is identical,
+/// which is the root of the determinism property.
+class TokenNode final : public clk::ClockSink, public TokenEndpoint {
+  public:
+    enum class Phase { kHolding, kRecycling };
+
+    struct Params {
+        std::uint32_t hold = 4;     ///< H register (>= 1)
+        std::uint32_t recycle = 4;  ///< R register
+        bool initial_holder = false;
+        /// Waiter-side initial recycle count (phase alignment); holders
+        /// ignore it. Defaults to `recycle` when left at the sentinel.
+        std::uint32_t initial_recycle = kUseRecycle;
+        static constexpr std::uint32_t kUseRecycle = ~0u;
+    };
+
+    TokenNode(std::string name, Params p);
+
+    TokenNode(const TokenNode&) = delete;
+    TokenNode& operator=(const TokenNode&) = delete;
+
+    /// Ring wiring: invoked (during commit) when the token departs.
+    void set_pass_fn(std::function<void()> fn) override {
+        pass_fn_ = std::move(fn);
+    }
+
+    /// Owning wrapper, for asynchronous clock-restart requests.
+    void set_wrapper(SbWrapper* w) { wrapper_ = w; }
+
+    /// Asynchronous token arrival (called by the TokenRing delay model).
+    void token_arrive() override;
+
+    // --- registered outputs, stable across each cycle ---
+    bool sb_en() const { return sb_en_; }
+    bool clken() const { return clken_; }
+
+    // --- ClockSink ---
+    void sample(std::uint64_t cycle) override;
+    void commit(std::uint64_t cycle) override;
+
+    // --- tester-accessible registers (paper: ROM / fuses / tester) ---
+    void load_hold_register(std::uint32_t h);
+    void load_recycle_register(std::uint32_t r) { recycle_reg_ = r; }
+    std::uint32_t hold_register() const { return hold_reg_; }
+    std::uint32_t recycle_register() const { return recycle_reg_; }
+
+    /// Debug: freeze the hold counter so the node keeps the token
+    /// indefinitely (breakpoint support, paper §4.2).
+    void set_debug_hold(bool on) { debug_hold_ = on; }
+    bool debug_hold() const { return debug_hold_; }
+
+    // --- observation ---
+    Phase phase() const { return phase_; }
+    bool token_here() const { return token_here_; }
+    bool waiting() const { return waiting_; }
+    std::uint32_t hold_count() const { return hold_ctr_; }
+    std::uint32_t recycle_count() const { return recycle_ctr_; }
+    std::uint64_t tokens_passed() const { return tokens_passed_; }
+    std::uint64_t tokens_received() const { return tokens_received_; }
+    std::uint64_t late_arrivals() const { return late_arrivals_; }
+    std::uint64_t protocol_errors() const { return protocol_errors_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    void enter_holding();
+    void pass_token();
+
+    std::string name_;
+    std::function<void()> pass_fn_;
+    SbWrapper* wrapper_ = nullptr;
+
+    std::uint32_t hold_reg_;
+    std::uint32_t recycle_reg_;
+    std::uint32_t hold_ctr_ = 0;
+    std::uint32_t recycle_ctr_ = 0;
+
+    Phase phase_ = Phase::kRecycling;
+    bool token_here_ = false;
+    bool waiting_ = false;  ///< recycle expired, token absent, clken low
+    bool sb_en_ = false;
+    bool clken_ = true;
+    bool debug_hold_ = false;
+
+    std::uint64_t tokens_passed_ = 0;
+    std::uint64_t tokens_received_ = 0;
+    std::uint64_t late_arrivals_ = 0;
+    std::uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace st::core

@@ -1,0 +1,43 @@
+#include "synchro/token_ring.hpp"
+
+#include <stdexcept>
+
+namespace st::core {
+
+void TokenRing::add_node(TokenEndpoint* node, sim::Time hop_delay) {
+    if (finalized_) {
+        throw std::logic_error("TokenRing[" + name_ + "]: add_node after finalize");
+    }
+    if (node == nullptr) {
+        throw std::invalid_argument("TokenRing[" + name_ + "]: null node");
+    }
+    hops_.push_back(Hop{node, hop_delay});
+}
+
+void TokenRing::set_hop_delay(std::size_t i, sim::Time d) {
+    hops_.at(i).delay = d;
+}
+
+void TokenRing::finalize() {
+    if (finalized_) return;
+    if (hops_.size() < 2) {
+        throw std::logic_error("TokenRing[" + name_ + "]: needs >= 2 nodes");
+    }
+    for (std::size_t i = 0; i < hops_.size(); ++i) {
+        TokenEndpoint* next = hops_[(i + 1) % hops_.size()].node;
+        // The hop delay is read at pass time so pre-run perturbation works
+        // even though finalize() already captured the topology.
+        const std::size_t next_idx = (i + 1) % hops_.size();
+        hops_[i].node->set_pass_fn([this, i, next, next_idx] {
+            ++passes_;
+            if (pass_observer_) pass_observer_(i, sched_.now());
+            sched_.schedule_after(hops_[i].delay, [this, next, next_idx] {
+                if (arrive_observer_) arrive_observer_(next_idx, sched_.now());
+                next->token_arrive();
+            });
+        });
+    }
+    finalized_ = true;
+}
+
+}  // namespace st::core

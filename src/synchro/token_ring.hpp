@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "synchro/token_endpoint.hpp"
+
+namespace st::core {
+
+/// Token ring connecting the wrapper nodes of communicating SBs.
+///
+/// The paper instantiates one ring per communicating SB *pair* (two nodes);
+/// this model generalizes to N nodes passed round-robin, which is exercised
+/// as an extension experiment. Exactly one node must be the initial holder.
+/// Each hop is a wire with its own (perturbable) propagation delay.
+class TokenRing {
+  public:
+    TokenRing(sim::Scheduler& sched, std::string name)
+        : sched_(sched), name_(std::move(name)) {}
+
+    TokenRing(const TokenRing&) = delete;
+    TokenRing& operator=(const TokenRing&) = delete;
+
+    /// Append an endpoint; `hop_delay` is the wire delay from this endpoint
+    /// to the *next* one in ring order (the last hop returns to the first).
+    void add_node(TokenEndpoint* node, sim::Time hop_delay);
+
+    /// Wire the pass functions. Must be called once, after all add_node.
+    void finalize();
+
+    /// Perturb a hop delay (index = source node position). Pre-run only.
+    void set_hop_delay(std::size_t i, sim::Time d);
+    sim::Time hop_delay(std::size_t i) const { return hops_.at(i).delay; }
+
+    std::size_t size() const { return hops_.size(); }
+    std::uint64_t passes() const { return passes_; }
+    const std::string& name() const { return name_; }
+    TokenEndpoint& endpoint(std::size_t i) const { return *hops_.at(i).node; }
+
+    /// Observer: token departed hop `i` at time `t` (waveform probes).
+    void on_pass(std::function<void(std::size_t, sim::Time)> fn) {
+        pass_observer_ = std::move(fn);
+    }
+    /// Observer: token delivered to hop `i` at time `t`.
+    void on_arrive(std::function<void(std::size_t, sim::Time)> fn) {
+        arrive_observer_ = std::move(fn);
+    }
+
+  private:
+    struct Hop {
+        TokenEndpoint* node = nullptr;
+        sim::Time delay = 0;
+    };
+
+    sim::Scheduler& sched_;
+    std::string name_;
+    std::vector<Hop> hops_;
+    bool finalized_ = false;
+    std::uint64_t passes_ = 0;
+    std::function<void(std::size_t, sim::Time)> pass_observer_;
+    std::function<void(std::size_t, sim::Time)> arrive_observer_;
+};
+
+}  // namespace st::core

@@ -1,0 +1,56 @@
+#include "synchro/wide_channel.hpp"
+
+#include <stdexcept>
+
+namespace st::core {
+
+LaneSplitter::LaneSplitter(std::vector<std::size_t> lanes)
+    : lanes_(std::move(lanes)) {
+    if (lanes_.empty()) {
+        throw std::invalid_argument("LaneSplitter: need at least one lane");
+    }
+}
+
+void LaneSplitter::pump(sb::SbContext& ctx) {
+    if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+    // Up to one word per lane per cycle, in strict round-robin order; stop
+    // at the first lane that cannot accept so word i always rides lane i%k.
+    for (std::size_t n = 0; n < lanes_.size() && !queue_.empty(); ++n) {
+        auto& port = ctx.out(lanes_[next_lane_]);
+        if (!port.can_push()) break;
+        port.push(queue_.front());
+        queue_.pop_front();
+        ++sent_;
+        next_lane_ = (next_lane_ + 1) % lanes_.size();
+    }
+}
+
+LaneMerger::LaneMerger(std::vector<std::size_t> lanes)
+    : lanes_(std::move(lanes)) {
+    if (lanes_.empty()) {
+        throw std::invalid_argument("LaneMerger: need at least one lane");
+    }
+}
+
+void LaneMerger::pump(sb::SbContext& ctx) {
+    // Strict round-robin: only take from the lane carrying the next word in
+    // sequence; stop when it has nothing (cross-lane order preserved).
+    for (std::size_t n = 0; n < lanes_.size(); ++n) {
+        auto& port = ctx.in(lanes_[next_lane_]);
+        if (!port.has_data()) break;
+        queue_.push_back(port.take());
+        ++received_;
+        next_lane_ = (next_lane_ + 1) % lanes_.size();
+    }
+}
+
+Word LaneMerger::pop() {
+    if (queue_.empty()) {
+        throw std::logic_error("LaneMerger: pop from empty reassembly queue");
+    }
+    const Word w = queue_.front();
+    queue_.pop_front();
+    return w;
+}
+
+}  // namespace st::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sb/kernel.hpp"
+
+namespace st::core {
+
+/// SB-side transmit adapter for a widened channel (paper §5): "the
+/// synchro-tokens system can match the throughput of STARI by increasing
+/// the channel width by a factor of at least (H+R)/H and providing hardware
+/// within the SB to synchronously queue data produced while the interface
+/// is disabled."
+///
+/// The adapter is that queueing hardware: a synchronous FIFO feeding `k`
+/// parallel lanes (each lane a full channel: FIFO + interfaces on the same
+/// token ring node). Word i goes to lane i % k, strictly — head-of-line
+/// blocking on a full lane preserves the reassembly order.
+class LaneSplitter {
+  public:
+    /// `lanes` = output-port indices on the SB, in lane order.
+    explicit LaneSplitter(std::vector<std::size_t> lanes);
+
+    /// Queue a word for transmission (call any cycle; the queue is the
+    /// paper's "hardware within the SB").
+    void offer(Word w) { queue_.push_back(w); }
+
+    /// Drain the queue into the lanes; call once per cycle from the kernel.
+    void pump(sb::SbContext& ctx);
+
+    std::size_t queue_depth() const { return queue_.size(); }
+    std::size_t max_queue_depth() const { return max_depth_; }
+    std::uint64_t words_sent() const { return sent_; }
+
+  private:
+    std::vector<std::size_t> lanes_;
+    std::deque<Word> queue_;
+    std::size_t next_lane_ = 0;
+    std::size_t max_depth_ = 0;
+    std::uint64_t sent_ = 0;
+};
+
+/// SB-side receive adapter: reassembles the round-robin lane streams into
+/// the original word order.
+class LaneMerger {
+  public:
+    /// `lanes` = input-port indices on the SB, in lane order (must match
+    /// the splitter's).
+    explicit LaneMerger(std::vector<std::size_t> lanes);
+
+    /// Collect arrived words in order; call once per cycle.
+    void pump(sb::SbContext& ctx);
+
+    bool has_word() const { return !queue_.empty(); }
+    Word pop();
+    std::uint64_t words_received() const { return received_; }
+    std::size_t queue_depth() const { return queue_.size(); }
+
+  private:
+    std::vector<std::size_t> lanes_;
+    std::deque<Word> queue_;
+    std::size_t next_lane_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+}  // namespace st::core

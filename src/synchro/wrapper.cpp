@@ -1,0 +1,93 @@
+#include "synchro/wrapper.hpp"
+
+#include <stdexcept>
+
+namespace st::core {
+
+SbWrapper::SbWrapper(sim::Scheduler& sched, std::string name,
+                     clk::StoppableClock::Params clock_params,
+                     std::unique_ptr<sb::Kernel> kernel)
+    : sched_(sched),
+      name_(std::move(name)),
+      clock_(sched, name_ + ".clk", clock_params),
+      block_(name_ + ".sb", std::move(kernel)) {}
+
+TokenNode& SbWrapper::add_node(TokenNode::Params p) {
+    if (finalized_) {
+        throw std::logic_error("SbWrapper[" + name_ + "]: add_node after finalize");
+    }
+    auto node = std::make_unique<TokenNode>(
+        name_ + ".node" + std::to_string(nodes_.size()), p);
+    node->set_wrapper(this);
+    nodes_.push_back(std::move(node));
+    return *nodes_.back();
+}
+
+InputInterface& SbWrapper::attach_input(TokenNode& node,
+                                        achan::SelfTimedFifo& fifo) {
+    if (finalized_) {
+        throw std::logic_error("SbWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<InputInterface>(
+        sched_, name_ + ".in" + std::to_string(inputs_.size()), node, fifo);
+    block_.add_in_port(iface.get());
+    inputs_.push_back(std::move(iface));
+    return *inputs_.back();
+}
+
+OutputInterface& SbWrapper::attach_output(
+    TokenNode& node, achan::SelfTimedFifo& fifo,
+    achan::FourPhaseLink::Params link_params) {
+    if (finalized_) {
+        throw std::logic_error("SbWrapper[" + name_ + "]: attach after finalize");
+    }
+    auto iface = std::make_unique<OutputInterface>(
+        sched_, name_ + ".out" + std::to_string(outputs_.size()), node, fifo,
+        link_params);
+    block_.add_out_port(iface.get());
+    outputs_.push_back(std::move(iface));
+    return *outputs_.back();
+}
+
+void SbWrapper::finalize() {
+    if (finalized_) {
+        throw std::logic_error("SbWrapper[" + name_ + "]: double finalize");
+    }
+    // Canonical sink order: nodes first (they produce the registered sb_en
+    // the interfaces read post-commit), then interfaces, then the SB.
+    for (auto& n : nodes_) clock_.add_sink(n.get());
+    for (auto& i : inputs_) clock_.add_sink(i.get());
+    for (auto& o : outputs_) clock_.add_sink(o.get());
+    clock_.add_sink(&block_);
+    clock_.set_enable_fn([this] { return all_clken(); });
+    finalized_ = true;
+}
+
+void SbWrapper::start() {
+    if (!finalized_) {
+        throw std::logic_error("SbWrapper[" + name_ + "]: start before finalize");
+    }
+    clock_.start();
+}
+
+bool SbWrapper::all_clken() const {
+    for (const auto& n : nodes_) {
+        if (!n->clken()) return false;
+    }
+    return true;
+}
+
+void SbWrapper::maybe_restart() {
+    if (all_clken()) clock_.async_restart();
+}
+
+void SbWrapper::on_sb_en_rise(const TokenNode& node) {
+    for (auto& i : inputs_) {
+        if (&i->node() == &node) i->poke();
+    }
+    for (auto& o : outputs_) {
+        if (&o->node() == &node) o->poke();
+    }
+}
+
+}  // namespace st::core

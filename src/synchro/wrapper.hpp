@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "async/self_timed_fifo.hpp"
+#include "clock/stoppable_clock.hpp"
+#include "sb/kernel.hpp"
+#include "sb/sync_block.hpp"
+#include "sim/scheduler.hpp"
+#include "synchro/interfaces.hpp"
+#include "synchro/token_node.hpp"
+
+namespace st::core {
+
+/// Synchro-tokens wrapper around one synchronous block (paper Fig. 1B).
+///
+/// Owns the SB's stoppable clock, any number of token-ring nodes, and the
+/// FIFO interfaces associated with those nodes. The wrapper ANDs the nodes'
+/// clken outputs into the clock's enable ("the enables from all nodes in the
+/// SB are ANDed together so that the clock stops when any node de-asserts
+/// its clken") and restarts the clock asynchronously once every node's clken
+/// is asserted again.
+class SbWrapper {
+  public:
+    SbWrapper(sim::Scheduler& sched, std::string name,
+              clk::StoppableClock::Params clock_params,
+              std::unique_ptr<sb::Kernel> kernel);
+
+    SbWrapper(const SbWrapper&) = delete;
+    SbWrapper& operator=(const SbWrapper&) = delete;
+
+    /// Create a token-ring node inside this wrapper.
+    TokenNode& add_node(TokenNode::Params p);
+
+    /// Attach the receiving end of a channel: the FIFO's head feeds a new
+    /// input interface gated by `node`; the SB gains an input port.
+    InputInterface& attach_input(TokenNode& node, achan::SelfTimedFifo& fifo);
+
+    /// Attach the transmitting end of a channel: a new output interface
+    /// gated by `node` drives the FIFO's tail; the SB gains an output port.
+    OutputInterface& attach_output(TokenNode& node, achan::SelfTimedFifo& fifo,
+                                   achan::FourPhaseLink::Params link_params);
+
+    /// Register all clocked sinks on the local clock in canonical order
+    /// (nodes, interfaces, SB) and install the clken AND tree. Must be
+    /// called exactly once, after all nodes/interfaces are attached.
+    void finalize();
+
+    /// Schedule the first clock edge. Requires finalize().
+    void start();
+
+    /// Restart the stopped clock if every node's clken is asserted — invoked
+    /// by nodes on asynchronous (late) token arrival.
+    void maybe_restart();
+
+    /// Re-evaluate pending handshakes on every interface gated by `node` —
+    /// invoked by the node whenever its sb_en rises (the gate is
+    /// combinational in hardware, so pending requests complete immediately).
+    void on_sb_en_rise(const TokenNode& node);
+
+    bool all_clken() const;
+
+    sb::SyncBlock& block() { return block_; }
+    const sb::SyncBlock& block() const { return block_; }
+    clk::StoppableClock& clock() { return clock_; }
+    const clk::StoppableClock& clock() const { return clock_; }
+    const std::string& name() const { return name_; }
+
+    std::size_t num_nodes() const { return nodes_.size(); }
+    TokenNode& node(std::size_t i) { return *nodes_.at(i); }
+    std::size_t num_inputs() const { return inputs_.size(); }
+    InputInterface& input(std::size_t i) { return *inputs_.at(i); }
+    std::size_t num_outputs() const { return outputs_.size(); }
+    OutputInterface& output(std::size_t i) { return *outputs_.at(i); }
+
+  private:
+    sim::Scheduler& sched_;
+    std::string name_;
+    clk::StoppableClock clock_;
+    sb::SyncBlock block_;
+    std::vector<std::unique_ptr<TokenNode>> nodes_;
+    std::vector<std::unique_ptr<InputInterface>> inputs_;
+    std::vector<std::unique_ptr<OutputInterface>> outputs_;
+    bool finalized_ = false;
+};
+
+}  // namespace st::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/spec.hpp"
+
+namespace st::sys {
+
+/// A delay perturbation, expressed exactly as the paper does: each delay-like
+/// parameter set to a percentage of its nominal value (they used 50, 75, 100,
+/// 150, and 200 %). A DelayConfig is pure data — applying it to a SocSpec
+/// yields a new SocSpec; nothing about the simulation kernel changes.
+struct DelayConfig {
+    std::vector<unsigned> fifo_pct;     ///< per channel: FIFO stage delay
+    std::vector<unsigned> ring_ab_pct;  ///< per ring: a->b token wire delay
+    std::vector<unsigned> ring_ba_pct;  ///< per ring: b->a token wire delay
+    std::vector<unsigned> clock_pct;    ///< per SB: local clock period
+
+    /// All-100% configuration shaped for `spec`.
+    static DelayConfig nominal(const SocSpec& spec);
+
+    /// Total number of perturbable parameters.
+    std::size_t dimensions() const {
+        return fifo_pct.size() + ring_ab_pct.size() + ring_ba_pct.size() +
+               clock_pct.size();
+    }
+
+    /// Flat accessors treating all parameters as one vector (for sweeps).
+    unsigned get(std::size_t dim) const;
+    void set(std::size_t dim, unsigned pct);
+    std::string dim_name(std::size_t dim) const;
+
+    bool operator==(const DelayConfig&) const = default;
+};
+
+/// Produce the perturbed spec: every delay scaled by its percentage.
+SocSpec apply(const SocSpec& nominal, const DelayConfig& cfg);
+
+}  // namespace st::sys

@@ -1,0 +1,75 @@
+#include "system/invariant_monitor.hpp"
+
+#include <sstream>
+
+namespace st::sys {
+
+InvariantMonitor::InvariantMonitor(Soc& soc) : soc_(soc) {
+    for (std::size_t i = 0; i < soc_.num_sbs(); ++i) {
+        soc_.wrapper(i).clock().on_edge(
+            [this, i](std::uint64_t cycle, sim::Time) { check(i, cycle); });
+    }
+}
+
+void InvariantMonitor::record(const std::string& what) {
+    if (violations_.size() < kMaxRecorded) violations_.push_back(what);
+}
+
+void InvariantMonitor::check(std::size_t wrapper_index, std::uint64_t cycle) {
+    ++checks_;
+    auto& w = soc_.wrapper(wrapper_index);
+
+    for (std::size_t n = 0; n < w.num_nodes(); ++n) {
+        const auto& node = w.node(n);
+        std::ostringstream loc;
+        loc << node.name() << " @cycle " << cycle << ": ";
+        if (node.sb_en() &&
+            node.phase() != core::TokenNode::Phase::kHolding) {
+            record(loc.str() + "sb_en asserted while not holding");
+        }
+        if (node.waiting() && node.clken()) {
+            record(loc.str() + "waiting with clken asserted");
+        }
+        if (node.protocol_errors() != 0) {
+            record(loc.str() + "token protocol error observed");
+        }
+        if (!w.clock().stopped() && !node.clken()) {
+            // Settled post-edge state: a deasserted clken must have stopped
+            // the clock by now (the post-commit gate runs before monitors).
+            record(loc.str() + "clken low but clock still running");
+        }
+    }
+
+    // Single-token mutual exclusion per ring (both endpoints visible).
+    for (std::size_t r = 0; r < soc_.num_rings(); ++r) {
+        const auto& spec = soc_.spec().rings[r];
+        const auto& a = soc_.ring_node(r, spec.sb_a);
+        const auto& b = soc_.ring_node(r, spec.sb_b);
+        if (a.phase() == core::TokenNode::Phase::kHolding &&
+            b.phase() == core::TokenNode::Phase::kHolding) {
+            std::ostringstream os;
+            os << "ring '" << soc_.ring(r).name()
+               << "' @cycle " << cycle << ": both endpoints holding";
+            record(os.str());
+        }
+    }
+    // Multi-rings: at most one member holding (token-bus arbitration).
+    for (std::size_t r = 0; r < soc_.num_multi_rings(); ++r) {
+        const auto& spec = soc_.spec().multi_rings[r];
+        std::size_t holders = 0;
+        for (const auto& m : spec.members) {
+            if (soc_.multi_ring_node(r, m.sb).phase() ==
+                core::TokenNode::Phase::kHolding) {
+                ++holders;
+            }
+        }
+        if (holders > 1) {
+            std::ostringstream os;
+            os << "multi-ring '" << soc_.multi_ring(r).name() << "' @cycle "
+               << cycle << ": " << holders << " members holding";
+            record(os.str());
+        }
+    }
+}
+
+}  // namespace st::sys

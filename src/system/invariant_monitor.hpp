@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/soc.hpp"
+
+namespace st::sys {
+
+/// Runtime invariant monitor: hooks every wrapper clock of a Soc and checks
+/// the synchro-tokens protocol invariants after each settled edge:
+///
+///  * per ring, at most one endpoint is in the holding phase (single-token
+///    mutual exclusion of the master handshake),
+///  * sb_en implies the node is holding, and a waiting node has clken low,
+///  * no node ever observes a protocol error (second token while holding),
+///  * a running clock implies every one of its nodes asserts clken.
+///
+/// Attach after elaboration, before start; assert `violations().empty()` at
+/// the end of the run.
+class InvariantMonitor {
+  public:
+    explicit InvariantMonitor(Soc& soc);
+
+    InvariantMonitor(const InvariantMonitor&) = delete;
+    InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+    const std::vector<std::string>& violations() const { return violations_; }
+    std::uint64_t checks_performed() const { return checks_; }
+
+  private:
+    void check(std::size_t wrapper_index, std::uint64_t cycle);
+    void record(const std::string& what);
+
+    Soc& soc_;
+    std::vector<std::string> violations_;
+    std::uint64_t checks_ = 0;
+    static constexpr std::size_t kMaxRecorded = 16;
+};
+
+}  // namespace st::sys

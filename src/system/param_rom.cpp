@@ -1,0 +1,82 @@
+#include "system/param_rom.hpp"
+
+#include <stdexcept>
+
+namespace st::sys {
+
+std::vector<std::uint64_t> ParamRom::to_words() const {
+    std::vector<std::uint64_t> words;
+    words.push_back((static_cast<std::uint64_t>(nodes_.size()) << 32) |
+                    clocks_.size());
+    for (const auto& n : nodes_) {
+        words.push_back(static_cast<std::uint64_t>(n.ring) |
+                        (static_cast<std::uint64_t>(n.side) << 16) |
+                        (static_cast<std::uint64_t>(n.hold) << 24) |
+                        (static_cast<std::uint64_t>(n.recycle) << 40));
+    }
+    for (const auto& c : clocks_) {
+        words.push_back(static_cast<std::uint64_t>(c.sb) |
+                        (static_cast<std::uint64_t>(c.divider) << 16));
+    }
+    return words;
+}
+
+ParamRom ParamRom::from_words(const std::vector<std::uint64_t>& words) {
+    if (words.empty()) throw std::invalid_argument("ParamRom: empty image");
+    const std::size_t n_nodes = static_cast<std::size_t>(words[0] >> 32);
+    const std::size_t n_clocks =
+        static_cast<std::size_t>(words[0] & 0xffffffffu);
+    if (words.size() != 1 + n_nodes + n_clocks) {
+        throw std::invalid_argument("ParamRom: truncated image");
+    }
+    ParamRom rom;
+    std::size_t idx = 1;
+    for (std::size_t i = 0; i < n_nodes; ++i, ++idx) {
+        NodeEntry e;
+        e.ring = static_cast<std::uint16_t>(words[idx] & 0xffff);
+        e.side = static_cast<std::uint8_t>((words[idx] >> 16) & 0xff);
+        e.hold = static_cast<std::uint16_t>((words[idx] >> 24) & 0xffff);
+        e.recycle = static_cast<std::uint16_t>((words[idx] >> 40) & 0xffff);
+        rom.nodes_.push_back(e);
+    }
+    for (std::size_t i = 0; i < n_clocks; ++i, ++idx) {
+        ClockEntry e;
+        e.sb = static_cast<std::uint16_t>(words[idx] & 0xffff);
+        e.divider = static_cast<std::uint8_t>((words[idx] >> 16) & 0xff);
+        rom.clocks_.push_back(e);
+    }
+    return rom;
+}
+
+void ParamRom::apply(SocSpec& spec) const {
+    for (const auto& n : nodes_) {
+        auto& ring = spec.rings.at(n.ring);
+        auto& node = n.side == 0 ? ring.node_a : ring.node_b;
+        if (n.hold != 0) node.hold = n.hold;
+        node.recycle = n.recycle;
+    }
+    for (const auto& c : clocks_) {
+        if (c.divider == 0) {
+            throw std::invalid_argument("ParamRom: zero divider");
+        }
+        spec.sbs.at(c.sb).clock.divider = c.divider;
+    }
+}
+
+void ParamRom::apply(Soc& soc) const {
+    for (const auto& n : nodes_) {
+        const auto& ring_spec = soc.spec().rings.at(n.ring);
+        auto& node = soc.ring_node(
+            n.ring, n.side == 0 ? ring_spec.sb_a : ring_spec.sb_b);
+        if (n.hold != 0) node.load_hold_register(n.hold);
+        node.load_recycle_register(n.recycle);
+    }
+    for (const auto& c : clocks_) {
+        if (c.divider == 0) {
+            throw std::invalid_argument("ParamRom: zero divider");
+        }
+        soc.wrapper(c.sb).clock().set_divider(c.divider);
+    }
+}
+
+}  // namespace st::sys

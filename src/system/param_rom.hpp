@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "system/soc.hpp"
+#include "system/spec.hpp"
+
+namespace st::sys {
+
+/// Parameter ROM: the paper's §4.1 register-download story — "Each counter
+/// is parallel loadable from a dedicated register, which in turn may be
+/// downloadable from ROM bits, fuses, or directly from the tester."
+///
+/// The tester path is the TAP scan chain (tap::NodeConfigTarget); this class
+/// is the ROM/fuse path: a serializable image of hold/recycle values per
+/// ring node and divider settings per SB, applicable either at elaboration
+/// (patching a SocSpec — "ROM bits") or to a live pre-start Soc ("fuses").
+class ParamRom {
+  public:
+    struct NodeEntry {
+        std::uint16_t ring = 0;
+        std::uint8_t side = 0;  ///< 0 = the ring's sb_a node, 1 = sb_b
+        std::uint16_t hold = 0;
+        std::uint16_t recycle = 0;
+        bool operator==(const NodeEntry&) const = default;
+    };
+    struct ClockEntry {
+        std::uint16_t sb = 0;
+        std::uint8_t divider = 1;
+        bool operator==(const ClockEntry&) const = default;
+    };
+
+    void add(NodeEntry e) { nodes_.push_back(e); }
+    void add(ClockEntry e) { clocks_.push_back(e); }
+
+    const std::vector<NodeEntry>& nodes() const { return nodes_; }
+    const std::vector<ClockEntry>& clocks() const { return clocks_; }
+
+    /// Pack into 64-bit fuse words / unpack. Round-trip exact.
+    std::vector<std::uint64_t> to_words() const;
+    static ParamRom from_words(const std::vector<std::uint64_t>& words);
+
+    /// ROM-bits path: patch the specification before elaboration.
+    void apply(SocSpec& spec) const;
+
+    /// Fuse path: program a live (pre- or post-start) system's registers.
+    /// Hold/recycle take effect at each node's next counter preset.
+    void apply(Soc& soc) const;
+
+    bool operator==(const ParamRom&) const = default;
+
+  private:
+    std::vector<NodeEntry> nodes_;
+    std::vector<ClockEntry> clocks_;
+};
+
+}  // namespace st::sys

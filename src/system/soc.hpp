@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "async/self_timed_fifo.hpp"
+#include "sim/scheduler.hpp"
+#include "synchro/token_ring.hpp"
+#include "synchro/wrapper.hpp"
+#include "verify/io_trace.hpp"
+#include "verify/timing_checker.hpp"
+#include "verify/trace_probe.hpp"
+
+#include "system/spec.hpp"
+
+namespace st::sys {
+
+/// A fully elaborated, runnable synchro-tokens SoC.
+///
+/// Owns the scheduler and the whole design: wrappers (clock + nodes +
+/// interfaces + SB), token rings, self-timed FIFOs, and per-SB trace probes.
+/// Construction elaborates; `start()` schedules the first clock edges.
+class Soc {
+  public:
+    explicit Soc(const SocSpec& spec);
+
+    Soc(const Soc&) = delete;
+    Soc& operator=(const Soc&) = delete;
+
+    /// Schedule every SB clock's first edge. Idempotent.
+    void start();
+
+    sim::Scheduler& scheduler() { return sched_; }
+
+    /// Run until every SB has executed at least `n_cycles` local cycles, the
+    /// system goes quiescent (deadlock: stopped clocks waiting on each other)
+    /// or the wall deadline passes. Returns true when the cycle goal was met.
+    bool run_cycles(std::uint64_t n_cycles, sim::Time deadline);
+
+    /// Run to an absolute simulated time.
+    void run_until(sim::Time t) { sched_.run_until(t); }
+
+    /// True when no events remain but some clock is stopped — a deadlock in
+    /// the paper's sense (cyclic dependency of SBs waiting on late tokens).
+    bool deadlocked() const;
+
+    std::size_t num_sbs() const { return wrappers_.size(); }
+    core::SbWrapper& wrapper(std::size_t i) { return *wrappers_.at(i); }
+    const core::SbWrapper& wrapper(std::size_t i) const {
+        return *wrappers_.at(i);
+    }
+    std::size_t num_rings() const { return rings_.size(); }
+    core::TokenRing& ring(std::size_t i) { return *rings_.at(i); }
+    std::size_t num_channels() const { return fifos_.size(); }
+    achan::SelfTimedFifo& fifo(std::size_t i) { return *fifos_.at(i); }
+
+    /// Node of ring `r` living inside SB `sb` (throws if `sb` not on `r`).
+    core::TokenNode& ring_node(std::size_t r, std::size_t sb);
+
+    /// Node of multi-ring `r` living inside SB `sb`.
+    core::TokenNode& multi_ring_node(std::size_t r, std::size_t sb);
+    std::size_t num_multi_rings() const { return multi_rings_.size(); }
+    core::TokenRing& multi_ring(std::size_t i) { return *multi_rings_.at(i); }
+
+    /// Per-SB cycle-indexed I/O traces captured so far.
+    verify::TraceSet traces() const;
+
+    /// Audit the bundling/timing constraints after (or during) a run.
+    verify::TimingReport audit_timing() const;
+
+    const SocSpec& spec() const { return spec_; }
+
+  private:
+    SocSpec spec_;
+    sim::Scheduler sched_;
+    std::vector<std::unique_ptr<core::SbWrapper>> wrappers_;
+    std::vector<std::unique_ptr<core::TokenRing>> rings_;
+    // ring index -> (node in sb_a, node in sb_b)
+    std::vector<std::pair<core::TokenNode*, core::TokenNode*>> ring_nodes_;
+    std::vector<std::unique_ptr<core::TokenRing>> multi_rings_;
+    // multi-ring index -> member nodes (parallel to spec members)
+    std::vector<std::vector<core::TokenNode*>> multi_ring_nodes_;
+    std::vector<std::unique_ptr<achan::SelfTimedFifo>> fifos_;
+    std::vector<std::unique_ptr<verify::TraceProbe>> probes_;
+    bool started_ = false;
+};
+
+}  // namespace st::sys

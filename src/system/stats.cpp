@@ -1,0 +1,83 @@
+#include "system/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st::sys {
+
+RunStats collect_stats(Soc& soc) {
+    RunStats s;
+    s.sim_time = soc.scheduler().now();
+    s.events = soc.scheduler().events_executed();
+    for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+        auto& w = soc.wrapper(i);
+        RunStats::SbStats sb;
+        sb.name = w.name();
+        sb.cycles = w.clock().cycles();
+        sb.stop_events = w.clock().stop_events();
+        sb.stopped_time = w.clock().total_stopped_time();
+        sb.period = w.clock().effective_period();
+        sb.duty = s.sim_time == 0
+                      ? 1.0
+                      : 1.0 - static_cast<double>(sb.stopped_time) /
+                                  static_cast<double>(s.sim_time);
+        s.sbs.push_back(sb);
+    }
+    for (std::size_t r = 0; r < soc.num_rings(); ++r) {
+        RunStats::RingStats ring;
+        ring.name = soc.ring(r).name();
+        ring.passes = soc.ring(r).passes();
+        const auto& spec = soc.spec().rings[r];
+        ring.late_arrivals = soc.ring_node(r, spec.sb_a).late_arrivals() +
+                             soc.ring_node(r, spec.sb_b).late_arrivals();
+        s.rings.push_back(ring);
+    }
+    for (std::size_t c = 0; c < soc.num_channels(); ++c) {
+        RunStats::ChannelStats ch;
+        ch.name = soc.fifo(c).name();
+        ch.words = soc.fifo(c).words_in();
+        ch.max_link_latency =
+            std::max(soc.fifo(c).head_link().max_latency(),
+                     sim::Time{0});
+        s.channels.push_back(ch);
+    }
+    return s;
+}
+
+std::string RunStats::to_string() const {
+    std::ostringstream os;
+    os << "simulated " << sim::format_time(sim_time) << ", " << events
+       << " events\n";
+    os << "  SB            cycles   stops   stopped     duty\n";
+    for (const auto& sb : sbs) {
+        char line[160];
+        std::snprintf(line, sizeof line, "  %-12s %7llu %7llu %9s %7.1f%%\n",
+                      sb.name.c_str(),
+                      static_cast<unsigned long long>(sb.cycles),
+                      static_cast<unsigned long long>(sb.stop_events),
+                      sim::format_time(sb.stopped_time).c_str(),
+                      100.0 * sb.duty);
+        os << line;
+    }
+    os << "  ring                         passes    late\n";
+    for (const auto& r : rings) {
+        char line[160];
+        std::snprintf(line, sizeof line, "  %-26s %8llu %7llu\n",
+                      r.name.c_str(),
+                      static_cast<unsigned long long>(r.passes),
+                      static_cast<unsigned long long>(r.late_arrivals));
+        os << line;
+    }
+    os << "  channel                       words   max link latency\n";
+    for (const auto& c : channels) {
+        char line[160];
+        std::snprintf(line, sizeof line, "  %-26s %8llu   %s\n",
+                      c.name.c_str(),
+                      static_cast<unsigned long long>(c.words),
+                      sim::format_time(c.max_link_latency).c_str());
+        os << line;
+    }
+    return os.str();
+}
+
+}  // namespace st::sys

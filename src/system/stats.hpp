@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/soc.hpp"
+
+namespace st::sys {
+
+/// Post-run summary of a Soc: per-SB clock and stall statistics, per-ring
+/// token circulation, per-channel traffic — the counters an architect wants
+/// after every experiment, gathered in one place.
+struct RunStats {
+    struct SbStats {
+        std::string name;
+        std::uint64_t cycles = 0;
+        std::uint64_t stop_events = 0;
+        sim::Time stopped_time = 0;
+        sim::Time period = 0;
+        double duty = 0.0;  ///< fraction of wall time the clock ran
+    };
+    struct RingStats {
+        std::string name;
+        std::uint64_t passes = 0;
+        std::uint64_t late_arrivals = 0;
+    };
+    struct ChannelStats {
+        std::string name;
+        std::uint64_t words = 0;
+        sim::Time max_link_latency = 0;
+    };
+
+    sim::Time sim_time = 0;
+    std::uint64_t events = 0;
+    std::vector<SbStats> sbs;
+    std::vector<RingStats> rings;
+    std::vector<ChannelStats> channels;
+
+    std::string to_string() const;
+};
+
+/// Collect statistics from a Soc after (or during) a run.
+RunStats collect_stats(Soc& soc);
+
+}  // namespace st::sys

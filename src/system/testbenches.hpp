@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "system/spec.hpp"
+
+namespace st::sys {
+
+/// Two SBs exchanging bidirectional traffic over one token ring — the
+/// minimal synchro-tokens system, tuned (symmetric clocks) so the token
+/// returns exactly when expected: never early-recognized, never late.
+struct PairOptions {
+    std::uint32_t hold = 4;          ///< H register (also the FIFO depth)
+    sim::Time period_a = 1000;       ///< SB0 clock period, ps
+    sim::Time period_b = 1000;       ///< SB1 clock period, ps
+    sim::Time token_delay = 900;     ///< token wire delay each way, ps
+    sim::Time stage_delay = 100;     ///< FIFO stage propagation F, ps
+    unsigned data_bits = 32;
+    std::uint64_t seed_a = 0xace1u;
+    std::uint64_t seed_b = 0xbeefu;
+    /// Force a specific recycle value on both nodes (throughput/latency
+    /// sweeps); by default the minimal stall-free value is derived.
+    std::optional<std::uint32_t> recycle_override;
+};
+
+SocSpec make_pair_spec(const PairOptions& opt = {});
+
+/// The paper's §5 validation system: three SBs and six FIFOs (one channel
+/// per direction per SB pair) over three token rings, with heterogeneous
+/// local clock frequencies — a genuinely GALS configuration in which tokens
+/// are routinely early or late and clocks deterministically stop and restart.
+struct TriangleOptions {
+    std::uint32_t hold = 4;
+    sim::Time period_0 = 1000;
+    sim::Time period_1 = 1250;
+    sim::Time period_2 = 1600;
+    sim::Time token_delay = 900;
+    sim::Time stage_delay = 100;
+    unsigned data_bits = 32;
+    /// Extra recycle slack (cycles) absorbing cross-ring stalls. The default
+    /// passes the deadlock rule checker; 0 under-provisions the system and is
+    /// used by the deadlock experiments.
+    std::uint32_t recycle_slack = 8;
+};
+
+SocSpec make_triangle_spec(const TriangleOptions& opt = {});
+
+/// Widened unidirectional stream (paper §5's throughput remedy): one token
+/// ring, `lanes` parallel channels alpha -> beta, a full-rate StreamingSource
+/// with the SB-side synchronous queue, and an order-checking StreamingSink.
+/// With lanes >= ceil((H+R)/H) the stream sustains one word per cycle —
+/// STARI-parity throughput.
+struct WidePairOptions {
+    std::uint32_t hold = 4;
+    std::size_t lanes = 3;  ///< ceil((H+R)/H) for the default H=4, R=6
+    sim::Time period = 1000;
+    sim::Time token_delay = 900;
+    sim::Time stage_delay = 100;
+    unsigned data_bits = 64;
+    std::uint64_t seed = 0x51deu;
+};
+
+SocSpec make_wide_pair_spec(const WidePairOptions& opt = {});
+
+/// Linear pipeline of `n` SBs (source -> FIR -> ... -> sink) for scalability
+/// and DSP-style dataflow experiments.
+struct ChainOptions {
+    std::size_t length = 4;  ///< number of SBs (>= 2)
+    std::uint32_t hold = 4;
+    sim::Time base_period = 1000;
+    sim::Time period_step = 150;  ///< SB i runs at base + i*step
+    sim::Time token_delay = 900;
+    sim::Time stage_delay = 100;
+    unsigned data_bits = 32;
+    std::uint64_t seed = 0xfeedu;
+};
+
+SocSpec make_chain_spec(const ChainOptions& opt = {});
+
+/// Rectangular mesh of SBs with duplex channels between 4-neighbours — the
+/// "larger system for further performance studies" of the paper's future
+/// work. Clock periods vary per tile (deterministic pseudo-random spread);
+/// every tile runs a TrafficKernel.
+struct MeshOptions {
+    std::size_t width = 3;
+    std::size_t height = 3;
+    std::uint32_t hold = 4;
+    sim::Time base_period = 1000;
+    sim::Time period_spread = 600;  ///< tile periods in [base, base+spread]
+    sim::Time token_delay = 900;
+    sim::Time stage_delay = 100;
+    unsigned data_bits = 32;
+    std::uint32_t recycle_slack = 12;
+    std::uint64_t seed = 0x6e53ull;
+};
+
+SocSpec make_mesh_spec(const MeshOptions& opt = {});
+
+/// Shared token bus: `n` SBs on ONE multi-node ring; each SB streams to its
+/// successor over a channel bundled to the bus token. Since exactly one
+/// member holds the token at any time, the channels time-share the medium
+/// with deterministic, arbiter-free arbitration — a token bus.
+struct BusOptions {
+    std::size_t size = 4;  ///< number of SBs (>= 2)
+    std::uint32_t hold = 3;
+    sim::Time base_period = 1000;
+    sim::Time period_step = 120;
+    sim::Time hop_delay = 600;
+    sim::Time stage_delay = 100;
+    unsigned data_bits = 32;
+    std::uint32_t recycle_slack = 6;
+};
+
+SocSpec make_bus_spec(const BusOptions& opt = {});
+
+}  // namespace st::sys

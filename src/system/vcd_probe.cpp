@@ -1,0 +1,85 @@
+#include "system/vcd_probe.hpp"
+
+namespace st::sys {
+
+VcdProbe::VcdProbe(Soc& soc, std::ostream& out) : vcd_(out, "soc") {
+    struct WrapperSignals {
+        int clk = -1;
+        std::vector<int> sb_en;
+        std::vector<int> clken;
+        std::vector<int> hold;
+        std::vector<int> recycle;
+    };
+
+    std::vector<WrapperSignals> wsigs(soc.num_sbs());
+    for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+        auto& w = soc.wrapper(i);
+        wsigs[i].clk = vcd_.add_signal(w.name() + ".clk", 1);
+        for (std::size_t n = 0; n < w.num_nodes(); ++n) {
+            const auto base = w.node(n).name();
+            wsigs[i].sb_en.push_back(vcd_.add_signal(base + ".sb_en", 1));
+            wsigs[i].clken.push_back(vcd_.add_signal(base + ".clken", 1));
+            wsigs[i].hold.push_back(vcd_.add_signal(base + ".hold", 8));
+            wsigs[i].recycle.push_back(vcd_.add_signal(base + ".recycle", 8));
+        }
+    }
+    std::vector<int> fifo_occ;
+    for (std::size_t f = 0; f < soc.num_channels(); ++f) {
+        fifo_occ.push_back(
+            vcd_.add_signal(soc.fifo(f).name() + ".occupancy", 8));
+    }
+    std::vector<int> ring_pass;
+    std::vector<int> ring_arrive;
+    for (std::size_t r = 0; r < soc.num_rings(); ++r) {
+        ring_pass.push_back(vcd_.add_signal(soc.ring(r).name() + ".pass", 1));
+        ring_arrive.push_back(
+            vcd_.add_signal(soc.ring(r).name() + ".arrive", 1));
+    }
+
+    for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+        auto& w = soc.wrapper(i);
+        auto sig = wsigs[i];
+        auto* soc_ptr = &soc;
+        w.clock().on_edge([this, sig, &w, soc_ptr](std::uint64_t cycle,
+                                                   sim::Time t) {
+            vcd_.change(sig.clk, cycle & 1, t);
+            for (std::size_t n = 0; n < w.num_nodes(); ++n) {
+                vcd_.change(sig.sb_en[n], w.node(n).sb_en(), t);
+                vcd_.change(sig.clken[n], w.node(n).clken(), t);
+                vcd_.change(sig.hold[n], w.node(n).hold_count(), t);
+                vcd_.change(sig.recycle[n], w.node(n).recycle_count(), t);
+            }
+        });
+    }
+    for (std::size_t f = 0; f < soc.num_channels(); ++f) {
+        // Occupancy sampled at the destination SB's clock (cheap and stable).
+        const auto& c = soc.spec().channels[f];
+        auto* fifo = &soc.fifo(f);
+        const int sig = fifo_occ[f];
+        soc.wrapper(c.to_sb).clock().on_edge(
+            [this, fifo, sig](std::uint64_t, sim::Time t) {
+                vcd_.change(sig, fifo->occupancy(), t);
+            });
+    }
+    auto& sched = soc.scheduler();
+    for (std::size_t r = 0; r < soc.num_rings(); ++r) {
+        const int ps = ring_pass[r];
+        const int ar = ring_arrive[r];
+        // Pulse clears go through the scheduler so VCD timestamps stay
+        // globally non-decreasing.
+        soc.ring(r).on_pass([this, ps, &sched](std::size_t, sim::Time t) {
+            vcd_.change(ps, 1, t);
+            sched.schedule_after(1, sim::Priority::kMonitor, [this, ps, &sched] {
+                vcd_.change(ps, 0, sched.now());
+            });
+        });
+        soc.ring(r).on_arrive([this, ar, &sched](std::size_t, sim::Time t) {
+            vcd_.change(ar, 1, t);
+            sched.schedule_after(1, sim::Priority::kMonitor, [this, ar, &sched] {
+                vcd_.change(ar, 0, sched.now());
+            });
+        });
+    }
+}
+
+}  // namespace st::sys

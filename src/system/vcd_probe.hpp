@@ -1,0 +1,28 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "sim/vcd.hpp"
+#include "system/soc.hpp"
+
+namespace st::sys {
+
+/// Full-system VCD tracer: attaches to an elaborated (pre-start) Soc and
+/// records per-wrapper clock activity, every token node's sb_en/clken and
+/// counters, per-FIFO occupancy, and token pass/arrive pulses per ring.
+/// The resulting file opens in GTKWave for visual debug of any experiment.
+class VcdProbe {
+  public:
+    /// Must be constructed after Soc elaboration and before the first event
+    /// executes (the VCD header closes on the first change).
+    VcdProbe(Soc& soc, std::ostream& out);
+
+    VcdProbe(const VcdProbe&) = delete;
+    VcdProbe& operator=(const VcdProbe&) = delete;
+
+  private:
+    sim::VcdWriter vcd_;
+};
+
+}  // namespace st::sys

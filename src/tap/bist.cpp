@@ -1,0 +1,39 @@
+#include "tap/bist.hpp"
+
+namespace st::tap {
+
+BistController::Result BistController::run(std::size_t patterns,
+                                           std::uint64_t seed,
+                                           std::size_t steps_between) {
+    Misr misr;
+    Result result;
+    std::uint64_t lfsr = seed | 1ull;  // pattern generator (never all-zero)
+    const std::size_t payload = test_sb_.scan_chain().payload_bits();
+
+    for (std::size_t p = 0; p < patterns; ++p) {
+        // Next pseudo-random pattern.
+        std::vector<bool> pattern(payload);
+        for (std::size_t i = 0; i < payload; ++i) {
+            const bool lsb = lfsr & 1;
+            lfsr >>= 1;
+            if (lsb) lfsr ^= 0xd800000000000000ull;
+            pattern[i] = lfsr & 1;
+        }
+        // One transaction: the captured response shifts out while the
+        // pattern shifts in (test-per-scan).
+        const auto response = driver_.scan_transaction(pattern);
+        misr.shift_bits(response);
+        result.bits_compacted += response.size();
+        ++result.patterns;
+
+        // Let the patterned logic run.
+        for (std::size_t s = 0; s < steps_between; ++s) {
+            test_sb_.single_step();
+            test_sb_.wait_for_system_stop();
+        }
+    }
+    result.signature = misr.signature();
+    return result;
+}
+
+}  // namespace st::tap

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tap/test_sb.hpp"
+#include "tap/tester.hpp"
+
+namespace st::tap {
+
+/// Multiple-input signature register (MISR): compacts a bit stream into a
+/// 32-bit signature, as BIST response analyzers do. The paper's §1 argues
+/// this style of test is exactly what nondeterminism breaks: "Storage of the
+/// possible responses costs die area (for BIST)..." — with synchro-tokens
+/// there is a single golden signature.
+class Misr {
+  public:
+    explicit Misr(std::uint32_t seed = 0xffffffffu) : state_(seed) {}
+
+    void shift_bit(bool bit) {
+        const bool feedback = (state_ & 1u) != 0;
+        state_ >>= 1;
+        if (bit) state_ ^= 0x80000000u;
+        if (feedback) state_ ^= kPoly;
+    }
+
+    void shift_bits(const std::vector<bool>& bits) {
+        for (const bool b : bits) shift_bit(b);
+    }
+
+    std::uint32_t signature() const { return state_; }
+
+  private:
+    static constexpr std::uint32_t kPoly = 0xedb88320u;
+    std::uint32_t state_;
+};
+
+/// Scan-based logic BIST harness: drives pseudo-random patterns into the
+/// system's self-timed scan chain through the Test SB's TAP, steps the
+/// system between patterns (tokens released for one round trip), and
+/// compacts every captured response into a MISR. Deterministic GALS makes
+/// the final signature unique per (seed, patterns, configuration) — across
+/// dies, delay corners, and reruns.
+class BistController {
+  public:
+    struct Result {
+        std::uint32_t signature = 0;
+        std::size_t patterns = 0;
+        std::size_t bits_compacted = 0;
+    };
+
+    BistController(TesterDriver& driver, TestSb& test_sb)
+        : driver_(driver), test_sb_(test_sb) {}
+
+    /// Precondition: tokens are parked (system at a breakpoint).
+    /// Each round: capture+compact the current state, scan in the next
+    /// pseudo-random pattern, release the tokens for `steps_between` single
+    /// steps so the patterned logic runs, re-park.
+    Result run(std::size_t patterns, std::uint64_t seed,
+               std::size_t steps_between = 1);
+
+  private:
+    TesterDriver& driver_;
+    TestSb& test_sb_;
+};
+
+}  // namespace st::tap

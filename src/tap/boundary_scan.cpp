@@ -1,0 +1,37 @@
+#include "tap/boundary_scan.hpp"
+
+namespace st::tap {
+
+void BoundaryScanRegister::set_extest(bool on) {
+    extest_ = on;
+    if (extest_) drive_pins();
+}
+
+void BoundaryScanRegister::capture() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        shift_[i] = cells_[i].sample_fn ? cells_[i].sample_fn() : false;
+    }
+}
+
+bool BoundaryScanRegister::shift(bool tdi) {
+    if (cells_.empty()) return tdi;
+    const bool out = shift_.front();
+    for (std::size_t i = 0; i + 1 < shift_.size(); ++i) {
+        shift_[i] = shift_[i + 1];
+    }
+    shift_.back() = tdi;
+    return out;
+}
+
+void BoundaryScanRegister::update() {
+    hold_ = shift_;
+    if (extest_) drive_pins();
+}
+
+void BoundaryScanRegister::drive_pins() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (cells_[i].drive_fn) cells_[i].drive_fn(hold_[i]);
+    }
+}
+
+}  // namespace st::tap

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tap/data_registers.hpp"
+
+namespace st::tap {
+
+/// One boundary-scan cell (IEEE 1149.1 BC-1 style): sits between a chip pin
+/// and the system logic, can sample the functional value and, in EXTEST,
+/// drive the pin from its update latch.
+struct BoundaryCell {
+    std::string name;
+    /// Functional value observed at capture time (pin or core side).
+    std::function<bool()> sample_fn;
+    /// Drive hook used when EXTEST mode is on (may be empty for input-only
+    /// observe cells).
+    std::function<void(bool)> drive_fn;
+};
+
+/// IEEE 1149.1 boundary-scan register: a chain of cells around the chip's
+/// pins. SAMPLE/PRELOAD captures functional values without disturbing the
+/// system; EXTEST puts the update latches in control of the pins. In the
+/// paper's architecture the boundary chain is one of the self-timed scan
+/// chains whose head and tail are synchronized to TCK (§4.2).
+class BoundaryScanRegister final : public DataRegister {
+  public:
+    explicit BoundaryScanRegister(std::vector<BoundaryCell> cells)
+        : cells_(std::move(cells)), shift_(cells_.size(), false),
+          hold_(cells_.size(), false) {}
+
+    /// EXTEST mode: update latches drive the pins.
+    void set_extest(bool on);
+    bool extest() const { return extest_; }
+
+    // --- DataRegister ---
+    void capture() override;
+    bool shift(bool tdi) override;
+    void update() override;
+    std::size_t length() const override { return cells_.size(); }
+
+    /// Last updated (held) image, LSB = cell 0.
+    const std::vector<bool>& held() const { return hold_; }
+    const std::vector<BoundaryCell>& cells() const { return cells_; }
+
+  private:
+    void drive_pins();
+
+    std::vector<BoundaryCell> cells_;
+    std::vector<bool> shift_;
+    std::vector<bool> hold_;
+    bool extest_ = false;
+};
+
+}  // namespace st::tap

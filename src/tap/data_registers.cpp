@@ -1,0 +1,33 @@
+#include "tap/data_registers.hpp"
+
+#include <stdexcept>
+
+namespace st::tap {
+
+HookRegister::HookRegister(std::size_t bits, CaptureFn capture_fn,
+                           UpdateFn update_fn)
+    : bits_(bits),
+      capture_fn_(std::move(capture_fn)),
+      update_fn_(std::move(update_fn)) {
+    if (bits_ == 0 || bits_ > 64) {
+        throw std::invalid_argument("HookRegister: 1..64 bits supported");
+    }
+}
+
+void HookRegister::capture() {
+    shift_ = capture_fn_ ? capture_fn_() : 0;
+}
+
+bool HookRegister::shift(bool tdi) {
+    const bool out = shift_ & 1;
+    shift_ >>= 1;
+    if (tdi) shift_ |= (1ull << (bits_ - 1));
+    return out;
+}
+
+void HookRegister::update() {
+    held_ = shift_;
+    if (update_fn_) update_fn_(held_);
+}
+
+}  // namespace st::tap

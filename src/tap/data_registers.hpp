@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace st::tap {
+
+/// A test data register selectable between TDI and TDO (IEEE 1149.1 §9).
+/// The TAP controller drives capture/shift/update from its Capture-DR /
+/// Shift-DR / Update-DR states.
+class DataRegister {
+  public:
+    virtual ~DataRegister() = default;
+
+    /// Parallel-load the shift stage (Capture-DR).
+    virtual void capture() = 0;
+
+    /// One shift toward TDO; `tdi` enters the far end. Returns the bit that
+    /// falls out (Shift-DR).
+    virtual bool shift(bool tdi) = 0;
+
+    /// Transfer the shift stage to the parallel hold stage (Update-DR).
+    virtual void update() = 0;
+
+    /// Number of shift stages between TDI and TDO.
+    virtual std::size_t length() const = 0;
+};
+
+/// Single-bit BYPASS register (captures 0, no update action).
+class BypassRegister final : public DataRegister {
+  public:
+    void capture() override { bit_ = false; }
+    bool shift(bool tdi) override {
+        const bool out = bit_;
+        bit_ = tdi;
+        return out;
+    }
+    void update() override {}
+    std::size_t length() const override { return 1; }
+
+  private:
+    bool bit_ = false;
+};
+
+/// 32-bit IDCODE register.
+class IdcodeRegister final : public DataRegister {
+  public:
+    explicit IdcodeRegister(std::uint32_t idcode) : idcode_(idcode) {}
+    void capture() override { shift_ = idcode_; }
+    bool shift(bool tdi) override {
+        const bool out = shift_ & 1;
+        shift_ = (shift_ >> 1) | (static_cast<std::uint32_t>(tdi) << 31);
+        return out;
+    }
+    void update() override {}
+    std::size_t length() const override { return 32; }
+
+  private:
+    std::uint32_t idcode_;
+    std::uint32_t shift_ = 0;
+};
+
+/// General-purpose register with capture/update hooks; used for mode bits,
+/// token-hold masks, clock-divider settings, and P1500 WIRs.
+class HookRegister final : public DataRegister {
+  public:
+    using CaptureFn = std::function<std::uint64_t()>;
+    using UpdateFn = std::function<void(std::uint64_t)>;
+
+    HookRegister(std::size_t bits, CaptureFn capture_fn, UpdateFn update_fn);
+
+    void capture() override;
+    bool shift(bool tdi) override;
+    void update() override;
+    std::size_t length() const override { return bits_; }
+
+    /// Last value handed to the update hook.
+    std::uint64_t held() const { return held_; }
+
+  private:
+    std::size_t bits_;
+    CaptureFn capture_fn_;
+    UpdateFn update_fn_;
+    std::uint64_t shift_ = 0;
+    std::uint64_t held_ = 0;
+};
+
+}  // namespace st::tap

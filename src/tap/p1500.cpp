@@ -1,0 +1,42 @@
+#include "tap/p1500.hpp"
+
+namespace st::tap {
+
+CoreWrapper::CoreWrapper(std::string name, sb::Kernel& kernel,
+                         std::size_t boundary_bits)
+    : name_(std::move(name)),
+      boundary_bits_(boundary_bits),
+      wir_(
+          2, [this] { return static_cast<std::uint64_t>(op_); },
+          [this](std::uint64_t v) {
+              op_ = static_cast<WirOp>(v & 0x3);
+              if (op_ != WirOp::kBypass && op_ != WirOp::kCoreScan &&
+                  op_ != WirOp::kBoundary) {
+                  op_ = WirOp::kBypass;
+              }
+          }),
+      boundary_(
+          boundary_bits == 0 ? 1 : boundary_bits,
+          [this] { return boundary_capture_ ? boundary_capture_() : 0; },
+          [this](std::uint64_t v) {
+              if (boundary_update_) boundary_update_(v);
+          }),
+      core_target_(name_ + ".core", kernel),
+      core_chain_(name_ + ".core_chain", /*empty_tail_stages=*/2),
+      wdr_(*this) {
+    core_chain_.add_target(&core_target_);
+}
+
+DataRegister& CoreWrapper::active() {
+    switch (op_) {
+        case WirOp::kCoreScan:
+            return core_chain_;
+        case WirOp::kBoundary:
+            return boundary_;
+        case WirOp::kBypass:
+        default:
+            return wby_;
+    }
+}
+
+}  // namespace st::tap

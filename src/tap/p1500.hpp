@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sb/kernel.hpp"
+#include "tap/data_registers.hpp"
+#include "tap/scan_chain.hpp"
+
+namespace st::tap {
+
+/// IEEE P1500-style core test wrapper.
+///
+/// Each embedded core gets a Wrapper Instruction Register (WIR), a Wrapper
+/// Bypass (WBY), a Wrapper Boundary Register (WBR) of user-defined cells,
+/// and a serial core-internal scan path built from the kernel's
+/// architectural state. The chip-level 1149.1 TAP reaches a core by
+/// selecting its WIR or WDR as the active data register (the usual
+/// 1500-over-1149.1 integration); the WIR value then muxes the WDR path.
+class CoreWrapper {
+  public:
+    /// WIR opcodes.
+    enum class WirOp : std::uint8_t {
+        kBypass = 0,    ///< WDR = 1-bit WBY
+        kCoreScan = 1,  ///< WDR = serial core state (INTEST-style)
+        kBoundary = 2,  ///< WDR = WBR cells (EXTEST/SAMPLE-style)
+    };
+
+    /// `boundary_bits` cells in the WBR; capture/update hooks let the SoC
+    /// integration observe/control the core's pins.
+    CoreWrapper(std::string name, sb::Kernel& kernel,
+                std::size_t boundary_bits);
+
+    CoreWrapper(const CoreWrapper&) = delete;
+    CoreWrapper& operator=(const CoreWrapper&) = delete;
+
+    /// Registers to expose through the chip TAP.
+    DataRegister& wir() { return wir_; }
+    DataRegister& wdr() { return wdr_; }
+
+    WirOp current() const { return op_; }
+    const std::string& name() const { return name_; }
+    std::size_t boundary_bits() const { return boundary_bits_; }
+
+    void set_boundary_capture(std::function<std::uint64_t()> fn) {
+        boundary_capture_ = std::move(fn);
+    }
+    void set_boundary_update(std::function<void(std::uint64_t)> fn) {
+        boundary_update_ = std::move(fn);
+    }
+    std::uint64_t boundary_held() const { return boundary_.held(); }
+
+  private:
+    /// WDR facade dispatching on the WIR opcode.
+    class Wdr final : public DataRegister {
+      public:
+        explicit Wdr(CoreWrapper& owner) : owner_(owner) {}
+        void capture() override { owner_.active().capture(); }
+        bool shift(bool tdi) override { return owner_.active().shift(tdi); }
+        void update() override { owner_.active().update(); }
+        std::size_t length() const override { return owner_.active().length(); }
+
+      private:
+        CoreWrapper& owner_;
+    };
+
+    DataRegister& active();
+
+    std::string name_;
+    std::size_t boundary_bits_;
+    std::function<std::uint64_t()> boundary_capture_;
+    std::function<void(std::uint64_t)> boundary_update_;
+
+    WirOp op_ = WirOp::kBypass;
+    HookRegister wir_;
+    BypassRegister wby_;
+    HookRegister boundary_;
+    KernelScanTarget core_target_;
+    SelfTimedScanChain core_chain_;
+    Wdr wdr_;
+};
+
+}  // namespace st::tap

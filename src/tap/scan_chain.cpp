@@ -1,0 +1,110 @@
+#include "tap/scan_chain.hpp"
+
+#include <stdexcept>
+
+namespace st::tap {
+
+KernelScanTarget::KernelScanTarget(std::string name, sb::Kernel& kernel)
+    : name_(std::move(name)),
+      kernel_(kernel),
+      words_(kernel.scan_state().size()) {}
+
+std::vector<bool> KernelScanTarget::capture_bits() const {
+    std::vector<bool> bits;
+    bits.reserve(words_ * 64);
+    for (const std::uint64_t w : kernel_.scan_state()) {
+        for (int b = 0; b < 64; ++b) bits.push_back((w >> b) & 1);
+    }
+    bits.resize(words_ * 64, false);  // kernels with dynamic state: clamp
+    return bits;
+}
+
+void KernelScanTarget::update_bits(const std::vector<bool>& bits) {
+    std::vector<std::uint64_t> words(words_, 0);
+    for (std::size_t i = 0; i < words_ * 64 && i < bits.size(); ++i) {
+        if (bits[i]) words[i / 64] |= (1ull << (i % 64));
+    }
+    kernel_.load_state(words);
+}
+
+std::vector<bool> NodeConfigTarget::capture_bits() const {
+    std::vector<bool> bits(17, false);
+    for (int b = 0; b < 8; ++b) bits[static_cast<std::size_t>(b)] = (node_.hold_register() >> b) & 1;
+    for (int b = 0; b < 8; ++b) bits[static_cast<std::size_t>(8 + b)] = (node_.recycle_register() >> b) & 1;
+    bits[16] = node_.debug_hold();
+    return bits;
+}
+
+void NodeConfigTarget::update_bits(const std::vector<bool>& bits) {
+    if (bits.size() != 17) {
+        throw std::invalid_argument("NodeConfigTarget: wrong image width");
+    }
+    std::uint32_t hold = 0;
+    std::uint32_t recycle = 0;
+    for (int b = 0; b < 8; ++b) {
+        hold |= static_cast<std::uint32_t>(bits[static_cast<std::size_t>(b)]) << b;
+        recycle |= static_cast<std::uint32_t>(bits[static_cast<std::size_t>(8 + b)]) << b;
+    }
+    if (hold != 0) node_.load_hold_register(hold);  // 0 would be illegal
+    node_.load_recycle_register(recycle);
+    node_.set_debug_hold(bits[16]);
+}
+
+std::vector<bool> ClockConfigTarget::capture_bits() const {
+    std::vector<bool> bits(8, false);
+    const unsigned divider = clock_.divider();
+    for (int b = 0; b < 8; ++b) {
+        bits[static_cast<std::size_t>(b)] = (divider >> b) & 1;
+    }
+    return bits;
+}
+
+void ClockConfigTarget::update_bits(const std::vector<bool>& bits) {
+    unsigned divider = 0;
+    for (int b = 0; b < 8 && static_cast<std::size_t>(b) < bits.size(); ++b) {
+        divider |= static_cast<unsigned>(bits[static_cast<std::size_t>(b)]) << b;
+    }
+    if (divider != 0) clock_.set_divider(divider);
+}
+
+SelfTimedScanChain::SelfTimedScanChain(std::string name,
+                                       std::size_t empty_tail_stages)
+    : name_(std::move(name)), empty_tail_(empty_tail_stages) {}
+
+void SelfTimedScanChain::add_target(ScanTarget* target) {
+    if (target == nullptr) {
+        throw std::invalid_argument("SelfTimedScanChain: null target");
+    }
+    targets_.push_back(target);
+    payload_bits_ += target->width();
+}
+
+void SelfTimedScanChain::capture() {
+    bits_.assign(length(), false);
+    std::size_t pos = empty_tail_;  // padding occupies the TDO end
+    for (const auto* t : targets_) {
+        for (const bool b : t->capture_bits()) bits_[pos++] = b;
+    }
+}
+
+bool SelfTimedScanChain::shift(bool tdi) {
+    if (bits_.size() != length()) bits_.assign(length(), false);
+    const bool out = bits_.front();
+    bits_.erase(bits_.begin());
+    bits_.push_back(tdi);
+    return out;
+}
+
+void SelfTimedScanChain::update() {
+    if (bits_.size() != length()) return;
+    if (!bits_.back()) return;  // write-enable cell low: non-destructive read
+    std::size_t pos = empty_tail_;
+    for (auto* t : targets_) {
+        std::vector<bool> image(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                                bits_.begin() + static_cast<std::ptrdiff_t>(pos + t->width()));
+        t->update_bits(image);
+        pos += t->width();
+    }
+}
+
+}  // namespace st::tap

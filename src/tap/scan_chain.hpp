@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clock/stoppable_clock.hpp"
+#include "sb/kernel.hpp"
+#include "synchro/token_node.hpp"
+#include "tap/data_registers.hpp"
+
+namespace st::tap {
+
+/// Something whose state bits a scan chain can read and write.
+class ScanTarget {
+  public:
+    virtual ~ScanTarget() = default;
+    virtual std::size_t width() const = 0;
+    virtual std::vector<bool> capture_bits() const = 0;
+    virtual void update_bits(const std::vector<bool>& bits) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Scan access to a kernel's architectural registers via
+/// sb::Kernel::scan_state / load_state (64-bit words, LSB shifted first).
+class KernelScanTarget final : public ScanTarget {
+  public:
+    KernelScanTarget(std::string name, sb::Kernel& kernel);
+
+    std::size_t width() const override { return words_ * 64; }
+    std::vector<bool> capture_bits() const override;
+    void update_bits(const std::vector<bool>& bits) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    sb::Kernel& kernel_;
+    std::size_t words_;
+};
+
+/// Scan access to a token node's hold/recycle registers (8 bits each) plus
+/// its debug-hold flag — the paper's "making the hold, recycle, and clock
+/// frequency registers in each system accessible through a scan chain".
+class NodeConfigTarget final : public ScanTarget {
+  public:
+    explicit NodeConfigTarget(core::TokenNode& node) : node_(node) {}
+
+    std::size_t width() const override { return 17; }  // 8 + 8 + 1
+    std::vector<bool> capture_bits() const override;
+    void update_bits(const std::vector<bool>& bits) override;
+    std::string name() const override { return node_.name(); }
+
+  private:
+    core::TokenNode& node_;
+};
+
+/// Scan access to a stoppable clock's divider setting (8 bits) — frequency
+/// shmooing support.
+class ClockConfigTarget final : public ScanTarget {
+  public:
+    explicit ClockConfigTarget(clk::StoppableClock& clock) : clock_(clock) {}
+
+    std::size_t width() const override { return 8; }
+    std::vector<bool> capture_bits() const override;
+    void update_bits(const std::vector<bool>& bits) override;
+    std::string name() const override { return clock_.name(); }
+
+  private:
+    clk::StoppableClock& clock_;
+};
+
+/// Self-timed scan chain: an asynchronous shift register threading a list of
+/// scan targets, with both ends synchronized to TCK. Per the paper §4.2,
+/// several *empty stages* are appended at the tail so the tail interface can
+/// be synchronized to TCK; those padding stages are visible as extra shift
+/// cycles, exactly as on silicon.
+///
+/// Stage layout, TDO end first: [empty tail padding][payload][write-enable].
+/// The write-enable control cell (nearest TDI) makes reads non-destructive:
+/// Update-DR only propagates the shifted-in image to the targets when it
+/// holds 1.
+class SelfTimedScanChain final : public DataRegister {
+  public:
+    explicit SelfTimedScanChain(std::string name,
+                                std::size_t empty_tail_stages = 4);
+
+    /// Append a target (shift-out order = order added, after the padding).
+    void add_target(ScanTarget* target);
+
+    // --- DataRegister ---
+    void capture() override;
+    bool shift(bool tdi) override;
+    void update() override;
+    std::size_t length() const override {
+        return payload_bits_ + empty_tail_ + 1;  // +1: write-enable cell
+    }
+
+    std::size_t payload_bits() const { return payload_bits_; }
+    std::size_t tail_bits() const { return empty_tail_; }
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::size_t empty_tail_;
+    std::vector<ScanTarget*> targets_;
+    std::size_t payload_bits_ = 0;
+    std::vector<bool> bits_;  // [0] nearest TDO (tail), grows toward TDI
+};
+
+}  // namespace st::tap

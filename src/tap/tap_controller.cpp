@@ -1,0 +1,142 @@
+#include "tap/tap_controller.hpp"
+
+#include <stdexcept>
+
+namespace st::tap {
+
+const char* to_string(TapState s) {
+    switch (s) {
+        case TapState::kTestLogicReset: return "Test-Logic-Reset";
+        case TapState::kRunTestIdle: return "Run-Test/Idle";
+        case TapState::kSelectDrScan: return "Select-DR-Scan";
+        case TapState::kCaptureDr: return "Capture-DR";
+        case TapState::kShiftDr: return "Shift-DR";
+        case TapState::kExit1Dr: return "Exit1-DR";
+        case TapState::kPauseDr: return "Pause-DR";
+        case TapState::kExit2Dr: return "Exit2-DR";
+        case TapState::kUpdateDr: return "Update-DR";
+        case TapState::kSelectIrScan: return "Select-IR-Scan";
+        case TapState::kCaptureIr: return "Capture-IR";
+        case TapState::kShiftIr: return "Shift-IR";
+        case TapState::kExit1Ir: return "Exit1-IR";
+        case TapState::kPauseIr: return "Pause-IR";
+        case TapState::kExit2Ir: return "Exit2-IR";
+        case TapState::kUpdateIr: return "Update-IR";
+    }
+    return "?";
+}
+
+TapState tap_next_state(TapState s, bool tms) {
+    using S = TapState;
+    switch (s) {
+        case S::kTestLogicReset: return tms ? S::kTestLogicReset : S::kRunTestIdle;
+        case S::kRunTestIdle: return tms ? S::kSelectDrScan : S::kRunTestIdle;
+        case S::kSelectDrScan: return tms ? S::kSelectIrScan : S::kCaptureDr;
+        case S::kCaptureDr: return tms ? S::kExit1Dr : S::kShiftDr;
+        case S::kShiftDr: return tms ? S::kExit1Dr : S::kShiftDr;
+        case S::kExit1Dr: return tms ? S::kUpdateDr : S::kPauseDr;
+        case S::kPauseDr: return tms ? S::kExit2Dr : S::kPauseDr;
+        case S::kExit2Dr: return tms ? S::kUpdateDr : S::kShiftDr;
+        case S::kUpdateDr: return tms ? S::kSelectDrScan : S::kRunTestIdle;
+        case S::kSelectIrScan: return tms ? S::kTestLogicReset : S::kCaptureIr;
+        case S::kCaptureIr: return tms ? S::kExit1Ir : S::kShiftIr;
+        case S::kShiftIr: return tms ? S::kExit1Ir : S::kShiftIr;
+        case S::kExit1Ir: return tms ? S::kUpdateIr : S::kPauseIr;
+        case S::kPauseIr: return tms ? S::kExit2Ir : S::kPauseIr;
+        case S::kExit2Ir: return tms ? S::kUpdateIr : S::kShiftIr;
+        case S::kUpdateIr: return tms ? S::kSelectDrScan : S::kRunTestIdle;
+    }
+    return S::kTestLogicReset;
+}
+
+TapController::TapController(std::string name, std::size_t ir_bits,
+                             std::uint32_t idcode)
+    : name_(std::move(name)), ir_bits_(ir_bits), idcode_(idcode) {
+    if (ir_bits_ < 2 || ir_bits_ > 64) {
+        throw std::invalid_argument("TapController: IR must be 2..64 bits");
+    }
+    // Standard instructions. BYPASS is all-ones; IDCODE here is opcode 1.
+    const std::uint64_t all_ones =
+        ir_bits_ == 64 ? ~0ull : ((1ull << ir_bits_) - 1);
+    add_instruction(all_ones, &bypass_, "BYPASS");
+    idcode_opcode_ = 1;
+    add_instruction(idcode_opcode_, &idcode_, "IDCODE");
+    reset_state();
+}
+
+void TapController::add_instruction(std::uint64_t opcode, DataRegister* reg,
+                                    std::string mnemonic) {
+    if (reg == nullptr) {
+        throw std::invalid_argument("TapController: null register");
+    }
+    instructions_[opcode] = Entry{reg, std::move(mnemonic)};
+}
+
+void TapController::reset_state() {
+    state_ = TapState::kTestLogicReset;
+    // Test-Logic-Reset selects IDCODE (or BYPASS without one); we have one.
+    current_ir_ = idcode_opcode_;
+}
+
+DataRegister* TapController::current_dr() {
+    const auto it = instructions_.find(current_ir_);
+    return it == instructions_.end() ? &bypass_ : it->second.reg;
+}
+
+std::string TapController::current_mnemonic() const {
+    const auto it = instructions_.find(current_ir_);
+    return it == instructions_.end() ? "BYPASS(unmapped)" : it->second.mnemonic;
+}
+
+void TapController::sample(std::uint64_t) {
+    // All action happens on the committed edge; TDO for the *current* shift
+    // is produced in commit (our tester reads TDO after the pulse, which
+    // folds 1149.1's falling-edge TDO timing into one call).
+}
+
+void TapController::commit(std::uint64_t) {
+    // Rising-edge actions of the *current* state (IEEE 1149.1: capture and
+    // shift happen on TCK rising edges while the controller sits in the
+    // Capture/Shift states — including the edge that exits them).
+    const TapState cur = state_;
+    switch (cur) {
+        case TapState::kCaptureDr:
+            current_dr()->capture();
+            break;
+        case TapState::kShiftDr:
+            tdo_ = current_dr()->shift(tdi_);
+            break;
+        case TapState::kCaptureIr:
+            // Standard: capture the fixed pattern ...01 for fault detection.
+            ir_shift_ = 0b01;
+            break;
+        case TapState::kShiftIr:
+            tdo_ = ir_shift_ & 1;
+            ir_shift_ >>= 1;
+            if (tdi_) ir_shift_ |= (1ull << (ir_bits_ - 1));
+            break;
+        default:
+            break;
+    }
+
+    // State transition, plus entry actions (update registers latch when the
+    // Update state is entered — folding 1149.1's falling-edge update into
+    // the same pulse).
+    state_ = tap_next_state(cur, tms_);
+    switch (state_) {
+        case TapState::kTestLogicReset:
+            if (cur != TapState::kTestLogicReset) reset_state();
+            break;
+        case TapState::kUpdateDr:
+            current_dr()->update();
+            break;
+        case TapState::kUpdateIr:
+            current_ir_ = ir_shift_;
+            if (instruction_hook_) instruction_hook_(current_ir_);
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace st::tap

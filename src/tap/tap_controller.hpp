@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "clock/clock_sink.hpp"
+#include "tap/data_registers.hpp"
+
+namespace st::tap {
+
+/// The 16 TAP controller states of IEEE 1149.1 Figure 6-1.
+enum class TapState : std::uint8_t {
+    kTestLogicReset,
+    kRunTestIdle,
+    kSelectDrScan,
+    kCaptureDr,
+    kShiftDr,
+    kExit1Dr,
+    kPauseDr,
+    kExit2Dr,
+    kUpdateDr,
+    kSelectIrScan,
+    kCaptureIr,
+    kShiftIr,
+    kExit1Ir,
+    kPauseIr,
+    kExit2Ir,
+    kUpdateIr,
+};
+
+const char* to_string(TapState s);
+
+/// TMS-driven next-state function (IEEE 1149.1 state diagram).
+TapState tap_next_state(TapState s, bool tms);
+
+/// IEEE 1149.1 TAP controller: state machine, instruction register, and a
+/// bank of selectable test data registers. Clocked by the tester's TCK
+/// (a clk::TesterClock sink); the tester sets TMS/TDI before each pulse and
+/// reads TDO afterwards.
+class TapController final : public clk::ClockSink {
+  public:
+    /// `ir_bits` instruction register width; unknown opcodes select BYPASS
+    /// as the standard requires.
+    TapController(std::string name, std::size_t ir_bits,
+                  std::uint32_t idcode);
+
+    TapController(const TapController&) = delete;
+    TapController& operator=(const TapController&) = delete;
+
+    /// Map an instruction opcode to a data register. The register object is
+    /// borrowed, not owned.
+    void add_instruction(std::uint64_t opcode, DataRegister* reg,
+                         std::string mnemonic);
+
+    /// Hook invoked when an instruction becomes current (Update-IR).
+    void on_instruction(std::function<void(std::uint64_t)> fn) {
+        instruction_hook_ = std::move(fn);
+    }
+
+    // --- pins ---
+    void set_tms(bool v) { tms_ = v; }
+    void set_tdi(bool v) { tdi_ = v; }
+    bool tdo() const { return tdo_; }
+    /// Asynchronous test reset (TRST*): forces Test-Logic-Reset.
+    void trst() { reset_state(); }
+
+    // --- ClockSink (TCK rising edges) ---
+    void sample(std::uint64_t cycle) override;
+    void commit(std::uint64_t cycle) override;
+
+    // --- observation ---
+    TapState state() const { return state_; }
+    std::uint64_t current_instruction() const { return current_ir_; }
+    std::string current_mnemonic() const;
+    const std::string& name() const { return name_; }
+
+  private:
+    void reset_state();
+    DataRegister* current_dr();
+
+    std::string name_;
+    std::size_t ir_bits_;
+    TapState state_ = TapState::kTestLogicReset;
+    bool tms_ = false;
+    bool tdi_ = false;
+    bool tdo_ = false;
+
+    std::uint64_t ir_shift_ = 0;
+    std::uint64_t current_ir_ = 0;
+    std::uint64_t idcode_opcode_ = 0;
+
+    BypassRegister bypass_;
+    IdcodeRegister idcode_;
+    struct Entry {
+        DataRegister* reg = nullptr;
+        std::string mnemonic;
+    };
+    std::map<std::uint64_t, Entry> instructions_;
+    std::function<void(std::uint64_t)> instruction_hook_;
+};
+
+}  // namespace st::tap

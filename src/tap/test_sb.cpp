@@ -1,0 +1,301 @@
+#include "tap/test_sb.hpp"
+
+#include <stdexcept>
+
+namespace st::tap {
+
+/// Ring endpoint inside the Test SB: a TCK-clocked TokenNode in Interlocked
+/// mode, a pure combinational bypass in Independent mode.
+class TestSb::InterlockPort final : public core::TokenEndpoint {
+  public:
+    InterlockPort(TestSb& owner, std::string name,
+                  core::TokenNode::Params node_params)
+        : owner_(owner), node_(std::move(name), node_params) {
+        node_.set_pass_fn([this] {
+            if (pass_) pass_();
+        });
+    }
+
+    void token_arrive() override {
+        if (owner_.mode_ == Mode::kIndependent) {
+            // TCK and token flow must not affect each other: forward the
+            // token around the Test SB after a wire delay.
+            owner_.soc_.scheduler().schedule_after(
+                owner_.params_.bypass_delay, [this] {
+                    if (pass_) pass_();
+                });
+            return;
+        }
+        node_.token_arrive();
+    }
+
+    void set_pass_fn(std::function<void()> fn) override {
+        pass_ = std::move(fn);
+    }
+
+    core::TokenNode& node() { return node_; }
+
+  private:
+    TestSb& owner_;
+    core::TokenNode node_;
+    std::function<void()> pass_;
+};
+
+TestSb::TestSb(sys::Soc& soc, Params p)
+    : soc_(soc),
+      params_(p),
+      tck_(soc.scheduler(), "tck"),
+      tap_("test_sb.tap", p.ir_bits, p.idcode),
+      chain_("test_sb.scan", p.scan_tail_stages),
+      mode_reg_(
+          1, [this] { return mode_ == Mode::kIndependent ? 1ull : 0ull; },
+          [this](std::uint64_t v) {
+              mode_ = (v & 1) ? Mode::kIndependent : Mode::kInterlocked;
+          }),
+      token_hold_reg_(
+          16,
+          [this] {
+              std::uint64_t mask = 0;
+              for (std::size_t i = 0; i < ports_.size(); ++i) {
+                  if (ports_[i]->node().debug_hold()) mask |= (1ull << i);
+              }
+              return mask;
+          },
+          [this](std::uint64_t mask) {
+              for (std::size_t i = 0; i < ports_.size(); ++i) {
+                  ports_[i]->node().set_debug_hold((mask >> i) & 1);
+              }
+          }) {
+    tap_.add_instruction(Opcodes::kMode, &mode_reg_, "ST_MODE");
+    tap_.add_instruction(Opcodes::kTokenHold, &token_hold_reg_, "ST_TOKENHOLD");
+    tap_.add_instruction(Opcodes::kScan, &chain_, "ST_SCAN");
+    tck_.add_sink(&tap_);
+    // Interlocked mode: a TCK pulse lands only when every test-side node's
+    // clken is asserted; Independent mode never gates.
+    tck_.set_gate_fn([this] {
+        if (mode_ == Mode::kIndependent) return true;
+        for (const auto& port : ports_) {
+            if (!port->node().clken()) return false;
+        }
+        return true;
+    });
+}
+
+TestSb::~TestSb() = default;
+
+void TestSb::attach_ring(std::size_t sb_index,
+                         core::TokenNode::Params mission_node,
+                         core::TokenNode::Params test_node,
+                         sim::Time delay_to, sim::Time delay_from) {
+    if (mission_node.initial_holder == test_node.initial_holder) {
+        throw std::invalid_argument(
+            "TestSb::attach_ring: exactly one initial holder required");
+    }
+    auto& wrapper = soc_.wrapper(sb_index);
+    auto& mission = wrapper.add_node(mission_node);  // throws after soc start
+    auto port = std::make_unique<InterlockPort>(
+        *this, "test_sb.port" + std::to_string(ports_.size()), test_node);
+    tck_.add_sink(&port->node());
+
+    auto ring = std::make_unique<core::TokenRing>(
+        soc_.scheduler(), "test_ring_" + wrapper.name());
+    ring->add_node(port.get(), delay_from);  // test -> mission
+    ring->add_node(&mission, delay_to);      // mission -> test
+    ring->finalize();
+
+    ports_.push_back(std::move(port));
+    rings_.push_back(std::move(ring));
+    ring_sb_.push_back(sb_index);
+    mission_nodes_.push_back(&mission);
+}
+
+/// Tester -> mission channel: a TCK-clocked output interface gated by the
+/// test-side node feeds a self-timed FIFO whose head lands in a new input
+/// interface of the mission wrapper.
+class TestSb::TxChannel final : public clk::ClockSink {
+  public:
+    TxChannel(TestSb& owner, std::size_t idx, std::size_t ring_index,
+              achan::SelfTimedFifo::Params fifo_params,
+              achan::FourPhaseLink::Params link_params)
+        : fifo_(owner.soc_.scheduler(), "test_tx" + std::to_string(idx),
+                fifo_params),
+          iface_(owner.soc_.scheduler(),
+                 "test_sb.tx" + std::to_string(idx),
+                 owner.ports_[ring_index]->node(), fifo_, link_params) {
+        auto& wrapper = owner.soc_.wrapper(owner.ring_sb_[ring_index]);
+        wrapper.attach_input(*owner.mission_nodes_[ring_index], fifo_);
+        owner.tck_.add_sink(&iface_);
+        owner.tck_.add_sink(this);
+    }
+
+    void sample(std::uint64_t) override {
+        if (!queue.empty() && iface_.can_push()) {
+            iface_.push(queue.front());
+            queue.pop_front();
+        }
+    }
+    void commit(std::uint64_t) override {}
+
+    std::deque<Word> queue;
+
+  private:
+    achan::SelfTimedFifo fifo_;
+    core::OutputInterface iface_;
+};
+
+/// Mission -> tester channel: a new output interface on the mission wrapper
+/// feeds a FIFO whose head lands in a TCK-clocked input interface here.
+class TestSb::RxChannel final : public clk::ClockSink {
+  public:
+    RxChannel(TestSb& owner, std::size_t idx, std::size_t ring_index,
+              achan::SelfTimedFifo::Params fifo_params,
+              achan::FourPhaseLink::Params link_params)
+        : fifo_(owner.soc_.scheduler(), "test_rx" + std::to_string(idx),
+                fifo_params),
+          iface_(owner.soc_.scheduler(),
+                 "test_sb.rx" + std::to_string(idx),
+                 owner.ports_[ring_index]->node(), fifo_) {
+        auto& wrapper = owner.soc_.wrapper(owner.ring_sb_[ring_index]);
+        wrapper.attach_output(*owner.mission_nodes_[ring_index], fifo_,
+                              link_params);
+        owner.tck_.add_sink(&iface_);
+        owner.tck_.add_sink(this);
+    }
+
+    void sample(std::uint64_t) override {
+        if (iface_.has_data()) queue.push_back(iface_.take());
+    }
+    void commit(std::uint64_t) override {}
+
+    std::deque<Word> queue;
+
+  private:
+    achan::SelfTimedFifo fifo_;
+    core::InputInterface iface_;
+};
+
+std::size_t TestSb::attach_data_to(std::size_t ring_index,
+                                   achan::SelfTimedFifo::Params fifo_params,
+                                   achan::FourPhaseLink::Params link_params) {
+    tx_channels_.push_back(std::make_unique<TxChannel>(
+        *this, tx_channels_.size(), ring_index, fifo_params, link_params));
+    return tx_channels_.size() - 1;
+}
+
+std::size_t TestSb::attach_data_from(std::size_t ring_index,
+                                     achan::SelfTimedFifo::Params fifo_params,
+                                     achan::FourPhaseLink::Params link_params) {
+    rx_channels_.push_back(std::make_unique<RxChannel>(
+        *this, rx_channels_.size(), ring_index, fifo_params, link_params));
+    return rx_channels_.size() - 1;
+}
+
+void TestSb::host_send(std::size_t tx_channel, Word w) {
+    tx_channels_.at(tx_channel)->queue.push_back(w);
+}
+
+std::optional<Word> TestSb::host_recv(std::size_t rx_channel) {
+    auto& q = rx_channels_.at(rx_channel)->queue;
+    if (q.empty()) return std::nullopt;
+    const Word w = q.front();
+    q.pop_front();
+    return w;
+}
+
+void TestSb::set_boundary_cells(std::vector<BoundaryCell> cells) {
+    if (boundary_) {
+        throw std::logic_error("TestSb: boundary cells already installed");
+    }
+    boundary_ = std::make_unique<BoundaryScanRegister>(std::move(cells));
+    tap_.add_instruction(Opcodes::kSample, boundary_.get(), "SAMPLE");
+    tap_.add_instruction(Opcodes::kExtest, boundary_.get(), "EXTEST");
+    // EXTEST pin control engages while the EXTEST instruction is current.
+    tap_.on_instruction([this](std::uint64_t opcode) {
+        if (boundary_) boundary_->set_extest(opcode == Opcodes::kExtest);
+    });
+}
+
+void TestSb::add_kernel_scan_targets() {
+    for (std::size_t i = 0; i < soc_.num_sbs(); ++i) {
+        auto& w = soc_.wrapper(i);
+        owned_targets_.push_back(std::make_unique<KernelScanTarget>(
+            w.name() + ".kernel", w.block().kernel()));
+        chain_.add_target(owned_targets_.back().get());
+    }
+}
+
+void TestSb::add_default_scan_targets() {
+    for (std::size_t i = 0; i < soc_.num_sbs(); ++i) {
+        auto& w = soc_.wrapper(i);
+        owned_targets_.push_back(std::make_unique<KernelScanTarget>(
+            w.name() + ".kernel", w.block().kernel()));
+        chain_.add_target(owned_targets_.back().get());
+        for (std::size_t n = 0; n < w.num_nodes(); ++n) {
+            owned_targets_.push_back(
+                std::make_unique<NodeConfigTarget>(w.node(n)));
+            chain_.add_target(owned_targets_.back().get());
+        }
+        owned_targets_.push_back(
+            std::make_unique<ClockConfigTarget>(w.clock()));
+        chain_.add_target(owned_targets_.back().get());
+    }
+}
+
+bool TestSb::clock(bool tms, bool tdi) {
+    auto& sched = soc_.scheduler();
+    sched.run_until(sched.now() + params_.tck_period);
+    tap_.set_tms(tms);
+    tap_.set_tdi(tdi);
+    return tck_.pulse();
+}
+
+core::TokenNode& TestSb::test_node(std::size_t i) {
+    return ports_.at(i)->node();
+}
+
+void TestSb::hold_all_tokens(bool on) {
+    for (auto& port : ports_) port->node().set_debug_hold(on);
+}
+
+bool TestSb::all_mission_clocks_stopped() const {
+    for (std::size_t i = 0; i < soc_.num_sbs(); ++i) {
+        if (!soc_.wrapper(i).clock().stopped()) return false;
+    }
+    return true;
+}
+
+std::uint64_t TestSb::wait_for_system_stop(std::uint64_t max_pulses) {
+    for (std::uint64_t n = 0; n < max_pulses; ++n) {
+        if (all_mission_clocks_stopped()) return n;
+        clock(false, false);  // idle TCK; advances simulated time
+    }
+    return ~0ull;
+}
+
+bool TestSb::single_step(std::uint64_t max_pulses) {
+    std::vector<std::uint64_t> received_before;
+    received_before.reserve(ports_.size());
+    for (auto& p : ports_) {
+        received_before.push_back(p->node().tokens_received());
+    }
+    hold_all_tokens(false);
+    // Pump TCK until every token made one round trip back to the Test SB.
+    for (std::uint64_t n = 0; n < max_pulses; ++n) {
+        bool all_back = true;
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+            if (ports_[i]->node().tokens_received() <= received_before[i]) {
+                all_back = false;
+                break;
+            }
+        }
+        if (all_back) {
+            hold_all_tokens(true);
+            return true;
+        }
+        clock(false, false);
+    }
+    hold_all_tokens(true);
+    return false;
+}
+
+}  // namespace st::tap

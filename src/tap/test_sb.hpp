@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clock/tester_clock.hpp"
+#include "synchro/token_endpoint.hpp"
+#include "synchro/token_node.hpp"
+#include "synchro/token_ring.hpp"
+#include "system/soc.hpp"
+#include "tap/boundary_scan.hpp"
+#include "tap/scan_chain.hpp"
+#include "tap/tap_controller.hpp"
+
+namespace st::tap {
+
+/// The Test SB (paper §4, §4.2): an IEEE 1149.1 TAP-centred synchronous
+/// block clocked by the tester's TCK, participating in token rings with the
+/// mission SBs for deterministic tester/SoC data exchange and debug control.
+///
+/// Two TCK modes (after the Alpha 21264 testability access [14]):
+///  * **Interlocked** — the Test SB's token nodes gate TCK: a pulse arriving
+///    while a node's recycle expired unanswered is swallowed (a tester wait
+///    state), so everything the tester observes happens at deterministic
+///    token-schedule points. For on-tester debug and production test.
+///  * **Independent** — tokens bypass the Test SB combinationally and TCK
+///    never interacts with them; TAP public instructions remain usable but
+///    mission-logic data exchange is nondeterministic. For off-tester use
+///    and mission mode (where TCK never toggles).
+class TestSb {
+  public:
+    enum class Mode { kInterlocked, kIndependent };
+
+    struct Params {
+        sim::Time tck_period = 2500;  ///< tester clock period, ps
+        std::size_t ir_bits = 8;
+        std::uint32_t idcode = 0x5354'4B31;  // "STK1"
+        std::size_t scan_tail_stages = 4;
+        sim::Time bypass_delay = 100;  ///< token forward delay, Independent
+    };
+
+    /// Standard instruction opcodes beyond BYPASS(all-1) / IDCODE(1).
+    struct Opcodes {
+        static constexpr std::uint64_t kExtest = 0x00;  // 1149.1 mandatory
+        static constexpr std::uint64_t kSample = 0x02;  // SAMPLE/PRELOAD
+        static constexpr std::uint64_t kMode = 0x04;
+        static constexpr std::uint64_t kTokenHold = 0x05;
+        static constexpr std::uint64_t kScan = 0x06;
+    };
+
+    /// Must be constructed after Soc elaboration but before soc.start().
+    TestSb(sys::Soc& soc, Params p);
+    ~TestSb();
+
+    TestSb(const TestSb&) = delete;
+    TestSb& operator=(const TestSb&) = delete;
+
+    /// Create a token ring between this Test SB and mission SB `sb_index`.
+    /// `mission_node` configures the node placed in the SB's wrapper;
+    /// `test_node` the TCK-clocked node here. Pre-start only.
+    void attach_ring(std::size_t sb_index, core::TokenNode::Params mission_node,
+                     core::TokenNode::Params test_node, sim::Time delay_to,
+                     sim::Time delay_from);
+
+    /// Tester -> mission data channel bundled to ring `ring_index`'s token
+    /// (paper §4.2 Interlocked Mode: "data exchange between the tester and
+    /// the mission mode logic is deterministic"). The mission SB gains an
+    /// input port; the tester enqueues words with `host_send`. Returns a
+    /// channel handle. Pre-start only.
+    std::size_t attach_data_to(std::size_t ring_index,
+                               achan::SelfTimedFifo::Params fifo_params,
+                               achan::FourPhaseLink::Params link_params);
+
+    /// Mission -> tester data channel; the mission SB gains an output port,
+    /// received words are read with `host_recv`. Pre-start only.
+    std::size_t attach_data_from(std::size_t ring_index,
+                                 achan::SelfTimedFifo::Params fifo_params,
+                                 achan::FourPhaseLink::Params link_params);
+
+    void host_send(std::size_t tx_channel, Word w);
+    std::optional<Word> host_recv(std::size_t rx_channel);
+
+    /// Thread every mission kernel, every ring node's config registers, and
+    /// every local clock's divider onto the self-timed scan chain.
+    void add_default_scan_targets();
+
+    /// Thread only the mission kernels (architectural state) onto the scan
+    /// chain — the configuration BIST flows use, so pseudo-random patterns
+    /// never land in hold/recycle/divider registers.
+    void add_kernel_scan_targets();
+
+    void add_scan_target(ScanTarget* target) { chain_.add_target(target); }
+
+    /// Install the chip's boundary-scan cells; enables the mandatory EXTEST
+    /// and SAMPLE/PRELOAD instructions over them. Call once, pre-use.
+    void set_boundary_cells(std::vector<BoundaryCell> cells);
+    BoundaryScanRegister* boundary() { return boundary_.get(); }
+
+    // --- mode ---
+    void set_mode(Mode m) { mode_ = m; }
+    Mode mode() const { return mode_; }
+
+    // --- host-side pins ---
+    /// Advance simulated time by one TCK period, then attempt a rising edge
+    /// with the given TMS/TDI. Returns false if the interlock swallowed the
+    /// pulse (a wait state: the tester retries with the same values).
+    bool clock(bool tms, bool tdi);
+    bool tdo() const { return tap_.tdo(); }
+
+    // --- debug operations (paper §4.2) ---
+    /// Park/release all tokens currently routed through the Test SB.
+    void hold_all_tokens(bool on);
+    /// All mission SB clocks deterministically stopped?
+    bool all_mission_clocks_stopped() const;
+    /// Pump TCK until all mission clocks stop (returns pulses used, or
+    /// ~0ull on timeout). Requires tokens held.
+    std::uint64_t wait_for_system_stop(std::uint64_t max_pulses = 100000);
+    /// Release each held token for exactly one round trip (one hold phase
+    /// in the mission SB), then re-park it: single-step.
+    bool single_step(std::uint64_t max_pulses = 100000);
+
+    // --- observation / wiring ---
+    TapController& tap() { return tap_; }
+    clk::TesterClock& tck() { return tck_; }
+    SelfTimedScanChain& scan_chain() { return chain_; }
+    std::size_t num_rings() const { return ports_.size(); }
+    core::TokenNode& test_node(std::size_t i);
+    std::uint64_t wait_states() const { return tck_.swallowed(); }
+    std::size_t ir_bits() const { return params_.ir_bits; }
+    sys::Soc& soc() { return soc_; }
+
+  private:
+    class InterlockPort;
+    class TxChannel;
+    class RxChannel;
+
+    /// Mission endpoints of each attached ring (parallel to ports_).
+    std::vector<std::size_t> ring_sb_;
+    std::vector<core::TokenNode*> mission_nodes_;
+
+    sys::Soc& soc_;
+    Params params_;
+    Mode mode_ = Mode::kInterlocked;
+    clk::TesterClock tck_;
+    TapController tap_;
+    SelfTimedScanChain chain_;
+    HookRegister mode_reg_;
+    HookRegister token_hold_reg_;
+    std::unique_ptr<BoundaryScanRegister> boundary_;
+    std::vector<std::unique_ptr<InterlockPort>> ports_;
+    std::vector<std::unique_ptr<core::TokenRing>> rings_;
+    std::vector<std::unique_ptr<ScanTarget>> owned_targets_;
+    std::vector<std::unique_ptr<TxChannel>> tx_channels_;
+    std::vector<std::unique_ptr<RxChannel>> rx_channels_;
+};
+
+}  // namespace st::tap

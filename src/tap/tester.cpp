@@ -1,0 +1,104 @@
+#include "tap/tester.hpp"
+
+#include <stdexcept>
+
+namespace st::tap {
+
+bool TesterDriver::clock(bool tms, bool tdi) {
+    // Retry through interlock wait states; each attempt advances simulated
+    // time by one TCK period, letting the SoC make progress and tokens
+    // return. Bounded so a genuinely deadlocked interlock surfaces.
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+        ++pulses_;
+        if (sb_.clock(tms, tdi)) return sb_.tdo();
+    }
+    throw std::runtime_error("TesterDriver: interlock never opened");
+}
+
+void TesterDriver::reset() {
+    for (int i = 0; i < 5; ++i) clock(true, false);
+    clock(false, false);  // settle in Run-Test/Idle
+}
+
+std::uint64_t TesterDriver::shift_ir(std::uint64_t opcode) {
+    // RTI -> Select-DR -> Select-IR -> Capture-IR.
+    clock(true, false);
+    clock(true, false);
+    clock(false, false);
+    // The edge spent in Capture-IR loads the ...01 pattern and moves to
+    // Shift-IR; it does not shift.
+    clock(false, false);
+    // Shift ir_bits bits, the last with TMS=1 (exit).
+    const std::size_t n = sb_.ir_bits();
+    std::uint64_t captured = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool last = (i + 1 == n);
+        const bool out = clock(last, (opcode >> i) & 1);
+        captured |= static_cast<std::uint64_t>(out) << i;
+    }
+    clock(true, false);   // Exit1-IR -> Update-IR
+    clock(false, false);  // -> RTI
+    return captured;
+}
+
+std::vector<bool> TesterDriver::shift_dr(const std::vector<bool>& in) {
+    clock(true, false);   // RTI -> Select-DR
+    clock(false, false);  // -> Capture-DR
+    clock(false, false);  // capture edge -> Shift-DR (no shift yet)
+    std::vector<bool> out;
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const bool last = (i + 1 == in.size());
+        out.push_back(clock(last, in[i]));
+    }
+    clock(true, false);   // Exit1-DR -> Update-DR
+    clock(false, false);  // -> RTI
+    return out;
+}
+
+std::uint64_t TesterDriver::shift_dr_word(std::uint64_t value,
+                                          std::size_t bits) {
+    if (bits == 0 || bits > 64) {
+        throw std::invalid_argument("shift_dr_word: 1..64 bits");
+    }
+    std::vector<bool> in(bits);
+    for (std::size_t i = 0; i < bits; ++i) in[i] = (value >> i) & 1;
+    const auto out = shift_dr(in);
+    std::uint64_t captured = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (out[i]) captured |= (1ull << i);
+    }
+    return captured;
+}
+
+std::uint32_t TesterDriver::read_idcode() {
+    shift_ir(0x01);
+    return static_cast<std::uint32_t>(shift_dr_word(0, 32));
+}
+
+std::vector<bool> TesterDriver::scan_transaction(
+    const std::vector<bool>& write_image) {
+    auto& chain = sb_.scan_chain();
+    const std::size_t total = chain.length();
+    const std::size_t payload = chain.payload_bits();
+    const std::size_t tail = chain.tail_bits();
+    if (!write_image.empty() && write_image.size() != payload) {
+        throw std::invalid_argument("scan_transaction: image/payload mismatch");
+    }
+    // Stage layout (see SelfTimedScanChain): after shifting `total` bits
+    // t_0..t_{total-1}, stage i holds t_i. Payload stages are [tail,
+    // tail+payload); the last stage is the write-enable cell. The first
+    // `tail` bits shifted out are the empty padding.
+    std::vector<bool> in(total, false);
+    if (!write_image.empty()) {
+        for (std::size_t k = 0; k < payload; ++k) in[tail + k] = write_image[k];
+        in[total - 1] = true;  // write-enable
+    }
+    shift_ir(TestSb::Opcodes::kScan);
+    const auto raw = shift_dr(in);
+    return std::vector<bool>(
+        raw.begin() + static_cast<std::ptrdiff_t>(tail),
+        raw.begin() + static_cast<std::ptrdiff_t>(tail + payload));
+}
+
+}  // namespace st::tap

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tap/test_sb.hpp"
+
+namespace st::tap {
+
+/// Host-side tester model: drives the Test SB's TMS/TDI pins through the
+/// standard IEEE 1149.1 access sequences and packs/unpacks register values.
+/// In Interlocked mode a swallowed pulse is a wait state — the driver simply
+/// retries the same TMS/TDI, exactly like adaptive-clocking JTAG probes.
+class TesterDriver {
+  public:
+    explicit TesterDriver(TestSb& sb) : sb_(sb) {}
+
+    TesterDriver(const TesterDriver&) = delete;
+    TesterDriver& operator=(const TesterDriver&) = delete;
+
+    /// One effective TCK edge (retries through wait states). Returns TDO
+    /// as observed after the edge.
+    bool clock(bool tms, bool tdi);
+
+    /// Five TMS=1 edges: synchronous test-logic reset.
+    void reset();
+
+    /// Load an instruction; returns the bits captured out of the IR
+    /// (standard ...01 pattern, usable as a sanity check).
+    std::uint64_t shift_ir(std::uint64_t opcode);
+
+    /// Shift `n` bits through the current data register; `in` supplies the
+    /// bits (LSB first). Returns the captured bits that fell out.
+    std::vector<bool> shift_dr(const std::vector<bool>& in);
+
+    /// Convenience: shift a <=64-bit value through an n-bit DR.
+    std::uint64_t shift_dr_word(std::uint64_t value, std::size_t bits);
+
+    /// Read the 32-bit IDCODE.
+    std::uint32_t read_idcode();
+
+    /// Full scan-chain transaction: shift `write_image` in (and the captured
+    /// state out) through the Test SB's self-timed scan chain, honouring the
+    /// empty tail padding. Pass an empty image for a pure read.
+    std::vector<bool> scan_transaction(const std::vector<bool>& write_image);
+
+    std::uint64_t pulses_used() const { return pulses_; }
+
+  private:
+    TestSb& sb_;
+    std::uint64_t pulses_ = 0;
+};
+
+}  // namespace st::tap

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/io_trace.hpp"
+
+namespace st::verify {
+
+/// Aggregate outcome of a determinism sweep.
+struct SweepResult {
+    std::uint64_t runs = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t mismatches = 0;
+    /// Up to `kMaxExamples` human-readable mismatch loci for diagnosis.
+    std::vector<std::string> examples;
+    static constexpr std::size_t kMaxExamples = 8;
+
+    bool all_match() const { return mismatches == 0 && runs > 0; }
+};
+
+/// The paper's §5 experiment shape: simulate a system under its nominal
+/// delay settings, then re-simulate under thousands of perturbed settings and
+/// require every SB's cycle-indexed I/O sequence (first `n_cycles` local
+/// cycles) to match the nominal sequence exactly.
+///
+/// The harness is generic in the perturbation type so it drives both the
+/// synchro-tokens SoC (expected: all match) and the bypassed/synchronizer
+/// baselines (expected: mismatches) with the same code.
+template <typename Perturbation>
+class DeterminismHarness {
+  public:
+    using Runner = std::function<TraceSet(const Perturbation&)>;
+
+    DeterminismHarness(Runner runner, Perturbation nominal,
+                       std::uint64_t n_cycles)
+        : runner_(std::move(runner)),
+          nominal_cfg_(std::move(nominal)),
+          n_cycles_(n_cycles) {}
+
+    /// Run the nominal configuration and capture the golden traces.
+    void capture_nominal() {
+        golden_ = truncated(runner_(nominal_cfg_), n_cycles_);
+        golden_captured_ = true;
+    }
+
+    const TraceSet& golden() const { return golden_; }
+
+    /// Run one perturbation and compare against the golden traces.
+    /// capture_nominal() is called lazily on first use.
+    TraceDiff check(const Perturbation& p) {
+        if (!golden_captured_) capture_nominal();
+        return diff_traces(golden_, truncated(runner_(p), n_cycles_));
+    }
+
+    /// Run a full sweep.
+    SweepResult sweep(const std::vector<Perturbation>& perturbations) {
+        SweepResult r;
+        for (const auto& p : perturbations) {
+            const TraceDiff d = check(p);
+            ++r.runs;
+            if (d.identical) {
+                ++r.matches;
+            } else {
+                ++r.mismatches;
+                if (r.examples.size() < SweepResult::kMaxExamples) {
+                    r.examples.push_back(d.first_mismatch);
+                }
+            }
+        }
+        return r;
+    }
+
+  private:
+    Runner runner_;
+    Perturbation nominal_cfg_;
+    std::uint64_t n_cycles_;
+    TraceSet golden_;
+    bool golden_captured_ = false;
+};
+
+}  // namespace st::verify

@@ -1,0 +1,96 @@
+#include "verify/io_trace.hpp"
+
+#include <sstream>
+
+namespace st::verify {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+}  // namespace
+
+std::uint64_t IoTrace::fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& e : events) {
+        h = fnv1a(h, e.cycle);
+        h = fnv1a(h, static_cast<std::uint64_t>(e.dir));
+        h = fnv1a(h, e.port);
+        h = fnv1a(h, e.word);
+    }
+    return h;
+}
+
+IoTrace IoTrace::truncated(std::uint64_t n_cycles) const {
+    IoTrace out;
+    out.sb_name = sb_name;
+    for (const auto& e : events) {
+        if (e.cycle < n_cycles) out.events.push_back(e);
+    }
+    return out;
+}
+
+TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other) {
+    TraceDiff d;
+    for (const auto& [name, trace] : nominal) {
+        auto it = other.find(name);
+        if (it == other.end()) {
+            d.identical = false;
+            d.first_mismatch = "SB '" + name + "' missing from compared run";
+            return d;
+        }
+        const auto& a = trace.events;
+        const auto& b = it->second.events;
+        const std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (a[i] != b[i]) {
+                std::ostringstream os;
+                os << "SB '" << name << "' event " << i << ": nominal(cycle="
+                   << a[i].cycle << ", dir=" << (a[i].dir == IoEvent::Dir::kIn ? "in" : "out")
+                   << ", port=" << a[i].port << ", word=0x" << std::hex << a[i].word
+                   << std::dec << ") vs perturbed(cycle=" << b[i].cycle
+                   << ", dir=" << (b[i].dir == IoEvent::Dir::kIn ? "in" : "out")
+                   << ", port=" << b[i].port << ", word=0x" << std::hex << b[i].word
+                   << std::dec << ")";
+                d.identical = false;
+                d.first_mismatch = os.str();
+                return d;
+            }
+        }
+        if (a.size() != b.size()) {
+            std::ostringstream os;
+            os << "SB '" << name << "': nominal has " << a.size()
+               << " events, compared run has " << b.size();
+            d.identical = false;
+            d.first_mismatch = os.str();
+            return d;
+        }
+    }
+    return d;
+}
+
+std::uint64_t fingerprint(const TraceSet& traces) {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& [name, trace] : traces) {  // map: stable order
+        for (char c : name) h = fnv1a(h, static_cast<std::uint64_t>(c));
+        h = fnv1a(h, trace.fingerprint());
+    }
+    return h;
+}
+
+TraceSet truncated(const TraceSet& traces, std::uint64_t n_cycles) {
+    TraceSet out;
+    for (const auto& [name, trace] : traces) {
+        out.emplace(name, trace.truncated(n_cycles));
+    }
+    return out;
+}
+
+}  // namespace st::verify

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "async/types.hpp"
+
+namespace st::verify {
+
+/// One data-exchange event at an SB boundary, indexed by *local clock cycle*.
+///
+/// This is exactly the quantity whose sequence the paper declares unique in a
+/// deterministic system: "it is the unique sequence of states, not the
+/// instantaneous values of the states, which is the hallmark of deterministic
+/// behavior". Absolute picosecond times are deliberately absent — they DO
+/// vary across delay perturbations even in a deterministic system.
+struct IoEvent {
+    enum class Dir : std::uint8_t { kIn, kOut };
+
+    std::uint64_t cycle = 0;  ///< local clock cycle index of the SB
+    Dir dir = Dir::kIn;
+    std::uint32_t port = 0;  ///< interface index within the SB
+    Word word = 0;
+
+    bool operator==(const IoEvent&) const = default;
+    auto operator<=>(const IoEvent&) const = default;
+};
+
+/// Per-SB cycle-indexed I/O sequence.
+struct IoTrace {
+    std::string sb_name;
+    std::vector<IoEvent> events;
+
+    bool operator==(const IoTrace&) const = default;
+
+    /// 64-bit FNV-1a fingerprint over the event stream.
+    std::uint64_t fingerprint() const;
+
+    /// Events restricted to the first `n_cycles` local cycles (the paper
+    /// monitors the first 100 local clock cycles of each SB).
+    IoTrace truncated(std::uint64_t n_cycles) const;
+};
+
+/// Traces for a whole SoC, keyed by SB name.
+using TraceSet = std::map<std::string, IoTrace>;
+
+/// Result of comparing a perturbed run against the nominal run.
+struct TraceDiff {
+    bool identical = true;
+    std::string first_mismatch;  ///< human-readable locus, empty when identical
+};
+
+/// Compare two trace sets event-by-event.
+TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other);
+
+/// Fingerprint an entire trace set (order-independent over SBs).
+std::uint64_t fingerprint(const TraceSet& traces);
+
+/// Restrict every trace in the set to its first `n_cycles` local cycles.
+TraceSet truncated(const TraceSet& traces, std::uint64_t n_cycles);
+
+}  // namespace st::verify

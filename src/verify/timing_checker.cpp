@@ -1,0 +1,39 @@
+#include "verify/timing_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st::verify {
+
+bool TimingReport::all_pass() const {
+    return std::all_of(constraints.begin(), constraints.end(),
+                       [](const TimingConstraint& c) { return c.passes(); });
+}
+
+std::size_t TimingReport::failures() const {
+    return static_cast<std::size_t>(
+        std::count_if(constraints.begin(), constraints.end(),
+                      [](const TimingConstraint& c) { return !c.passes(); }));
+}
+
+sim::Time TimingReport::worst_slack() const {
+    sim::Time worst = sim::kNever;
+    for (const auto& c : constraints) {
+        if (c.passes()) worst = std::min(worst, c.slack());
+    }
+    return worst;
+}
+
+std::string TimingReport::summary() const {
+    std::ostringstream os;
+    os << constraints.size() << " constraints, " << failures() << " failures";
+    for (const auto& c : constraints) {
+        if (!c.passes()) {
+            os << "\n  FAIL " << c.name << ": actual " << sim::format_time(c.actual)
+               << " > budget " << sim::format_time(c.budget);
+        }
+    }
+    return os.str();
+}
+
+}  // namespace st::verify

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::verify {
+
+/// One audited timing constraint: `actual` must not exceed `budget`.
+struct TimingConstraint {
+    std::string name;
+    sim::Time actual = 0;
+    sim::Time budget = 0;
+
+    bool passes() const { return actual <= budget; }
+    /// Positive slack = margin; negative values are reported as 0-capped
+    /// via `violation()` instead (Time is unsigned).
+    sim::Time slack() const { return passes() ? budget - actual : 0; }
+    sim::Time violation() const { return passes() ? 0 : actual - budget; }
+};
+
+/// Collected report.
+struct TimingReport {
+    std::vector<TimingConstraint> constraints;
+
+    bool all_pass() const;
+    std::size_t failures() const;
+    /// Smallest slack across passing constraints (kNever when empty).
+    sim::Time worst_slack() const;
+    std::string summary() const;
+};
+
+/// Audits the bundling constraints the paper's determinism argument rests on
+/// (§3, §4.1): handshakes complete within one local clock cycle, and data
+/// reaches the FIFO head before the token enables the head interface.
+/// Model code registers measured values; callers assert `all_pass()`.
+class TimingChecker {
+  public:
+    void require(std::string name, sim::Time actual, sim::Time budget) {
+        report_.constraints.push_back(
+            TimingConstraint{std::move(name), actual, budget});
+    }
+
+    const TimingReport& report() const { return report_; }
+
+  private:
+    TimingReport report_;
+};
+
+}  // namespace st::verify

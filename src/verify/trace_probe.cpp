@@ -1,0 +1,23 @@
+#include "verify/trace_probe.hpp"
+
+namespace st::verify {
+
+TraceProbe::TraceProbe(core::SbWrapper& wrapper) {
+    trace_.sb_name = wrapper.name();
+    for (std::size_t i = 0; i < wrapper.num_inputs(); ++i) {
+        wrapper.input(i).on_deliver(
+            [this, i](std::uint64_t cycle, Word w) {
+                trace_.events.push_back(IoEvent{
+                    cycle, IoEvent::Dir::kIn, static_cast<std::uint32_t>(i), w});
+            });
+    }
+    for (std::size_t i = 0; i < wrapper.num_outputs(); ++i) {
+        wrapper.output(i).on_send(
+            [this, i](std::uint64_t cycle, Word w) {
+                trace_.events.push_back(IoEvent{
+                    cycle, IoEvent::Dir::kOut, static_cast<std::uint32_t>(i), w});
+            });
+    }
+}
+
+}  // namespace st::verify

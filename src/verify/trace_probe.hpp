@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+
+#include "synchro/wrapper.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::verify {
+
+/// Attaches deliver/send probes to every interface of a wrapper and records
+/// the SB's cycle-indexed I/O sequence.
+class TraceProbe {
+  public:
+    explicit TraceProbe(core::SbWrapper& wrapper);
+
+    TraceProbe(const TraceProbe&) = delete;
+    TraceProbe& operator=(const TraceProbe&) = delete;
+
+    const IoTrace& trace() const { return trace_; }
+
+  private:
+    IoTrace trace_;
+};
+
+}  // namespace st::verify

@@ -1,0 +1,26 @@
+#include "workload/host_port.hpp"
+
+namespace st::wl {
+
+std::optional<Word> HostPortKernel::host_recv() {
+    if (from_soc_.empty()) return std::nullopt;
+    const Word w = from_soc_.front();
+    from_soc_.pop_front();
+    return w;
+}
+
+void HostPortKernel::on_cycle(sb::SbContext& ctx) {
+    if (ctx.num_out() > 0 && !to_soc_.empty() && ctx.out(0).can_push()) {
+        ctx.out(0).push(to_soc_.front());
+        to_soc_.pop_front();
+        ++words_out_;
+    }
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (ctx.in(i).has_data()) {
+            from_soc_.push_back(ctx.in(i).take());
+            ++words_in_;
+        }
+    }
+}
+
+}  // namespace st::wl

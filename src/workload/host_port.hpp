@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sb/kernel.hpp"
+
+namespace st::wl {
+
+/// Kernel of an I/O SB (paper §4: "one or more SBs are designated as I/O
+/// SBs. These SBs are synchronized to and communicate with the environment
+/// (a board or a tester) without any intervening wrapper logic").
+///
+/// The environment side is a pair of host-visible queues with no handshake
+/// wrapper; the SoC side uses the SB's normal channel ports. Everything the
+/// host observes is cycle-deterministic because the SoC side is.
+class HostPortKernel final : public sb::Kernel {
+  public:
+    /// Environment -> SoC: queue a word for transmission on output port 0.
+    void host_send(Word w) { to_soc_.push_back(w); }
+
+    /// SoC -> environment: pop the next received word, if any.
+    std::optional<Word> host_recv();
+
+    std::size_t tx_backlog() const { return to_soc_.size(); }
+    std::size_t rx_available() const { return from_soc_.size(); }
+    std::uint64_t words_in() const { return words_in_; }
+    std::uint64_t words_out() const { return words_out_; }
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+  private:
+    std::deque<Word> to_soc_;
+    std::deque<Word> from_soc_;
+    std::uint64_t words_in_ = 0;
+    std::uint64_t words_out_ = 0;
+};
+
+}  // namespace st::wl

@@ -1,0 +1,45 @@
+#include "workload/router.hpp"
+
+namespace st::wl {
+
+std::size_t RouterKernel::route(Word w) const {
+    const auto dx = Packet::dest_x(w);
+    const auto dy = Packet::dest_y(w);
+    if (dx > cfg_.x) return cfg_.out_east;
+    if (dx < cfg_.x) return cfg_.out_west;
+    if (dy > cfg_.y) return cfg_.out_south;
+    if (dy < cfg_.y) return cfg_.out_north;
+    return kNone;  // addressed here
+}
+
+bool RouterKernel::try_emit(sb::SbContext& ctx, Word w) {
+    const std::size_t port = route(w);
+    if (port == kNone) {
+        if (cfg_.deliver) cfg_.deliver(w);
+        ++delivered_;
+        return true;
+    }
+    auto& out = ctx.out(port);
+    if (!out.can_push()) return false;
+    out.push(w);
+    ++forwarded_;
+    return true;
+}
+
+void RouterKernel::on_cycle(sb::SbContext& ctx) {
+    // Transit traffic first (ports in fixed order: deterministic priority).
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (!ctx.in(i).has_data()) continue;
+        const Word w = ctx.in(i).peek();
+        if (try_emit(ctx, w)) ctx.in(i).take();
+        // else: leave it latched; the input stalls this cycle.
+    }
+    // Local injection last (transit has priority, a common NoC policy).
+    if (!pending_inject_ && cfg_.inject) pending_inject_ = cfg_.inject();
+    if (pending_inject_ && try_emit(ctx, *pending_inject_)) {
+        ++injected_;
+        pending_inject_.reset();
+    }
+}
+
+}  // namespace st::wl

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sb/kernel.hpp"
+
+namespace st::wl {
+
+/// Packet helpers for the NoC workload: destination coordinates ride the
+/// top bytes of the word, payload in the rest.
+struct Packet {
+    static Word make(std::uint8_t dest_x, std::uint8_t dest_y, Word payload) {
+        return (static_cast<Word>(dest_x) << 56) |
+               (static_cast<Word>(dest_y) << 48) |
+               (payload & 0x0000ffffffffffffull);
+    }
+    static std::uint8_t dest_x(Word w) { return static_cast<std::uint8_t>(w >> 56); }
+    static std::uint8_t dest_y(Word w) { return static_cast<std::uint8_t>(w >> 48); }
+    static Word payload(Word w) { return w & 0x0000ffffffffffffull; }
+};
+
+/// Dimension-ordered (XY) mesh router core: a synchronous block that
+/// forwards packets between its neighbour channels, delivers packets
+/// addressed to itself, and optionally injects locally generated traffic.
+/// Backpressure is by *not consuming*: a packet whose output port is full
+/// stays in the input latch, stalling that input deterministically.
+class RouterKernel final : public sb::Kernel {
+  public:
+    static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+    struct Config {
+        std::uint8_t x = 0;
+        std::uint8_t y = 0;
+        /// Output port index per direction (kNone when the edge is absent).
+        std::size_t out_east = kNone;
+        std::size_t out_west = kNone;
+        std::size_t out_north = kNone;  ///< toward smaller y
+        std::size_t out_south = kNone;  ///< toward larger y
+        /// Local sink for packets addressed to this tile.
+        std::function<void(Word)> deliver;
+        /// Per-cycle local source (return nullopt when idle).
+        std::function<std::optional<Word>()> inject;
+    };
+
+    explicit RouterKernel(Config cfg) : cfg_(std::move(cfg)) {}
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::uint64_t forwarded() const { return forwarded_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    /// XY routing decision; kNone means "this tile".
+    std::size_t route(Word w) const;
+    bool try_emit(sb::SbContext& ctx, Word w);
+
+    Config cfg_;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t injected_ = 0;
+    std::optional<Word> pending_inject_;
+};
+
+}  // namespace st::wl

@@ -1,0 +1,61 @@
+#include "workload/streaming.hpp"
+
+#include <stdexcept>
+
+namespace st::wl {
+
+namespace {
+std::uint64_t lfsr_step(std::uint64_t& s) {
+    const bool lsb = s & 1;
+    s >>= 1;
+    if (lsb) s ^= 0xd800000000000000ull;
+    return s;
+}
+
+std::vector<std::size_t> iota_ports(std::size_t n) {
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i;
+    return v;
+}
+}  // namespace
+
+StreamingSource::StreamingSource(std::uint64_t seed) : lfsr_(seed) {
+    if (seed == 0) throw std::invalid_argument("StreamingSource: zero seed");
+}
+
+void StreamingSource::on_cycle(sb::SbContext& ctx) {
+    if (!splitter_) {
+        splitter_ = std::make_unique<core::LaneSplitter>(
+            iota_ports(ctx.num_out()));
+    }
+    splitter_->offer(lfsr_step(lfsr_));
+    ++generated_;
+    splitter_->pump(ctx);
+}
+
+std::uint64_t StreamingSource::words_sent() const {
+    return splitter_ ? splitter_->words_sent() : 0;
+}
+
+std::size_t StreamingSource::max_queue_depth() const {
+    return splitter_ ? splitter_->max_queue_depth() : 0;
+}
+
+StreamingSink::StreamingSink(std::uint64_t seed) : expect_lfsr_(seed) {
+    if (seed == 0) throw std::invalid_argument("StreamingSink: zero seed");
+}
+
+void StreamingSink::on_cycle(sb::SbContext& ctx) {
+    if (!merger_) {
+        merger_ = std::make_unique<core::LaneMerger>(iota_ports(ctx.num_in()));
+    }
+    merger_->pump(ctx);
+    while (merger_->has_word()) {
+        const Word got = merger_->pop();
+        const Word want = lfsr_step(expect_lfsr_);
+        if (got != want) ++errors_;
+        ++consumed_;
+    }
+}
+
+}  // namespace st::wl

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sb/kernel.hpp"
+#include "synchro/wide_channel.hpp"
+
+namespace st::wl {
+
+/// Full-rate producer for widened channels: generates exactly one LFSR word
+/// per local cycle into a LaneSplitter across all output ports. With enough
+/// lanes (>= (H+R)/H), the channel sustains the full word-per-cycle rate —
+/// the paper's STARI-parity configuration.
+class StreamingSource final : public sb::Kernel {
+  public:
+    explicit StreamingSource(std::uint64_t seed);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::uint64_t words_generated() const { return generated_; }
+    std::uint64_t words_sent() const;
+    std::size_t max_queue_depth() const;
+
+    std::vector<std::uint64_t> scan_state() const override {
+        return {lfsr_, generated_};
+    }
+
+  private:
+    std::uint64_t lfsr_;
+    std::uint64_t generated_ = 0;
+    std::unique_ptr<core::LaneSplitter> splitter_;  // built on first cycle
+};
+
+/// Full-rate consumer: reassembles the lanes and verifies the exact LFSR
+/// sequence (any loss, duplication or reordering is counted).
+class StreamingSink final : public sb::Kernel {
+  public:
+    explicit StreamingSink(std::uint64_t seed);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::uint64_t words_consumed() const { return consumed_; }
+    std::uint64_t sequence_errors() const { return errors_; }
+
+  private:
+    std::uint64_t expect_lfsr_;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t errors_ = 0;
+    std::unique_ptr<core::LaneMerger> merger_;
+};
+
+}  // namespace st::wl

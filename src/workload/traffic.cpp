@@ -1,0 +1,107 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sb/kernels/transforms.hpp"
+
+namespace st::wl {
+
+TrafficKernel::TrafficKernel(std::uint64_t seed) : lfsr_(seed) {
+    if (seed == 0) throw std::invalid_argument("TrafficKernel: zero seed");
+}
+
+std::uint64_t TrafficKernel::lfsr_step() {
+    const bool lsb = lfsr_ & 1;
+    lfsr_ >>= 1;
+    if (lsb) lfsr_ ^= 0xd800000000000000ull;
+    return lfsr_;
+}
+
+void TrafficKernel::on_cycle(sb::SbContext& ctx) {
+    for (std::size_t i = 0; i < ctx.num_out(); ++i) {
+        if (ctx.out(i).can_push()) {
+            ctx.out(i).push(lfsr_step());
+            ++emitted_;
+        }
+    }
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (ctx.in(i).has_data()) {
+            crc_ = sb::Crc32Kernel::update(crc_, ctx.in(i).take());
+            ++consumed_;
+        }
+    }
+}
+
+std::vector<std::uint64_t> TrafficKernel::scan_state() const {
+    return {lfsr_, emitted_, consumed_, crc_};
+}
+
+void TrafficKernel::load_state(const std::vector<std::uint64_t>& image) {
+    if (image.size() > 4) {
+        throw std::invalid_argument("TrafficKernel: image too long");
+    }
+    if (image.size() > 0) lfsr_ = image[0];
+    if (image.size() > 1) emitted_ = image[1];
+    if (image.size() > 2) consumed_ = image[2];
+    if (image.size() > 3) crc_ = static_cast<std::uint32_t>(image[3]);
+}
+
+BurstTrafficKernel::BurstTrafficKernel(std::uint64_t seed,
+                                       std::uint32_t on_cycles,
+                                       std::uint32_t off_cycles)
+    : lfsr_(seed), on_cycles_(on_cycles), off_cycles_(off_cycles) {
+    if (seed == 0) throw std::invalid_argument("BurstTrafficKernel: zero seed");
+    if (on_cycles == 0) {
+        throw std::invalid_argument("BurstTrafficKernel: on_cycles must be >= 1");
+    }
+}
+
+void BurstTrafficKernel::on_cycle(sb::SbContext& ctx) {
+    const std::uint64_t period = on_cycles_ + off_cycles_;
+    const bool bursting = (phase_++ % period) < on_cycles_;
+    if (!bursting) return;
+    for (std::size_t i = 0; i < ctx.num_out(); ++i) {
+        if (ctx.out(i).can_push()) {
+            const bool lsb = lfsr_ & 1;
+            lfsr_ >>= 1;
+            if (lsb) lfsr_ ^= 0xd800000000000000ull;
+            ctx.out(i).push(lfsr_);
+            ++emitted_;
+        }
+    }
+}
+
+RequesterKernel::RequesterKernel(std::function<Word(Word)> expected,
+                                 std::uint32_t window)
+    : expected_(std::move(expected)), window_(window) {
+    if (window_ == 0) {
+        throw std::invalid_argument("RequesterKernel: window must be >= 1");
+    }
+}
+
+void RequesterKernel::on_cycle(sb::SbContext& ctx) {
+    if (ctx.num_in() > 0 && ctx.in(0).has_data()) {
+        const Word resp = ctx.in(0).take();
+        if (!outstanding_.empty()) {
+            const Word req = outstanding_.front();
+            outstanding_.erase(outstanding_.begin());
+            if (resp == expected_(req)) {
+                ++ok_;
+            } else {
+                ++bad_;
+            }
+        } else {
+            ++bad_;  // unsolicited response
+        }
+    }
+    if (ctx.num_out() > 0 && outstanding_.size() < window_ &&
+        ctx.out(0).can_push()) {
+        const Word req = next_req_++;
+        ctx.out(0).push(req);
+        outstanding_.push_back(req);
+        ++sent_;
+    }
+}
+
+}  // namespace st::wl

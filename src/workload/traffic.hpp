@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sb/kernel.hpp"
+#include "sb/kernels/transforms.hpp"
+
+namespace st::wl {
+
+/// Bidirectional streaming traffic core: emits an LFSR word into every output
+/// port that can accept one and folds every consumed word into a running
+/// CRC-32. The CRC makes the kernel a determinism witness — a single input
+/// word delivered at a different cycle (hence in a different order relative
+/// to other ports) permanently scrambles the signature.
+class TrafficKernel final : public sb::Kernel {
+  public:
+    explicit TrafficKernel(std::uint64_t seed);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::vector<std::uint64_t> scan_state() const override;
+    void load_state(const std::vector<std::uint64_t>& image) override;
+
+    std::uint64_t words_emitted() const { return emitted_; }
+    std::uint64_t words_consumed() const { return consumed_; }
+    std::uint32_t signature() const { return crc_; }
+
+  private:
+    std::uint64_t lfsr_step();
+
+    std::uint64_t lfsr_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint32_t crc_ = 0xffffffffu;
+};
+
+/// Bursty producer: emits for `on_cycles`, idles for `off_cycles`, repeats.
+/// Models the "different dataflow profiles" the paper claims synchro-tokens
+/// parameterization can be tuned for.
+class BurstTrafficKernel final : public sb::Kernel {
+  public:
+    BurstTrafficKernel(std::uint64_t seed, std::uint32_t on_cycles,
+                       std::uint32_t off_cycles);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::uint64_t words_emitted() const { return emitted_; }
+
+  private:
+    std::uint64_t lfsr_;
+    std::uint32_t on_cycles_;
+    std::uint32_t off_cycles_;
+    std::uint64_t phase_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+/// Request/response initiator: keeps up to `window` requests outstanding on
+/// output 0, consumes responses on input 0, and verifies each response equals
+/// `expected(request)`. Models low-bandwidth control-plane dataflow.
+class RequesterKernel final : public sb::Kernel {
+  public:
+    RequesterKernel(std::function<Word(Word)> expected, std::uint32_t window);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    std::uint64_t requests_sent() const { return sent_; }
+    std::uint64_t responses_ok() const { return ok_; }
+    std::uint64_t responses_bad() const { return bad_; }
+
+  private:
+    std::function<Word(Word)> expected_;
+    std::uint32_t window_;
+    std::uint64_t next_req_ = 1;
+    std::vector<Word> outstanding_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t ok_ = 0;
+    std::uint64_t bad_ = 0;
+};
+
+/// Request/response target: answers each request on input 0 with fn(request)
+/// on output 0 (one-deep response queue keeps it purely synchronous).
+using ResponderKernel = sb::TransformKernel;
+
+}  // namespace st::wl

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "analytic/models.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::model {
+namespace {
+
+TEST(Equations, StariLatencyEq1) {
+    // L_STARI = F*H/2 + T*H/2.
+    EXPECT_DOUBLE_EQ(stari_latency(1000, 100, 8), 100.0 * 4 + 1000.0 * 4);
+    EXPECT_DOUBLE_EQ(stari_latency(500, 50, 2), 50.0 + 500.0);
+}
+
+TEST(Equations, SynchroLatencyEq2) {
+    // L_SYNCHRO = T*(R+H+1)/2 + F*H + T*(H+1)/2.
+    const double t = 1000;
+    const double f = 100;
+    const double h = 4;
+    const double r = 6;
+    EXPECT_DOUBLE_EQ(synchro_latency(t, f, h, r),
+                     t * (r + h + 1) / 2 + f * h + t * (h + 1) / 2);
+}
+
+TEST(Equations, ThroughputAndWidening) {
+    EXPECT_DOUBLE_EQ(synchro_throughput(4, 6), 0.4);
+    EXPECT_DOUBLE_EQ(widening_factor(4, 6), 2.5);
+    // Widening by (H+R)/H recovers STARI's 1 word/cycle:
+    EXPECT_DOUBLE_EQ(synchro_throughput(4, 6) * widening_factor(4, 6), 1.0);
+}
+
+TEST(Equations, SynchroLatencyAlwaysExceedsStariAtEqualDepth) {
+    // The paper: "synchro-tokens has a performance penalty compared with
+    // STARI" — for any parameters with the minimal R >= 1.
+    for (double t : {500.0, 1000.0, 2000.0}) {
+        for (double f : {50.0, 100.0, 400.0}) {
+            for (double h : {2.0, 4.0, 16.0}) {
+                EXPECT_GT(synchro_latency(t, f, h, h + 2),
+                          stari_latency(t, f, h));
+            }
+        }
+    }
+}
+
+TEST(MinRecycle, CoversRoundTripExactly) {
+    // away = d_ab + d_ba + (H_peer + 1) * T_peer, R = ceil(away / T_local).
+    EXPECT_EQ(min_recycle(1000, 1000, 4, 900, 900), 7u);   // 6800 / 1000
+    EXPECT_EQ(min_recycle(1000, 1000, 4, 100, 100), 6u);   // 5200 / 1000
+    EXPECT_EQ(min_recycle(500, 1000, 4, 900, 900), 14u);   // 6800 / 500
+    EXPECT_EQ(min_recycle(2000, 1000, 4, 100, 100), 3u);   // 5200 / 2000
+}
+
+TEST(MinRecycle, MonotoneInItsArguments) {
+    // Slower local clock -> more local cycles needed to cover the absence.
+    EXPECT_GE(min_recycle(500, 1000, 4, 900, 900),
+              min_recycle(1000, 1000, 4, 900, 900));
+    // Longer peer hold or wire delays -> larger R.
+    EXPECT_GE(min_recycle(1000, 1000, 8, 900, 900),
+              min_recycle(1000, 1000, 4, 900, 900));
+    EXPECT_GE(min_recycle(1000, 1000, 4, 1800, 1800),
+              min_recycle(1000, 1000, 4, 900, 900));
+}
+
+/// Zero-stall operation needs the *jointly tuned* schedule (R = H+2 with the
+/// waiter's initial recycle at H+1, DESIGN.md §5); a naive symmetric
+/// override cannot achieve it — but a generous R still bounds the stall per
+/// token round trip far below an under-provisioned one. This is the
+/// area/performance knob the paper describes.
+TEST(MinRecycle, LargerRecycleReducesWallClockStalling) {
+    const auto stalled_per_pass = [](std::uint32_t recycle) {
+        sys::PairOptions opt;
+        opt.recycle_override = recycle;
+        sys::Soc soc(sys::make_pair_spec(opt));
+        soc.run_cycles(600, sim::ms(10));
+        const double stopped = static_cast<double>(
+            soc.wrapper(0).clock().total_stopped_time() +
+            soc.wrapper(1).clock().total_stopped_time());
+        const double passes = static_cast<double>(soc.ring(0).passes());
+        return stopped / std::max(passes, 1.0);
+    };
+    const std::uint32_t r_model = min_recycle(1000, 1000, 4, 900, 900);
+    EXPECT_LT(stalled_per_pass(r_model) * 1.5, stalled_per_pass(2));
+    // The tuned default schedule is strictly better still: zero stalls.
+    sys::Soc tuned(sys::make_pair_spec());
+    tuned.run_cycles(600, sim::ms(10));
+    EXPECT_EQ(tuned.wrapper(0).clock().total_stopped_time(), 0u);
+}
+
+/// Simulated throughput follows H/(H+R) across an R sweep.
+class ThroughputSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThroughputSweep, MatchesModel) {
+    const std::uint32_t r = GetParam();
+    sys::PairOptions opt;
+    opt.hold = 4;
+    opt.recycle_override = r;
+    sys::Soc soc(sys::make_pair_spec(opt));
+    ASSERT_TRUE(soc.run_cycles(2000, sim::ms(20)));
+    const auto& k = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    const double measured = static_cast<double>(k.words_emitted()) /
+                            static_cast<double>(soc.wrapper(0).clock().cycles());
+    EXPECT_NEAR(measured, synchro_throughput(4, r), 0.02) << "R=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(RecycleValues, ThroughputSweep,
+                         ::testing::Values(6u, 8u, 12u, 20u));
+
+}  // namespace
+}  // namespace st::model

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "async/arbiter.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::achan {
+namespace {
+
+struct Harness {
+    explicit Harness(MutexElement::Params p = {})
+        : mutex(sched, "mx", p) {
+        mutex.on_grant_a([this] { grants.push_back('A'); });
+        mutex.on_grant_b([this] { grants.push_back('B'); });
+    }
+    sim::Scheduler sched;
+    MutexElement mutex;
+    std::vector<char> grants;
+};
+
+TEST(MutexElement, UncontendedRequestGrantsAfterFixedDelay) {
+    Harness h;
+    h.mutex.request_a();
+    h.sched.run();
+    ASSERT_EQ(h.grants, (std::vector<char>{'A'}));
+    EXPECT_EQ(h.sched.now(), 30u);  // grant_delay
+    EXPECT_TRUE(h.mutex.granted_a());
+    EXPECT_EQ(h.mutex.metastable_events(), 0u);
+}
+
+TEST(MutexElement, EarlierRequestWins) {
+    Harness h;
+    h.sched.schedule_after(100, [&] { h.mutex.request_b(); });
+    h.sched.schedule_after(300, [&] { h.mutex.request_a(); });
+    h.sched.run();
+    ASSERT_EQ(h.grants.size(), 1u);
+    EXPECT_EQ(h.grants[0], 'B');
+    // A is queued; releasing B hands over.
+    h.mutex.release_b();
+    h.sched.run();
+    ASSERT_EQ(h.grants.size(), 2u);
+    EXPECT_EQ(h.grants[1], 'A');
+}
+
+TEST(MutexElement, CloseRequestsResolveWithExtraDelay) {
+    MutexElement::Params p;
+    p.grant_delay = 30;
+    p.window = 60;
+    p.tau = 25;
+    Harness h(p);
+    h.sched.schedule_after(100, [&] { h.mutex.request_a(); });
+    h.sched.schedule_after(110, [&] { h.mutex.request_b(); });  // 10 ps apart
+    h.sched.run();
+    ASSERT_EQ(h.grants.size(), 1u);
+    EXPECT_EQ(h.grants[0], 'A');  // earlier still wins
+    EXPECT_EQ(h.mutex.metastable_events(), 1u);
+    EXPECT_GT(h.mutex.worst_resolution(), 0u);
+    // tau * ln(60/10) ~ 45 ps of extra resolution.
+    EXPECT_GT(h.sched.now(), 100u + 30u + 30u);
+}
+
+TEST(MutexElement, ResolutionTimeGrowsAsSeparationShrinks) {
+    const auto resolve_time = [](sim::Time separation) {
+        Harness h;
+        h.sched.schedule_after(100, [&] { h.mutex.request_a(); });
+        h.sched.schedule_after(100 + separation,
+                               [&] { h.mutex.request_b(); });
+        h.sched.run();
+        return h.mutex.worst_resolution();
+    };
+    const auto r50 = resolve_time(50);
+    const auto r10 = resolve_time(10);
+    const auto r1 = resolve_time(1);
+    EXPECT_LT(r50, r10);
+    EXPECT_LT(r10, r1);
+}
+
+TEST(MutexElement, ResolutionDelayIsCapped) {
+    MutexElement::Params p;
+    p.max_resolution = 100;
+    Harness h(p);
+    h.sched.schedule_after(100, [&] { h.mutex.request_a(); });
+    h.sched.schedule_after(100, [&] { h.mutex.request_b(); });
+    h.sched.run();
+    EXPECT_LE(h.mutex.worst_resolution(), 100u);
+    EXPECT_EQ(h.grants.size(), 1u);
+}
+
+TEST(MutexElement, MutualExclusionInvariantUnderTraffic) {
+    Harness h;
+    // Two clients repeatedly acquiring/releasing with incommensurate
+    // periods; the grant must never be double-issued.
+    int a_round = 0;
+    int b_round = 0;
+    std::function<void()> a_cycle = [&] {
+        if (a_round++ > 50) return;
+        h.mutex.request_a();
+    };
+    std::function<void()> b_cycle = [&] {
+        if (b_round++ > 50) return;
+        h.mutex.request_b();
+    };
+    h.mutex.on_grant_a([&] {
+        h.grants.push_back('A');
+        EXPECT_FALSE(h.mutex.granted_b());
+        h.sched.schedule_after(70, [&] {
+            h.mutex.release_a();
+            h.sched.schedule_after(101, a_cycle);
+        });
+    });
+    h.mutex.on_grant_b([&] {
+        h.grants.push_back('B');
+        EXPECT_FALSE(h.mutex.granted_a());
+        h.sched.schedule_after(90, [&] {
+            h.mutex.release_b();
+            h.sched.schedule_after(131, b_cycle);
+        });
+    });
+    a_cycle();
+    h.sched.schedule_after(13, b_cycle);
+    h.sched.run();
+    EXPECT_GT(h.grants.size(), 60u);
+    // Both sides made progress (no starvation in this pattern).
+    EXPECT_GT(std::count(h.grants.begin(), h.grants.end(), 'A'), 20);
+    EXPECT_GT(std::count(h.grants.begin(), h.grants.end(), 'B'), 20);
+}
+
+TEST(MutexElement, WithdrawnPendingRequestIsVoided) {
+    Harness h;
+    h.mutex.request_a();
+    h.mutex.release_a();  // withdraw before the grant matures
+    h.sched.run();
+    EXPECT_TRUE(h.grants.empty());
+    // The element still works afterwards.
+    h.mutex.request_b();
+    h.sched.run();
+    EXPECT_EQ(h.grants, (std::vector<char>{'B'}));
+}
+
+TEST(MutexElement, DoubleRequestThrows) {
+    Harness h;
+    h.mutex.request_a();
+    EXPECT_THROW(h.mutex.request_a(), std::logic_error);
+}
+
+/// The §1 point in one test: which side wins depends on analog timing, so a
+/// delay perturbation flips the grant order — nondeterminism at the source.
+TEST(MutexElement, GrantOrderIsDelaySensitive) {
+    const auto first_grant = [](sim::Time a_delay) {
+        Harness h;
+        h.sched.schedule_after(a_delay, [&] { h.mutex.request_a(); });
+        h.sched.schedule_after(200, [&] { h.mutex.request_b(); });
+        h.sched.run();
+        return h.grants.at(0);
+    };
+    EXPECT_EQ(first_grant(150), 'A');
+    EXPECT_EQ(first_grant(250), 'B');  // same design, slower wire: flipped
+}
+
+}  // namespace
+}  // namespace st::achan

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "system/testbenches.hpp"
+
+namespace st::area {
+namespace {
+
+TEST(GateLibrary, KnownCellsAndErrors) {
+    GateLibrary lib;
+    EXPECT_DOUBLE_EQ(lib.gate_eq("NAND2"), 1.0);
+    EXPECT_TRUE(lib.has_cell("DFF"));
+    EXPECT_FALSE(lib.has_cell("FLUX_CAPACITOR"));
+    EXPECT_THROW(lib.gate_eq("FLUX_CAPACITOR"), std::invalid_argument);
+}
+
+TEST(Netlist, AccumulatesAndTotals) {
+    GateLibrary lib;
+    Netlist n;
+    n.add("NAND2", 3);
+    n.add("INV", 2);
+    n.add("NAND2");
+    EXPECT_EQ(n.instances(), 6);
+    EXPECT_DOUBLE_EQ(n.total_gate_eq(lib), 4 * 1.0 + 2 * 0.6);
+
+    Netlist m;
+    m.add("DFF", 2);
+    n.add(m);
+    EXPECT_DOUBLE_EQ(n.total_gate_eq(lib), 4 * 1.0 + 2 * 0.6 + 2 * 4.5);
+}
+
+TEST(AreaModels, ComponentsAreLinearInDataBits) {
+    GateLibrary lib;
+    // Exact linearity: A(2w) - A(w) == A(3w) - A(2w).
+    for (const auto& builder : {input_interface_netlist,
+                                output_interface_netlist,
+                                fifo_stage_netlist}) {
+        const double a8 = builder(8).total_gate_eq(lib);
+        const double a16 = builder(16).total_gate_eq(lib);
+        const double a24 = builder(24).total_gate_eq(lib);
+        EXPECT_NEAR(a16 - a8, a24 - a16, 1e-9);
+        EXPECT_GT(a8, 0.0);
+    }
+}
+
+TEST(AreaModels, NodeAreaMatchesPaperTable1) {
+    GateLibrary lib;
+    // Paper Table 1 reports the node at 145 2-input-gate equivalents; our
+    // re-derived netlist must land within a few percent.
+    const double node = node_area(lib);
+    EXPECT_NEAR(node, 145.0, 145.0 * 0.05);
+}
+
+TEST(AreaModels, NodeAreaIndependentOfDataWidth) {
+    // The node handles only the token, never data: its netlist takes no
+    // width parameter by construction; the fitted models do.
+    GateLibrary lib;
+    const auto t = make_table1(lib);
+    EXPECT_GT(t.fifo_interface.per_bit, 0.0);
+    EXPECT_GT(t.fifo_stage.per_bit, 0.0);
+    EXPECT_GT(t.fifo_interface.base, 0.0);
+    EXPECT_GT(t.fifo_stage.base, 0.0);
+}
+
+TEST(AreaModels, FittedModelsPredictNetlistsExactly) {
+    GateLibrary lib;
+    const auto iface = fit_interface_model(lib);
+    const auto stage = fit_stage_model(lib);
+    for (const unsigned bits : {1u, 8u, 16u, 32u, 64u}) {
+        const double direct_iface =
+            (input_interface_netlist(bits).total_gate_eq(lib) +
+             output_interface_netlist(bits).total_gate_eq(lib)) /
+            2.0;
+        EXPECT_NEAR(iface.at(bits), direct_iface, 1e-9) << bits;
+        EXPECT_NEAR(stage.at(bits),
+                    fifo_stage_netlist(bits).total_gate_eq(lib), 1e-9)
+            << bits;
+    }
+}
+
+TEST(SystemOverhead, TriangleBreakdownIsConsistent) {
+    GateLibrary lib;
+    const auto spec = sys::make_triangle_spec();
+    const auto o = system_overhead(spec, lib);
+    // 3 rings -> 6 nodes.
+    EXPECT_NEAR(o.nodes, 6.0 * node_area(lib), 1e-9);
+    EXPECT_GT(o.interfaces, 0.0);
+    EXPECT_GT(o.fifo_stages, 0.0);
+    EXPECT_NEAR(o.total(), o.nodes + o.interfaces + o.fifo_stages, 1e-9);
+    // Paper §5: the synchro-tokens-specific overhead is the nodes only;
+    // FIFOs and interfaces are needed by any GALS scheme.
+    EXPECT_LT(o.synchro_tokens_specific(), o.total());
+}
+
+TEST(SystemOverhead, ScalesWithTopology) {
+    GateLibrary lib;
+    const auto small = system_overhead(sys::make_pair_spec(), lib);
+    const auto large = system_overhead(sys::make_triangle_spec(), lib);
+    EXPECT_GT(large.nodes, small.nodes);
+    EXPECT_GT(large.total(), small.total());
+}
+
+TEST(Table1, RendersAllRows) {
+    GateLibrary lib;
+    const auto t = make_table1(lib);
+    const auto s = t.to_string();
+    EXPECT_NE(s.find("FIFO interface"), std::string::npos);
+    EXPECT_NE(s.find("FIFO stage"), std::string::npos);
+    EXPECT_NE(s.find("Node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::area

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analytic/models.hpp"
+#include "baselines/baseline_soc.hpp"
+#include "baselines/stari.hpp"
+#include "system/delay_config.hpp"
+#include "system/testbenches.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::baseline {
+namespace {
+
+sys::SocSpec plesiochronous_pair() {
+    sys::PairOptions opt;
+    opt.period_a = 1000;
+    opt.period_b = 1009;  // slightly off-frequency: realistic GALS
+    return sys::make_pair_spec(opt);
+}
+
+verify::TraceSet run_baseline(const sys::SocSpec& spec, BaselineSoc::Kind kind,
+                              const sys::DelayConfig& cfg) {
+    BaselineSoc soc(sys::apply(spec, cfg), kind);
+    soc.run_cycles(150, sim::ms(1));
+    return verify::truncated(soc.traces(), 100);
+}
+
+TEST(TwoFlopBaseline, MovesDataAndIsInternallyReproducible) {
+    const auto spec = plesiochronous_pair();
+    const auto cfg = sys::DelayConfig::nominal(spec);
+    const auto a = run_baseline(spec, BaselineSoc::Kind::kTwoFlop, cfg);
+    const auto b = run_baseline(spec, BaselineSoc::Kind::kTwoFlop, cfg);
+    // Same delays -> same trace (the simulator itself is deterministic; the
+    // *system* is what's nondeterministic across delay variations).
+    EXPECT_TRUE(verify::diff_traces(a, b).identical);
+    EXPECT_FALSE(a.at("alpha").events.empty());
+    EXPECT_FALSE(a.at("beta").events.empty());
+}
+
+/// Paper §5 control experiment: with the synchro-tokens control bypassed the
+/// data sequences are nondeterministic — delay perturbations change the
+/// cycle-indexed traces.
+TEST(TwoFlopBaseline, DelayPerturbationChangesTraces) {
+    const auto spec = plesiochronous_pair();
+    const auto nominal =
+        run_baseline(spec, BaselineSoc::Kind::kTwoFlop,
+                     sys::DelayConfig::nominal(spec));
+    std::size_t mismatches = 0;
+    const unsigned percents[4] = {50, 75, 150, 200};
+    for (const unsigned pct : percents) {
+        auto cfg = sys::DelayConfig::nominal(spec);
+        cfg.fifo_pct.assign(cfg.fifo_pct.size(), pct);
+        const auto perturbed =
+            run_baseline(spec, BaselineSoc::Kind::kTwoFlop, cfg);
+        if (!verify::diff_traces(nominal, perturbed).identical) ++mismatches;
+    }
+    EXPECT_GT(mismatches, 0u);
+}
+
+TEST(PausibleBaseline, MovesDataAndArbitrates) {
+    const auto spec = plesiochronous_pair();
+    BaselineSoc soc(spec, BaselineSoc::Kind::kPausible);
+    ASSERT_TRUE(soc.run_cycles(300, sim::ms(1)));
+    const auto traces = soc.traces();
+    EXPECT_FALSE(traces.at("alpha").events.empty());
+    EXPECT_FALSE(traces.at("beta").events.empty());
+}
+
+TEST(PausibleBaseline, ClockFrequencyVariationChangesTraces) {
+    // At steady state a full FIFO quantizes delivery times to the consumer's
+    // commit instants, so pure datapath-delay perturbation can be absorbed.
+    // But independent ring oscillators inevitably vary in *frequency*, and
+    // even a 1% shift reshuffles which cycle each word lands in — the
+    // synchro-tokens system shrugs this off (PairDeterminism tests), the
+    // pausible baseline does not.
+    const auto spec = plesiochronous_pair();
+    const auto nominal = run_baseline(spec, BaselineSoc::Kind::kPausible,
+                                      sys::DelayConfig::nominal(spec));
+    std::size_t mismatches = 0;
+    for (const unsigned pct : {99u, 101u, 150u, 200u}) {
+        auto cfg = sys::DelayConfig::nominal(spec);
+        cfg.clock_pct.back() = pct;
+        if (!verify::diff_traces(
+                 nominal, run_baseline(spec, BaselineSoc::Kind::kPausible, cfg))
+                 .identical) {
+            ++mismatches;
+        }
+    }
+    EXPECT_GT(mismatches, 0u);
+}
+
+TEST(Stari, SteadyStateThroughputIsOneWordPerCycle) {
+    sim::Scheduler sched;
+    StariLink::Params p;
+    p.depth = 8;
+    p.stage_delay = 100;
+    p.period = 1000;
+    p.rx_skew = 300;
+    StariLink link(sched, "stari", p);
+    link.start();
+    sched.run_until(sim::us(1));  // ~1000 cycles
+    EXPECT_EQ(link.underflows(), 0u);
+    EXPECT_EQ(link.overflows(), 0u);
+    EXPECT_NEAR(link.throughput(), 1.0, 0.01);
+}
+
+TEST(Stari, ReceivedStreamIsInOrderAndComplete) {
+    sim::Scheduler sched;
+    StariLink::Params p;
+    p.depth = 6;
+    StariLink link(sched, "stari", p);
+    std::vector<Word> seen;
+    link.set_source([](std::uint64_t i) { return i * 3 + 1; });
+    link.set_sink([&](std::uint64_t, Word w) { seen.push_back(w); });
+    link.start();
+    sched.run_until(sim::us(1));
+    ASSERT_GT(seen.size(), 500u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i], i * 3 + 1);
+    }
+}
+
+TEST(Stari, MeasuredLatencyTracksEquation1) {
+    // L_STARI = F*H/2 + T*H/2 for a FIFO kept roughly half full.
+    for (const std::size_t depth : {4u, 8u, 16u}) {
+        sim::Scheduler sched;
+        StariLink::Params p;
+        p.depth = depth;
+        p.stage_delay = 100;
+        p.period = 1000;
+        p.rx_skew = 500;
+        StariLink link(sched, "stari", p);
+        link.start();
+        sched.run_until(sim::us(2));
+        const double model = model::stari_latency(1000, 100, static_cast<double>(depth));
+        // Behavioural simulation vs closed-form: agreement within 50%
+        // (the equation is itself an approximation: "roughly half full").
+        EXPECT_GT(link.mean_latency_ps(), model * 0.5) << "depth " << depth;
+        EXPECT_LT(link.mean_latency_ps(), model * 1.7) << "depth " << depth;
+    }
+}
+
+TEST(Stari, SkewIsAbsorbedAcrossRange) {
+    // The half-full FIFO absorbs any skew within a period: no underflows,
+    // full throughput, for every skew setting.
+    for (const sim::Time skew : {100u, 300u, 500u, 700u, 900u}) {
+        sim::Scheduler sched;
+        StariLink::Params p;
+        p.depth = 8;
+        p.rx_skew = skew;
+        StariLink link(sched, "stari", p);
+        link.start();
+        sched.run_until(sim::us(1));
+        EXPECT_EQ(link.underflows(), 0u) << "skew " << skew;
+        EXPECT_NEAR(link.throughput(), 1.0, 0.02) << "skew " << skew;
+    }
+}
+
+}  // namespace
+}  // namespace st::baseline

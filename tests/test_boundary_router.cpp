@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "tap/boundary_scan.hpp"
+#include "tap/test_sb.hpp"
+#include "tap/tester.hpp"
+#include "workload/router.hpp"
+
+namespace st {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Boundary scan
+// ---------------------------------------------------------------------------
+
+struct Pins {
+    bool in0 = false;
+    bool in1 = true;
+    bool out0 = false;
+    bool out1 = false;
+};
+
+std::vector<tap::BoundaryCell> make_cells(Pins& pins) {
+    return {
+        {"in0", [&pins] { return pins.in0; }, nullptr},
+        {"in1", [&pins] { return pins.in1; }, nullptr},
+        {"out0", [&pins] { return pins.out0; },
+         [&pins](bool v) { pins.out0 = v; }},
+        {"out1", [&pins] { return pins.out1; },
+         [&pins](bool v) { pins.out1 = v; }},
+    };
+}
+
+TEST(BoundaryScan, SampleCapturesPinsNonIntrusively) {
+    sys::Soc soc(sys::make_pair_spec());
+    tap::TestSb tsb(soc, tap::TestSb::Params{});
+    Pins pins;
+    pins.in0 = true;
+    pins.out1 = true;
+    tsb.set_boundary_cells(make_cells(pins));
+    soc.start();
+
+    tap::TesterDriver drv(tsb);
+    drv.reset();
+    drv.shift_ir(tap::TestSb::Opcodes::kSample);
+    const auto captured = drv.shift_dr({false, false, false, false});
+    EXPECT_EQ(captured, (std::vector<bool>{true, true, false, true}));
+    // SAMPLE must not drive: out pins unchanged despite shifting zeros in.
+    EXPECT_FALSE(pins.out0);
+    EXPECT_TRUE(pins.out1);
+}
+
+TEST(BoundaryScan, ExtestDrivesOutputCells) {
+    sys::Soc soc(sys::make_pair_spec());
+    tap::TestSb tsb(soc, tap::TestSb::Params{});
+    Pins pins;
+    tsb.set_boundary_cells(make_cells(pins));
+    soc.start();
+
+    tap::TesterDriver drv(tsb);
+    drv.reset();
+    drv.shift_ir(tap::TestSb::Opcodes::kExtest);
+    // Image: in0, in1, out0=1, out1=0.
+    drv.shift_dr({false, false, true, false});
+    EXPECT_TRUE(pins.out0);
+    EXPECT_FALSE(pins.out1);
+    // Leaving EXTEST releases pin control decisions to future updates only.
+    drv.shift_ir(tap::TestSb::Opcodes::kSample);
+    EXPECT_FALSE(tsb.boundary()->extest());
+}
+
+TEST(BoundaryScan, DoubleInstallRejected) {
+    sys::Soc soc(sys::make_pair_spec());
+    tap::TestSb tsb(soc, tap::TestSb::Params{});
+    Pins pins;
+    tsb.set_boundary_cells(make_cells(pins));
+    EXPECT_THROW(tsb.set_boundary_cells(make_cells(pins)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// RouterKernel unit behaviour
+// ---------------------------------------------------------------------------
+
+class QInPort final : public sb::InPortIf {
+  public:
+    std::deque<Word> q;
+    bool has_data() const override { return !q.empty(); }
+    Word peek() const override { return q.front(); }
+    Word take() override {
+        const Word w = q.front();
+        q.pop_front();
+        return w;
+    }
+};
+class QOutPort final : public sb::OutPortIf {
+  public:
+    std::vector<Word> words;
+    bool full = false;
+    bool can_push() const override { return !full; }
+    void push(Word w) override { words.push_back(w); }
+};
+class Ctx final : public sb::SbContext {
+  public:
+    std::vector<QInPort> ins{4};
+    std::vector<QOutPort> outs{4};
+    std::size_t num_in() const override { return ins.size(); }
+    std::size_t num_out() const override { return outs.size(); }
+    sb::InPortIf& in(std::size_t i) override { return ins.at(i); }
+    sb::OutPortIf& out(std::size_t i) override { return outs.at(i); }
+    std::uint64_t local_cycle() const override { return 0; }
+};
+
+wl::RouterKernel::Config mid_config() {
+    wl::RouterKernel::Config c;
+    c.x = 1;
+    c.y = 1;
+    c.out_east = 0;
+    c.out_west = 1;
+    c.out_north = 2;
+    c.out_south = 3;
+    return c;
+}
+
+TEST(RouterKernel, XyRoutesInDimensionOrder) {
+    auto cfg = mid_config();
+    wl::RouterKernel r(cfg);
+    Ctx ctx;
+    ctx.ins[0].q = {wl::Packet::make(2, 2, 1),   // east first (x before y)
+                    wl::Packet::make(0, 1, 2),   // west
+                    wl::Packet::make(1, 0, 3),   // north
+                    wl::Packet::make(1, 2, 4)};  // south
+    for (int i = 0; i < 4; ++i) r.on_cycle(ctx);
+    EXPECT_EQ(ctx.outs[0].words, (std::vector<Word>{wl::Packet::make(2, 2, 1)}));
+    EXPECT_EQ(ctx.outs[1].words, (std::vector<Word>{wl::Packet::make(0, 1, 2)}));
+    EXPECT_EQ(ctx.outs[2].words, (std::vector<Word>{wl::Packet::make(1, 0, 3)}));
+    EXPECT_EQ(ctx.outs[3].words, (std::vector<Word>{wl::Packet::make(1, 2, 4)}));
+    EXPECT_EQ(r.forwarded(), 4u);
+}
+
+TEST(RouterKernel, DeliversLocalPacketsAndCountsThem) {
+    auto cfg = mid_config();
+    std::vector<Word> delivered;
+    cfg.deliver = [&](Word w) { delivered.push_back(w); };
+    wl::RouterKernel r(cfg);
+    Ctx ctx;
+    ctx.ins[2].q = {wl::Packet::make(1, 1, 0xAB)};
+    r.on_cycle(ctx);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(wl::Packet::payload(delivered[0]), 0xABu);
+    EXPECT_EQ(r.delivered(), 1u);
+}
+
+TEST(RouterKernel, BackpressureLeavesPacketLatched) {
+    auto cfg = mid_config();
+    wl::RouterKernel r(cfg);
+    Ctx ctx;
+    ctx.outs[0].full = true;
+    ctx.ins[1].q = {wl::Packet::make(2, 1, 9)};  // wants east
+    r.on_cycle(ctx);
+    EXPECT_EQ(ctx.ins[1].q.size(), 1u);  // not consumed
+    EXPECT_TRUE(ctx.outs[0].words.empty());
+    ctx.outs[0].full = false;
+    r.on_cycle(ctx);
+    EXPECT_EQ(ctx.ins[1].q.size(), 0u);
+    EXPECT_EQ(ctx.outs[0].words.size(), 1u);
+}
+
+TEST(RouterKernel, InjectionYieldsToTransitTraffic) {
+    auto cfg = mid_config();
+    int injected_polls = 0;
+    cfg.inject = [&]() -> std::optional<Word> {
+        ++injected_polls;
+        return wl::Packet::make(2, 1, 0x77);  // east
+    };
+    wl::RouterKernel r(cfg);
+    Ctx ctx;
+    ctx.outs[0].full = true;  // east blocked
+    ctx.ins[1].q = {wl::Packet::make(2, 1, 1)};
+    r.on_cycle(ctx);
+    EXPECT_EQ(r.injected(), 0u);  // nothing could move east
+    ctx.outs[0].full = false;
+    r.on_cycle(ctx);  // transit packet goes first
+    EXPECT_EQ(ctx.outs[0].words.size(), 2u);  // transit then the injection
+    EXPECT_EQ(wl::Packet::payload(ctx.outs[0].words[0]), 1u);
+    EXPECT_EQ(wl::Packet::payload(ctx.outs[0].words[1]), 0x77u);
+}
+
+TEST(PacketHelpers, FieldRoundTrip) {
+    const Word w = wl::Packet::make(3, 7, 0x123456789ABCull);
+    EXPECT_EQ(wl::Packet::dest_x(w), 3u);
+    EXPECT_EQ(wl::Packet::dest_y(w), 7u);
+    EXPECT_EQ(wl::Packet::payload(w), 0x123456789ABCull);
+}
+
+}  // namespace
+}  // namespace st

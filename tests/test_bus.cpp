@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "system/delay_config.hpp"
+#include "system/invariant_monitor.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/io_trace.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::sys {
+namespace {
+
+TEST(TokenBus, ElaboratesWithOneMultiRing) {
+    BusOptions opt;
+    opt.size = 4;
+    Soc soc(make_bus_spec(opt));
+    EXPECT_EQ(soc.num_sbs(), 4u);
+    EXPECT_EQ(soc.num_rings(), 0u);
+    EXPECT_EQ(soc.num_multi_rings(), 1u);
+    EXPECT_EQ(soc.num_channels(), 4u);
+    EXPECT_EQ(soc.multi_ring(0).size(), 4u);
+}
+
+TEST(TokenBus, TokenCirculatesAndEveryNodeCommunicates) {
+    Soc soc(make_bus_spec());
+    ASSERT_TRUE(soc.run_cycles(800, sim::ms(10)));
+    EXPECT_FALSE(soc.deadlocked());
+    EXPECT_GT(soc.multi_ring(0).passes(), 20u);
+    for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+        const auto& k = dynamic_cast<const wl::TrafficKernel&>(
+            soc.wrapper(i).block().kernel());
+        EXPECT_GT(k.words_emitted(), 20u) << i;
+        EXPECT_GT(k.words_consumed(), 20u) << i;
+    }
+}
+
+TEST(TokenBus, BusArbitrationInvariantsHold) {
+    Soc soc(make_bus_spec());
+    InvariantMonitor mon(soc);
+    soc.run_cycles(500, sim::ms(10));
+    EXPECT_TRUE(mon.violations().empty()) << mon.violations().front();
+}
+
+TEST(TokenBus, TimingAuditCoversMultiRingChannels) {
+    Soc soc(make_bus_spec());
+    soc.run_cycles(50, sim::ms(2));
+    const auto report = soc.audit_timing();
+    EXPECT_TRUE(report.all_pass()) << report.summary();
+    EXPECT_EQ(report.constraints.size(), 4u * 5u);  // 5 constraints/channel
+}
+
+TEST(TokenBus, DeterministicUnderPerturbation) {
+    const auto spec = make_bus_spec();
+    const auto run = [&](const DelayConfig& cfg) {
+        Soc soc(apply(spec, cfg));
+        soc.run_cycles(150, sim::ms(8));
+        return verify::truncated(soc.traces(), 100);
+    };
+    const auto nominal = run(DelayConfig::nominal(spec));
+    for (const unsigned pct : {50u, 200u}) {
+        auto cfg = DelayConfig::nominal(spec);
+        cfg.fifo_pct.assign(cfg.fifo_pct.size(), pct);
+        const auto diff = verify::diff_traces(nominal, run(cfg));
+        EXPECT_TRUE(diff.identical) << pct << "%: " << diff.first_mismatch;
+    }
+}
+
+TEST(TokenBus, ScalesToEightStations) {
+    BusOptions opt;
+    opt.size = 8;
+    Soc soc(make_bus_spec(opt));
+    ASSERT_TRUE(soc.run_cycles(900, sim::ms(40)));
+    EXPECT_GT(soc.multi_ring(0).passes(), 8u);
+    EXPECT_FALSE(soc.deadlocked());
+}
+
+TEST(TokenBus, SpecValidationErrors) {
+    BusOptions opt;
+    opt.size = 1;
+    EXPECT_THROW(make_bus_spec(opt), std::invalid_argument);
+
+    auto spec = make_bus_spec();
+    spec.channels[0].to_sb = 99;  // not a member
+    EXPECT_THROW(Soc{spec}, std::invalid_argument);
+
+    auto two_holders = make_bus_spec();
+    two_holders.multi_rings[0].members[1].node.initial_holder = true;
+    EXPECT_THROW(Soc{two_holders}, std::invalid_argument);
+}
+
+TEST(TokenBus, MultiRingNodeLookup) {
+    Soc soc(make_bus_spec());
+    EXPECT_NO_THROW(soc.multi_ring_node(0, 0));
+    EXPECT_NO_THROW(soc.multi_ring_node(0, 3));
+    EXPECT_THROW(soc.multi_ring_node(0, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace st::sys

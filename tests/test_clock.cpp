@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clock/stoppable_clock.hpp"
+#include "clock/tester_clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::clk {
+namespace {
+
+/// Records the two-phase protocol for inspection.
+class ProbeSink final : public ClockSink {
+  public:
+    std::vector<std::uint64_t> samples;
+    std::vector<std::uint64_t> commits;
+    void sample(std::uint64_t c) override { samples.push_back(c); }
+    void commit(std::uint64_t c) override { commits.push_back(c); }
+};
+
+StoppableClock::Params params(sim::Time period, sim::Time phase = 0) {
+    StoppableClock::Params p;
+    p.base_period = period;
+    p.divider = 1;
+    p.phase = phase;
+    p.restart_delay = 50;
+    return p;
+}
+
+TEST(StoppableClock, FreeRunsAtConfiguredPeriodAndPhase) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(1000, 250));
+    ProbeSink sink;
+    clk.add_sink(&sink);
+    clk.start();
+    sched.run_until(5000);
+    // Edges at 250, 1250, 2250, 3250, 4250.
+    EXPECT_EQ(clk.cycles(), 5u);
+    EXPECT_EQ(sink.samples, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(sink.commits, sink.samples);
+    EXPECT_FALSE(clk.stopped());
+}
+
+TEST(StoppableClock, SamplePhasePrecedesCommitAcrossSinks) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    // Sink B reads a value sink A updates in commit; with correct two-phase
+    // semantics B's sample sees A's *previous* value.
+    struct A final : ClockSink {
+        int reg = 0;
+        void sample(std::uint64_t) override {}
+        void commit(std::uint64_t) override { ++reg; }
+    } a;
+    struct B final : ClockSink {
+        const int* src = nullptr;
+        std::vector<int> seen;
+        void sample(std::uint64_t) override { seen.push_back(*src); }
+        void commit(std::uint64_t) override {}
+    } b;
+    b.src = &a.reg;
+    clk.add_sink(&a);
+    clk.add_sink(&b);
+    clk.start();
+    sched.run_until(350);  // edges at 0, 100, 200, 300
+    EXPECT_EQ(b.seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(StoppableClock, StopsSynchronouslyWhenEnableDeasserted) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    ProbeSink sink;
+    clk.add_sink(&sink);
+    bool enable = true;
+    clk.set_enable_fn([&] { return enable; });
+    clk.start();
+    sched.run_until(250);  // edges 0,100,200
+    EXPECT_EQ(clk.cycles(), 3u);
+    enable = false;
+    sched.run_until(1000);  // edge at 300 runs, then the clock stops
+    EXPECT_EQ(clk.cycles(), 4u);
+    EXPECT_TRUE(clk.stopped());
+    EXPECT_TRUE(sched.quiescent());
+    EXPECT_EQ(clk.stop_events(), 1u);
+}
+
+TEST(StoppableClock, AsyncRestartResumesWithRestartDelay) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    bool enable = false;
+    clk.set_enable_fn([&] { return enable; });
+    clk.start();
+    sched.run_until(50);  // edge 0 at t=0, immediately stops
+    ASSERT_TRUE(clk.stopped());
+
+    sched.schedule_at(400, sim::Priority::kDefault, [&] {
+        enable = true;
+        clk.async_restart();
+    });
+    sched.run_until(2000);
+    EXPECT_FALSE(clk.stopped());
+    // Restart edge at 450 (restart_delay 50), then 550, 650, ...
+    EXPECT_GT(clk.cycles(), 5u);
+    EXPECT_EQ(clk.total_stopped_time(), 400u);
+}
+
+TEST(StoppableClock, RestartWhileRunningIsNoOp) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    clk.start();
+    sched.run_until(250);
+    const auto cycles_before = clk.cycles();
+    clk.async_restart();  // running: must not inject extra edges
+    sched.run_until(260);
+    EXPECT_EQ(clk.cycles(), cycles_before);
+}
+
+TEST(StoppableClock, DividerScalesEffectivePeriod) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    clk.set_divider(4);
+    EXPECT_EQ(clk.effective_period(), 400u);
+    clk.start();
+    sched.run_until(1700);  // edges 0,400,800,1200,1600
+    EXPECT_EQ(clk.cycles(), 5u);
+}
+
+TEST(StoppableClock, RejectsInvalidConfiguration) {
+    sim::Scheduler sched;
+    EXPECT_THROW(StoppableClock(sched, "bad", params(0)),
+                 std::invalid_argument);
+    StoppableClock clk(sched, "clk", params(100));
+    EXPECT_THROW(clk.set_divider(0), std::invalid_argument);
+    EXPECT_THROW(clk.set_base_period(0), std::invalid_argument);
+    EXPECT_THROW(clk.add_sink(nullptr), std::invalid_argument);
+}
+
+TEST(StoppableClock, EdgeObserversSeeSettledState) {
+    sim::Scheduler sched;
+    StoppableClock clk(sched, "clk", params(100));
+    struct A final : ClockSink {
+        int reg = 0;
+        void sample(std::uint64_t) override {}
+        void commit(std::uint64_t) override { ++reg; }
+    } a;
+    clk.add_sink(&a);
+    std::vector<int> observed;
+    clk.on_edge([&](std::uint64_t, sim::Time) { observed.push_back(a.reg); });
+    clk.start();
+    sched.run_until(250);
+    // Observer runs at monitor priority, after commit: sees 1, 2, 3.
+    EXPECT_EQ(observed, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TesterClock, PulsesDeliverEdgesAndGateSwallows) {
+    sim::Scheduler sched;
+    TesterClock tck(sched, "tck");
+    ProbeSink sink;
+    tck.add_sink(&sink);
+    EXPECT_TRUE(tck.pulse());
+    EXPECT_TRUE(tck.pulse());
+    bool open = false;
+    tck.set_gate_fn([&] { return open; });
+    EXPECT_FALSE(tck.pulse());  // swallowed wait state
+    open = true;
+    EXPECT_TRUE(tck.pulse());
+    EXPECT_EQ(tck.cycles(), 3u);
+    EXPECT_EQ(tck.swallowed(), 1u);
+    EXPECT_EQ(sink.samples, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace st::clk

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "async/self_timed_fifo.hpp"
+#include "sb/kernels/sources.hpp"
+#include "synchro/token_ring.hpp"
+#include "synchro/wrapper.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "tap/data_registers.hpp"
+#include "tap/tap_controller.hpp"
+#include "workload/traffic.hpp"
+
+namespace st {
+namespace {
+
+std::unique_ptr<sb::Kernel> any_kernel() {
+    return std::make_unique<wl::TrafficKernel>(1);
+}
+
+// ---------------------------------------------------------------------------
+// Soc specification validation
+// ---------------------------------------------------------------------------
+
+TEST(SpecValidation, MissingKernelFactoryRejected) {
+    sys::SocSpec spec = sys::make_pair_spec();
+    spec.sbs[0].make_kernel = nullptr;
+    EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+}
+
+TEST(SpecValidation, RingEndpointErrorsRejected) {
+    {
+        auto spec = sys::make_pair_spec();
+        spec.rings[0].sb_b = 0;  // self-loop
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+    {
+        auto spec = sys::make_pair_spec();
+        spec.rings[0].sb_b = 7;  // out of range
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+    {
+        auto spec = sys::make_pair_spec();
+        spec.rings[0].node_b.initial_holder = true;  // two holders
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+    {
+        auto spec = sys::make_pair_spec();
+        spec.rings[0].node_a.initial_holder = false;  // no holder
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+}
+
+TEST(SpecValidation, ChannelErrorsRejected) {
+    {
+        auto spec = sys::make_pair_spec();
+        spec.channels[0].ring = 5;
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+    {
+        sys::SocSpec spec = sys::make_triangle_spec();
+        spec.channels[0].to_sb = 2;  // ring 0 joins SBs 0 and 1 only
+        EXPECT_THROW(sys::Soc{spec}, std::invalid_argument);
+    }
+}
+
+TEST(SpecValidation, MeshAndChainGuards) {
+    sys::MeshOptions mesh;
+    mesh.width = 0;
+    EXPECT_THROW(sys::make_mesh_spec(mesh), std::invalid_argument);
+    sys::ChainOptions chain;
+    chain.length = 1;
+    EXPECT_THROW(sys::make_chain_spec(chain), std::invalid_argument);
+}
+
+TEST(SocMethods, RingNodeLookupValidation) {
+    sys::Soc soc(sys::make_pair_spec());
+    EXPECT_NO_THROW(soc.ring_node(0, 0));
+    EXPECT_NO_THROW(soc.ring_node(0, 1));
+    EXPECT_THROW(soc.ring_node(0, 2), std::invalid_argument);
+    EXPECT_THROW(soc.ring_node(3, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper lifecycle misuse
+// ---------------------------------------------------------------------------
+
+TEST(WrapperLifecycle, OperationsAfterFinalizeRejected) {
+    sim::Scheduler sched;
+    clk::StoppableClock::Params cp;
+    cp.base_period = 1000;
+    core::SbWrapper w(sched, "w", cp, any_kernel());
+    core::TokenNode::Params np;
+    np.initial_holder = true;
+    auto& node = w.add_node(np);
+    achan::SelfTimedFifo fifo(sched, "f", {});
+    w.attach_input(node, fifo);
+    w.finalize();
+    EXPECT_THROW(w.add_node(np), std::logic_error);
+    EXPECT_THROW(w.attach_input(node, fifo), std::logic_error);
+    EXPECT_THROW(w.attach_output(node, fifo, {}), std::logic_error);
+    EXPECT_THROW(w.finalize(), std::logic_error);
+}
+
+TEST(WrapperLifecycle, StartBeforeFinalizeRejected) {
+    sim::Scheduler sched;
+    clk::StoppableClock::Params cp;
+    cp.base_period = 1000;
+    core::SbWrapper w(sched, "w", cp, any_kernel());
+    EXPECT_THROW(w.start(), std::logic_error);
+}
+
+TEST(TokenRingLifecycle, StructuralErrorsRejected) {
+    sim::Scheduler sched;
+    core::TokenRing ring(sched, "r");
+    EXPECT_THROW(ring.add_node(nullptr, 100), std::invalid_argument);
+    core::TokenNode::Params np;
+    np.initial_holder = true;
+    core::TokenNode solo("solo", np);
+    ring.add_node(&solo, 100);
+    EXPECT_THROW(ring.finalize(), std::logic_error);  // needs >= 2
+    core::TokenNode peer("peer", core::TokenNode::Params{});
+    ring.add_node(&peer, 100);
+    ring.finalize();
+    EXPECT_NO_THROW(ring.finalize());  // idempotent
+    EXPECT_THROW(ring.add_node(&peer, 100), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// FIFO misuse
+// ---------------------------------------------------------------------------
+
+TEST(FifoMisuse, PreloadAndPopGuards) {
+    sim::Scheduler sched;
+    achan::SelfTimedFifo fifo(sched, "f", {});
+    EXPECT_THROW(fifo.pop_head(), std::logic_error);  // empty
+    EXPECT_THROW(fifo.preload(std::vector<Word>(99, 0)),
+                 std::invalid_argument);  // exceeds depth
+    fifo.preload({1, 2});
+    EXPECT_THROW(fifo.preload({3}), std::logic_error);  // already used
+    EXPECT_EQ(fifo.pop_head(), 1u);
+    EXPECT_EQ(fifo.occupancy(), 1u);
+}
+
+TEST(FifoMisuse, TailOverrunDetected) {
+    sim::Scheduler sched;
+    achan::SelfTimedFifo::Params p;
+    p.depth = 1;
+    achan::SelfTimedFifo fifo(sched, "f", p);
+    fifo.accept(1);
+    EXPECT_THROW(fifo.accept(2), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// TAP register validation
+// ---------------------------------------------------------------------------
+
+TEST(TapValidation, RegisterAndControllerGuards) {
+    EXPECT_THROW(tap::HookRegister(0, nullptr, nullptr),
+                 std::invalid_argument);
+    EXPECT_THROW(tap::HookRegister(65, nullptr, nullptr),
+                 std::invalid_argument);
+    EXPECT_THROW(tap::TapController("t", 1, 0), std::invalid_argument);
+    tap::TapController t("t", 8, 0xabc);
+    EXPECT_THROW(t.add_instruction(0x9, nullptr, "X"), std::invalid_argument);
+}
+
+TEST(TapValidation, TrstForcesReset) {
+    tap::TapController t("t", 8, 0xabc);
+    // Walk somewhere.
+    t.set_tms(false);
+    t.commit(0);
+    t.set_tms(true);
+    t.commit(1);
+    ASSERT_NE(t.state(), tap::TapState::kTestLogicReset);
+    t.trst();
+    EXPECT_EQ(t.state(), tap::TapState::kTestLogicReset);
+    EXPECT_EQ(t.current_mnemonic(), "IDCODE");
+}
+
+// ---------------------------------------------------------------------------
+// Kernel misuse
+// ---------------------------------------------------------------------------
+
+TEST(KernelValidation, LoadStateGuards) {
+    sb::LfsrSource lfsr(1);
+    EXPECT_THROW(lfsr.load_state(std::vector<std::uint64_t>(5, 0)),
+                 std::invalid_argument);
+    wl::TrafficKernel traffic(1);
+    EXPECT_THROW(traffic.load_state(std::vector<std::uint64_t>(9, 0)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace st

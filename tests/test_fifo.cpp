@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "async/four_phase.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace st::achan {
+namespace {
+
+/// Always-ready sink capturing words and their arrival times.
+class CollectSink final : public LinkSink {
+  public:
+    explicit CollectSink(sim::Scheduler& s) : sched_(s) {}
+    bool ready = true;
+    std::vector<Word> words;
+    std::vector<sim::Time> times;
+
+    bool can_accept() const override { return ready; }
+    void accept(Word w) override {
+        words.push_back(w);
+        times.push_back(sched_.now());
+    }
+
+  private:
+    sim::Scheduler& sched_;
+};
+
+FourPhaseLink::Params link_params(unsigned bits = 32, sim::Time req = 20,
+                                  sim::Time ack = 20) {
+    return FourPhaseLink::Params{bits, req, ack};
+}
+
+TEST(FourPhaseLink, CompletesUnloadedHandshakeIn2ReqPlus2Ack) {
+    sim::Scheduler sched;
+    FourPhaseLink link(sched, "l", link_params(32, 30, 10));
+    CollectSink sink(sched);
+    link.bind_sink(&sink);
+    int completions = 0;
+    link.on_complete([&] { ++completions; });
+
+    EXPECT_TRUE(link.idle());
+    link.send(0xdead);
+    EXPECT_FALSE(link.idle());
+    sched.run();
+    EXPECT_TRUE(link.idle());
+    EXPECT_EQ(completions, 1);
+    ASSERT_EQ(sink.words.size(), 1u);
+    EXPECT_EQ(sink.words[0], 0xdeadu);
+    EXPECT_EQ(sink.times[0], 30u);                // req wire delay
+    EXPECT_EQ(link.last_latency(), 2 * 30u + 2 * 10u);
+}
+
+TEST(FourPhaseLink, MasksDataToBusWidth) {
+    sim::Scheduler sched;
+    FourPhaseLink link(sched, "l", link_params(8));
+    CollectSink sink(sched);
+    link.bind_sink(&sink);
+    link.send(0x1234);
+    sched.run();
+    EXPECT_EQ(sink.words[0], 0x34u);
+}
+
+TEST(FourPhaseLink, BackpressureHoldsRequestUntilPoke) {
+    sim::Scheduler sched;
+    FourPhaseLink link(sched, "l", link_params());
+    CollectSink sink(sched);
+    sink.ready = false;
+    link.bind_sink(&sink);
+    link.send(1);
+    sched.run();
+    EXPECT_TRUE(link.request_pending());
+    EXPECT_TRUE(sink.words.empty());
+
+    sink.ready = true;
+    link.poke();
+    sched.run();
+    EXPECT_TRUE(link.idle());
+    EXPECT_EQ(sink.words.size(), 1u);
+    EXPECT_EQ(link.transfers(), 1u);
+}
+
+TEST(FourPhaseLink, SendWhileBusyThrows) {
+    sim::Scheduler sched;
+    FourPhaseLink link(sched, "l", link_params());
+    CollectSink sink(sched);
+    link.bind_sink(&sink);
+    link.send(1);
+    EXPECT_THROW(link.send(2), std::logic_error);
+}
+
+TEST(FourPhaseLink, SendWithoutSinkThrows) {
+    sim::Scheduler sched;
+    FourPhaseLink link(sched, "l", link_params());
+    EXPECT_THROW(link.send(1), std::logic_error);
+}
+
+class FifoFixture : public ::testing::Test {
+  protected:
+    SelfTimedFifo::Params fifo_params(std::size_t depth,
+                                      sim::Time stage = 100) {
+        SelfTimedFifo::Params p;
+        p.depth = depth;
+        p.stage_delay = stage;
+        p.data_bits = 32;
+        p.head_req_delay = 20;
+        p.head_ack_delay = 20;
+        return p;
+    }
+
+    /// Producer link bound to the FIFO tail (like an output interface).
+    std::unique_ptr<FourPhaseLink> make_producer(SelfTimedFifo& fifo) {
+        auto link = std::make_unique<FourPhaseLink>(sched, "prod",
+                                                    link_params());
+        link->bind_sink(&fifo.tail_sink());
+        fifo.attach_tail_link(link.get());
+        return link;
+    }
+
+    sim::Scheduler sched;
+};
+
+TEST_F(FifoFixture, WordTraversesAllStagesToConsumer) {
+    SelfTimedFifo fifo(sched, "f", fifo_params(4));
+    auto prod = make_producer(fifo);
+    CollectSink sink(sched);
+    fifo.head_link().bind_sink(&sink);
+
+    prod->send(0x42);
+    sched.run();
+    ASSERT_EQ(sink.words.size(), 1u);
+    EXPECT_EQ(sink.words[0], 0x42u);
+    EXPECT_EQ(fifo.occupancy(), 0u);
+    EXPECT_EQ(fifo.words_in(), 1u);
+    EXPECT_EQ(fifo.words_out(), 1u);
+    // Arrival at head after 3 inter-stage moves: tail req (20) + 3*100.
+    EXPECT_EQ(fifo.last_head_arrival(), 20u + 3 * 100u);
+}
+
+TEST_F(FifoFixture, PreservesOrderUnderStreaming) {
+    SelfTimedFifo fifo(sched, "f", fifo_params(3));
+    auto prod = make_producer(fifo);
+    CollectSink sink(sched);
+    fifo.head_link().bind_sink(&sink);
+
+    std::vector<Word> sent;
+    int next = 0;
+    std::function<void()> send_next = [&] {
+        if (next < 20) {
+            sent.push_back(static_cast<Word>(next));
+            prod->send(static_cast<Word>(next++));
+        }
+    };
+    prod->on_complete(send_next);
+    send_next();
+    sched.run();
+    EXPECT_EQ(sink.words, sent);
+}
+
+TEST_F(FifoFixture, FillsToDepthWhenConsumerBlocked) {
+    SelfTimedFifo fifo(sched, "f", fifo_params(4));
+    auto prod = make_producer(fifo);
+    CollectSink sink(sched);
+    sink.ready = false;
+    fifo.head_link().bind_sink(&sink);
+
+    int sent = 0;
+    std::function<void()> send_next = [&] {
+        if (sent < 10) {
+            ++sent;
+            prod->send(static_cast<Word>(sent));
+        }
+    };
+    prod->on_complete(send_next);
+    send_next();
+    sched.run();
+    // All 4 stages full; the 5th transfer is pending at the tail.
+    EXPECT_EQ(fifo.occupancy(), 4u);
+    EXPECT_TRUE(fifo.head_valid());
+    EXPECT_TRUE(prod->request_pending());
+    EXPECT_EQ(sent, 5);
+
+    // Unblock: everything drains in order.
+    sink.ready = true;
+    fifo.head_link().poke();
+    sched.run();
+    EXPECT_EQ(fifo.occupancy(), 0u);
+    EXPECT_EQ(sink.words.size(), 10u);
+    for (std::size_t i = 0; i < sink.words.size(); ++i) {
+        EXPECT_EQ(sink.words[i], i + 1);
+    }
+}
+
+TEST_F(FifoFixture, DepthOneFifoWorks) {
+    SelfTimedFifo fifo(sched, "f", fifo_params(1));
+    auto prod = make_producer(fifo);
+    CollectSink sink(sched);
+    fifo.head_link().bind_sink(&sink);
+
+    prod->send(7);
+    sched.run();
+    EXPECT_EQ(sink.words, (std::vector<Word>{7}));
+    prod->send(8);
+    sched.run();
+    EXPECT_EQ(sink.words, (std::vector<Word>{7, 8}));
+}
+
+TEST_F(FifoFixture, ZeroDepthRejected) {
+    EXPECT_THROW(SelfTimedFifo(sched, "f", fifo_params(0)),
+                 std::invalid_argument);
+}
+
+/// Property: for any (depth, stage delay, burst length), all words arrive in
+/// order and the FIFO drains empty.
+class FifoSweep : public FifoFixture,
+                  public ::testing::WithParamInterface<
+                      std::tuple<std::size_t, sim::Time, int>> {};
+
+TEST_P(FifoSweep, OrderAndConservationHold) {
+    const auto [depth, stage, burst] = GetParam();
+    SelfTimedFifo fifo(sched, "f", fifo_params(depth, stage));
+    auto prod = make_producer(fifo);
+    CollectSink sink(sched);
+    fifo.head_link().bind_sink(&sink);
+
+    int sent = 0;
+    std::function<void()> send_next = [&] {
+        if (sent < burst) prod->send(static_cast<Word>(0x100 + sent++));
+    };
+    prod->on_complete(send_next);
+    send_next();
+    sched.run();
+
+    ASSERT_EQ(sink.words.size(), static_cast<std::size_t>(burst));
+    for (int i = 0; i < burst; ++i) {
+        EXPECT_EQ(sink.words[static_cast<std::size_t>(i)],
+                  static_cast<Word>(0x100 + i));
+    }
+    EXPECT_EQ(fifo.occupancy(), 0u);
+    EXPECT_EQ(fifo.words_in(), fifo.words_out());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthDelayBurst, FifoSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8),
+                       ::testing::Values<sim::Time>(10, 100, 500),
+                       ::testing::Values(1, 7, 32)));
+
+}  // namespace
+}  // namespace st::achan

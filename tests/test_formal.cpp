@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "clock/stoppable_clock.hpp"
+#include "formal/ring_model.hpp"
+#include "sim/scheduler.hpp"
+#include "synchro/token_node.hpp"
+
+namespace st::formal {
+namespace {
+
+TEST(RingModelProof, TunedConfigurationIsDeterministic) {
+    RingModel::Config cfg;  // defaults: H=3, R=5, R0_b=4
+    const auto r = RingModel(cfg).explore();
+    EXPECT_TRUE(r.deterministic) << r.violation;
+    EXPECT_TRUE(r.invariants_hold) << r.violation;
+    EXPECT_GT(r.states_explored, 100u);
+    // The canonical schedule is fully resolved for node A's early cycles.
+    ASSERT_GE(r.schedule_a.size(), 4u);
+    EXPECT_EQ(r.schedule_a[0], 1);
+    EXPECT_EQ(r.schedule_a[1], 1);
+    EXPECT_EQ(r.schedule_a[2], 1);  // H=3 enabled cycles
+    EXPECT_EQ(r.schedule_a[3], 0);
+}
+
+/// The central theorem across a parameter grid: every (H, R) with the
+/// provisioning invariant holds a unique cycle-indexed enable schedule over
+/// *all* timing interleavings — including ones where tokens are arbitrarily
+/// late or arbitrarily early.
+class ProofSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(ProofSweep, AllInterleavingsYieldOneSchedule) {
+    const auto [h, extra] = GetParam();
+    RingModel::Config cfg;
+    cfg.hold_a = h;
+    cfg.hold_b = h;
+    cfg.recycle_a = h + extra;
+    cfg.recycle_b = h + extra;
+    cfg.initial_recycle_b = h + extra - 1;
+    cfg.max_cycles = 20;
+    const auto r = RingModel(cfg).explore();
+    EXPECT_TRUE(r.deterministic) << r.violation;
+    EXPECT_TRUE(r.invariants_hold) << r.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HoldRecycleGrid, ProofSweep,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 3, 5, 8),
+                       ::testing::Values<std::uint32_t>(1, 2, 4, 8)));
+
+TEST(RingModelProof, AsymmetricConfigurationsAlsoProve) {
+    RingModel::Config cfg;
+    cfg.hold_a = 2;
+    cfg.recycle_a = 9;
+    cfg.hold_b = 5;
+    cfg.recycle_b = 3;
+    cfg.initial_recycle_b = 7;
+    cfg.max_cycles = 22;
+    const auto r = RingModel(cfg).explore();
+    EXPECT_TRUE(r.deterministic) << r.violation;
+}
+
+TEST(RingModelProof, ZeroInitialRecycleWaiter) {
+    RingModel::Config cfg;
+    cfg.initial_recycle_b = 0;  // waiter stalls at its first commit
+    const auto r = RingModel(cfg).explore();
+    EXPECT_TRUE(r.deterministic) << r.violation;
+}
+
+/// Cross-validation: the schedule the formal model proves unique must equal
+/// the schedule the concrete TokenNode RTL model produces under one
+/// particular timing (here: echo the token back after a fixed delay).
+TEST(RingModelProof, CanonicalScheduleMatchesConcreteSimulation) {
+    RingModel::Config cfg;
+    cfg.hold_a = 3;
+    cfg.recycle_a = 5;
+    cfg.hold_b = 3;
+    cfg.recycle_b = 5;
+    cfg.initial_recycle_b = 4;
+    cfg.max_cycles = 20;
+    const auto proof = RingModel(cfg).explore();
+    ASSERT_TRUE(proof.deterministic);
+
+    // Concrete two-node simulation with real clocks and wire delays.
+    sim::Scheduler sched;
+    clk::StoppableClock::Params cp;
+    cp.base_period = 1000;
+    cp.restart_delay = 100;
+    clk::StoppableClock clk_a(sched, "a", cp);
+    cp.phase = 400;  // deliberately skewed
+    clk::StoppableClock clk_b(sched, "b", cp);
+
+    core::TokenNode::Params pa;
+    pa.hold = cfg.hold_a;
+    pa.recycle = cfg.recycle_a;
+    pa.initial_holder = true;
+    core::TokenNode node_a("a", pa);
+    core::TokenNode::Params pb;
+    pb.hold = cfg.hold_b;
+    pb.recycle = cfg.recycle_b;
+    pb.initial_holder = false;
+    pb.initial_recycle = cfg.initial_recycle_b;
+    core::TokenNode node_b("b", pb);
+
+    // Wire the ring by hand; the delivery lambdas also perform the
+    // wrapper's restart duty.
+    node_a.set_pass_fn([&] {
+        sched.schedule_after(700, [&] {
+            node_b.token_arrive();
+            if (node_b.clken()) clk_b.async_restart();
+        });
+    });
+    node_b.set_pass_fn([&] {
+        sched.schedule_after(700, [&] {
+            node_a.token_arrive();
+            if (node_a.clken()) clk_a.async_restart();
+        });
+    });
+
+    std::vector<int> sched_a, sched_b;
+    struct Rec final : clk::ClockSink {
+        const core::TokenNode* n = nullptr;
+        std::vector<int>* out = nullptr;
+        void sample(std::uint64_t) override {
+            out->push_back(n->sb_en() ? 1 : 0);
+        }
+        void commit(std::uint64_t) override {}
+    } rec_a, rec_b;
+    rec_a.n = &node_a;
+    rec_a.out = &sched_a;
+    rec_b.n = &node_b;
+    rec_b.out = &sched_b;
+    clk_a.add_sink(&node_a);
+    clk_a.add_sink(&rec_a);
+    clk_b.add_sink(&node_b);
+    clk_b.add_sink(&rec_b);
+    clk_a.set_enable_fn([&] { return node_a.clken(); });
+    clk_b.set_enable_fn([&] { return node_b.clken(); });
+    clk_a.start();
+    clk_b.start();
+    sched.run_until(sim::us(1));
+
+    for (std::size_t i = 0; i < cfg.max_cycles && i < sched_a.size(); ++i) {
+        if (proof.schedule_a[i] >= 0) {
+            EXPECT_EQ(sched_a[i], proof.schedule_a[i]) << "A cycle " << i;
+        }
+    }
+    for (std::size_t i = 0; i < cfg.max_cycles && i < sched_b.size(); ++i) {
+        if (proof.schedule_b[i] >= 0) {
+            EXPECT_EQ(sched_b[i], proof.schedule_b[i]) << "B cycle " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace st::formal

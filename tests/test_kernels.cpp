@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sb/kernels/sinks.hpp"
+#include "sb/kernels/sources.hpp"
+#include "sb/kernels/transforms.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::sb {
+namespace {
+
+/// Minimal in-memory port implementations for kernel unit tests.
+class VecInPort final : public InPortIf {
+  public:
+    std::deque<Word> queue;
+    bool has_data() const override { return !queue.empty(); }
+    Word peek() const override { return queue.front(); }
+    Word take() override {
+        const Word w = queue.front();
+        queue.pop_front();
+        return w;
+    }
+};
+
+class VecOutPort final : public OutPortIf {
+  public:
+    std::vector<Word> words;
+    bool full = false;
+    bool can_push() const override { return !full; }
+    void push(Word w) override { words.push_back(w); }
+};
+
+class TestCtx final : public SbContext {
+  public:
+    std::vector<VecInPort> ins;
+    std::vector<VecOutPort> outs;
+    std::uint64_t cycle = 0;
+
+    std::size_t num_in() const override { return ins.size(); }
+    std::size_t num_out() const override { return outs.size(); }
+    InPortIf& in(std::size_t i) override { return ins.at(i); }
+    OutPortIf& out(std::size_t i) override { return outs.at(i); }
+    std::uint64_t local_cycle() const override { return cycle; }
+
+    void run(Kernel& k, int cycles) {
+        for (int i = 0; i < cycles; ++i) {
+            k.on_cycle(*this);
+            ++cycle;
+        }
+    }
+};
+
+TEST(LfsrSource, DeterministicMaximalishSequence) {
+    LfsrSource a(0x1234);
+    LfsrSource b(0x1234);
+    TestCtx ca, cb;
+    ca.outs.resize(1);
+    cb.outs.resize(1);
+    ca.run(a, 100);
+    cb.run(b, 100);
+    EXPECT_EQ(ca.outs[0].words, cb.outs[0].words);
+    EXPECT_EQ(ca.outs[0].words.size(), 100u);
+    // No short cycles in the first 100 states.
+    std::set<Word> unique(ca.outs[0].words.begin(), ca.outs[0].words.end());
+    EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(LfsrSource, ThrottleAndBackpressure) {
+    LfsrSource k(0x99, /*emit_every=*/3);
+    TestCtx ctx;
+    ctx.outs.resize(1);
+    ctx.run(k, 9);
+    EXPECT_EQ(ctx.outs[0].words.size(), 3u);
+    ctx.outs[0].full = true;
+    ctx.run(k, 9);
+    EXPECT_EQ(ctx.outs[0].words.size(), 3u);  // nothing pushed while full
+    EXPECT_THROW(LfsrSource(0), std::invalid_argument);
+    EXPECT_THROW(LfsrSource(1, 0), std::invalid_argument);
+}
+
+TEST(CounterSource, TagsAndSequences) {
+    CounterSource k(0xAB);
+    TestCtx ctx;
+    ctx.outs.resize(2);
+    ctx.run(k, 3);
+    ASSERT_EQ(ctx.outs[0].words.size(), 3u);
+    EXPECT_EQ(ctx.outs[0].words[0] >> 56, 0xABu);
+    EXPECT_EQ(ctx.outs[1].words[1] & 0xffffffffull, 3u);  // interleaved count
+}
+
+TEST(AccumulatorKernel, AccumulatesAndRespectsBackpressure) {
+    AccumulatorKernel k;
+    TestCtx ctx;
+    ctx.ins.resize(1);
+    ctx.outs.resize(1);
+    ctx.ins[0].queue = {1, 2, 3, 4};
+    ctx.run(k, 4);
+    EXPECT_EQ(ctx.outs[0].words, (std::vector<Word>{1, 3, 6, 10}));
+    EXPECT_EQ(k.accumulator(), 10u);
+
+    ctx.ins[0].queue = {5};
+    ctx.outs[0].full = true;
+    ctx.run(k, 2);
+    EXPECT_EQ(k.accumulator(), 10u);  // not consumed while output blocked
+    EXPECT_EQ(ctx.ins[0].queue.size(), 1u);
+}
+
+TEST(FirKernel, ComputesConvolution) {
+    FirKernel k({2, 1});  // y[n] = 2x[n] + x[n-1]
+    TestCtx ctx;
+    ctx.ins.resize(1);
+    ctx.outs.resize(1);
+    ctx.ins[0].queue = {3, 5, 7};
+    ctx.run(k, 3);
+    EXPECT_EQ(ctx.outs[0].words, (std::vector<Word>{6, 13, 19}));
+    EXPECT_THROW(FirKernel({}), std::invalid_argument);
+}
+
+TEST(Crc32Kernel, MatchesKnownVector) {
+    // CRC-32 of the single zero word, computed with the bitwise reference.
+    std::uint32_t crc = 0xffffffffu;
+    crc = Crc32Kernel::update(crc, 0);
+    std::uint32_t crc2 = 0xffffffffu;
+    crc2 = Crc32Kernel::update(crc2, 0);
+    EXPECT_EQ(crc, crc2);
+    EXPECT_NE(crc, 0xffffffffu);
+    // Order sensitivity: (a, b) != (b, a).
+    const auto fold = [](std::initializer_list<std::uint64_t> ws) {
+        std::uint32_t c = 0xffffffffu;
+        for (auto w : ws) c = Crc32Kernel::update(c, w);
+        return c;
+    };
+    EXPECT_NE(fold({1, 2}), fold({2, 1}));
+}
+
+TEST(TransformKernel, MapsPairedPorts) {
+    TransformKernel k([](Word w) { return w * 2 + 1; });
+    TestCtx ctx;
+    ctx.ins.resize(2);
+    ctx.outs.resize(2);
+    ctx.ins[0].queue = {10};
+    ctx.ins[1].queue = {20};
+    ctx.run(k, 1);
+    EXPECT_EQ(ctx.outs[0].words, (std::vector<Word>{21}));
+    EXPECT_EQ(ctx.outs[1].words, (std::vector<Word>{41}));
+}
+
+TEST(RecorderSink, RecordsCycleAndPort) {
+    RecorderSink k;
+    TestCtx ctx;
+    ctx.ins.resize(2);
+    ctx.ins[0].queue = {7};
+    ctx.run(k, 1);
+    ctx.ins[1].queue = {9};
+    ctx.run(k, 1);
+    ASSERT_EQ(k.samples().size(), 2u);
+    EXPECT_EQ(k.samples()[0].cycle, 0u);
+    EXPECT_EQ(k.samples()[0].port, 0u);
+    EXPECT_EQ(k.samples()[0].word, 7u);
+    EXPECT_EQ(k.samples()[1].cycle, 1u);
+    EXPECT_EQ(k.samples()[1].port, 1u);
+}
+
+TEST(CheckerSink, CountsMismatches) {
+    CheckerSink k([](std::uint64_t i) { return i * 10; });
+    TestCtx ctx;
+    ctx.ins.resize(1);
+    ctx.ins[0].queue = {0, 10, 21, 30};  // third word wrong
+    ctx.run(k, 4);
+    EXPECT_EQ(k.words_consumed(), 4u);
+    EXPECT_EQ(k.mismatches(), 1u);
+}
+
+TEST(ScanStateRoundTrip, KernelsRestoreExactly) {
+    wl::TrafficKernel t(0x42);
+    TestCtx ctx;
+    ctx.ins.resize(1);
+    ctx.outs.resize(1);
+    ctx.ins[0].queue = {1, 2, 3};
+    ctx.run(t, 3);
+    const auto saved = t.scan_state();
+
+    wl::TrafficKernel fresh(0x42);
+    fresh.load_state(saved);
+    EXPECT_EQ(fresh.scan_state(), saved);
+    EXPECT_EQ(fresh.signature(), t.signature());
+
+    FirKernel f({1, 2, 3});
+    TestCtx c2;
+    c2.ins.resize(1);
+    c2.outs.resize(1);
+    c2.ins[0].queue = {4, 5};
+    c2.run(f, 2);
+    FirKernel f2({1, 2, 3});
+    f2.load_state(f.scan_state());
+    EXPECT_EQ(f2.scan_state(), f.scan_state());
+}
+
+TEST(RequesterKernel, WindowedRequestsAndChecking) {
+    wl::RequesterKernel req([](Word r) { return r + 100; }, 2);
+    TestCtx ctx;
+    ctx.ins.resize(1);
+    ctx.outs.resize(1);
+    ctx.run(req, 3);
+    EXPECT_EQ(req.requests_sent(), 2u);  // window limits outstanding
+    ctx.ins[0].queue = {101};            // correct response to request 1
+    ctx.run(req, 1);
+    EXPECT_EQ(req.responses_ok(), 1u);
+    ctx.ins[0].queue = {999};            // wrong response to request 2
+    ctx.run(req, 1);
+    EXPECT_EQ(req.responses_bad(), 1u);
+    EXPECT_EQ(req.requests_sent(), 4u);  // window refilled
+}
+
+TEST(BurstTraffic, DutyCycleRespected) {
+    wl::BurstTrafficKernel k(0x7, 3, 7);
+    TestCtx ctx;
+    ctx.outs.resize(1);
+    ctx.run(k, 100);
+    EXPECT_EQ(k.words_emitted(), 30u);  // 3 of every 10 cycles
+}
+
+}  // namespace
+}  // namespace st::sb

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "async/four_phase.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "system/param_rom.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "system/vcd_probe.hpp"
+#include "tap/tap_controller.hpp"
+#include "workload/traffic.hpp"
+
+namespace st {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scheduler stress property
+// ---------------------------------------------------------------------------
+
+class SchedulerStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerStress, TimeIsMonotoneAndEveryEventFiresAtItsTimestamp) {
+    sim::Scheduler sched;
+    sim::Rng rng(GetParam());
+    std::size_t fired = 0;
+    sim::Time last = 0;
+    constexpr std::size_t kEvents = 3000;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+        const sim::Time at = rng.next_below(100000);
+        const auto pri = static_cast<sim::Priority>(rng.next_below(5));
+        sched.schedule_at(at, pri, [&, at] {
+            EXPECT_EQ(sched.now(), at);
+            EXPECT_GE(at, last);
+            last = at;
+            ++fired;
+            // Events may spawn more events, always in the future.
+            if (rng.next_bool(0.2)) {
+                const sim::Time d = 1 + rng.next_below(500);
+                sched.schedule_after(d, [&, expect = at + d] {
+                    EXPECT_EQ(sched.now(), expect);
+                    ++fired;
+                });
+            }
+        });
+    }
+    sched.run();
+    EXPECT_GE(fired, kEvents);
+    EXPECT_EQ(sched.events_executed(), fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStress,
+                         ::testing::Values(1u, 42u, 0xdeadu));
+
+// ---------------------------------------------------------------------------
+// FIFO property under a randomly stalling consumer
+// ---------------------------------------------------------------------------
+
+class FifoRandomConsumer : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FifoRandomConsumer, OrderAndConservationSurviveArbitraryStalls) {
+    sim::Scheduler sched;
+    achan::SelfTimedFifo::Params fp;
+    fp.depth = 5;
+    fp.stage_delay = 80;
+    achan::SelfTimedFifo fifo(sched, "f", fp);
+    achan::FourPhaseLink producer(sched, "p", {32, 20, 20,
+                                               achan::LinkProtocol::kFourPhase});
+    producer.bind_sink(&fifo.tail_sink());
+    fifo.attach_tail_link(&producer);
+
+    struct FlakySink final : achan::LinkSink {
+        bool ready = false;
+        std::vector<Word> words;
+        bool can_accept() const override { return ready; }
+        void accept(Word w) override { words.push_back(w); }
+    } sink;
+    fifo.head_link().bind_sink(&sink);
+
+    sim::Rng rng(GetParam());
+    // Producer: 200 words back to back.
+    int sent = 0;
+    std::function<void()> next = [&] {
+        if (sent < 200) producer.send(static_cast<Word>(1000 + sent++));
+    };
+    producer.on_complete(next);
+    next();
+    // Consumer: readiness toggles at random times.
+    for (int i = 0; i < 400; ++i) {
+        sched.schedule_after(rng.next_below(200000),
+                             sim::Priority::kDefault, [&] {
+                                 sink.ready = !sink.ready;
+                                 fifo.head_link().poke();
+                             });
+    }
+    // Final drain.
+    sched.run();
+    sink.ready = true;
+    fifo.head_link().poke();
+    sched.run();
+
+    ASSERT_EQ(sink.words.size(), 200u);
+    for (std::size_t i = 0; i < sink.words.size(); ++i) {
+        EXPECT_EQ(sink.words[i], 1000 + i);
+    }
+    EXPECT_EQ(fifo.occupancy(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FifoRandomConsumer,
+                         ::testing::Values(7u, 99u, 12345u));
+
+// ---------------------------------------------------------------------------
+// TAP random-walk property
+// ---------------------------------------------------------------------------
+
+TEST(TapRandomWalk, ControllerNeverMisbehavesAndAlwaysRecovers) {
+    tap::TapController tap("walk", 8, 0x12345678u);
+    sim::Rng rng(0x7ap5);
+    for (int i = 0; i < 20000; ++i) {
+        tap.set_tms(rng.next_bool());
+        tap.set_tdi(rng.next_bool());
+        tap.sample(static_cast<std::uint64_t>(i));
+        tap.commit(static_cast<std::uint64_t>(i));
+        // State stays inside the 16-state space (enum soundness) and the
+        // name table covers it.
+        EXPECT_NE(std::string(to_string(tap.state())), "?");
+    }
+    // Five TMS=1 edges recover Test-Logic-Reset from anywhere.
+    tap.set_tms(true);
+    for (int i = 0; i < 5; ++i) {
+        tap.sample(0);
+        tap.commit(0);
+    }
+    EXPECT_EQ(tap.state(), tap::TapState::kTestLogicReset);
+    EXPECT_EQ(tap.current_mnemonic(), "IDCODE");
+}
+
+// ---------------------------------------------------------------------------
+// Enable duty-cycle property: sb_en high exactly H out of every H+R cycles
+// ---------------------------------------------------------------------------
+
+class DutyCycle
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(DutyCycle, EnableScheduleIsExactlyPeriodic) {
+    const auto [h, r] = GetParam();
+    sys::PairOptions opt;
+    opt.hold = h;
+    opt.recycle_override = r;
+    sys::Soc soc(sys::make_pair_spec(opt));
+    std::vector<bool> enables;
+    soc.start();
+    // Sample-phase recorder: reads the registered sb_en valid for the
+    // *current* cycle (an edge observer would see the post-commit value,
+    // which belongs to the next cycle).
+    struct Rec final : clk::ClockSink {
+        const core::TokenNode* node = nullptr;
+        std::vector<bool>* out = nullptr;
+        void sample(std::uint64_t) override {
+            out->push_back(node->sb_en());
+        }
+        void commit(std::uint64_t) override {}
+    } rec;
+    rec.node = &soc.wrapper(0).node(0);
+    rec.out = &enables;
+    soc.wrapper(0).clock().add_sink(&rec);
+    soc.run_cycles(30 * (h + r), sim::ms(30));
+    // Steady state: every window of (h+r) samples contains exactly h highs.
+    const std::size_t period = h + r;
+    std::size_t start = 2 * period;  // skip startup alignment
+    for (std::size_t w = start; w + period < enables.size(); w += period) {
+        std::size_t highs = 0;
+        for (std::size_t i = 0; i < period; ++i) highs += enables[w + i];
+        EXPECT_EQ(highs, h) << "window at " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HoldRecycle, DutyCycle,
+    ::testing::Values(std::make_tuple(2u, 4u), std::make_tuple(4u, 6u),
+                      std::make_tuple(4u, 12u), std::make_tuple(8u, 10u)));
+
+// ---------------------------------------------------------------------------
+// ParamRom
+// ---------------------------------------------------------------------------
+
+TEST(ParamRom, WordImageRoundTripsExactly) {
+    sys::ParamRom rom;
+    rom.add(sys::ParamRom::NodeEntry{0, 0, 6, 9});
+    rom.add(sys::ParamRom::NodeEntry{2, 1, 3, 17});
+    rom.add(sys::ParamRom::ClockEntry{1, 4});
+    const auto words = rom.to_words();
+    EXPECT_EQ(sys::ParamRom::from_words(words), rom);
+    EXPECT_THROW(sys::ParamRom::from_words({}), std::invalid_argument);
+    auto truncated = words;
+    truncated.pop_back();
+    EXPECT_THROW(sys::ParamRom::from_words(truncated), std::invalid_argument);
+}
+
+TEST(ParamRom, AppliesToSpecAndLiveSoc) {
+    auto spec = sys::make_pair_spec();
+    sys::ParamRom rom;
+    rom.add(sys::ParamRom::NodeEntry{0, 0, 5, 11});
+    rom.add(sys::ParamRom::ClockEntry{1, 2});
+    rom.apply(spec);
+    EXPECT_EQ(spec.rings[0].node_a.hold, 5u);
+    EXPECT_EQ(spec.rings[0].node_a.recycle, 11u);
+    EXPECT_EQ(spec.sbs[1].clock.divider, 2u);
+
+    sys::Soc soc(sys::make_pair_spec());
+    rom.apply(soc);
+    EXPECT_EQ(soc.ring_node(0, 0).hold_register(), 5u);
+    EXPECT_EQ(soc.ring_node(0, 0).recycle_register(), 11u);
+    EXPECT_EQ(soc.wrapper(1).clock().divider(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// VcdProbe smoke: valid header, all signal kinds present, plenty of changes
+// ---------------------------------------------------------------------------
+
+TEST(VcdProbe, CapturesWholeSystemActivity) {
+    sys::Soc soc(sys::make_pair_spec());
+    std::ostringstream out;
+    sys::VcdProbe probe(soc, out);
+    soc.run_cycles(200, sim::ms(2));
+    const std::string s = out.str();
+    EXPECT_NE(s.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(s.find("alpha.clk"), std::string::npos);
+    EXPECT_NE(s.find("alpha.node0.sb_en"), std::string::npos);
+    EXPECT_NE(s.find(".occupancy"), std::string::npos);
+    EXPECT_NE(s.find("ring_ab.pass"), std::string::npos);
+    // Plenty of timestamped activity.
+    EXPECT_GT(std::count(s.begin(), s.end(), '#'), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Trace probe consistency with kernel counters
+// ---------------------------------------------------------------------------
+
+TEST(TraceProbe, EventCountsMatchKernelCounters) {
+    sys::Soc soc(sys::make_pair_spec());
+    soc.run_cycles(300, sim::ms(2));
+    const auto traces = soc.traces();
+    const auto& alpha = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    std::size_t in_events = 0;
+    std::size_t out_events = 0;
+    for (const auto& e : traces.at("alpha").events) {
+        (e.dir == verify::IoEvent::Dir::kIn ? in_events : out_events) += 1;
+    }
+    EXPECT_EQ(in_events, alpha.words_consumed());
+    EXPECT_EQ(out_events, alpha.words_emitted());
+}
+
+}  // namespace
+}  // namespace st

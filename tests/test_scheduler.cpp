@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "sim/wire.hpp"
+
+namespace st::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZeroAndQuiescent) {
+    Scheduler s;
+    EXPECT_EQ(s.now(), 0u);
+    EXPECT_TRUE(s.quiescent());
+    EXPECT_EQ(s.next_event_time(), kNever);
+    EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutesEventsInTimeOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_after(30, [&] { order.push_back(3); });
+    s.schedule_after(10, [&] { order.push_back(1); });
+    s.schedule_after(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameTimeOrderedByPriorityThenInsertion) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(5, Priority::kMonitor, [&] { order.push_back(4); });
+    s.schedule_at(5, Priority::kClockEdge, [&] { order.push_back(0); });
+    s.schedule_at(5, Priority::kDefault, [&] { order.push_back(2); });
+    s.schedule_at(5, Priority::kDefault, [&] { order.push_back(3); });
+    s.schedule_at(5, Priority::kCommit, [&] { order.push_back(1); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RejectsEventsInThePast) {
+    Scheduler s;
+    s.schedule_after(10, [] {});
+    s.run();
+    EXPECT_THROW(s.schedule_at(5, Priority::kDefault, [] {}),
+                 std::logic_error);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+    Scheduler s;
+    int hits = 0;
+    for (Time t = 10; t <= 100; t += 10) {
+        s.schedule_at(t, Priority::kDefault, [&] { ++hits; });
+    }
+    EXPECT_EQ(s.run_until(50), 5u);
+    EXPECT_EQ(hits, 5);
+    EXPECT_EQ(s.now(), 50u);
+    s.run();
+    EXPECT_EQ(hits, 10);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeWhenQueueEmpty) {
+    Scheduler s;
+    s.run_until(1234);
+    EXPECT_EQ(s.now(), 1234u);
+}
+
+TEST(Scheduler, EventsCanScheduleFurtherEvents) {
+    Scheduler s;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) s.schedule_after(7, recurse);
+    };
+    s.schedule_after(7, recurse);
+    s.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(s.now(), 35u);
+    EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Scheduler, RunHonorsMaxEvents) {
+    Scheduler s;
+    int hits = 0;
+    for (int i = 0; i < 10; ++i) s.schedule_after(1 + i, [&] { ++hits; });
+    EXPECT_EQ(s.run(3), 3u);
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(Wire, DeliversChangesToObserversOnce) {
+    Scheduler s;
+    Wire<int> w(s, 0);
+    int calls = 0;
+    int last = -1;
+    w.observe([&](const int& v) {
+        ++calls;
+        last = v;
+    });
+    w.set(0);  // no change -> no notify
+    EXPECT_EQ(calls, 0);
+    w.set(7);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(last, 7);
+}
+
+TEST(Wire, DriveAppliesTransportDelay) {
+    Scheduler s;
+    Wire<int> w(s, 0);
+    w.drive(5, 100);
+    EXPECT_EQ(w.value(), 0);
+    s.run();
+    EXPECT_EQ(w.value(), 5);
+    EXPECT_EQ(w.last_change(), 100u);
+}
+
+TEST(BitWire, EdgeCallbacksFireOnCorrectPolarity) {
+    Scheduler s;
+    BitWire b(s, false);
+    int rises = 0;
+    int falls = 0;
+    b.on_rise([&] { ++rises; });
+    b.on_fall([&] { ++falls; });
+    b.toggle();
+    b.toggle();
+    b.toggle();
+    EXPECT_EQ(rises, 2);
+    EXPECT_EQ(falls, 1);
+}
+
+TEST(Time, FormatAndScaleHelpers) {
+    EXPECT_EQ(ns(1), 1000u);
+    EXPECT_EQ(us(1), 1000000u);
+    EXPECT_EQ(scale_percent(1000, 50), 500u);
+    EXPECT_EQ(scale_percent(1000, 200), 2000u);
+    EXPECT_EQ(scale_percent(1000, 75), 750u);
+    EXPECT_EQ(scale_percent(333, 150), 500u);  // rounds to nearest
+    EXPECT_EQ(format_time(500), "500 ps");
+    EXPECT_EQ(format_time(kNever), "never");
+}
+
+TEST(Rng, DeterministicFromSeedAndUnbiasedBounds) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+    Rng c(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = c.next_in(3, 9);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 9u);
+    }
+    EXPECT_EQ(c.next_below(0), 0u);
+}
+
+}  // namespace
+}  // namespace st::sim

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "system/soc.hpp"
+#include "system/stats.hpp"
+#include "system/testbenches.hpp"
+
+namespace st::sys {
+namespace {
+
+TEST(RunStats, CollectsConsistentCounters) {
+    Soc soc(make_triangle_spec());
+    soc.run_cycles(300, sim::ms(4));
+    const auto s = collect_stats(soc);
+
+    ASSERT_EQ(s.sbs.size(), 3u);
+    ASSERT_EQ(s.rings.size(), 3u);
+    ASSERT_EQ(s.channels.size(), 6u);
+    EXPECT_EQ(s.events, soc.scheduler().events_executed());
+    EXPECT_EQ(s.sim_time, soc.scheduler().now());
+    for (const auto& sb : s.sbs) {
+        EXPECT_GE(sb.cycles, 300u);
+        EXPECT_GE(sb.duty, 0.0);
+        EXPECT_LE(sb.duty, 1.0);
+        EXPECT_LE(sb.stopped_time, s.sim_time);
+    }
+    for (const auto& ring : s.rings) {
+        EXPECT_GT(ring.passes, 5u) << ring.name;
+    }
+    std::uint64_t total_words = 0;
+    for (const auto& ch : s.channels) total_words += ch.words;
+    EXPECT_GT(total_words, 100u);
+}
+
+TEST(RunStats, DutyIsFullWhenNeverStalled) {
+    Soc soc(make_pair_spec());  // tuned schedule: zero stops
+    soc.run_cycles(300, sim::ms(4));
+    const auto s = collect_stats(soc);
+    for (const auto& sb : s.sbs) {
+        EXPECT_DOUBLE_EQ(sb.duty, 1.0) << sb.name;
+        EXPECT_EQ(sb.stop_events, 0u);
+    }
+}
+
+TEST(RunStats, ReportRendersEverySection) {
+    Soc soc(make_pair_spec());
+    soc.run_cycles(100, sim::ms(2));
+    const auto text = collect_stats(soc).to_string();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("ring_ab"), std::string::npos);
+    EXPECT_NE(text.find("alpha_to_beta"), std::string::npos);
+    EXPECT_NE(text.find("duty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::sys

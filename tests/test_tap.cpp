@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "sb/kernels/sources.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "tap/p1500.hpp"
+#include "tap/test_sb.hpp"
+#include "tap/tester.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::tap {
+namespace {
+
+TEST(TapFsm, ResetFromAnywhereWithFiveOnes) {
+    for (int start = 0; start < 16; ++start) {
+        TapState s = static_cast<TapState>(start);
+        for (int i = 0; i < 5; ++i) s = tap_next_state(s, true);
+        EXPECT_EQ(s, TapState::kTestLogicReset) << "from state " << start;
+    }
+}
+
+TEST(TapFsm, StandardWalkThroughDrColumn) {
+    TapState s = TapState::kTestLogicReset;
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kRunTestIdle);
+    s = tap_next_state(s, true);
+    EXPECT_EQ(s, TapState::kSelectDrScan);
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kCaptureDr);
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftDr);
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftDr);
+    s = tap_next_state(s, true);
+    EXPECT_EQ(s, TapState::kExit1Dr);
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kPauseDr);
+    s = tap_next_state(s, true);
+    EXPECT_EQ(s, TapState::kExit2Dr);
+    s = tap_next_state(s, true);
+    EXPECT_EQ(s, TapState::kUpdateDr);
+    s = tap_next_state(s, false);
+    EXPECT_EQ(s, TapState::kRunTestIdle);
+}
+
+TEST(TapFsm, IrColumnReachable) {
+    TapState s = TapState::kRunTestIdle;
+    s = tap_next_state(s, true);   // Select-DR
+    s = tap_next_state(s, true);   // Select-IR
+    EXPECT_EQ(s, TapState::kSelectIrScan);
+    s = tap_next_state(s, false);  // Capture-IR
+    EXPECT_EQ(s, TapState::kCaptureIr);
+    EXPECT_STREQ(to_string(s), "Capture-IR");
+}
+
+/// Fixture: pair SoC with a Test SB ringed to both mission SBs.
+class TapFixture : public ::testing::Test {
+  protected:
+    TapFixture() : soc(sys::make_pair_spec()), tsb(soc, TestSb::Params{}) {
+        core::TokenNode::Params mission;
+        mission.hold = 2;
+        mission.recycle = 12;  // covers one TCK-paced round trip
+        mission.initial_holder = false;
+        core::TokenNode::Params test_side;
+        test_side.hold = 2;
+        test_side.recycle = 30;
+        test_side.initial_holder = true;
+        tsb.attach_ring(0, mission, test_side, 500, 500);
+        tsb.attach_ring(1, mission, test_side, 500, 500);
+        tsb.add_default_scan_targets();
+        soc.start();
+    }
+
+    sys::Soc soc;
+    TestSb tsb;
+};
+
+TEST_F(TapFixture, IdcodeReadsBack) {
+    TesterDriver drv(tsb);
+    drv.reset();
+    EXPECT_EQ(drv.read_idcode(), 0x5354'4B31u);
+}
+
+TEST_F(TapFixture, BypassIsSingleBitDelay) {
+    TesterDriver drv(tsb);
+    drv.reset();
+    drv.shift_ir(0xFF);  // BYPASS
+    // Through a 1-bit bypass, an n-bit pattern comes back shifted by one,
+    // with a captured 0 leading.
+    const auto out = drv.shift_dr({true, false, true, true});
+    EXPECT_EQ(out, (std::vector<bool>{false, true, false, true}));
+}
+
+TEST_F(TapFixture, IrCapturePatternIsStandard01) {
+    TesterDriver drv(tsb);
+    drv.reset();
+    const std::uint64_t captured = drv.shift_ir(0xFF);
+    EXPECT_EQ(captured & 0b11, 0b01u);
+}
+
+TEST_F(TapFixture, ModeInstructionSwitchesModes) {
+    TesterDriver drv(tsb);
+    drv.reset();
+    EXPECT_EQ(tsb.mode(), TestSb::Mode::kInterlocked);
+    drv.shift_ir(TestSb::Opcodes::kMode);
+    drv.shift_dr_word(1, 1);
+    EXPECT_EQ(tsb.mode(), TestSb::Mode::kIndependent);
+    // Reading back captures the new mode bit.
+    const auto captured = drv.shift_dr_word(0, 1);
+    EXPECT_EQ(captured, 1u);
+    EXPECT_EQ(tsb.mode(), TestSb::Mode::kInterlocked);  // wrote 0 back
+}
+
+TEST_F(TapFixture, TokenHoldInstructionParksTokens) {
+    TesterDriver drv(tsb);
+    drv.reset();
+    drv.shift_ir(TestSb::Opcodes::kTokenHold);
+    drv.shift_dr_word(0b11, 16);
+    EXPECT_TRUE(tsb.test_node(0).debug_hold());
+    EXPECT_TRUE(tsb.test_node(1).debug_hold());
+    drv.shift_dr_word(0b00, 16);
+    EXPECT_FALSE(tsb.test_node(0).debug_hold());
+}
+
+TEST_F(TapFixture, BreakpointStopsAllMissionClocksDeterministically) {
+    tsb.hold_all_tokens(true);
+    const auto pulses = tsb.wait_for_system_stop();
+    ASSERT_NE(pulses, ~0ull);
+    EXPECT_TRUE(tsb.all_mission_clocks_stopped());
+    // Stop cycle counts are a deterministic function of the configuration:
+    // a second identical system stops at the same local cycle counts.
+    sys::Soc soc2(sys::make_pair_spec());
+    TestSb tsb2(soc2, TestSb::Params{});
+    core::TokenNode::Params mission;
+    mission.hold = 2;
+    mission.recycle = 12;
+    core::TokenNode::Params test_side;
+    test_side.hold = 2;
+    test_side.recycle = 30;
+    test_side.initial_holder = true;
+    tsb2.attach_ring(0, mission, test_side, 500, 500);
+    tsb2.attach_ring(1, mission, test_side, 500, 500);
+    soc2.start();
+    tsb2.hold_all_tokens(true);
+    ASSERT_NE(tsb2.wait_for_system_stop(), ~0ull);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(soc.wrapper(i).clock().cycles(),
+                  soc2.wrapper(i).clock().cycles());
+    }
+}
+
+TEST_F(TapFixture, ScanReadsArchitecturalStateAtBreakpoint) {
+    tsb.hold_all_tokens(true);
+    ASSERT_NE(tsb.wait_for_system_stop(), ~0ull);
+
+    TesterDriver drv(tsb);
+    drv.reset();
+    const auto image = drv.scan_transaction({});
+    ASSERT_EQ(image.size(), tsb.scan_chain().payload_bits());
+
+    // First target: alpha's TrafficKernel, word 0 = LFSR state.
+    std::uint64_t lfsr = 0;
+    for (int b = 0; b < 64; ++b) {
+        if (image[static_cast<std::size_t>(b)]) lfsr |= (1ull << b);
+    }
+    const auto& kernel = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    EXPECT_EQ(lfsr, kernel.scan_state()[0]);
+}
+
+TEST_F(TapFixture, ScanReadIsNonDestructive) {
+    tsb.hold_all_tokens(true);
+    ASSERT_NE(tsb.wait_for_system_stop(), ~0ull);
+    TesterDriver drv(tsb);
+    drv.reset();
+    const auto before = drv.scan_transaction({});
+    const auto after = drv.scan_transaction({});
+    EXPECT_EQ(before, after);
+}
+
+TEST_F(TapFixture, ScanWriteModifiesStateAndReadsBack) {
+    tsb.hold_all_tokens(true);
+    ASSERT_NE(tsb.wait_for_system_stop(), ~0ull);
+    TesterDriver drv(tsb);
+    drv.reset();
+
+    auto image = drv.scan_transaction({});
+    // Overwrite alpha's LFSR (payload word 0) with a known value.
+    const std::uint64_t magic = 0x1234'5678'9abc'def1ull;
+    for (int b = 0; b < 64; ++b) {
+        image[static_cast<std::size_t>(b)] = (magic >> b) & 1;
+    }
+    drv.scan_transaction(image);
+    const auto& kernel = dynamic_cast<const wl::TrafficKernel&>(
+        soc.wrapper(0).block().kernel());
+    EXPECT_EQ(kernel.scan_state()[0], magic);
+
+    const auto readback = drv.scan_transaction({});
+    std::uint64_t lfsr = 0;
+    for (int b = 0; b < 64; ++b) {
+        if (readback[static_cast<std::size_t>(b)]) lfsr |= (1ull << b);
+    }
+    EXPECT_EQ(lfsr, magic);
+}
+
+TEST_F(TapFixture, SingleStepAdvancesSystemBetweenBreakpoints) {
+    tsb.hold_all_tokens(true);
+    ASSERT_NE(tsb.wait_for_system_stop(), ~0ull);
+    const auto before0 = soc.wrapper(0).clock().cycles();
+    const auto before1 = soc.wrapper(1).clock().cycles();
+
+    ASSERT_TRUE(tsb.single_step());
+    ASSERT_NE(tsb.wait_for_system_stop(), ~0ull);
+    EXPECT_GT(soc.wrapper(0).clock().cycles(), before0);
+    EXPECT_GT(soc.wrapper(1).clock().cycles(), before1);
+}
+
+TEST(TapInterlock, TightRecycleProducesWaitStates) {
+    // A test node whose recycle expires before the mission round trip
+    // completes swallows TCK pulses until the token returns — the wait
+    // states the paper's Interlocked Mode exposes to the tester.
+    sys::Soc soc(sys::make_pair_spec());
+    TestSb tsb(soc, TestSb::Params{});
+    core::TokenNode::Params mission;
+    mission.hold = 8;
+    mission.recycle = 20;
+    core::TokenNode::Params test_side;
+    test_side.hold = 2;
+    test_side.recycle = 1;  // token cannot be back within one TCK cycle
+    test_side.initial_holder = true;
+    tsb.attach_ring(0, mission, test_side, 500, 500);
+    soc.start();
+    for (int i = 0; i < 200; ++i) tsb.clock(false, false);
+    EXPECT_GT(tsb.wait_states(), 0u);
+    // Despite the interlocking, tokens keep circulating.
+    EXPECT_GT(tsb.test_node(0).tokens_received(), 2u);
+}
+
+TEST(TapIndependentMode, TokensBypassTestSbWithoutTck) {
+    sys::Soc soc(sys::make_pair_spec());
+    TestSb tsb(soc, TestSb::Params{});
+    core::TokenNode::Params mission;
+    mission.hold = 2;
+    mission.recycle = 4;  // bypass round trip is ~1.1 ns: R=4 covers it
+    mission.initial_holder = true;  // mission side owns the token
+    core::TokenNode::Params test_side;
+    test_side.hold = 2;
+    test_side.recycle = 30;
+    test_side.initial_holder = false;
+    tsb.attach_ring(0, mission, test_side, 500, 500);
+    tsb.set_mode(TestSb::Mode::kIndependent);
+    soc.start();
+    // No TCK pulses at all ("mission mode, where TCK never toggles"): the
+    // SoC must still make full progress.
+    ASSERT_TRUE(soc.run_cycles(300, sim::ms(1)));
+    EXPECT_GE(soc.wrapper(0).clock().cycles(), 300u);
+}
+
+TEST(TapP1500, CoreWrapperScanAndBoundary) {
+    sys::Soc soc(sys::make_pair_spec());
+    TestSb tsb(soc, TestSb::Params{});
+    soc.start();
+
+    sb::CounterSource core_kernel(7);
+    CoreWrapper cw("core0", core_kernel, 8);
+    std::uint64_t boundary_out = ~0ull;
+    cw.set_boundary_capture([] { return 0xA5ull; });
+    cw.set_boundary_update([&](std::uint64_t v) { boundary_out = v; });
+    tsb.tap().add_instruction(0x20, &cw.wir(), "CORE0_WIR");
+    tsb.tap().add_instruction(0x21, &cw.wdr(), "CORE0_WDR");
+
+    TesterDriver drv(tsb);
+    drv.reset();
+
+    // Select the boundary register through the WIR, then sample it.
+    drv.shift_ir(0x20);
+    drv.shift_dr_word(static_cast<std::uint64_t>(CoreWrapper::WirOp::kBoundary), 2);
+    EXPECT_EQ(cw.current(), CoreWrapper::WirOp::kBoundary);
+    drv.shift_ir(0x21);
+    EXPECT_EQ(drv.shift_dr_word(0x3C, 8), 0xA5u);
+    EXPECT_EQ(boundary_out, 0x3Cu);  // EXTEST-style drive
+
+    // Core-internal scan: read the counter state through the WDR.
+    drv.shift_ir(0x20);
+    drv.shift_dr_word(static_cast<std::uint64_t>(CoreWrapper::WirOp::kCoreScan), 2);
+    core_kernel.load_state({42});
+    drv.shift_ir(0x21);
+    const std::size_t len = cw.wdr().length();  // 64 payload + tail + WE
+    std::vector<bool> zeros(len, false);
+    drv.shift_ir(0x21);
+    drv.shift_dr(zeros);  // capture+shift; WE low -> non-destructive
+    // The payload bits follow the 2 empty tail stages.
+    // Re-read deterministically via a fresh transaction:
+    drv.shift_dr(zeros);
+    EXPECT_EQ(core_kernel.scan_state()[0], 42u);  // untouched by reads
+
+    // Bypass through the core wrapper is one bit long.
+    drv.shift_ir(0x20);
+    drv.shift_dr_word(static_cast<std::uint64_t>(CoreWrapper::WirOp::kBypass), 2);
+    drv.shift_ir(0x21);
+    EXPECT_EQ(cw.wdr().length(), 1u);
+}
+
+}  // namespace
+}  // namespace st::tap

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sb/kernels/transforms.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/spec.hpp"
+#include "tap/test_sb.hpp"
+
+namespace st::tap {
+namespace {
+
+/// One mission SB (a pure word transformer) reachable only through the Test
+/// SB: a tester->mission channel and a mission->tester channel, both bundled
+/// to one interlocked token ring.
+struct DataRig {
+    explicit DataRig(unsigned mission_clock_pct = 100) {
+        sys::SocSpec spec;
+        sys::SbSpec sb;
+        sb.name = "dut";
+        sb.clock.base_period = sim::scale_percent(1000, mission_clock_pct);
+        sb.clock.restart_delay = 200;
+        sb.make_kernel = [] {
+            return std::make_unique<sb::TransformKernel>(
+                [](Word w) { return w * 3 + 1; });
+        };
+        spec.sbs.push_back(sb);
+        soc = std::make_unique<sys::Soc>(spec);
+        tsb = std::make_unique<TestSb>(*soc, TestSb::Params{});
+
+        core::TokenNode::Params mission;
+        mission.hold = 4;
+        mission.recycle = 20;
+        core::TokenNode::Params test_side;
+        test_side.hold = 4;
+        test_side.recycle = 30;
+        test_side.initial_holder = true;
+        tsb->attach_ring(0, mission, test_side, 500, 500);
+
+        achan::SelfTimedFifo::Params fifo;
+        fifo.depth = 4;
+        fifo.data_bits = 64;
+        achan::FourPhaseLink::Params link{64, 20, 20,
+                                          achan::LinkProtocol::kFourPhase};
+        tx = tsb->attach_data_to(0, fifo, link);
+        rx = tsb->attach_data_from(0, fifo, link);
+        soc->start();
+    }
+
+    std::vector<Word> exchange(const std::vector<Word>& cmds,
+                               int pulses = 400) {
+        for (const Word c : cmds) tsb->host_send(tx, c);
+        std::vector<Word> got;
+        for (int i = 0; i < pulses && got.size() < cmds.size(); ++i) {
+            tsb->clock(false, false);
+            while (auto w = tsb->host_recv(rx)) got.push_back(*w);
+        }
+        return got;
+    }
+
+    std::unique_ptr<sys::Soc> soc;
+    std::unique_ptr<TestSb> tsb;
+    std::size_t tx = 0;
+    std::size_t rx = 0;
+};
+
+TEST(TesterData, RoundTripThroughInterlockedChannels) {
+    DataRig rig;
+    const auto got = rig.exchange({5, 10, 0, 42, 99});
+    ASSERT_EQ(got.size(), 5u);
+    EXPECT_EQ(got, (std::vector<Word>{16, 31, 1, 127, 298}));
+}
+
+TEST(TesterData, ExchangeIsReproducible) {
+    DataRig a;
+    DataRig b;
+    const std::vector<Word> cmds{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(a.exchange(cmds), b.exchange(cmds));
+}
+
+/// Paper §4.2: "In Interlocked Mode ... data exchange between the tester and
+/// the mission mode logic is deterministic." The mission clock runs 50%
+/// slower — the tester sees wait states, but the received data is identical.
+TEST(TesterData, DeterministicAcrossMissionClockVariation) {
+    DataRig nominal;
+    DataRig slow(150);
+    DataRig fast(75);
+    const std::vector<Word> cmds{11, 22, 33, 44, 55};
+    const auto ref = nominal.exchange(cmds);
+    ASSERT_EQ(ref.size(), cmds.size());
+    EXPECT_EQ(slow.exchange(cmds), ref);
+    EXPECT_EQ(fast.exchange(cmds), ref);
+}
+
+TEST(TesterData, EmptyReceiveReturnsNullopt) {
+    DataRig rig;
+    EXPECT_FALSE(rig.tsb->host_recv(rig.rx).has_value());
+}
+
+}  // namespace
+}  // namespace st::tap

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/vcd.hpp"
+#include "sim/waveform.hpp"
+
+namespace st::sim {
+namespace {
+
+TEST(VcdWriter, EmitsValidHeaderAndChanges) {
+    std::ostringstream out;
+    VcdWriter vcd(out, "soc");
+    const int clk = vcd.add_signal("clk", 1);
+    const int bus = vcd.add_signal("data", 8);
+    vcd.change(clk, 1, 0);
+    vcd.change(bus, 0x5a, 0);
+    vcd.change(clk, 0, 500);
+    vcd.change(clk, 0, 600);  // no change: suppressed
+    vcd.change(clk, 1, 1000);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(s.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(s.find("$var wire 8 \" data $end"), std::string::npos);
+    EXPECT_NE(s.find("#0\n"), std::string::npos);
+    EXPECT_NE(s.find("b1011010 \""), std::string::npos);
+    EXPECT_NE(s.find("#500\n0!"), std::string::npos);
+    EXPECT_EQ(s.find("#600"), std::string::npos);  // suppressed timestamp
+    EXPECT_NE(s.find("#1000\n1!"), std::string::npos);
+}
+
+TEST(VcdWriter, RejectsLateSignalRegistration) {
+    std::ostringstream out;
+    VcdWriter vcd(out);
+    const int sig = vcd.add_signal("a");
+    vcd.change(sig, 1, 0);
+    EXPECT_THROW(vcd.add_signal("b"), std::logic_error);
+}
+
+TEST(WaveRecorder, RendersRailsDigitsAndAnnotations) {
+    WaveRecorder rec;
+    const int clk = rec.add_signal("clk", /*is_bit=*/true, 0);
+    const int ctr = rec.add_signal("hold", /*is_bit=*/false, 3);
+    rec.change(clk, 1, 100);
+    rec.change(clk, 0, 200);
+    rec.change(ctr, 2, 100);
+    rec.change(ctr, 1, 200);
+    rec.annotate(clk, 'A', 100);
+    const std::string s = rec.render(0, 400, 100);
+    // Annotation row, then clk rail with rise/fall marks, then digits.
+    EXPECT_NE(s.find('A'), std::string::npos);
+    EXPECT_NE(s.find('/'), std::string::npos);
+    EXPECT_NE(s.find('\\'), std::string::npos);
+    EXPECT_NE(s.find("321"), std::string::npos);
+}
+
+TEST(WaveRecorder, EmptyRangeYieldsEmptyString) {
+    WaveRecorder rec;
+    rec.add_signal("x", true, 0);
+    EXPECT_TRUE(rec.render(100, 100, 10).empty());
+    EXPECT_TRUE(rec.render(0, 100, 0).empty());
+}
+
+TEST(WaveRecorder, LargeCounterRendersPlus) {
+    WaveRecorder rec;
+    const int c = rec.add_signal("big", false, 15);
+    rec.change(c, 12, 50);
+    const std::string s = rec.render(0, 100, 50);
+    EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::sim

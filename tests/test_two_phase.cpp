@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "async/make_link.hpp"
+#include "sim/scheduler.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/io_trace.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::achan {
+namespace {
+
+class CollectSink final : public LinkSink {
+  public:
+    explicit CollectSink(sim::Scheduler& s) : sched_(s) {}
+    bool ready = true;
+    std::vector<Word> words;
+    std::vector<sim::Time> times;
+    bool can_accept() const override { return ready; }
+    void accept(Word w) override {
+        words.push_back(w);
+        times.push_back(sched_.now());
+    }
+
+  private:
+    sim::Scheduler& sched_;
+};
+
+FourPhaseLink::Params params(LinkProtocol proto, sim::Time req = 30,
+                             sim::Time ack = 10) {
+    FourPhaseLink::Params p;
+    p.data_bits = 32;
+    p.req_delay = req;
+    p.ack_delay = ack;
+    p.protocol = proto;
+    return p;
+}
+
+TEST(TwoPhaseLink, HalvesTheHandshakeLatency) {
+    sim::Scheduler sched;
+    auto two = make_link(sched, "2p", params(LinkProtocol::kTwoPhase));
+    auto four = make_link(sched, "4p", params(LinkProtocol::kFourPhase));
+    CollectSink s2(sched);
+    CollectSink s4(sched);
+    two->bind_sink(&s2);
+    four->bind_sink(&s4);
+    two->send(1);
+    four->send(2);
+    sched.run();
+    EXPECT_EQ(two->last_latency(), 40u);   // req + ack
+    EXPECT_EQ(four->last_latency(), 80u);  // 2*(req + ack)
+    EXPECT_EQ(two->unloaded_latency(), 40u);
+    EXPECT_EQ(four->unloaded_latency(), 80u);
+}
+
+TEST(TwoPhaseLink, BackpressureAndPokeWork) {
+    sim::Scheduler sched;
+    auto link = make_link(sched, "2p", params(LinkProtocol::kTwoPhase));
+    CollectSink sink(sched);
+    sink.ready = false;
+    link->bind_sink(&sink);
+    link->send(7);
+    sched.run();
+    EXPECT_TRUE(link->request_pending());
+    sink.ready = true;
+    link->poke();
+    sched.run();
+    EXPECT_TRUE(link->idle());
+    EXPECT_EQ(sink.words, (std::vector<Word>{7}));
+}
+
+TEST(TwoPhaseLink, BurstThroughputBeatsFourPhase) {
+    const auto burst_time = [](LinkProtocol proto) {
+        sim::Scheduler sched;
+        auto link = make_link(sched, "l", params(proto));
+        CollectSink sink(sched);
+        link->bind_sink(&sink);
+        int sent = 0;
+        std::function<void()> next = [&] {
+            if (sent < 50) link->send(static_cast<Word>(sent++));
+        };
+        link->on_complete(next);
+        next();
+        sched.run();
+        return sched.now();
+    };
+    EXPECT_LT(burst_time(LinkProtocol::kTwoPhase),
+              burst_time(LinkProtocol::kFourPhase));
+}
+
+TEST(TwoPhaseLink, ErrorsMirrorFourPhase) {
+    sim::Scheduler sched;
+    auto link = make_link(sched, "l", params(LinkProtocol::kTwoPhase));
+    EXPECT_THROW(link->send(1), std::logic_error);  // no sink
+    CollectSink sink(sched);
+    link->bind_sink(&sink);
+    link->send(1);
+    EXPECT_THROW(link->send(2), std::logic_error);  // busy
+}
+
+/// End-to-end: the whole pair SoC running on two-phase links everywhere
+/// stays functional and deterministic.
+TEST(TwoPhaseSystem, PairRunsDeterministically) {
+    auto spec = sys::make_pair_spec();
+    for (auto& c : spec.channels) {
+        c.tail_link.protocol = LinkProtocol::kTwoPhase;
+        c.fifo.head_protocol = LinkProtocol::kTwoPhase;
+    }
+    const auto run = [&](const sys::DelayConfig& cfg) {
+        sys::Soc soc(sys::apply(spec, cfg));
+        soc.run_cycles(200, sim::ms(2));
+        EXPECT_TRUE(soc.audit_timing().all_pass());
+        return verify::truncated(soc.traces(), 150);
+    };
+    const auto nominal = run(sys::DelayConfig::nominal(spec));
+    EXPECT_FALSE(nominal.at("alpha").events.empty());
+    auto cfg = sys::DelayConfig::nominal(spec);
+    cfg.fifo_pct.assign(cfg.fifo_pct.size(), 200);
+    cfg.ring_ab_pct.assign(cfg.ring_ab_pct.size(), 50);
+    const auto diff = verify::diff_traces(nominal, run(cfg));
+    EXPECT_TRUE(diff.identical) << diff.first_mismatch;
+}
+
+/// The protocols deliver identical *data sequences* (only analog timing
+/// differs), so the cycle-indexed traces of a two-phase system match the
+/// four-phase system word for word.
+TEST(TwoPhaseSystem, SameTracesAsFourPhaseSystem) {
+    auto spec2 = sys::make_pair_spec();
+    for (auto& c : spec2.channels) {
+        c.tail_link.protocol = LinkProtocol::kTwoPhase;
+        c.fifo.head_protocol = LinkProtocol::kTwoPhase;
+    }
+    const auto spec4 = sys::make_pair_spec();
+    const auto run = [](const sys::SocSpec& s) {
+        sys::Soc soc(s);
+        soc.run_cycles(200, sim::ms(2));
+        return verify::truncated(soc.traces(), 150);
+    };
+    const auto diff = verify::diff_traces(run(spec4), run(spec2));
+    EXPECT_TRUE(diff.identical) << diff.first_mismatch;
+}
+
+}  // namespace
+}  // namespace st::achan

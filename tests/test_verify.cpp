@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "verify/determinism.hpp"
+#include "verify/io_trace.hpp"
+#include "verify/timing_checker.hpp"
+
+namespace st::verify {
+namespace {
+
+IoTrace make_trace(const std::string& name,
+                   std::initializer_list<IoEvent> events) {
+    IoTrace t;
+    t.sb_name = name;
+    t.events = events;
+    return t;
+}
+
+TEST(IoTrace, FingerprintSensitiveToEveryField) {
+    const IoEvent base{10, IoEvent::Dir::kIn, 0, 0xabc};
+    const auto fp = [](IoEvent e) {
+        IoTrace t;
+        t.events = {e};
+        return t.fingerprint();
+    };
+    IoEvent cycle = base;
+    cycle.cycle = 11;
+    IoEvent dir = base;
+    dir.dir = IoEvent::Dir::kOut;
+    IoEvent port = base;
+    port.port = 1;
+    IoEvent word = base;
+    word.word = 0xabd;
+    EXPECT_NE(fp(base), fp(cycle));
+    EXPECT_NE(fp(base), fp(dir));
+    EXPECT_NE(fp(base), fp(port));
+    EXPECT_NE(fp(base), fp(word));
+    EXPECT_EQ(fp(base), fp(base));
+}
+
+TEST(IoTrace, TruncationKeepsOnlyEarlyCycles) {
+    const auto t = make_trace("sb", {{5, IoEvent::Dir::kIn, 0, 1},
+                                     {99, IoEvent::Dir::kOut, 0, 2},
+                                     {100, IoEvent::Dir::kIn, 0, 3},
+                                     {250, IoEvent::Dir::kIn, 0, 4}});
+    const auto cut = t.truncated(100);
+    ASSERT_EQ(cut.events.size(), 2u);
+    EXPECT_EQ(cut.events[1].cycle, 99u);
+}
+
+TEST(DiffTraces, DetectsValueCycleAndLengthMismatches) {
+    TraceSet a;
+    a.emplace("sb", make_trace("sb", {{1, IoEvent::Dir::kIn, 0, 7},
+                                      {2, IoEvent::Dir::kIn, 0, 8}}));
+    TraceSet same = a;
+    EXPECT_TRUE(diff_traces(a, same).identical);
+
+    TraceSet value = a;
+    value["sb"].events[1].word = 9;
+    const auto d1 = diff_traces(a, value);
+    EXPECT_FALSE(d1.identical);
+    EXPECT_NE(d1.first_mismatch.find("event 1"), std::string::npos);
+
+    TraceSet shifted = a;
+    shifted["sb"].events[0].cycle = 3;
+    EXPECT_FALSE(diff_traces(a, shifted).identical);
+
+    TraceSet longer = a;
+    longer["sb"].events.push_back({4, IoEvent::Dir::kOut, 0, 1});
+    const auto d3 = diff_traces(a, longer);
+    EXPECT_FALSE(d3.identical);
+    EXPECT_NE(d3.first_mismatch.find("events"), std::string::npos);
+
+    TraceSet missing;
+    EXPECT_FALSE(diff_traces(a, missing).identical);
+}
+
+TEST(DeterminismHarness, CountsMatchesAndCollectsExamples) {
+    // Runner returns traces that depend on the perturbation value parity.
+    const auto runner = [](const int& p) {
+        TraceSet t;
+        t.emplace("sb",
+                  make_trace("sb", {{static_cast<std::uint64_t>(p % 2),
+                                     IoEvent::Dir::kIn, 0, 42}}));
+        return t;
+    };
+    DeterminismHarness<int> harness(runner, /*nominal=*/0, /*n_cycles=*/100);
+    const auto result = harness.sweep({2, 4, 1, 3, 6});
+    EXPECT_EQ(result.runs, 5u);
+    EXPECT_EQ(result.matches, 3u);
+    EXPECT_EQ(result.mismatches, 2u);
+    EXPECT_FALSE(result.all_match());
+    EXPECT_EQ(result.examples.size(), 2u);
+
+    DeterminismHarness<int> clean(runner, 0, 100);
+    EXPECT_TRUE(clean.sweep({2, 4, 6}).all_match());
+}
+
+TEST(TimingChecker, SlackAndViolationAccounting) {
+    TimingChecker checker;
+    checker.require("fits", 80, 100);
+    checker.require("exact", 100, 100);
+    checker.require("breaks", 130, 100);
+    const auto& r = checker.report();
+    EXPECT_FALSE(r.all_pass());
+    EXPECT_EQ(r.failures(), 1u);
+    EXPECT_EQ(r.constraints[0].slack(), 20u);
+    EXPECT_EQ(r.constraints[1].slack(), 0u);
+    EXPECT_EQ(r.constraints[2].violation(), 30u);
+    EXPECT_EQ(r.worst_slack(), 0u);
+    EXPECT_NE(r.summary().find("FAIL breaks"), std::string::npos);
+}
+
+TEST(TimingChecker, EmptyReportPasses) {
+    TimingChecker checker;
+    EXPECT_TRUE(checker.report().all_pass());
+    EXPECT_EQ(checker.report().worst_slack(), sim::kNever);
+}
+
+}  // namespace
+}  // namespace st::verify

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "analytic/models.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/io_trace.hpp"
+#include "workload/streaming.hpp"
+
+namespace st::sys {
+namespace {
+
+const wl::StreamingSink& sink_of(Soc& soc) {
+    return dynamic_cast<const wl::StreamingSink&>(
+        soc.wrapper(1).block().kernel());
+}
+const wl::StreamingSource& source_of(Soc& soc) {
+    return dynamic_cast<const wl::StreamingSource&>(
+        soc.wrapper(0).block().kernel());
+}
+
+TEST(WideChannel, RecoverStariParityThroughput) {
+    // Paper §5: widening by >= (H+R)/H recovers STARI's 1 word/cycle.
+    // H=4, R=6 -> (H+R)/H = 2.5 -> 3 lanes.
+    WidePairOptions opt;
+    opt.hold = 4;
+    opt.lanes = 3;
+    Soc soc(make_wide_pair_spec(opt));
+    ASSERT_TRUE(soc.run_cycles(3000, sim::ms(60)));
+    const auto& sink = sink_of(soc);
+    EXPECT_EQ(sink.sequence_errors(), 0u);
+    const double rate =
+        static_cast<double>(sink.words_consumed()) /
+        static_cast<double>(soc.wrapper(1).clock().cycles());
+    EXPECT_GT(rate, 0.97);  // ~1 word/cycle after warmup
+    // The SB-side synchronous queue stays bounded (steady state).
+    EXPECT_LT(source_of(soc).max_queue_depth(), 64u);
+}
+
+TEST(WideChannel, SingleLaneIsThroughputLimited) {
+    WidePairOptions opt;
+    opt.hold = 4;
+    opt.lanes = 1;
+    Soc soc(make_wide_pair_spec(opt));
+    ASSERT_TRUE(soc.run_cycles(2000, sim::ms(60)));
+    const auto& sink = sink_of(soc);
+    EXPECT_EQ(sink.sequence_errors(), 0u);
+    const double rate =
+        static_cast<double>(sink.words_consumed()) /
+        static_cast<double>(soc.wrapper(1).clock().cycles());
+    EXPECT_NEAR(rate, model::synchro_throughput(4, 6), 0.02);
+    // Producing 1/cycle into a 0.4/cycle channel: the queue must back up.
+    EXPECT_GT(source_of(soc).max_queue_depth(), 100u);
+}
+
+/// Lane count sweep: throughput saturates at min(1, lanes * H/(H+R)).
+class LaneSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LaneSweep, ThroughputMatchesModel) {
+    const std::size_t lanes = GetParam();
+    WidePairOptions opt;
+    opt.hold = 4;
+    opt.lanes = lanes;
+    Soc soc(make_wide_pair_spec(opt));
+    ASSERT_TRUE(soc.run_cycles(3000, sim::ms(90)));
+    const auto& sink = sink_of(soc);
+    EXPECT_EQ(sink.sequence_errors(), 0u);
+    const double rate =
+        static_cast<double>(sink.words_consumed()) /
+        static_cast<double>(soc.wrapper(1).clock().cycles());
+    const double expected =
+        std::min(1.0, static_cast<double>(lanes) *
+                          model::synchro_throughput(4, 6));
+    EXPECT_NEAR(rate, expected, 0.04) << "lanes=" << lanes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(WideChannel, DeterministicUnderPerturbation) {
+    WidePairOptions opt;
+    opt.lanes = 3;
+    const SocSpec spec = make_wide_pair_spec(opt);
+    const auto run = [&](const DelayConfig& cfg) {
+        Soc soc(apply(spec, cfg));
+        soc.run_cycles(150, sim::ms(2));
+        return verify::truncated(soc.traces(), 100);
+    };
+    const auto nominal = run(DelayConfig::nominal(spec));
+    for (const unsigned pct : {50u, 200u}) {
+        auto cfg = DelayConfig::nominal(spec);
+        cfg.fifo_pct.assign(cfg.fifo_pct.size(), pct);
+        const auto diff = verify::diff_traces(nominal, run(cfg));
+        EXPECT_TRUE(diff.identical) << pct << "%: " << diff.first_mismatch;
+    }
+}
+
+}  // namespace
+}  // namespace st::sys
