@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_determinism"
+  "../bench/bench_determinism.pdb"
+  "CMakeFiles/bench_determinism.dir/bench_determinism.cpp.o"
+  "CMakeFiles/bench_determinism.dir/bench_determinism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_formal"
+  "../bench/bench_formal.pdb"
+  "CMakeFiles/bench_formal.dir/bench_formal.cpp.o"
+  "CMakeFiles/bench_formal.dir/bench_formal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

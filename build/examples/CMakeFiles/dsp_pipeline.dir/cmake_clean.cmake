@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_pipeline.dir/dsp_pipeline.cpp.o"
+  "CMakeFiles/dsp_pipeline.dir/dsp_pipeline.cpp.o.d"
+  "dsp_pipeline"
+  "dsp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

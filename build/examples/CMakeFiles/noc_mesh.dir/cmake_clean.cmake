@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_mesh.dir/noc_mesh.cpp.o"
+  "CMakeFiles/noc_mesh.dir/noc_mesh.cpp.o.d"
+  "noc_mesh"
+  "noc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondeterminism_demo.dir/nondeterminism_demo.cpp.o"
+  "CMakeFiles/nondeterminism_demo.dir/nondeterminism_demo.cpp.o.d"
+  "nondeterminism_demo"
+  "nondeterminism_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondeterminism_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

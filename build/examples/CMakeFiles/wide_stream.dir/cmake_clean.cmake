@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_stream.dir/wide_stream.cpp.o"
+  "CMakeFiles/wide_stream.dir/wide_stream.cpp.o.d"
+  "wide_stream"
+  "wide_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("clock")
+subdirs("async")
+subdirs("sb")
+subdirs("synchro")
+subdirs("verify")
+subdirs("workload")
+subdirs("analytic")
+subdirs("system")
+subdirs("baselines")
+subdirs("area")
+subdirs("deadlock")
+subdirs("tap")
+subdirs("formal")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_analytic.dir/models.cpp.o"
+  "CMakeFiles/st_analytic.dir/models.cpp.o.d"
+  "libst_analytic.a"
+  "libst_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

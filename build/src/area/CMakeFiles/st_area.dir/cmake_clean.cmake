@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_area.dir/area_model.cpp.o"
+  "CMakeFiles/st_area.dir/area_model.cpp.o.d"
+  "CMakeFiles/st_area.dir/gate_library.cpp.o"
+  "CMakeFiles/st_area.dir/gate_library.cpp.o.d"
+  "libst_area.a"
+  "libst_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/async/arbiter.cpp" "src/async/CMakeFiles/st_async.dir/arbiter.cpp.o" "gcc" "src/async/CMakeFiles/st_async.dir/arbiter.cpp.o.d"
+  "/root/repo/src/async/four_phase.cpp" "src/async/CMakeFiles/st_async.dir/four_phase.cpp.o" "gcc" "src/async/CMakeFiles/st_async.dir/four_phase.cpp.o.d"
+  "/root/repo/src/async/make_link.cpp" "src/async/CMakeFiles/st_async.dir/make_link.cpp.o" "gcc" "src/async/CMakeFiles/st_async.dir/make_link.cpp.o.d"
+  "/root/repo/src/async/self_timed_fifo.cpp" "src/async/CMakeFiles/st_async.dir/self_timed_fifo.cpp.o" "gcc" "src/async/CMakeFiles/st_async.dir/self_timed_fifo.cpp.o.d"
+  "/root/repo/src/async/two_phase.cpp" "src/async/CMakeFiles/st_async.dir/two_phase.cpp.o" "gcc" "src/async/CMakeFiles/st_async.dir/two_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_async.dir/arbiter.cpp.o"
+  "CMakeFiles/st_async.dir/arbiter.cpp.o.d"
+  "CMakeFiles/st_async.dir/four_phase.cpp.o"
+  "CMakeFiles/st_async.dir/four_phase.cpp.o.d"
+  "CMakeFiles/st_async.dir/make_link.cpp.o"
+  "CMakeFiles/st_async.dir/make_link.cpp.o.d"
+  "CMakeFiles/st_async.dir/self_timed_fifo.cpp.o"
+  "CMakeFiles/st_async.dir/self_timed_fifo.cpp.o.d"
+  "CMakeFiles/st_async.dir/two_phase.cpp.o"
+  "CMakeFiles/st_async.dir/two_phase.cpp.o.d"
+  "libst_async.a"
+  "libst_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_baselines.dir/baseline_soc.cpp.o"
+  "CMakeFiles/st_baselines.dir/baseline_soc.cpp.o.d"
+  "CMakeFiles/st_baselines.dir/pausible.cpp.o"
+  "CMakeFiles/st_baselines.dir/pausible.cpp.o.d"
+  "CMakeFiles/st_baselines.dir/stari.cpp.o"
+  "CMakeFiles/st_baselines.dir/stari.cpp.o.d"
+  "CMakeFiles/st_baselines.dir/two_flop.cpp.o"
+  "CMakeFiles/st_baselines.dir/two_flop.cpp.o.d"
+  "libst_baselines.a"
+  "libst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

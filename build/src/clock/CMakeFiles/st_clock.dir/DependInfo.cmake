@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/stoppable_clock.cpp" "src/clock/CMakeFiles/st_clock.dir/stoppable_clock.cpp.o" "gcc" "src/clock/CMakeFiles/st_clock.dir/stoppable_clock.cpp.o.d"
+  "/root/repo/src/clock/tester_clock.cpp" "src/clock/CMakeFiles/st_clock.dir/tester_clock.cpp.o" "gcc" "src/clock/CMakeFiles/st_clock.dir/tester_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

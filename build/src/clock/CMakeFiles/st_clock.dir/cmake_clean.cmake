@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_clock.dir/stoppable_clock.cpp.o"
+  "CMakeFiles/st_clock.dir/stoppable_clock.cpp.o.d"
+  "CMakeFiles/st_clock.dir/tester_clock.cpp.o"
+  "CMakeFiles/st_clock.dir/tester_clock.cpp.o.d"
+  "libst_clock.a"
+  "libst_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_deadlock.dir/rules.cpp.o"
+  "CMakeFiles/st_deadlock.dir/rules.cpp.o.d"
+  "CMakeFiles/st_deadlock.dir/waitfor.cpp.o"
+  "CMakeFiles/st_deadlock.dir/waitfor.cpp.o.d"
+  "libst_deadlock.a"
+  "libst_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_formal.dir/ring_model.cpp.o"
+  "CMakeFiles/st_formal.dir/ring_model.cpp.o.d"
+  "libst_formal.a"
+  "libst_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sb/kernels/sinks.cpp" "src/sb/CMakeFiles/st_sb.dir/kernels/sinks.cpp.o" "gcc" "src/sb/CMakeFiles/st_sb.dir/kernels/sinks.cpp.o.d"
+  "/root/repo/src/sb/kernels/sources.cpp" "src/sb/CMakeFiles/st_sb.dir/kernels/sources.cpp.o" "gcc" "src/sb/CMakeFiles/st_sb.dir/kernels/sources.cpp.o.d"
+  "/root/repo/src/sb/kernels/transforms.cpp" "src/sb/CMakeFiles/st_sb.dir/kernels/transforms.cpp.o" "gcc" "src/sb/CMakeFiles/st_sb.dir/kernels/transforms.cpp.o.d"
+  "/root/repo/src/sb/sync_block.cpp" "src/sb/CMakeFiles/st_sb.dir/sync_block.cpp.o" "gcc" "src/sb/CMakeFiles/st_sb.dir/sync_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sb.dir/kernels/sinks.cpp.o"
+  "CMakeFiles/st_sb.dir/kernels/sinks.cpp.o.d"
+  "CMakeFiles/st_sb.dir/kernels/sources.cpp.o"
+  "CMakeFiles/st_sb.dir/kernels/sources.cpp.o.d"
+  "CMakeFiles/st_sb.dir/kernels/transforms.cpp.o"
+  "CMakeFiles/st_sb.dir/kernels/transforms.cpp.o.d"
+  "CMakeFiles/st_sb.dir/sync_block.cpp.o"
+  "CMakeFiles/st_sb.dir/sync_block.cpp.o.d"
+  "libst_sb.a"
+  "libst_sb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/st_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/st_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/time.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/st_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/vcd.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/sim/CMakeFiles/st_sim.dir/waveform.cpp.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

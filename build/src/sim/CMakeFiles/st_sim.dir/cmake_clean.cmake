@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/st_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/st_sim.dir/time.cpp.o"
+  "CMakeFiles/st_sim.dir/time.cpp.o.d"
+  "CMakeFiles/st_sim.dir/vcd.cpp.o"
+  "CMakeFiles/st_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/st_sim.dir/waveform.cpp.o"
+  "CMakeFiles/st_sim.dir/waveform.cpp.o.d"
+  "libst_sim.a"
+  "libst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synchro/interfaces.cpp" "src/synchro/CMakeFiles/st_synchro.dir/interfaces.cpp.o" "gcc" "src/synchro/CMakeFiles/st_synchro.dir/interfaces.cpp.o.d"
+  "/root/repo/src/synchro/token_node.cpp" "src/synchro/CMakeFiles/st_synchro.dir/token_node.cpp.o" "gcc" "src/synchro/CMakeFiles/st_synchro.dir/token_node.cpp.o.d"
+  "/root/repo/src/synchro/token_ring.cpp" "src/synchro/CMakeFiles/st_synchro.dir/token_ring.cpp.o" "gcc" "src/synchro/CMakeFiles/st_synchro.dir/token_ring.cpp.o.d"
+  "/root/repo/src/synchro/wide_channel.cpp" "src/synchro/CMakeFiles/st_synchro.dir/wide_channel.cpp.o" "gcc" "src/synchro/CMakeFiles/st_synchro.dir/wide_channel.cpp.o.d"
+  "/root/repo/src/synchro/wrapper.cpp" "src/synchro/CMakeFiles/st_synchro.dir/wrapper.cpp.o" "gcc" "src/synchro/CMakeFiles/st_synchro.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

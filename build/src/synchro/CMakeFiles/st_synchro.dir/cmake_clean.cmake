@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_synchro.dir/interfaces.cpp.o"
+  "CMakeFiles/st_synchro.dir/interfaces.cpp.o.d"
+  "CMakeFiles/st_synchro.dir/token_node.cpp.o"
+  "CMakeFiles/st_synchro.dir/token_node.cpp.o.d"
+  "CMakeFiles/st_synchro.dir/token_ring.cpp.o"
+  "CMakeFiles/st_synchro.dir/token_ring.cpp.o.d"
+  "CMakeFiles/st_synchro.dir/wide_channel.cpp.o"
+  "CMakeFiles/st_synchro.dir/wide_channel.cpp.o.d"
+  "CMakeFiles/st_synchro.dir/wrapper.cpp.o"
+  "CMakeFiles/st_synchro.dir/wrapper.cpp.o.d"
+  "libst_synchro.a"
+  "libst_synchro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_synchro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/delay_config.cpp" "src/system/CMakeFiles/st_system.dir/delay_config.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/delay_config.cpp.o.d"
+  "/root/repo/src/system/invariant_monitor.cpp" "src/system/CMakeFiles/st_system.dir/invariant_monitor.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/invariant_monitor.cpp.o.d"
+  "/root/repo/src/system/param_rom.cpp" "src/system/CMakeFiles/st_system.dir/param_rom.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/param_rom.cpp.o.d"
+  "/root/repo/src/system/soc.cpp" "src/system/CMakeFiles/st_system.dir/soc.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/soc.cpp.o.d"
+  "/root/repo/src/system/stats.cpp" "src/system/CMakeFiles/st_system.dir/stats.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/stats.cpp.o.d"
+  "/root/repo/src/system/testbenches.cpp" "src/system/CMakeFiles/st_system.dir/testbenches.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/testbenches.cpp.o.d"
+  "/root/repo/src/system/vcd_probe.cpp" "src/system/CMakeFiles/st_system.dir/vcd_probe.cpp.o" "gcc" "src/system/CMakeFiles/st_system.dir/vcd_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/st_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/st_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/st_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_system.dir/delay_config.cpp.o"
+  "CMakeFiles/st_system.dir/delay_config.cpp.o.d"
+  "CMakeFiles/st_system.dir/invariant_monitor.cpp.o"
+  "CMakeFiles/st_system.dir/invariant_monitor.cpp.o.d"
+  "CMakeFiles/st_system.dir/param_rom.cpp.o"
+  "CMakeFiles/st_system.dir/param_rom.cpp.o.d"
+  "CMakeFiles/st_system.dir/soc.cpp.o"
+  "CMakeFiles/st_system.dir/soc.cpp.o.d"
+  "CMakeFiles/st_system.dir/stats.cpp.o"
+  "CMakeFiles/st_system.dir/stats.cpp.o.d"
+  "CMakeFiles/st_system.dir/testbenches.cpp.o"
+  "CMakeFiles/st_system.dir/testbenches.cpp.o.d"
+  "CMakeFiles/st_system.dir/vcd_probe.cpp.o"
+  "CMakeFiles/st_system.dir/vcd_probe.cpp.o.d"
+  "libst_system.a"
+  "libst_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

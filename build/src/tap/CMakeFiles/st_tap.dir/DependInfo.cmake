@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tap/bist.cpp" "src/tap/CMakeFiles/st_tap.dir/bist.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/bist.cpp.o.d"
+  "/root/repo/src/tap/boundary_scan.cpp" "src/tap/CMakeFiles/st_tap.dir/boundary_scan.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/boundary_scan.cpp.o.d"
+  "/root/repo/src/tap/data_registers.cpp" "src/tap/CMakeFiles/st_tap.dir/data_registers.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/data_registers.cpp.o.d"
+  "/root/repo/src/tap/p1500.cpp" "src/tap/CMakeFiles/st_tap.dir/p1500.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/p1500.cpp.o.d"
+  "/root/repo/src/tap/scan_chain.cpp" "src/tap/CMakeFiles/st_tap.dir/scan_chain.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/scan_chain.cpp.o.d"
+  "/root/repo/src/tap/tap_controller.cpp" "src/tap/CMakeFiles/st_tap.dir/tap_controller.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/tap_controller.cpp.o.d"
+  "/root/repo/src/tap/test_sb.cpp" "src/tap/CMakeFiles/st_tap.dir/test_sb.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/test_sb.cpp.o.d"
+  "/root/repo/src/tap/tester.cpp" "src/tap/CMakeFiles/st_tap.dir/tester.cpp.o" "gcc" "src/tap/CMakeFiles/st_tap.dir/tester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/st_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/st_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/st_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/st_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_tap.dir/bist.cpp.o"
+  "CMakeFiles/st_tap.dir/bist.cpp.o.d"
+  "CMakeFiles/st_tap.dir/boundary_scan.cpp.o"
+  "CMakeFiles/st_tap.dir/boundary_scan.cpp.o.d"
+  "CMakeFiles/st_tap.dir/data_registers.cpp.o"
+  "CMakeFiles/st_tap.dir/data_registers.cpp.o.d"
+  "CMakeFiles/st_tap.dir/p1500.cpp.o"
+  "CMakeFiles/st_tap.dir/p1500.cpp.o.d"
+  "CMakeFiles/st_tap.dir/scan_chain.cpp.o"
+  "CMakeFiles/st_tap.dir/scan_chain.cpp.o.d"
+  "CMakeFiles/st_tap.dir/tap_controller.cpp.o"
+  "CMakeFiles/st_tap.dir/tap_controller.cpp.o.d"
+  "CMakeFiles/st_tap.dir/test_sb.cpp.o"
+  "CMakeFiles/st_tap.dir/test_sb.cpp.o.d"
+  "CMakeFiles/st_tap.dir/tester.cpp.o"
+  "CMakeFiles/st_tap.dir/tester.cpp.o.d"
+  "libst_tap.a"
+  "libst_tap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_tap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/io_trace.cpp" "src/verify/CMakeFiles/st_verify.dir/io_trace.cpp.o" "gcc" "src/verify/CMakeFiles/st_verify.dir/io_trace.cpp.o.d"
+  "/root/repo/src/verify/timing_checker.cpp" "src/verify/CMakeFiles/st_verify.dir/timing_checker.cpp.o" "gcc" "src/verify/CMakeFiles/st_verify.dir/timing_checker.cpp.o.d"
+  "/root/repo/src/verify/trace_probe.cpp" "src/verify/CMakeFiles/st_verify.dir/trace_probe.cpp.o" "gcc" "src/verify/CMakeFiles/st_verify.dir/trace_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

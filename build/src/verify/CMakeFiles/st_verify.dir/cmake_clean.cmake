@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_verify.dir/io_trace.cpp.o"
+  "CMakeFiles/st_verify.dir/io_trace.cpp.o.d"
+  "CMakeFiles/st_verify.dir/timing_checker.cpp.o"
+  "CMakeFiles/st_verify.dir/timing_checker.cpp.o.d"
+  "CMakeFiles/st_verify.dir/trace_probe.cpp.o"
+  "CMakeFiles/st_verify.dir/trace_probe.cpp.o.d"
+  "libst_verify.a"
+  "libst_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/host_port.cpp" "src/workload/CMakeFiles/st_workload.dir/host_port.cpp.o" "gcc" "src/workload/CMakeFiles/st_workload.dir/host_port.cpp.o.d"
+  "/root/repo/src/workload/router.cpp" "src/workload/CMakeFiles/st_workload.dir/router.cpp.o" "gcc" "src/workload/CMakeFiles/st_workload.dir/router.cpp.o.d"
+  "/root/repo/src/workload/streaming.cpp" "src/workload/CMakeFiles/st_workload.dir/streaming.cpp.o" "gcc" "src/workload/CMakeFiles/st_workload.dir/streaming.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/st_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/st_workload.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_workload.dir/host_port.cpp.o"
+  "CMakeFiles/st_workload.dir/host_port.cpp.o.d"
+  "CMakeFiles/st_workload.dir/router.cpp.o"
+  "CMakeFiles/st_workload.dir/router.cpp.o.d"
+  "CMakeFiles/st_workload.dir/streaming.cpp.o"
+  "CMakeFiles/st_workload.dir/streaming.cpp.o.d"
+  "CMakeFiles/st_workload.dir/traffic.cpp.o"
+  "CMakeFiles/st_workload.dir/traffic.cpp.o.d"
+  "libst_workload.a"
+  "libst_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boundary_router.dir/test_boundary_router.cpp.o"
+  "CMakeFiles/test_boundary_router.dir/test_boundary_router.cpp.o.d"
+  "test_boundary_router"
+  "test_boundary_router.pdb"
+  "test_boundary_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boundary_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_clock.cpp" "tests/CMakeFiles/test_clock.dir/test_clock.cpp.o" "gcc" "tests/CMakeFiles/test_clock.dir/test_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/st_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/deadlock/CMakeFiles/st_deadlock.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/st_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/st_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/st_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_formal.cpp" "tests/CMakeFiles/test_formal.dir/test_formal.cpp.o" "gcc" "tests/CMakeFiles/test_formal.dir/test_formal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formal/CMakeFiles/st_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/st_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/st_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sb/CMakeFiles/st_sb.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/st_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_content.dir/test_golden_content.cpp.o"
+  "CMakeFiles/test_golden_content.dir/test_golden_content.cpp.o.d"
+  "test_golden_content"
+  "test_golden_content.pdb"
+  "test_golden_content[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

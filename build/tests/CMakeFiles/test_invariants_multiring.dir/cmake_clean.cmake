@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariants_multiring.dir/test_invariants_multiring.cpp.o"
+  "CMakeFiles/test_invariants_multiring.dir/test_invariants_multiring.cpp.o.d"
+  "test_invariants_multiring"
+  "test_invariants_multiring.pdb"
+  "test_invariants_multiring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariants_multiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

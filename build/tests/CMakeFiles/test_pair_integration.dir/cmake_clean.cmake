@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_integration.dir/test_pair_integration.cpp.o"
+  "CMakeFiles/test_pair_integration.dir/test_pair_integration.cpp.o.d"
+  "test_pair_integration"
+  "test_pair_integration.pdb"
+  "test_pair_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

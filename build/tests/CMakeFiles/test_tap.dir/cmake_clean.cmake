@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tap.dir/test_tap.cpp.o"
+  "CMakeFiles/test_tap.dir/test_tap.cpp.o.d"
+  "test_tap"
+  "test_tap.pdb"
+  "test_tap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

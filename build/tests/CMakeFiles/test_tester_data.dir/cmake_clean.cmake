@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tester_data.dir/test_tester_data.cpp.o"
+  "CMakeFiles/test_tester_data.dir/test_tester_data.cpp.o.d"
+  "test_tester_data"
+  "test_tester_data.pdb"
+  "test_tester_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tester_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

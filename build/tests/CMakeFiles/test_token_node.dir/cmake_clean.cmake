@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_node.dir/test_token_node.cpp.o"
+  "CMakeFiles/test_token_node.dir/test_token_node.cpp.o.d"
+  "test_token_node"
+  "test_token_node.pdb"
+  "test_token_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_tools.dir/test_trace_tools.cpp.o"
+  "CMakeFiles/test_trace_tools.dir/test_trace_tools.cpp.o.d"
+  "test_trace_tools"
+  "test_trace_tools.pdb"
+  "test_trace_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

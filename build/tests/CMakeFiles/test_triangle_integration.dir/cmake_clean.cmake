@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_integration.dir/test_triangle_integration.cpp.o"
+  "CMakeFiles/test_triangle_integration.dir/test_triangle_integration.cpp.o.d"
+  "test_triangle_integration"
+  "test_triangle_integration.pdb"
+  "test_triangle_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
