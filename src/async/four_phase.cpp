@@ -14,7 +14,8 @@ void FourPhaseLink::send(Word w) {
     state_ = State::kReqFlight;
     word_ = mask_word(w, params_.data_bits);
     send_time_ = sched_.now();
-    sched_.schedule_after(params_.req_delay, [this] { sink_sees_req(); });
+    sched_.schedule_after(params_.req_delay, sim::EventTag{this, "link.req"},
+                          [this] { sink_sees_req(); });
 }
 
 void FourPhaseLink::sink_sees_req() {
@@ -39,7 +40,7 @@ void FourPhaseLink::do_accept() {
     // *next* send is legal once the final ack- lands.
     const sim::Time rtz = params_.ack_delay + params_.req_delay +
                           params_.ack_delay;
-    sched_.schedule_after(rtz, [this] {
+    sched_.schedule_after(rtz, sim::EventTag{this, "link.rtz"}, [this] {
         state_ = State::kIdle;
         ++transfers_;
         last_latency_ = sched_.now() - send_time_;

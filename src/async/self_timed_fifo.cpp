@@ -57,7 +57,12 @@ void SelfTimedFifo::try_advance(std::size_t i) {
     if (!stages_[i].has_value() || moving_[i]) return;
     if (stages_[i + 1].has_value() || moving_[i + 1]) return;
     moving_[i] = true;
-    sched_.schedule_after(params_.stage_delay, [this, i] {
+    // Actor = the receiving stage: two ripple arrivals into one stage at the
+    // same instant would be an observable ordering race; moves of disjoint
+    // stages commute and may share a slot freely.
+    sched_.schedule_after(params_.stage_delay,
+                          sim::EventTag{&stages_[i + 1], "fifo.ripple"},
+                          [this, i] {
         stages_[i + 1] = *stages_[i];
         stages_[i].reset();
         moving_[i] = false;

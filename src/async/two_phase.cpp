@@ -14,7 +14,8 @@ void TwoPhaseLink::send(Word w) {
     state_ = State::kReqFlight;
     word_ = mask_word(w, params_.data_bits);
     send_time_ = sched_.now();
-    sched_.schedule_after(params_.req_delay, [this] { sink_sees_req(); });
+    sched_.schedule_after(params_.req_delay, sim::EventTag{this, "link.req"},
+                          [this] { sink_sees_req(); });
 }
 
 void TwoPhaseLink::sink_sees_req() {
@@ -35,7 +36,8 @@ void TwoPhaseLink::do_accept() {
     state_ = State::kAckFlight;
     sink_->accept(word_);
     // NRZ: the ack transition alone completes the transfer.
-    sched_.schedule_after(params_.ack_delay, [this] {
+    sched_.schedule_after(params_.ack_delay, sim::EventTag{this, "link.ack"},
+                          [this] {
         state_ = State::kIdle;
         ++transfers_;
         last_latency_ = sched_.now() - send_time_;

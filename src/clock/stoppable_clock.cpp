@@ -40,7 +40,8 @@ void StoppableClock::start() {
 
 void StoppableClock::schedule_edge(sim::Time t) {
     edge_pending_ = true;
-    sched_.schedule_at(t, sim::Priority::kClockEdge, [this] { edge(); });
+    sched_.schedule_at(t, sim::Priority::kClockEdge,
+                       sim::EventTag{this, "clock.edge"}, [this] { edge(); });
 }
 
 void StoppableClock::edge() {
@@ -53,13 +54,15 @@ void StoppableClock::edge() {
     for (auto* s : sinks_) s->sample(cycle);
 
     // Phase 2: all sinks commit new state.
-    sched_.schedule_at(t, sim::Priority::kCommit, [this, cycle] {
+    sched_.schedule_at(t, sim::Priority::kCommit,
+                       sim::EventTag{this, "clock.commit"}, [this, cycle] {
         for (auto* s : sinks_) s->commit(cycle);
     });
 
     // Phase 3: evaluate the (now committed) enable and decide whether the
     // ring oscillator produces another edge.
-    sched_.schedule_at(t, sim::Priority::kPostCommit, [this, t] {
+    sched_.schedule_at(t, sim::Priority::kPostCommit,
+                       sim::EventTag{this, "clock.gate"}, [this, t] {
         if (halted_) return;
         const bool enabled = !enable_fn_ || enable_fn_();
         if (enabled) {
@@ -73,7 +76,9 @@ void StoppableClock::edge() {
 
     // Monitors observe the fully settled post-edge state.
     if (!edge_observers_.empty()) {
-        sched_.schedule_at(t, sim::Priority::kMonitor, [this, cycle, t] {
+        sched_.schedule_at(t, sim::Priority::kMonitor,
+                           sim::EventTag{this, "clock.monitor"},
+                           [this, cycle, t] {
             for (auto& f : edge_observers_) f(cycle, t);
         });
     }

@@ -1,0 +1,71 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace st::lint {
+
+const char* severity_name(Severity s) {
+    switch (s) {
+        case Severity::kError:
+            return "error";
+        case Severity::kWarning:
+            return "warning";
+        case Severity::kNote:
+            return "note";
+    }
+    return "?";
+}
+
+std::string Diagnostic::to_string() const {
+    std::ostringstream os;
+    os << locus << ": " << severity_name(severity) << ": " << message << " ["
+       << rule << "]";
+    if (!fix_hint.empty()) os << "\n" << locus << ": note: fix: " << fix_hint;
+    return os.str();
+}
+
+void LintReport::add(Severity sev, std::string rule, std::string locus,
+                     std::string message, std::string fix_hint) {
+    Diagnostic d;
+    d.severity = sev;
+    d.rule = std::move(rule);
+    d.locus = std::move(locus);
+    d.message = std::move(message);
+    d.fix_hint = std::move(fix_hint);
+    diags_.push_back(std::move(d));
+}
+
+std::size_t LintReport::count(Severity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diags_) n += d.severity == s ? 1 : 0;
+    return n;
+}
+
+std::vector<Diagnostic> LintReport::for_rule(const std::string& rule) const {
+    std::vector<Diagnostic> out;
+    for (const auto& d : diags_) {
+        if (d.rule == rule) out.push_back(d);
+    }
+    return out;
+}
+
+bool LintReport::has_error(const std::string& rule) const {
+    for (const auto& d : diags_) {
+        if (d.severity == Severity::kError && d.rule == rule) return true;
+    }
+    return false;
+}
+
+std::string LintReport::to_string() const {
+    std::ostringstream os;
+    for (const auto& d : diags_) os << d.to_string() << "\n";
+    os << errors() << " error(s), " << warnings() << " warning(s), "
+       << notes() << " note(s)";
+    return os.str();
+}
+
+void LintReport::merge(const LintReport& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+}  // namespace st::lint

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace st::lint {
+
+/// Severity of one finding. Only kError makes a report (and the st_lint CLI)
+/// fail; warnings flag likely misconfiguration, notes record informational
+/// results such as tuned-schedule margins.
+enum class Severity { kError, kWarning, kNote };
+
+const char* severity_name(Severity s);
+
+/// One finding of a lint pass (or of the scheduler race audit), in the shape
+/// of a compiler diagnostic: where, how bad, which rule, what to do about it.
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    /// Stable kebab-case rule identifier (docs/LINT.md documents each).
+    std::string rule;
+    /// Locus inside the spec: "ring 'ring_ab' node in SB 'alpha'",
+    /// "channel 'lane0'", "scheduler @ 12.3ns" ...
+    std::string locus;
+    std::string message;
+    /// Optional concrete remedy ("raise recycle to >= 7").
+    std::string fix_hint;
+
+    /// GCC-style one-liner: `<locus>: <severity>: <message> [<rule>]`.
+    std::string to_string() const;
+};
+
+/// Aggregated result of running lint passes over one SocSpec.
+class LintReport {
+  public:
+    void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+    void add(Severity sev, std::string rule, std::string locus,
+             std::string message, std::string fix_hint = {});
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+    std::size_t errors() const { return count(Severity::kError); }
+    std::size_t warnings() const { return count(Severity::kWarning); }
+    std::size_t notes() const { return count(Severity::kNote); }
+
+    /// True when no error-severity diagnostic was produced.
+    bool ok() const { return errors() == 0; }
+
+    /// Diagnostics carrying the given rule id.
+    std::vector<Diagnostic> for_rule(const std::string& rule) const;
+
+    /// True when some diagnostic of `rule` at error severity exists.
+    bool has_error(const std::string& rule) const;
+
+    /// Full GCC-style listing plus a one-line summary, for CLI output.
+    std::string to_string() const;
+
+    /// Merge another report's diagnostics into this one.
+    void merge(const LintReport& other);
+
+  private:
+    std::size_t count(Severity s) const;
+    std::vector<Diagnostic> diags_;
+};
+
+}  // namespace st::lint

@@ -1,0 +1,127 @@
+// Broken-spec fixtures: each mutates a known-good testbench spec so that
+// exactly one lint rule fires at error severity. tests/test_lint.cpp asserts
+// the "exactly one rule" property; tools/st_lint exposes them via --fixture.
+
+#include "lint/fixtures.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "system/testbenches.hpp"
+#include "workload/traffic.hpp"
+
+namespace st::lint {
+
+namespace {
+
+/// Channel 'alpha_to_beta' rebundled to the beta<->gamma ring: the master
+/// handshake never enables the channel's interfaces.
+sys::SocSpec wrong_ring_membership() {
+    auto spec = sys::make_triangle_spec();
+    for (auto& ch : spec.channels) {
+        if (ch.name == "alpha_to_beta") {
+            ch.ring = 1;  // joins beta and gamma, not alpha and beta
+            return spec;
+        }
+    }
+    throw std::logic_error("fixture: triangle channel layout changed");
+}
+
+/// Both pair nodes claim the initial token: two tokens on a one-token ring.
+sys::SocSpec two_initial_holders() {
+    auto spec = sys::make_pair_spec();
+    spec.rings.at(0).node_b.initial_holder = true;
+    return spec;
+}
+
+/// FIFO shallower than the producer's hold burst.
+sys::SocSpec undersized_fifo() {
+    auto spec = sys::make_pair_spec();
+    spec.channels.at(0).fifo.depth = 2;  // hold is 4
+    return spec;
+}
+
+/// Recycle registers far below the token round trip: guaranteed stalls on
+/// every rotation (several local cycles short, beyond tuned alignment).
+sys::SocSpec starved_recycle() {
+    sys::PairOptions opt;
+    opt.recycle_override = 2;  // min feasible is 7 for the default geometry
+    return sys::make_pair_spec(opt);
+}
+
+/// Recycle value exceeding the 8-bit tester-loadable counter.
+sys::SocSpec counter_overflow() {
+    sys::PairOptions opt;
+    opt.recycle_override = 300;
+    return sys::make_pair_spec(opt);
+}
+
+/// Three rings in a directed cycle, each under-provisioned by *less* than
+/// one local cycle: individually only a tuned-alignment note, but the
+/// transitive stall fixpoint diverges — the lint analogue of the runtime
+/// deadlock in tests/test_deadlock.cpp.
+sys::SocSpec deadlock_cycle() {
+    sys::SocSpec spec;
+    for (int i = 0; i < 3; ++i) {
+        sys::SbSpec sb;
+        sb.name = "sb" + std::to_string(i);
+        sb.clock.base_period = 1000;
+        sb.clock.restart_delay = 200;
+        sb.make_kernel = [i] {
+            return std::make_unique<wl::TrafficKernel>(
+                0x2000u + static_cast<unsigned>(i));
+        };
+        spec.sbs.push_back(sb);
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        sys::RingSpec ring;
+        ring.name = "ring" + std::to_string(i);
+        ring.sb_a = i;
+        ring.sb_b = (i + 1) % 3;
+        ring.node_a.hold = 4;
+        // Token absence is 2*900 + 5*1000 = 6.8 ns; 6 cycles provision only
+        // 6 ns. The 0.8 ns deficit is sub-cycle, yet it compounds around the
+        // ring cycle without bound.
+        ring.node_a.recycle = 6;
+        ring.node_a.initial_holder = true;
+        ring.node_b.hold = 4;
+        ring.node_b.recycle = 6;
+        ring.node_b.initial_holder = false;
+        ring.delay_ab = 900;
+        ring.delay_ba = 900;
+        spec.rings.push_back(ring);
+    }
+    return spec;
+}
+
+}  // namespace
+
+const std::vector<Fixture>& fixture_catalog() {
+    static const std::vector<Fixture> catalog = {
+        {"bad-channel-ring", "channel-ring",
+         "channel bundled to a ring that does not join its SBs"},
+        {"two-initial-holders", "initial-holder",
+         "both nodes of one ring start holding a token"},
+        {"undersized-fifo", "fifo-depth",
+         "FIFO depth below the producer's hold burst"},
+        {"starved-recycle", "recycle-feasibility",
+         "recycle registers several cycles below the token round trip"},
+        {"counter-overflow", "counter-width",
+         "recycle value exceeding the 8-bit counter"},
+        {"deadlock-cycle", "deadlock-fixpoint",
+         "cyclic sub-cycle under-provisioning; stall fixpoint diverges"},
+    };
+    return catalog;
+}
+
+sys::SocSpec make_fixture(const std::string& name) {
+    if (name == "bad-channel-ring") return wrong_ring_membership();
+    if (name == "two-initial-holders") return two_initial_holders();
+    if (name == "undersized-fifo") return undersized_fifo();
+    if (name == "starved-recycle") return starved_recycle();
+    if (name == "counter-overflow") return counter_overflow();
+    if (name == "deadlock-cycle") return deadlock_cycle();
+    throw std::invalid_argument("unknown lint fixture '" + name + "'");
+}
+
+}  // namespace st::lint

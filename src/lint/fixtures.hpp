@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "system/spec.hpp"
+
+namespace st::lint {
+
+/// A deliberately broken SocSpec used to exercise one lint rule — the
+/// negative test set behind the `st_lint --fixture` CTest cases.
+struct Fixture {
+    const char* name;           ///< CLI / CTest identifier
+    const char* expected_rule;  ///< rule id whose errors the spec must trip
+    const char* summary;        ///< what is broken, in one line
+};
+
+/// All registered broken fixtures.
+const std::vector<Fixture>& fixture_catalog();
+
+/// Materialize fixture `name`. Throws std::invalid_argument on unknown names.
+sys::SocSpec make_fixture(const std::string& name);
+
+}  // namespace st::lint

@@ -1,0 +1,35 @@
+#include "lint/race_audit.hpp"
+
+#include <sstream>
+
+#include "system/soc.hpp"
+
+namespace st::lint {
+
+void collect_race_diagnostics(const sim::Scheduler& sched,
+                              LintReport& report) {
+    for (const auto& r : sched.races()) {
+        std::ostringstream locus;
+        locus << "scheduler @ " << sim::format_time(r.t) << " prio "
+              << r.priority;
+        std::ostringstream msg;
+        msg << "events '" << r.first << "' and '" << r.second
+            << "' hit the same actor in one (time, priority) slot; their "
+               "relative order is fixed only by insertion sequence";
+        report.add(Severity::kError, "sched-race", locus.str(), msg.str(),
+                   "separate the events by delay or priority phase so the "
+                   "order is a design property, not a kernel accident");
+    }
+}
+
+LintReport run_race_audit(const sys::SocSpec& spec, std::uint64_t cycles,
+                          sim::Time deadline) {
+    LintReport report;
+    sys::Soc soc(spec);
+    soc.scheduler().set_race_audit(true);
+    soc.run_cycles(cycles, deadline);
+    collect_race_diagnostics(soc.scheduler(), report);
+    return report;
+}
+
+}  // namespace st::lint

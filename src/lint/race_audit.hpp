@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lint/diagnostic.hpp"
+#include "sim/scheduler.hpp"
+#include "system/spec.hpp"
+
+namespace st::lint {
+
+/// Convert the scheduler's recorded same-slot races into `sched-race`
+/// diagnostics (error severity: insertion-sequence tie-breaking is ordering
+/// observable model state).
+void collect_race_diagnostics(const sim::Scheduler& sched,
+                              LintReport& report);
+
+/// Dynamic companion to the static passes: elaborate `spec`, enable the
+/// scheduler race audit, run `cycles` local cycles (bounded by `deadline`
+/// simulated time), and report every same-slot collision. A deadlocking spec
+/// is *not* an audit failure — deadlock is the static passes' business — so
+/// only races are reported.
+LintReport run_race_audit(const sys::SocSpec& spec, std::uint64_t cycles,
+                          sim::Time deadline);
+
+}  // namespace st::lint

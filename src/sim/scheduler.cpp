@@ -4,11 +4,45 @@
 
 namespace st::sim {
 
-void Scheduler::schedule_at(Time t, Priority p, Callback cb) {
+namespace {
+/// Cap on recorded races: a systemic ordering bug would otherwise flood the
+/// record with one entry per clock cycle.
+constexpr std::size_t kMaxRaceRecords = 64;
+}  // namespace
+
+void Scheduler::schedule_at(Time t, Priority p, EventTag tag, Callback cb) {
     if (t < now_) {
         throw std::logic_error("Scheduler: event scheduled in the past");
     }
-    queue_.push(Event{t, static_cast<int>(p), next_seq_++, std::move(cb)});
+    queue_.push(
+        Event{t, static_cast<int>(p), next_seq_++, tag, std::move(cb)});
+}
+
+void Scheduler::set_race_audit(bool on) {
+    audit_ = on;
+    group_.clear();
+    group_priority_ = -1;
+}
+
+void Scheduler::audit_step(const Event& ev) {
+    if (ev.t != group_t_ || ev.priority != group_priority_) {
+        group_t_ = ev.t;
+        group_priority_ = ev.priority;
+        group_.clear();
+    }
+    if (ev.tag.actor == nullptr) return;
+    for (const auto& m : group_) {
+        if (m.actor == ev.tag.actor && races_.size() < kMaxRaceRecords) {
+            RaceRecord r;
+            r.t = ev.t;
+            r.priority = ev.priority;
+            r.actor = ev.tag.actor;
+            r.first = m.label != nullptr ? m.label : "?";
+            r.second = ev.tag.label != nullptr ? ev.tag.label : "?";
+            races_.push_back(std::move(r));
+        }
+    }
+    group_.push_back(GroupMember{ev.tag.actor, ev.tag.label});
 }
 
 bool Scheduler::step() {
@@ -19,6 +53,7 @@ bool Scheduler::step() {
     queue_.pop();
     now_ = ev.t;
     ++executed_;
+    if (audit_) audit_step(ev);
     ev.cb();
     return true;
 }

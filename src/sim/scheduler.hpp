@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -23,6 +24,27 @@ enum class Priority : int {
     kMonitor = 4,     ///< trace capture, checkers — observe settled state
 };
 
+/// Optional provenance attached to an event for the race audit: the object
+/// whose state the callback mutates (or delivers into) and a static label.
+/// Untagged events are invisible to the audit.
+struct EventTag {
+    const void* actor = nullptr;
+    const char* label = nullptr;
+};
+
+/// One same-slot collision found by the race audit: two events executed at
+/// the same (time, priority) targeting the same actor. Their relative order
+/// is observable by that actor, yet it is fixed only by insertion sequence —
+/// exactly the class of hidden ordering the determinism argument forbids the
+/// kernel to introduce (DESIGN.md §5).
+struct RaceRecord {
+    Time t = 0;
+    int priority = 0;
+    const void* actor = nullptr;
+    std::string first;   ///< label of the earlier event
+    std::string second;  ///< label of the later event
+};
+
 /// Deterministic discrete-event scheduler.
 ///
 /// Events are totally ordered by (time, priority, insertion sequence), so two
@@ -30,6 +52,13 @@ enum class Priority : int {
 /// the kernel itself contributes no nondeterminism. Model nondeterminism (the
 /// subject of the paper) is represented as *data*: perturbed delay values fed
 /// to the models, never hidden simulator state.
+///
+/// **Race audit**: with `set_race_audit(true)`, executed events that carry an
+/// EventTag are grouped by (time, priority); two events in one group with the
+/// same actor are recorded as a RaceRecord. The audit is an instrumentation
+/// mode (off by default, near-zero cost when off) used by `st::lint` to
+/// demonstrate that the shipped models never rely on insertion-sequence
+/// tie-breaking.
 class Scheduler {
   public:
     using Callback = std::function<void()>;
@@ -42,16 +71,29 @@ class Scheduler {
     Time now() const { return now_; }
 
     /// Schedule `cb` at absolute time `t` (must be >= now()).
-    void schedule_at(Time t, Priority p, Callback cb);
+    void schedule_at(Time t, Priority p, Callback cb) {
+        schedule_at(t, p, EventTag{}, std::move(cb));
+    }
+
+    /// Schedule a tagged event (visible to the race audit).
+    void schedule_at(Time t, Priority p, EventTag tag, Callback cb);
 
     /// Schedule `cb` `delay` picoseconds from now.
     void schedule_after(Time delay, Priority p, Callback cb) {
         schedule_at(now_ + delay, p, std::move(cb));
     }
 
+    void schedule_after(Time delay, Priority p, EventTag tag, Callback cb) {
+        schedule_at(now_ + delay, p, tag, std::move(cb));
+    }
+
     /// Schedule with default (asynchronous-event) priority.
     void schedule_after(Time delay, Callback cb) {
         schedule_after(delay, Priority::kDefault, std::move(cb));
+    }
+
+    void schedule_after(Time delay, EventTag tag, Callback cb) {
+        schedule_after(delay, Priority::kDefault, tag, std::move(cb));
     }
 
     /// Execute the single earliest event. Returns false if the queue is empty.
@@ -76,11 +118,20 @@ class Scheduler {
     /// Total events executed since construction.
     std::uint64_t events_executed() const { return executed_; }
 
+    // --- race audit ---
+    /// Enable/disable the same-slot collision audit. Toggling clears the
+    /// current group but keeps previously recorded races.
+    void set_race_audit(bool on);
+    bool race_audit() const { return audit_; }
+    const std::vector<RaceRecord>& races() const { return races_; }
+    void clear_races() { races_.clear(); }
+
   private:
     struct Event {
         Time t = 0;
         int priority = 0;
         std::uint64_t seq = 0;
+        EventTag tag;
         Callback cb;
     };
     struct Later {
@@ -91,10 +142,24 @@ class Scheduler {
         }
     };
 
+    void audit_step(const Event& ev);
+
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+    // Race-audit state: tagged members of the (time, priority) group
+    // currently executing.
+    struct GroupMember {
+        const void* actor = nullptr;
+        const char* label = nullptr;
+    };
+    bool audit_ = false;
+    Time group_t_ = 0;
+    int group_priority_ = -1;
+    std::vector<GroupMember> group_;
+    std::vector<RaceRecord> races_;
 };
 
 }  // namespace st::sim

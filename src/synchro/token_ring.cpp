@@ -31,7 +31,9 @@ void TokenRing::finalize() {
         hops_[i].node->set_pass_fn([this, i, next, next_idx] {
             ++passes_;
             if (pass_observer_) pass_observer_(i, sched_.now());
-            sched_.schedule_after(hops_[i].delay, [this, next, next_idx] {
+            sched_.schedule_after(hops_[i].delay,
+                                  sim::EventTag{next, "token.arrive"},
+                                  [this, next, next_idx] {
                 if (arrive_observer_) arrive_observer_(next_idx, sched_.now());
                 next->token_arrive();
             });

@@ -1,0 +1,190 @@
+// st_lint: static analyzer for synchro-tokens SocSpecs.
+//
+// Runs every lint pass (topology, schedule feasibility, FIFO provisioning,
+// counter widths, clock hazards, absorbed deadlock fixpoint) over the shipped
+// testbench specs or over a deliberately broken fixture, and prints a
+// GCC-style diagnostics listing. Exit status is non-zero when any
+// error-severity diagnostic was produced — CTest runs this over every shipped
+// spec (expected clean) and over every fixture (expected to fail).
+//
+//   $ ./tools/st_lint                      # lint all shipped testbenches
+//   $ ./tools/st_lint --spec triangle
+//   $ ./tools/st_lint --fixture undersized-fifo
+//   $ ./tools/st_lint --spec all --race-audit 200
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/fixtures.hpp"
+#include "lint/lint.hpp"
+#include "lint/race_audit.hpp"
+#include "system/testbenches.hpp"
+
+namespace {
+
+using namespace st;
+
+struct Options {
+    std::string spec = "all";
+    std::string fixture;
+    std::uint64_t race_cycles = 0;
+    bool deadlock_pass = true;
+    bool quiet = false;
+};
+
+const std::vector<std::string>& shipped_specs() {
+    static const std::vector<std::string> names = {"pair", "triangle", "chain",
+                                                   "mesh", "wide",     "bus"};
+    return names;
+}
+
+sys::SocSpec make_shipped(const std::string& name) {
+    if (name == "pair") return sys::make_pair_spec();
+    if (name == "triangle") return sys::make_triangle_spec();
+    if (name == "chain") return sys::make_chain_spec();
+    if (name == "mesh") return sys::make_mesh_spec();
+    if (name == "wide") return sys::make_wide_pair_spec();
+    if (name == "bus") return sys::make_bus_spec();
+    std::fprintf(stderr, "st_lint: unknown spec '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+void usage() {
+    std::printf(
+        "usage: st_lint [options]\n"
+        "  --spec NAME       shipped testbench to lint: all");
+    for (const auto& s : shipped_specs()) std::printf("|%s", s.c_str());
+    std::printf(
+        " (default all)\n"
+        "  --fixture NAME    lint a deliberately broken fixture instead\n"
+        "  --race-audit N    additionally simulate N local cycles with the\n"
+        "                    scheduler same-slot race audit enabled\n"
+        "  --no-deadlock     skip the absorbed deadlock fixpoint pass\n"
+        "  --list            list passes and fixtures, then exit\n"
+        "  --quiet           print only per-spec summary lines\n");
+}
+
+void list_catalogs() {
+    std::printf("passes:\n");
+    for (const auto& p : lint::pass_catalog()) {
+        std::printf("  %-22s %s\n", p.id, p.summary);
+    }
+    std::printf("fixtures (each must fail with its rule):\n");
+    for (const auto& f : lint::fixture_catalog()) {
+        std::printf("  %-22s [%s] %s\n", f.name, f.expected_rule, f.summary);
+    }
+}
+
+/// Print one report GCC-style, using the spec name as the "file" component.
+void print_report(const std::string& spec_name, const lint::LintReport& report,
+                  bool quiet) {
+    if (!quiet) {
+        for (const auto& d : report.diagnostics()) {
+            std::printf("%s: %s: %s: %s [%s]\n", spec_name.c_str(),
+                        d.locus.c_str(), lint::severity_name(d.severity),
+                        d.message.c_str(), d.rule.c_str());
+            if (!d.fix_hint.empty()) {
+                std::printf("%s: %s: note: fix: %s\n", spec_name.c_str(),
+                            d.locus.c_str(), d.fix_hint.c_str());
+            }
+        }
+    }
+    std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                spec_name.c_str(), report.errors(), report.warnings(),
+                report.notes());
+}
+
+/// Lint (and optionally race-audit) one spec; returns its error count.
+std::size_t lint_one(const std::string& name, const sys::SocSpec& spec,
+                     const Options& opt) {
+    lint::LintOptions lopt;
+    lopt.deadlock_pass = opt.deadlock_pass;
+    lint::LintReport report = lint::lint(spec, lopt);
+    // Only audit dynamically when the spec is statically sound: elaborating
+    // a structurally broken spec would throw long before any race could.
+    if (opt.race_cycles > 0 && report.ok()) {
+        lint::LintReport audit =
+            lint::run_race_audit(spec, opt.race_cycles, sim::ms(500));
+        if (!opt.quiet) {
+            std::printf("%s: race audit over %llu cycles: %zu race(s)\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(opt.race_cycles),
+                        audit.errors());
+        }
+        report.merge(audit);
+    }
+    print_report(name, report, opt.quiet);
+    return report.errors();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--spec") {
+            opt.spec = next();
+        } else if (arg == "--fixture") {
+            opt.fixture = next();
+        } else if (arg == "--race-audit") {
+            const char* value = next();
+            char* end = nullptr;
+            opt.race_cycles = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0' || opt.race_cycles == 0) {
+                std::fprintf(stderr,
+                             "st_lint: --race-audit expects a positive cycle "
+                             "count, got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else if (arg == "--no-deadlock") {
+            opt.deadlock_pass = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--list") {
+            list_catalogs();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    if (!opt.fixture.empty() && opt.spec != "all") {
+        std::fprintf(stderr,
+                     "st_lint: --spec and --fixture are mutually exclusive\n");
+        return 2;
+    }
+
+    std::size_t errors = 0;
+    if (!opt.fixture.empty()) {
+        try {
+            errors = lint_one(opt.fixture, lint::make_fixture(opt.fixture),
+                              opt);
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "st_lint: %s\n", e.what());
+            return 2;
+        }
+    } else if (opt.spec == "all") {
+        for (const auto& name : shipped_specs()) {
+            errors += lint_one(name, make_shipped(name), opt);
+        }
+    } else {
+        errors = lint_one(opt.spec, make_shipped(opt.spec), opt);
+    }
+    return errors == 0 ? 0 : 1;
+}
