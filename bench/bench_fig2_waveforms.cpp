@@ -20,6 +20,7 @@
 #include "bench_util.hpp"
 #include "sim/vcd.hpp"
 #include "sim/waveform.hpp"
+#include "system/fig2_digest.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
 
@@ -120,6 +121,13 @@ void emit_waveforms() {
     std::printf("%s\n", wave.render(0, sim::ns(26), dt).c_str());
     std::printf("VCD written to fig2.vcd (%llu clock stops observed)\n",
                 static_cast<unsigned long long>(clk.stop_events()));
+
+    // Golden-trace constants for tests/test_golden_fig2.cpp: if an intended
+    // change moved the figure, copy these into the test.
+    const sys::Fig2Trace trace = sys::capture_fig2(24);
+    std::printf("\ngolden sequence: %s\n", trace.sequence().c_str());
+    std::printf("golden digest:   0x%016llx\n",
+                static_cast<unsigned long long>(trace.digest()));
 }
 
 void BM_NodeCommit(benchmark::State& state) {

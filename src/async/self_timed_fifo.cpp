@@ -18,6 +18,10 @@ SelfTimedFifo::SelfTimedFifo(sim::Scheduler& sched, std::string name, Params p)
     if (params_.depth == 0) {
         throw std::invalid_argument("SelfTimedFifo: zero depth");
     }
+    if (params_.data_bits == 0 || params_.data_bits > 64) {
+        throw std::invalid_argument("SelfTimedFifo[" + name_ +
+                                    "]: data_bits must be in [1, 64]");
+    }
     head_link_->on_complete([this] {
         // Downstream latched the head word and the handshake returned to
         // zero: free the head stage and keep the pipeline moving.
@@ -57,13 +61,17 @@ void SelfTimedFifo::try_advance(std::size_t i) {
     if (!stages_[i].has_value() || moving_[i]) return;
     if (stages_[i + 1].has_value() || moving_[i + 1]) return;
     moving_[i] = true;
+    StageFault fault;
+    if (stage_fault_) fault = stage_fault_(i + 1, *stages_[i]);
     // Actor = the receiving stage: two ripple arrivals into one stage at the
     // same instant would be an observable ordering race; moves of disjoint
     // stages commute and may share a slot freely.
-    sched_.schedule_after(params_.stage_delay,
+    sched_.schedule_after(params_.stage_delay + fault.extra_delay,
                           sim::EventTag{&stages_[i + 1], "fifo.ripple"},
-                          [this, i] {
-        stages_[i + 1] = *stages_[i];
+                          [this, i, fault] {
+        stages_[i + 1] = fault.force_word
+                             ? mask_word(*fault.force_word, params_.data_bits)
+                             : *stages_[i];
         stages_[i].reset();
         moving_[i] = false;
         if (i + 1 == params_.depth - 1) {

@@ -80,6 +80,21 @@ class SelfTimedFifo : public LinkSink {
     /// Change the per-stage delay (used by perturbation sweeps before t=0).
     void set_stage_delay(sim::Time d) { params_.stage_delay = d; }
 
+    // --- fault injection (opt-in) ---
+    /// One injected defect on a ripple hop: the move is slowed by
+    /// `extra_delay` (a stage-stall fault) and/or the word in flight is
+    /// replaced by `force_word` (a stuck-data fault; masked to data_bits).
+    struct StageFault {
+        sim::Time extra_delay = 0;
+        std::optional<Word> force_word;
+    };
+
+    /// Fault hook consulted once per ripple, as the move into `to_stage`
+    /// is launched with word `w`. Depth-1 FIFOs have no ripple hops and are
+    /// not faultable through this surface.
+    using StageFaultFn = std::function<StageFault(std::size_t to_stage, Word w)>;
+    void set_stage_fault(StageFaultFn fn) { stage_fault_ = std::move(fn); }
+
   private:
     void try_advance(std::size_t i);
     void try_send_head();
@@ -89,6 +104,7 @@ class SelfTimedFifo : public LinkSink {
     Params params_;
     std::vector<std::optional<Word>> stages_;  // [0]=tail, [depth-1]=head
     std::vector<bool> moving_;                 // stage i -> i+1 in flight
+    StageFaultFn stage_fault_;
     std::unique_ptr<Link> head_link_;
     Link* tail_link_ = nullptr;
     bool head_sending_ = false;

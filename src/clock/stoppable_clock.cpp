@@ -89,7 +89,8 @@ void StoppableClock::async_restart() {
     stopped_ = false;
     total_stopped_ += sched_.now() - stop_began_;
     if (!edge_pending_) {
-        schedule_edge(sched_.now() + params_.restart_delay);
+        const sim::Time glitch = restart_fault_ ? restart_fault_() : 0;
+        schedule_edge(sched_.now() + params_.restart_delay + glitch);
     }
 }
 

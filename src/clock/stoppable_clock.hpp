@@ -74,6 +74,13 @@ class StoppableClock {
     sim::Time total_stopped_time() const { return total_stopped_; }
     std::uint64_t stop_events() const { return stop_events_; }
 
+    /// Opt-in fault hook (fuzz harness): extra latency added to the next
+    /// asynchronous restart edge — a restart glitch in the escapement logic.
+    /// Consulted once per restart that actually schedules an edge.
+    void set_restart_fault(std::function<sim::Time()> fn) {
+        restart_fault_ = std::move(fn);
+    }
+
     /// Observer invoked at each rising edge (monitor priority) — used by
     /// trace capture.
     void on_edge(std::function<void(std::uint64_t cycle, sim::Time t)> fn) {
@@ -91,6 +98,7 @@ class StoppableClock {
     Params params_;
     std::vector<ClockSink*> sinks_;
     std::function<bool()> enable_fn_;
+    std::function<sim::Time()> restart_fault_;
     std::vector<std::function<void(std::uint64_t, sim::Time)>> edge_observers_;
 
     bool started_ = false;

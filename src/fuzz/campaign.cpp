@@ -1,0 +1,244 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "fuzz/injector.hpp"
+#include "system/delay_config.hpp"
+#include "system/invariant_monitor.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+
+namespace st::fuzz {
+
+namespace {
+
+const char* const kOutcomeNames[kNumOutcomes] = {
+    "deterministic",
+    "divergent",
+    "deadlock",
+    "invariant",
+};
+
+sim::Time max_effective_period(const sys::SocSpec& spec) {
+    sim::Time max_p = 1;
+    for (const auto& sb : spec.sbs) {
+        const sim::Time p =
+            sb.clock.base_period * std::max(1u, sb.clock.divider);
+        max_p = std::max(max_p, p);
+    }
+    return max_p;
+}
+
+/// Soc::run_cycles plus an event-budget watchdog. Returns true when every
+/// SB reached the cycle goal; `budget_expired` distinguishes livelock from
+/// quiescence / time overrun.
+bool run_bounded(sys::Soc& soc, std::uint64_t n_cycles, sim::Time deadline,
+                 std::uint64_t max_events, bool& budget_expired) {
+    soc.start();
+    budget_expired = false;
+    const auto goal_met = [&] {
+        for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
+            if (soc.wrapper(i).clock().cycles() < n_cycles) return false;
+        }
+        return true;
+    };
+    auto& sched = soc.scheduler();
+    const std::uint64_t budget0 = sched.events_executed();
+    while (!goal_met()) {
+        if (sched.quiescent() || sched.next_event_time() > deadline) {
+            return false;
+        }
+        if (sched.events_executed() - budget0 >= max_events) {
+            budget_expired = true;
+            return false;
+        }
+        sched.step();
+    }
+    return true;
+}
+
+std::uint64_t total_protocol_errors(sys::Soc& soc) {
+    std::uint64_t n = 0;
+    const auto& spec = soc.spec();
+    for (std::size_t r = 0; r < spec.rings.size(); ++r) {
+        n += soc.ring_node(r, spec.rings[r].sb_a).protocol_errors();
+        n += soc.ring_node(r, spec.rings[r].sb_b).protocol_errors();
+    }
+    for (std::size_t r = 0; r < spec.multi_rings.size(); ++r) {
+        for (const auto& m : spec.multi_rings[r].members) {
+            n += soc.multi_ring_node(r, m.sb).protocol_errors();
+        }
+    }
+    return n;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+    return kOutcomeNames[static_cast<std::size_t>(o)];
+}
+
+std::optional<Outcome> parse_outcome(const std::string& name) {
+    for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+        if (name == kOutcomeNames[i]) return static_cast<Outcome>(i);
+    }
+    return std::nullopt;
+}
+
+Campaign::Campaign(CampaignConfig cfg)
+    : cfg_(std::move(cfg)), spec_(sys::make_named_spec(cfg_.spec_name)) {
+    // Golden: nominal delays, no faults. Must meet the cycle goal — a spec
+    // that cannot run fault-free nominally is a configuration error.
+    sys::Soc soc(spec_);
+    bool budget_expired = false;
+    const sim::Time deadline =
+        static_cast<sim::Time>(cfg_.cycles + 64) *
+        max_effective_period(spec_) * 8;
+    if (!run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
+                     budget_expired)) {
+        throw std::runtime_error("Campaign: golden run of spec '" +
+                                 cfg_.spec_name +
+                                 "' did not reach the cycle goal");
+    }
+    golden_ = verify::truncated(soc.traces(), cfg_.cycles);
+}
+
+RunReport Campaign::run_case(const FuzzCase& c) const {
+    const sys::SocSpec perturbed = sys::apply(spec_, c.delays);
+    sys::Soc soc(perturbed);
+    Injector injector(soc, c.faults);
+    sys::InvariantMonitor monitor(soc);
+
+    bool budget_expired = false;
+    const sim::Time deadline =
+        static_cast<sim::Time>(cfg_.cycles + 64) *
+        max_effective_period(perturbed) * 8;
+    const bool goal = run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
+                                  budget_expired);
+
+    RunReport r;
+    r.goal_met = goal;
+    r.faults_fired = injector.fired();
+    r.events = soc.scheduler().events_executed();
+    r.protocol_errors = total_protocol_errors(soc);
+
+    if (!monitor.violations().empty() || r.protocol_errors > 0) {
+        r.outcome = Outcome::kInvariantViolation;
+        if (!monitor.violations().empty()) {
+            r.detail = monitor.violations().front();
+        } else {
+            std::ostringstream os;
+            os << r.protocol_errors << " token protocol error(s)";
+            r.detail = os.str();
+        }
+        return r;
+    }
+    if (!goal) {
+        r.outcome = Outcome::kDeadlocked;
+        if (budget_expired) {
+            r.detail = "event budget expired (livelock watchdog)";
+        } else if (soc.deadlocked()) {
+            r.detail = "quiescent with stopped clock(s)";
+        } else {
+            r.detail = "cycle goal not met before deadline";
+        }
+        return r;
+    }
+    const verify::TraceDiff diff =
+        verify::diff_traces(golden_, verify::truncated(soc.traces(),
+                                                       cfg_.cycles));
+    if (!diff.identical) {
+        r.outcome = Outcome::kTraceDivergent;
+        r.detail = diff.first_mismatch;
+        return r;
+    }
+    r.outcome = Outcome::kDeterministic;
+    return r;
+}
+
+Fault Campaign::random_fault(sim::Rng& rng) const {
+    Fault f;
+    f.cls = cfg_.classes[rng.next_below(cfg_.classes.size())];
+    switch (f.cls) {
+        case FaultClass::kTokenDropWire:
+        case FaultClass::kTokenDuplicate:
+            f.unit = rng.next_below(std::max<std::size_t>(
+                1, spec_.rings.size()));
+            f.side = rng.next_below(2);
+            f.nth = rng.next_in(1, 4);
+            break;
+        case FaultClass::kSpuriousToken:
+            f.unit = rng.next_below(std::max<std::size_t>(
+                1, spec_.rings.size()));
+            f.side = rng.next_below(2);
+            f.nth = 1;
+            // Inject somewhere in the first half of the run window.
+            f.value = rng.next_in(
+                1, (cfg_.cycles / 2 + 1) * max_effective_period(spec_));
+            break;
+        case FaultClass::kFifoStall:
+            f.unit = rng.next_below(std::max<std::size_t>(
+                1, spec_.channels.size()));
+            f.nth = rng.next_in(1, 8);
+            f.value = rng.next_in(1, 20) * 100;  ///< up to 2 ns extra
+            break;
+        case FaultClass::kFifoStuckData:
+            f.unit = rng.next_below(std::max<std::size_t>(
+                1, spec_.channels.size()));
+            f.nth = rng.next_in(1, 8);
+            f.value = rng.next_u64();
+            break;
+        case FaultClass::kRestartGlitch:
+            f.unit = rng.next_below(std::max<std::size_t>(
+                1, spec_.sbs.size()));
+            f.nth = rng.next_in(1, 4);
+            f.value = rng.next_in(1, 20) * 100;
+            break;
+    }
+    return f;
+}
+
+FuzzCase Campaign::random_case(sim::Rng& rng) const {
+    static constexpr unsigned kGrid[] = {50, 75, 100, 150, 200};
+    FuzzCase c;
+    c.delays = sys::DelayConfig::nominal(spec_);
+    for (std::size_t d = 0; d < c.delays.dimensions(); ++d) {
+        c.delays.set(d, kGrid[rng.next_below(5)]);
+    }
+    // Clocks stay in the audited envelope: below 75% the bundling-constraint
+    // checker (legitimately) trips, which is not the property under test.
+    for (auto& pct : c.delays.clock_pct) pct = std::max(pct, 75u);
+
+    if (!cfg_.classes.empty()) {
+        const std::size_t n =
+            1 + rng.next_below(std::max<std::size_t>(1, cfg_.max_faults));
+        for (std::size_t i = 0; i < n; ++i) {
+            c.faults.push_back(random_fault(rng));
+        }
+    }
+    return c;
+}
+
+CampaignSummary Campaign::run(
+    std::uint64_t n_runs, std::uint64_t seed,
+    const std::function<void(std::size_t, const FuzzCase&,
+                             const RunReport&)>& on_run) const {
+    CampaignSummary s;
+    sim::Rng rng(seed);
+    for (std::uint64_t i = 0; i < n_runs; ++i) {
+        const FuzzCase c = random_case(rng);
+        const RunReport r = run_case(c);
+        ++s.runs;
+        ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
+        if (r.faults_fired > 0) ++s.runs_with_fault_fired;
+        if (r.outcome != Outcome::kDeterministic) {
+            s.failures.emplace_back(c, r);
+        }
+        if (on_run) on_run(static_cast<std::size_t>(i), c, r);
+    }
+    return s;
+}
+
+}  // namespace st::fuzz

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/fault.hpp"
+#include "sim/random.hpp"
+#include "system/spec.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::fuzz {
+
+/// Classification of one fuzz run against the nominal golden run.
+///
+/// Precedence (strongest diagnosis wins): an invariant violation trumps a
+/// deadlock, which trumps a trace divergence. kDeadlocked covers every way
+/// the cycle goal was not met — true quiescent deadlock, simulated-time
+/// overrun, and the event-budget watchdog (livelock) — because all three are
+/// "the system stopped making observable progress".
+enum class Outcome : std::uint8_t {
+    kDeterministic = 0,
+    kTraceDivergent = 1,
+    kDeadlocked = 2,
+    kInvariantViolation = 3,
+};
+
+inline constexpr std::size_t kNumOutcomes = 4;
+
+const char* outcome_name(Outcome o);
+std::optional<Outcome> parse_outcome(const std::string& name);
+
+/// Everything observed about one run.
+struct RunReport {
+    Outcome outcome = Outcome::kDeterministic;
+    bool goal_met = false;            ///< every SB reached the cycle goal
+    std::uint64_t faults_fired = 0;   ///< injected occurrences that triggered
+    std::uint64_t events = 0;         ///< scheduler events this run
+    std::uint64_t protocol_errors = 0;
+    std::string detail;               ///< first diagnostic locus, if any
+};
+
+struct CampaignConfig {
+    std::string spec_name = "pair";
+    /// Local-cycle comparison window per SB (the paper monitors the first
+    /// 100 local cycles of each block).
+    std::uint64_t cycles = 100;
+    /// Livelock watchdog: per-run scheduler event budget.
+    std::uint64_t max_events = 2'000'000;
+    /// Fault classes eligible for random cases; empty = fault-free campaign
+    /// (pure delay perturbation, the paper's §5 experiment).
+    std::vector<FaultClass> classes;
+    std::size_t max_faults = 2;  ///< faults per random case (1..max)
+};
+
+struct CampaignSummary {
+    std::uint64_t runs = 0;
+    std::uint64_t by_outcome[kNumOutcomes] = {};
+    std::uint64_t runs_with_fault_fired = 0;
+    /// Cases that did not classify kDeterministic, with their reports.
+    std::vector<std::pair<FuzzCase, RunReport>> failures;
+};
+
+/// Seeded property-based campaign over the composed (delays x faults) space
+/// of one named testbench spec. Construction runs the nominal golden case
+/// once and caches its cycle-indexed I/O traces; every subsequent case is
+/// classified against that golden.
+class Campaign {
+  public:
+    explicit Campaign(CampaignConfig cfg);
+
+    const CampaignConfig& config() const { return cfg_; }
+    const sys::SocSpec& spec() const { return spec_; }
+    const verify::TraceSet& golden() const { return golden_; }
+
+    /// Elaborate, inject, run bounded, classify. Deterministic per case.
+    RunReport run_case(const FuzzCase& c) const;
+
+    /// Draw one random case: every delay dimension sampled from the paper's
+    /// {50,75,100,150,200}% grid (clocks clamped to >= 75%, the audited
+    /// timing envelope), plus 1..max_faults random faults when the class
+    /// list is non-empty.
+    FuzzCase random_case(sim::Rng& rng) const;
+
+    /// Run `n_runs` random cases from `seed`. `on_run` (optional) observes
+    /// every case as it completes.
+    CampaignSummary run(
+        std::uint64_t n_runs, std::uint64_t seed,
+        const std::function<void(std::size_t, const FuzzCase&,
+                                 const RunReport&)>& on_run = {}) const;
+
+  private:
+    Fault random_fault(sim::Rng& rng) const;
+
+    CampaignConfig cfg_;
+    sys::SocSpec spec_;
+    verify::TraceSet golden_;
+};
+
+}  // namespace st::fuzz

@@ -1,0 +1,50 @@
+#include "fuzz/fault.hpp"
+
+#include <sstream>
+
+namespace st::fuzz {
+
+const char* fault_class_name(FaultClass cls) {
+    switch (cls) {
+        case FaultClass::kTokenDropWire: return "token-drop";
+        case FaultClass::kTokenDuplicate: return "token-dup";
+        case FaultClass::kFifoStall: return "fifo-stall";
+        case FaultClass::kFifoStuckData: return "fifo-stuck";
+        case FaultClass::kRestartGlitch: return "restart-glitch";
+        case FaultClass::kSpuriousToken: return "spurious-token";
+    }
+    return "?";
+}
+
+std::optional<FaultClass> parse_fault_class(const std::string& name) {
+    for (const FaultClass cls : all_fault_classes()) {
+        if (name == fault_class_name(cls)) return cls;
+    }
+    return std::nullopt;
+}
+
+const std::vector<FaultClass>& all_fault_classes() {
+    static const std::vector<FaultClass> classes = {
+        FaultClass::kTokenDropWire,  FaultClass::kTokenDuplicate,
+        FaultClass::kFifoStall,      FaultClass::kFifoStuckData,
+        FaultClass::kRestartGlitch,  FaultClass::kSpuriousToken,
+    };
+    return classes;
+}
+
+std::string Fault::describe() const {
+    std::ostringstream os;
+    os << fault_class_name(cls) << " unit=" << unit << " side=" << side
+       << " nth=" << nth << " value=" << value;
+    return os.str();
+}
+
+std::size_t FuzzCase::complexity() const {
+    std::size_t n = faults.size();
+    for (std::size_t d = 0; d < delays.dimensions(); ++d) {
+        if (delays.get(d) != 100) ++n;
+    }
+    return n;
+}
+
+}  // namespace st::fuzz

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "system/delay_config.hpp"
+
+namespace st::fuzz {
+
+/// The injectable misbehaviours. The paper's determinism claim (§5) is about
+/// *benign* delay perturbation; these model broken hardware in the spirit of
+/// the self-stabilizing-clocking literature (stuck/late/spurious
+/// transitions), and the campaign proves each is either absorbed by
+/// construction or *detected* — never a silent divergence for token loss.
+enum class FaultClass : std::uint8_t {
+    kTokenDropWire,   ///< token transition lost on a ring wire
+    kTokenDuplicate,  ///< node emits two tokens at one departure
+    kFifoStall,       ///< one self-timed ripple hop delayed by `value` ps
+    kFifoStuckData,   ///< one rippling word replaced by `value`
+    kRestartGlitch,   ///< one async clock restart delayed by `value` ps
+    kSpuriousToken,   ///< spurious token transition delivered at time `value`
+};
+
+inline constexpr std::size_t kNumFaultClasses = 6;
+
+const char* fault_class_name(FaultClass cls);
+std::optional<FaultClass> parse_fault_class(const std::string& name);
+const std::vector<FaultClass>& all_fault_classes();
+
+/// One concrete fault. The meaning of the fields depends on the class:
+///
+/// class            | unit          | side            | nth          | value
+/// -----------------|---------------|-----------------|--------------|-------
+/// token-drop       | ring index    | endpoint (0=a)  | Nth arrival  | -
+/// token-dup        | ring index    | endpoint (0=a)  | Nth departure| -
+/// fifo-stall       | channel index | -               | Nth ripple   | extra ps
+/// fifo-stuck       | channel index | -               | Nth ripple   | forced word
+/// restart-glitch   | SB index      | -               | Nth restart  | extra ps
+/// spurious-token   | ring index    | endpoint (0=a)  | -            | inject time ps
+///
+/// `nth` is 1-based ("the Nth opportunity fires the fault").
+struct Fault {
+    FaultClass cls = FaultClass::kTokenDropWire;
+    std::size_t unit = 0;
+    std::size_t side = 0;
+    std::uint64_t nth = 1;
+    std::uint64_t value = 0;
+
+    bool operator==(const Fault&) const = default;
+
+    /// "token-drop unit=0 side=1 nth=2 value=0" — also the repro format.
+    std::string describe() const;
+};
+
+/// One fuzz case: a point in the composed (delays x faults) space.
+struct FuzzCase {
+    sys::DelayConfig delays;
+    std::vector<Fault> faults;
+
+    bool operator==(const FuzzCase&) const = default;
+
+    /// Dimensions the shrinker minimizes: non-nominal delay parameters plus
+    /// injected faults.
+    std::size_t complexity() const;
+};
+
+}  // namespace st::fuzz

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fault.hpp"
+#include "system/soc.hpp"
+
+namespace st::fuzz {
+
+/// Binds a fault list onto an elaborated Soc through the opt-in hooks on
+/// the scheduler, token nodes, FIFOs and clocks. Construct after the Soc,
+/// before the run; the Injector must outlive the simulation (the installed
+/// hooks reference its counters).
+///
+/// Faults referring to units the spec does not have (ring/channel/SB index
+/// out of range) are rejected with std::invalid_argument — a repro file for
+/// one spec cannot be silently misapplied to another.
+class Injector {
+  public:
+    Injector(sys::Soc& soc, const std::vector<Fault>& faults);
+
+    Injector(const Injector&) = delete;
+    Injector& operator=(const Injector&) = delete;
+
+    /// Number of fault occurrences that actually fired during the run.
+    std::uint64_t fired() const { return fired_; }
+
+  private:
+    /// Occurrence-count trigger shared by every hook kind.
+    struct Trigger {
+        Fault fault;
+        std::uint64_t seen = 0;
+        bool done = false;
+        const void* actor = nullptr;  ///< wire drops: the receiving node
+    };
+
+    core::TokenNode& ring_endpoint(sys::Soc& soc, const Fault& f) const;
+
+    std::uint64_t fired_ = 0;
+    // Stable storage: hook lambdas capture `this` and index into these.
+    std::vector<Trigger> wire_drops_;
+    std::vector<std::vector<Trigger>> node_triggers_;   // per faulted node
+    std::vector<std::vector<Trigger>> fifo_triggers_;   // per faulted FIFO
+    std::vector<std::vector<Trigger>> clock_triggers_;  // per faulted clock
+};
+
+}  // namespace st::fuzz

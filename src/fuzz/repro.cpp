@@ -1,0 +1,134 @@
+#include "fuzz/repro.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "system/delay_config.hpp"
+
+namespace st::fuzz {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t lineno, const std::string& why) {
+    throw std::invalid_argument("repro line " + std::to_string(lineno) +
+                                ": " + why);
+}
+
+/// Parse "key=value" with a numeric value.
+std::uint64_t parse_kv(const std::string& tok, const char* key,
+                       std::size_t lineno) {
+    const std::string prefix = std::string(key) + "=";
+    if (tok.rfind(prefix, 0) != 0) {
+        bad_line(lineno, "expected '" + prefix + "<n>', got '" + tok + "'");
+    }
+    try {
+        return std::stoull(tok.substr(prefix.size()));
+    } catch (const std::exception&) {
+        bad_line(lineno, "bad number in '" + tok + "'");
+    }
+}
+
+}  // namespace
+
+Repro Repro::from_case(const std::string& spec_name, std::uint64_t cycles,
+                       Outcome expected, const FuzzCase& c) {
+    Repro r;
+    r.spec_name = spec_name;
+    r.cycles = cycles;
+    r.expected = expected;
+    for (std::size_t d = 0; d < c.delays.dimensions(); ++d) {
+        if (c.delays.get(d) != 100) r.delays.emplace_back(d, c.delays.get(d));
+    }
+    r.faults = c.faults;
+    return r;
+}
+
+FuzzCase Repro::to_case(const sys::SocSpec& spec) const {
+    FuzzCase c;
+    c.delays = sys::DelayConfig::nominal(spec);
+    for (const auto& [dim, pct] : delays) {
+        if (dim >= c.delays.dimensions()) {
+            throw std::invalid_argument(
+                "repro: delay dimension " + std::to_string(dim) +
+                " out of range for spec (has " +
+                std::to_string(c.delays.dimensions()) + ")");
+        }
+        c.delays.set(dim, pct);
+    }
+    c.faults = faults;
+    return c;
+}
+
+std::string Repro::to_text() const {
+    std::ostringstream os;
+    os << "# st_fuzz counterexample repro\n";
+    os << "spec " << spec_name << "\n";
+    os << "cycles " << cycles << "\n";
+    if (expected) os << "outcome " << outcome_name(*expected) << "\n";
+    for (const auto& [dim, pct] : delays) {
+        os << "delay " << dim << " " << pct << "\n";
+    }
+    for (const Fault& f : faults) {
+        os << "fault " << f.describe() << "\n";
+    }
+    return os.str();
+}
+
+Repro Repro::parse(const std::string& text) {
+    Repro r;
+    bool saw_spec = false;
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream ls(line);
+        std::string directive;
+        if (!(ls >> directive)) continue;  // blank / comment-only line
+        if (directive == "spec") {
+            if (!(ls >> r.spec_name)) bad_line(lineno, "spec needs a name");
+            saw_spec = true;
+        } else if (directive == "cycles") {
+            if (!(ls >> r.cycles)) bad_line(lineno, "cycles needs a number");
+        } else if (directive == "outcome") {
+            std::string name;
+            if (!(ls >> name)) bad_line(lineno, "outcome needs a name");
+            const auto o = parse_outcome(name);
+            if (!o) bad_line(lineno, "unknown outcome '" + name + "'");
+            r.expected = *o;
+        } else if (directive == "delay") {
+            std::size_t dim = 0;
+            unsigned pct = 0;
+            if (!(ls >> dim >> pct)) {
+                bad_line(lineno, "delay needs '<dim> <pct>'");
+            }
+            r.delays.emplace_back(dim, pct);
+        } else if (directive == "fault") {
+            std::string cls_name, unit_tok, side_tok, nth_tok, value_tok;
+            if (!(ls >> cls_name >> unit_tok >> side_tok >> nth_tok >>
+                  value_tok)) {
+                bad_line(lineno,
+                         "fault needs '<class> unit=N side=N nth=N value=N'");
+            }
+            const auto cls = parse_fault_class(cls_name);
+            if (!cls) bad_line(lineno, "unknown fault class '" + cls_name + "'");
+            Fault f;
+            f.cls = *cls;
+            f.unit = parse_kv(unit_tok, "unit", lineno);
+            f.side = parse_kv(side_tok, "side", lineno);
+            f.nth = parse_kv(nth_tok, "nth", lineno);
+            f.value = parse_kv(value_tok, "value", lineno);
+            r.faults.push_back(f);
+        } else {
+            bad_line(lineno, "unknown directive '" + directive + "'");
+        }
+    }
+    if (!saw_spec) {
+        throw std::invalid_argument("repro: missing 'spec' directive");
+    }
+    return r;
+}
+
+}  // namespace st::fuzz

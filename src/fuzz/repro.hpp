@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fault.hpp"
+#include "system/spec.hpp"
+
+namespace st::fuzz {
+
+/// A replayable counterexample: spec-independent text that `st_fuzz --replay`
+/// (or any future session) turns back into the exact failing run. Line-based:
+///
+///     # comment
+///     spec pair
+///     cycles 100
+///     outcome deadlock
+///     delay 3 50        # ring0.ab
+///     fault token-drop unit=0 side=1 nth=1 value=0
+///
+/// Only non-nominal delay dimensions are stored (flat DelayConfig index);
+/// everything else is implicitly 100%. `outcome` records the classification
+/// at save time so a replay can assert it reproduces.
+struct Repro {
+    std::string spec_name;
+    std::uint64_t cycles = 100;
+    std::optional<Outcome> expected;
+    std::vector<std::pair<std::size_t, unsigned>> delays;  ///< (dim, pct)
+    std::vector<Fault> faults;
+
+    static Repro from_case(const std::string& spec_name, std::uint64_t cycles,
+                           Outcome expected, const FuzzCase& c);
+
+    /// Rebuild the dense case for `spec` (must be the named spec's shape).
+    /// Throws std::invalid_argument on an out-of-range delay dimension.
+    FuzzCase to_case(const sys::SocSpec& spec) const;
+
+    std::string to_text() const;
+
+    /// Parse repro text. Throws std::invalid_argument with a line-numbered
+    /// message on any malformed or unknown directive.
+    static Repro parse(const std::string& text);
+};
+
+}  // namespace st::fuzz

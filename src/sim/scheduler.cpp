@@ -52,6 +52,13 @@ bool Scheduler::step() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.t;
+    if (interceptor_ && ev.tag.actor != nullptr &&
+        !interceptor_(ev.tag, ev.t)) {
+        // Dropped: the transition never happened as far as any model can
+        // tell. Invisible to the race audit — a lost event orders nothing.
+        ++dropped_;
+        return true;
+    }
     ++executed_;
     if (audit_) audit_step(ev);
     ev.cb();

@@ -118,6 +118,18 @@ class Scheduler {
     /// Total events executed since construction.
     std::uint64_t events_executed() const { return executed_; }
 
+    // --- fault injection (opt-in) ---
+    /// Event-level fault surface used by the fuzz harness: when installed,
+    /// every *tagged* event is offered to the interceptor just before its
+    /// callback would run; returning false drops the event silently — the
+    /// model of a transition lost on an asynchronous wire. Untagged events
+    /// always execute, so the kernel's own bookkeeping cannot be faulted.
+    using Interceptor = std::function<bool(const EventTag&, Time)>;
+    void set_interceptor(Interceptor fn) { interceptor_ = std::move(fn); }
+
+    /// Events dropped by the interceptor (not counted in events_executed()).
+    std::uint64_t events_dropped() const { return dropped_; }
+
     // --- race audit ---
     /// Enable/disable the same-slot collision audit. Toggling clears the
     /// current group but keeps previously recorded races.
@@ -147,6 +159,8 @@ class Scheduler {
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t dropped_ = 0;
+    Interceptor interceptor_;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
 
     // Race-audit state: tagged members of the (time, priority) group

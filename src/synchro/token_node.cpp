@@ -67,7 +67,10 @@ void TokenNode::pass_token() {
     sb_en_ = false;
     token_here_ = false;
     ++tokens_passed_;
-    if (pass_fn_) pass_fn_();  // event F: token onto the ring
+    const unsigned copies = pass_fault_ ? pass_fault_() : 1;
+    for (unsigned k = 0; k < copies; ++k) {
+        if (pass_fn_) pass_fn_();  // event F: token onto the ring
+    }
 }
 
 void TokenNode::enter_holding() {
@@ -84,10 +87,13 @@ void TokenNode::enter_holding() {
 
 void TokenNode::token_arrive() {
     ++tokens_received_;
-    if (phase_ == Phase::kHolding) {
-        // A second token while holding means the ring is misconfigured
-        // (more than one token in flight). Record, don't crash: benches use
-        // this counter to demonstrate protocol-rule violations.
+    if (phase_ == Phase::kHolding || token_here_) {
+        // A second token — while holding, or while one is already latched
+        // awaiting recognition — means more than one token is in flight on
+        // the ring (misconfiguration or an injected duplicate). Record,
+        // don't crash: benches use this counter to demonstrate
+        // protocol-rule violations and the fuzz harness requires the fault
+        // to surface as a diagnostic rather than vanish silently.
         ++protocol_errors_;
         return;
     }

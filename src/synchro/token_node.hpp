@@ -80,6 +80,13 @@ class TokenNode final : public clk::ClockSink, public TokenEndpoint {
     void set_debug_hold(bool on) { debug_hold_ = on; }
     bool debug_hold() const { return debug_hold_; }
 
+    /// Opt-in fault hook (fuzz harness): consulted at each token departure
+    /// for the number of copies that actually leave onto the ring wire —
+    /// 0 drops the token at the source, 1 is nominal, 2 duplicates it.
+    void set_pass_fault(std::function<unsigned()> fn) {
+        pass_fault_ = std::move(fn);
+    }
+
     // --- observation ---
     Phase phase() const { return phase_; }
     bool token_here() const { return token_here_; }
@@ -98,6 +105,7 @@ class TokenNode final : public clk::ClockSink, public TokenEndpoint {
 
     std::string name_;
     std::function<void()> pass_fn_;
+    std::function<unsigned()> pass_fault_;
     SbWrapper* wrapper_ = nullptr;
 
     std::uint32_t hold_reg_;

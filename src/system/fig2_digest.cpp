@@ -1,0 +1,83 @@
+#include "system/fig2_digest.hpp"
+
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+
+namespace st::sys {
+
+std::string Fig2Trace::sequence() const {
+    std::string s;
+    s.reserve(events.size());
+    for (const Fig2Event& e : events) s.push_back(e.code);
+    return s;
+}
+
+std::uint64_t Fig2Trace::digest() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 0x100000001b3ull;  // FNV prime
+        }
+    };
+    for (const Fig2Event& e : events) {
+        mix(static_cast<std::uint64_t>(e.code));
+        mix(static_cast<std::uint64_t>(e.t));
+    }
+    return h;
+}
+
+Fig2Trace capture_fig2(std::uint64_t cycles) {
+    PairOptions opt;
+    opt.hold = 3;
+    opt.token_delay = 1600;  // > T: the token is late every round
+    opt.recycle_override = 5;
+    Soc soc(make_pair_spec(opt));
+    auto& node = soc.ring_node(0, 0);
+    auto& clk = soc.wrapper(0).clock();
+
+    Fig2Trace trace;
+    const auto push = [&trace](char code, sim::Time t) {
+        trace.events.push_back(Fig2Event{code, t});
+    };
+
+    // Asynchronous ring events, observed on the alpha hop (index 0) — the
+    // same annotation rules as the fig2_waveforms bench.
+    soc.ring(0).on_pass([&](std::size_t i, sim::Time t) {
+        if (i == 0) push('F', t);
+    });
+    soc.ring(0).on_arrive([&](std::size_t i, sim::Time t) {
+        if (i == 0) push(node.waiting() ? 'K' : 'A', t);
+    });
+
+    // Synchronous annotations, derived from settled per-edge node state.
+    struct Prev {
+        bool clken = true;
+        bool sb_en = true;
+        std::uint32_t rec = 0;
+    };
+    Prev prev;
+    clk.on_edge([&, hold = opt.hold](std::uint64_t, sim::Time t) {
+        if (prev.clken && !node.clken()) {
+            push('I', t);
+            push('J', t);  // no further edge until the token returns
+        }
+        if (!prev.clken && node.clken()) push('L', t);
+        if (!prev.sb_en && node.sb_en()) push('C', t);
+        if (prev.sb_en && !node.sb_en()) {
+            push('G', t);
+            push('E', t);
+        }
+        if (node.sb_en() && node.hold_count() < hold) push('D', t);
+        if (node.recycle_count() > 0 && node.recycle_count() < prev.rec) {
+            push('H', t);
+        }
+        if (prev.rec > 0 && node.recycle_count() == 0) push('B', t);
+        prev = Prev{node.clken(), node.sb_en(), node.recycle_count()};
+    });
+
+    soc.run_cycles(cycles, sim::us(1));
+    return trace;
+}
+
+}  // namespace st::sys

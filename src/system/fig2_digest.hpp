@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::sys {
+
+/// One annotated event of the paper's Fig. 2 node state-machine scenario,
+/// using the figure's letter codes:
+///
+///   A token arrives        B recycle counter reaches zero
+///   C SB-enable asserts    D hold counter decrements
+///   E hold counter presets F token passed
+///   G SBs disabled         H recycle counter decrements
+///   I clken deasserted     J clock stops
+///   K late token returns   L clock restarts
+struct Fig2Event {
+    char code = '?';
+    sim::Time t = 0;
+
+    bool operator==(const Fig2Event&) const = default;
+};
+
+/// The canonical event sequence of one Fig. 2 run, observed on the alpha
+/// node. Both the code string and the timed digest are golden-tested: the
+/// former reads like the figure, the latter pins the exact schedule.
+struct Fig2Trace {
+    std::vector<Fig2Event> events;
+
+    /// Concatenated event codes in order, e.g. "AFCDDD...".
+    std::string sequence() const;
+
+    /// 64-bit FNV-1a over every (code, time) pair in order.
+    std::uint64_t digest() const;
+};
+
+/// Run the Fig. 2 scenario — the pair testbench with hold=3, recycle=5 and a
+/// token wire longer than the clock period, so every round walks the full
+/// A..L annotation set including the stop/restart arc — for `cycles` local
+/// cycles of the alpha SB, and capture the annotated event sequence.
+///
+/// Deterministic: same inputs, same trace, same digest. The golden values
+/// are asserted by tests/test_golden_fig2.cpp and printed by the
+/// fig2_waveforms bench.
+Fig2Trace capture_fig2(std::uint64_t cycles = 24);
+
+}  // namespace st::sys

@@ -391,4 +391,21 @@ SocSpec make_mesh_spec(const MeshOptions& opt) {
     return spec;
 }
 
+const std::vector<std::string>& named_specs() {
+    static const std::vector<std::string> names = {"pair", "triangle", "chain",
+                                                   "mesh", "wide",     "bus"};
+    return names;
+}
+
+SocSpec make_named_spec(const std::string& name) {
+    if (name == "pair") return make_pair_spec();
+    if (name == "triangle") return make_triangle_spec();
+    if (name == "chain") return make_chain_spec();
+    if (name == "mesh") return make_mesh_spec();
+    if (name == "wide") return make_wide_pair_spec();
+    if (name == "bus") return make_bus_spec();
+    throw std::invalid_argument("make_named_spec: unknown spec '" + name +
+                                "'");
+}
+
 }  // namespace sys

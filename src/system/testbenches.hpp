@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "system/spec.hpp"
 
@@ -113,5 +115,14 @@ struct BusOptions {
 };
 
 SocSpec make_bus_spec(const BusOptions& opt = {});
+
+/// Names of all shipped testbench specs, in canonical order. Tools
+/// (st_lint, st_fuzz) iterate this catalog so a new testbench is picked up
+/// everywhere by adding it here.
+const std::vector<std::string>& named_specs();
+
+/// Build a shipped testbench by catalog name, with default options.
+/// Throws std::invalid_argument for names not in named_specs().
+SocSpec make_named_spec(const std::string& name);
 
 }  // namespace st::sys

@@ -14,9 +14,20 @@ struct SweepResult {
     std::uint64_t runs = 0;
     std::uint64_t matches = 0;
     std::uint64_t mismatches = 0;
-    /// Up to `kMaxExamples` human-readable mismatch loci for diagnosis.
+    /// Up to `kMaxExamples` *distinct* human-readable mismatch loci for
+    /// diagnosis (a sweep often trips over the same locus thousands of
+    /// times; repeating it tells the reader nothing new).
     std::vector<std::string> examples;
     static constexpr std::size_t kMaxExamples = 8;
+
+    /// Record a mismatch locus: deduplicated, bounded by kMaxExamples.
+    void add_example(const std::string& locus) {
+        if (examples.size() >= kMaxExamples) return;
+        for (const auto& e : examples) {
+            if (e == locus) return;
+        }
+        examples.push_back(locus);
+    }
 
     bool all_match() const { return mismatches == 0 && runs > 0; }
 };
@@ -65,9 +76,7 @@ class DeterminismHarness {
                 ++r.matches;
             } else {
                 ++r.mismatches;
-                if (r.examples.size() < SweepResult::kMaxExamples) {
-                    r.examples.push_back(d.first_mismatch);
-                }
+                r.add_example(d.first_mismatch);
             }
         }
         return r;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -138,6 +139,94 @@ TEST(Time, FormatAndScaleHelpers) {
     EXPECT_EQ(scale_percent(333, 150), 500u);  // rounds to nearest
     EXPECT_EQ(format_time(500), "500 ps");
     EXPECT_EQ(format_time(kNever), "never");
+}
+
+TEST(Scheduler, RaceAuditFlagsSameSlotSameActor) {
+    Scheduler s;
+    s.set_race_audit(true);
+    int actor = 0;
+    s.schedule_at(100, Priority::kDefault, EventTag{&actor, "first"},
+                  [&] { actor = 1; });
+    s.schedule_at(100, Priority::kDefault, EventTag{&actor, "second"},
+                  [&] { actor = 2; });
+    s.run();
+    ASSERT_EQ(s.races().size(), 1u);
+    EXPECT_EQ(s.races()[0].actor, &actor);
+    EXPECT_EQ(s.races()[0].t, 100u);
+    EXPECT_EQ(s.races()[0].first, "first");
+    EXPECT_EQ(s.races()[0].second, "second");
+}
+
+TEST(Scheduler, RaceAuditCoversSameSlotTaggedSelfDelivery) {
+    // An event that schedules *into its own (time, priority) slot* targeting
+    // the same actor is ordered only by insertion sequence — exactly the
+    // hidden ordering the audit exists to flag, even though the second event
+    // did not exist when the slot began executing.
+    Scheduler s;
+    s.set_race_audit(true);
+    int actor = 0;
+    s.schedule_at(50, Priority::kDefault, EventTag{&actor, "deliver"}, [&] {
+        s.schedule_at(50, Priority::kDefault, EventTag{&actor, "redeliver"},
+                      [&] { actor = 2; });
+        actor = 1;
+    });
+    s.run();
+    EXPECT_EQ(actor, 2);
+    ASSERT_EQ(s.races().size(), 1u);
+    EXPECT_EQ(s.races()[0].first, "deliver");
+    EXPECT_EQ(s.races()[0].second, "redeliver");
+}
+
+TEST(Scheduler, RaceAuditIgnoresDistinctSlotsAndActors) {
+    Scheduler s;
+    s.set_race_audit(true);
+    int a = 0;
+    int b = 0;
+    // Same slot, different actors: fine.
+    s.schedule_at(10, Priority::kDefault, EventTag{&a, "x"}, [] {});
+    s.schedule_at(10, Priority::kDefault, EventTag{&b, "y"}, [] {});
+    // Same actor, different priorities: deterministically ordered, fine.
+    s.schedule_at(20, Priority::kCommit, EventTag{&a, "commit"}, [] {});
+    s.schedule_at(20, Priority::kMonitor, EventTag{&a, "monitor"}, [] {});
+    // Same actor, different times: fine.
+    s.schedule_at(30, Priority::kDefault, EventTag{&a, "t30"}, [] {});
+    s.schedule_at(31, Priority::kDefault, EventTag{&a, "t31"}, [] {});
+    s.run();
+    EXPECT_TRUE(s.races().empty());
+}
+
+TEST(Scheduler, InterceptorDropsOnlyTaggedEvents) {
+    Scheduler s;
+    int tagged = 0;
+    int untagged = 0;
+    s.set_interceptor([](const EventTag&, Time) { return false; });
+    s.schedule_at(10, Priority::kDefault, EventTag{&tagged, "t"},
+                  [&] { ++tagged; });
+    s.schedule_at(10, Priority::kDefault, [&] { ++untagged; });
+    s.run();
+    EXPECT_EQ(tagged, 0);   // dropped: the kernel never ran its callback
+    EXPECT_EQ(untagged, 1);  // untagged events cannot be faulted
+    EXPECT_EQ(s.events_dropped(), 1u);
+    EXPECT_EQ(s.events_executed(), 1u);
+    EXPECT_EQ(s.now(), 10u);  // a dropped event still advances time
+}
+
+TEST(Scheduler, InterceptorSelectsByTag) {
+    Scheduler s;
+    std::vector<std::string> ran;
+    s.set_interceptor([](const EventTag& tag, Time) {
+        return std::string(tag.label) != "drop-me";
+    });
+    int actor = 0;
+    s.schedule_at(1, Priority::kDefault, EventTag{&actor, "keep"},
+                  [&] { ran.push_back("keep"); });
+    s.schedule_at(2, Priority::kDefault, EventTag{&actor, "drop-me"},
+                  [&] { ran.push_back("drop-me"); });
+    s.schedule_at(3, Priority::kDefault, EventTag{&actor, "keep2"},
+                  [&] { ran.push_back("keep2"); });
+    s.run();
+    EXPECT_EQ(ran, (std::vector<std::string>{"keep", "keep2"}));
+    EXPECT_EQ(s.events_dropped(), 1u);
 }
 
 TEST(Rng, DeterministicFromSeedAndUnbiasedBounds) {

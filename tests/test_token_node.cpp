@@ -191,6 +191,47 @@ TEST(TokenNode, RegisterReloadTakesEffectNextPreset) {
     EXPECT_EQ(head, expect);
 }
 
+TEST(TokenNode, EightBitCounterBoundaryKeepsSchedule) {
+    // The paper's hold/recycle registers are 8 bits wide; 255 is the largest
+    // programmable value. The schedule must stay exact at that boundary —
+    // an off-by-one or a narrowing truncation shows up as a shifted pass.
+    NodeHarness hn(holder(255, 255));
+    // Pass at commit of cycle H-1 = 254 (t = 254'000); recycle check at
+    // commit of cycle H+R-1 = 509. Deliver early, well before the check.
+    hn.sched.schedule_at(400'000, sim::Priority::kDefault,
+                         [&] { hn.deliver_token(); });
+    hn.sched.run_until(765'500);  // cycles 0 .. 765
+    ASSERT_EQ(hn.pass_times.size(), 2u);
+    EXPECT_EQ(hn.pass_times[0], 254'000u);
+    // Resume at cycle H+R = 510; second pass at commit of 510 + 254 = 764.
+    EXPECT_EQ(hn.pass_times[1], 764'000u);
+    ASSERT_GE(hn.rec.sb_en.size(), 765u);
+    EXPECT_TRUE(hn.rec.sb_en[0]);
+    EXPECT_TRUE(hn.rec.sb_en[254]);   // last hold cycle
+    EXPECT_FALSE(hn.rec.sb_en[255]);  // first recycle cycle
+    EXPECT_FALSE(hn.rec.sb_en[509]);  // last recycle cycle
+    EXPECT_TRUE(hn.rec.sb_en[510]);   // re-enabled on schedule
+    EXPECT_TRUE(hn.rec.sb_en[764]);
+    EXPECT_EQ(hn.node.late_arrivals(), 0u);
+    EXPECT_EQ(hn.node.protocol_errors(), 0u);
+    EXPECT_FALSE(hn.clk.stopped());
+}
+
+TEST(TokenNode, SecondTokenWhileLatchedEarlyIsProtocolError) {
+    // An early token is latched while still recycling (token_here_ set but
+    // not yet recognized). A *second* arrival in that window means the ring
+    // carries two tokens — it must be counted, never silently merged.
+    NodeHarness hn(holder(3, 4));
+    // Pass at t=2000; bounce the token back early, then again.
+    hn.sched.schedule_at(2100, sim::Priority::kDefault,
+                         [&] { hn.deliver_token(); });
+    hn.sched.schedule_at(2600, sim::Priority::kDefault,
+                         [&] { hn.deliver_token(); });
+    hn.sched.run_until(3000);
+    EXPECT_EQ(hn.node.protocol_errors(), 1u);
+    EXPECT_EQ(hn.node.tokens_received(), 2u);
+}
+
 TEST(TokenNode, InvalidParamsRejected) {
     TokenNode::Params p;
     p.hold = 0;

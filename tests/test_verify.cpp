@@ -89,10 +89,33 @@ TEST(DeterminismHarness, CountsMatchesAndCollectsExamples) {
     EXPECT_EQ(result.matches, 3u);
     EXPECT_EQ(result.mismatches, 2u);
     EXPECT_FALSE(result.all_match());
-    EXPECT_EQ(result.examples.size(), 2u);
+    // Both odd perturbations mismatch at the same locus; the example list
+    // deduplicates, so one entry describes them all.
+    EXPECT_EQ(result.examples.size(), 1u);
 
     DeterminismHarness<int> clean(runner, 0, 100);
     EXPECT_TRUE(clean.sweep({2, 4, 6}).all_match());
+}
+
+TEST(SweepResult, AddExampleDeduplicatesAndBounds) {
+    SweepResult r;
+    r.add_example("sb0: event 3");
+    r.add_example("sb0: event 3");  // duplicate: ignored
+    r.add_example("sb1: event 7");
+    ASSERT_EQ(r.examples.size(), 2u);
+    EXPECT_EQ(r.examples[0], "sb0: event 3");
+    EXPECT_EQ(r.examples[1], "sb1: event 7");
+
+    // Fill to the cap with distinct loci; further entries are dropped even
+    // if novel, so a pathological sweep can't balloon the result struct.
+    for (std::size_t i = r.examples.size(); i < SweepResult::kMaxExamples;
+         ++i) {
+        r.add_example("locus " + std::to_string(i));
+    }
+    EXPECT_EQ(r.examples.size(), SweepResult::kMaxExamples);
+    r.add_example("one too many");
+    EXPECT_EQ(r.examples.size(), SweepResult::kMaxExamples);
+    for (const auto& e : r.examples) EXPECT_NE(e, "one too many");
 }
 
 TEST(TimingChecker, SlackAndViolationAccounting) {

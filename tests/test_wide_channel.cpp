@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analytic/models.hpp"
+#include "async/self_timed_fifo.hpp"
+#include "sim/scheduler.hpp"
 #include "system/delay_config.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
@@ -92,6 +96,32 @@ TEST(WideChannel, DeterministicUnderPerturbation) {
         const auto diff = verify::diff_traces(nominal, run(cfg));
         EXPECT_TRUE(diff.identical) << pct << "%: " << diff.first_mismatch;
     }
+}
+
+TEST(WideChannel, ZeroAndOversizedLaneWidthsAreRejected) {
+    sim::Scheduler sched;
+    achan::SelfTimedFifo::Params p;
+    p.data_bits = 0;
+    EXPECT_THROW(achan::SelfTimedFifo(sched, "w0", p), std::invalid_argument);
+    p.data_bits = 65;  // Word is 64 bits; a 65-bit lane cannot exist
+    EXPECT_THROW(achan::SelfTimedFifo(sched, "w65", p), std::invalid_argument);
+}
+
+TEST(WideChannel, MaxWidthLaneRoundTripsAllOnes) {
+    // data_bits = 64 is the boundary where a naive (1 << bits) - 1 mask
+    // shifts out of range. An all-ones word must survive untouched.
+    sim::Scheduler sched;
+    achan::SelfTimedFifo::Params p;
+    p.depth = 3;
+    p.data_bits = 64;
+    achan::SelfTimedFifo fifo(sched, "wide", p);
+    fifo.preload({~0ull, 0x8000000000000001ull});
+    EXPECT_EQ(fifo.occupancy(), 2u);
+    ASSERT_TRUE(fifo.head_valid());
+    EXPECT_EQ(fifo.pop_head(), ~0ull);
+    sched.run();  // let the second word ripple to the head
+    ASSERT_TRUE(fifo.head_valid());
+    EXPECT_EQ(fifo.pop_head(), 0x8000000000000001ull);
 }
 
 }  // namespace

@@ -35,28 +35,20 @@ struct Options {
     bool quiet = false;
 };
 
-const std::vector<std::string>& shipped_specs() {
-    static const std::vector<std::string> names = {"pair", "triangle", "chain",
-                                                   "mesh", "wide",     "bus"};
-    return names;
-}
-
 sys::SocSpec make_shipped(const std::string& name) {
-    if (name == "pair") return sys::make_pair_spec();
-    if (name == "triangle") return sys::make_triangle_spec();
-    if (name == "chain") return sys::make_chain_spec();
-    if (name == "mesh") return sys::make_mesh_spec();
-    if (name == "wide") return sys::make_wide_pair_spec();
-    if (name == "bus") return sys::make_bus_spec();
-    std::fprintf(stderr, "st_lint: unknown spec '%s'\n", name.c_str());
-    std::exit(2);
+    try {
+        return sys::make_named_spec(name);
+    } catch (const std::invalid_argument&) {
+        std::fprintf(stderr, "st_lint: unknown spec '%s'\n", name.c_str());
+        std::exit(2);
+    }
 }
 
 void usage() {
     std::printf(
         "usage: st_lint [options]\n"
         "  --spec NAME       shipped testbench to lint: all");
-    for (const auto& s : shipped_specs()) std::printf("|%s", s.c_str());
+    for (const auto& s : sys::named_specs()) std::printf("|%s", s.c_str());
     std::printf(
         " (default all)\n"
         "  --fixture NAME    lint a deliberately broken fixture instead\n"
@@ -180,7 +172,7 @@ int main(int argc, char** argv) {
             return 2;
         }
     } else if (opt.spec == "all") {
-        for (const auto& name : shipped_specs()) {
+        for (const auto& name : sys::named_specs()) {
             errors += lint_one(name, make_shipped(name), opt);
         }
     } else {
