@@ -1,0 +1,103 @@
+// Parallel run-execution engine: wall-clock scaling of the st_fuzz pair
+// campaign over st::runner jobs, with the engine's core guarantee checked on
+// every row — the CampaignSummary must be bit-identical at every jobs value
+// (case draws are jobs-independent, reduction is case-index-ordered).
+//
+// Numbers land in BENCH_campaign.json (docs/PERF.md) so future PRs track the
+// speedup trajectory. On a 1-core host the speedup is honestly ~1.0x; the
+// determinism check is what must hold everywhere.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fuzz/campaign.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+using namespace st;
+
+double timed_run(const fuzz::Campaign& campaign, std::uint64_t runs,
+                 std::uint64_t seed, std::size_t jobs,
+                 fuzz::CampaignSummary& out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = campaign.run(runs, seed, {}, jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void run_experiment() {
+    const std::uint64_t runs = bench::quick_mode() ? 40 : 200;
+    const std::uint64_t seed = 1;
+
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 100;
+    const fuzz::Campaign campaign(cfg);
+
+    bench::banner("st::runner campaign scaling (pair, fault-free)");
+    std::printf("hardware threads: %zu (ST_JOBS overrides)\n",
+                runner::hardware_jobs());
+
+    std::vector<std::size_t> jobs_axis = {1, 2, 4};
+    const std::size_t hw = runner::hardware_jobs();
+    if (hw > 4) jobs_axis.push_back(hw);
+
+    bench::JsonReport report("BENCH_campaign.json");
+    fuzz::CampaignSummary baseline;
+    double t1 = 0.0;
+    std::printf("%6s | %9s | %9s | %8s | %s\n", "jobs", "seconds", "runs/s",
+                "speedup", "summary vs jobs=1");
+    for (const std::size_t jobs : jobs_axis) {
+        fuzz::CampaignSummary s;
+        const double secs = timed_run(campaign, runs, seed, jobs, s);
+        if (jobs == 1) {
+            baseline = s;
+            t1 = secs;
+        }
+        const bool identical = s == baseline;
+        std::printf("%6zu | %9.3f | %9.1f | %7.2fx | %s\n", jobs, secs,
+                    static_cast<double>(runs) / (secs > 0 ? secs : 1e-9),
+                    t1 / (secs > 0 ? secs : 1e-9),
+                    identical ? "bit-identical" : "DIVERGED");
+        report.add("campaign_pair_runs_per_sec",
+                   static_cast<double>(runs) / (secs > 0 ? secs : 1e-9),
+                   "runs/s", jobs);
+        report.add("campaign_pair_speedup_vs_jobs1",
+                   t1 / (secs > 0 ? secs : 1e-9), "x", jobs);
+        if (!identical) {
+            std::fprintf(stderr,
+                         "bench_campaign: summary diverged at jobs=%zu — "
+                         "the engine's determinism contract is broken\n",
+                         jobs);
+            std::exit(1);
+        }
+    }
+    report.write();
+}
+
+void BM_CampaignRunJobs(benchmark::State& state) {
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 100;
+    const fuzz::Campaign campaign(cfg);
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const auto s = campaign.run(20, 7, {}, jobs);
+        benchmark::DoNotOptimize(s.runs);
+    }
+}
+BENCHMARK(BM_CampaignRunJobs)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "deadlock/rules.hpp"
 #include "deadlock/waitfor.hpp"
+#include "runner/runner.hpp"
 #include "system/delay_config.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
@@ -84,25 +85,33 @@ void run_experiment() {
                 static_cast<unsigned long long>(nominal.cycles[0]),
                 static_cast<unsigned long long>(nominal.cycles[1]),
                 static_cast<unsigned long long>(nominal.cycles[2]));
+    // Independent perturbed runs, fanned out on the st::runner engine and
+    // reduced (printed, compared) in sweep order.
+    const std::size_t jobs = runner::hardware_jobs();
+    const std::vector<unsigned> pcts = {50u, 75u, 150u, 200u};
     bool all_identical = true;
-    for (const unsigned pct : {50u, 75u, 150u, 200u}) {
-        auto cfg = sys::DelayConfig::nominal(spec);
-        cfg.ring_ab_pct.assign(cfg.ring_ab_pct.size(), pct);
-        cfg.ring_ba_pct.assign(cfg.ring_ba_pct.size(), pct);
-        cfg.fifo_pct.assign(cfg.fifo_pct.size(), pct);
-        const auto o = run_config(spec, cfg);
-        char label[32];
-        std::snprintf(label, sizeof label, "delays %u%%", pct);
-        std::printf("%-14s | %9s | %llu %llu %llu\n", label,
-                    o.deadlocked ? "yes" : "no",
-                    static_cast<unsigned long long>(o.cycles[0]),
-                    static_cast<unsigned long long>(o.cycles[1]),
-                    static_cast<unsigned long long>(o.cycles[2]));
-        all_identical &= o.deadlocked == nominal.deadlocked &&
-                         o.cycles[0] == nominal.cycles[0] &&
-                         o.cycles[1] == nominal.cycles[1] &&
-                         o.cycles[2] == nominal.cycles[2];
-    }
+    runner::sweep(
+        pcts.size(), jobs,
+        [&](std::size_t i) {
+            auto cfg = sys::DelayConfig::nominal(spec);
+            cfg.ring_ab_pct.assign(cfg.ring_ab_pct.size(), pcts[i]);
+            cfg.ring_ba_pct.assign(cfg.ring_ba_pct.size(), pcts[i]);
+            cfg.fifo_pct.assign(cfg.fifo_pct.size(), pcts[i]);
+            return run_config(spec, cfg);
+        },
+        [&](std::size_t i, Outcome&& o) {
+            char label[32];
+            std::snprintf(label, sizeof label, "delays %u%%", pcts[i]);
+            std::printf("%-14s | %9s | %llu %llu %llu\n", label,
+                        o.deadlocked ? "yes" : "no",
+                        static_cast<unsigned long long>(o.cycles[0]),
+                        static_cast<unsigned long long>(o.cycles[1]),
+                        static_cast<unsigned long long>(o.cycles[2]));
+            all_identical &= o.deadlocked == nominal.deadlocked &&
+                             o.cycles[0] == nominal.cycles[0] &&
+                             o.cycles[1] == nominal.cycles[1] &&
+                             o.cycles[2] == nominal.cycles[2];
+        });
     std::printf("=> deadlock behaviour %s across perturbations (paper: "
                 "deterministic)\n",
                 all_identical ? "IDENTICAL" : "DIVERGED");
@@ -116,13 +125,27 @@ void run_experiment() {
 
     bench::banner("Design-rule boundary: recycle slack sweep");
     std::printf("%8s | %12s | %10s\n", "recycle", "rule check", "simulated");
-    for (const std::uint32_t r : {1u, 4u, 8u, 12u, 16u, 24u, 40u}) {
-        const auto s = cyclic_spec(r);
-        const auto rules = dl::check_rules(s);
-        const auto o = run_config(s, sys::DelayConfig::nominal(s));
-        std::printf("%8u | %12s | %10s\n", r, rules.ok ? "safe" : "RISK",
-                    o.deadlocked ? "DEADLOCK" : "live");
-    }
+    const std::vector<std::uint32_t> recycles = {1u,  4u,  8u, 12u,
+                                                 16u, 24u, 40u};
+    struct BoundaryRow {
+        bool rules_ok = false;
+        bool deadlocked = false;
+    };
+    runner::sweep(
+        recycles.size(), jobs,
+        [&](std::size_t i) {
+            const auto s = cyclic_spec(recycles[i]);
+            BoundaryRow row;
+            row.rules_ok = dl::check_rules(s).ok;
+            row.deadlocked =
+                run_config(s, sys::DelayConfig::nominal(s)).deadlocked;
+            return row;
+        },
+        [&](std::size_t i, BoundaryRow&& row) {
+            std::printf("%8u | %12s | %10s\n", recycles[i],
+                        row.rules_ok ? "safe" : "RISK",
+                        row.deadlocked ? "DEADLOCK" : "live");
+        });
     std::printf("(the static rule must be conservative: every simulated "
                 "deadlock must sit in a RISK row)\n");
 }

@@ -20,6 +20,7 @@
 
 #include "baselines/baseline_soc.hpp"
 #include "bench_util.hpp"
+#include "runner/runner.hpp"
 #include "sim/random.hpp"
 #include "system/delay_config.hpp"
 #include "system/soc.hpp"
@@ -67,16 +68,20 @@ std::vector<sys::DelayConfig> build_sweep(const sys::SocSpec& spec,
 
 void run_experiment() {
     const std::size_t target = bench::quick_mode() ? 600 : 16200;
+    const std::size_t jobs = runner::hardware_jobs();
     const sys::SocSpec spec = sys::make_triangle_spec();
     const auto sweep = build_sweep(spec, target);
 
     bench::banner("Paper §5 determinism experiment (3 SBs, 6 FIFOs)");
     std::printf("perturbing %zu delay parameters to {50,75,100,150,200}%% "
                 "(clocks clamped to >=75%%), %zu runs, first 100 local "
-                "cycles per SB\n",
-                sys::DelayConfig::nominal(spec).dimensions(), sweep.size());
+                "cycles per SB, %zu parallel job(s)\n",
+                sys::DelayConfig::nominal(spec).dimensions(), sweep.size(),
+                jobs);
 
     // --- synchro-tokens arm ---
+    // Each perturbation elaborates its own Soc; the st::runner engine fans
+    // the sweep out across hardware threads with a jobs-invariant result.
     verify::DeterminismHarness<sys::DelayConfig> st_harness(
         [&](const sys::DelayConfig& cfg) {
             sys::Soc soc(sys::apply(spec, cfg));
@@ -84,7 +89,7 @@ void run_experiment() {
             return soc.traces();
         },
         sys::DelayConfig::nominal(spec), 100);
-    const auto st_result = st_harness.sweep(sweep);
+    const auto st_result = st_harness.sweep(sweep, jobs);
 
     // --- bypassed control arm (two-flop synchronizers, free clocks) ---
     const std::size_t control_runs =
@@ -99,7 +104,8 @@ void run_experiment() {
         sys::DelayConfig::nominal(spec), 100);
     const auto ctl_result = ctl_harness.sweep(
         std::vector<sys::DelayConfig>(sweep.begin(),
-                                      sweep.begin() + static_cast<std::ptrdiff_t>(control_runs)));
+                                      sweep.begin() + static_cast<std::ptrdiff_t>(control_runs)),
+        jobs);
 
     std::printf("\n%-28s | %10s | %10s | %10s\n", "configuration", "runs",
                 "match", "mismatch");

@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "deadlock/rules.hpp"
+#include "runner/runner.hpp"
 #include "system/delay_config.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
@@ -49,47 +50,73 @@ void run_experiment() {
     }
 
     bench::banner("Scaling study (paper future work: larger systems)");
-    std::printf("%-10s | %4s %5s %5s | %8s | %9s | %7s | %6s | %s\n",
-                "system", "SBs", "rings", "chans", "events", "events/s",
-                "stops", "rules", "determinism spot-check");
-    for (auto& row : rows) {
-        const auto rules_ok = dl::check_rules(row.spec).ok;
+
+    // Phase 1 (serial): timed runs. Wall-clock events/s numbers must not
+    // contend with each other, so these stay on one thread.
+    struct Measured {
+        bool rules_ok = false;
+        std::uint64_t events = 0;
+        double events_per_sec = 0.0;
+        std::uint64_t stops = 0;
+    };
+    std::vector<Measured> measured(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        auto& row = rows[i];
+        auto& m = measured[i];
+        m.rules_ok = dl::check_rules(row.spec).ok;
         const auto t0 = std::chrono::steady_clock::now();
         sys::Soc soc(row.spec);
         soc.run_cycles(400, sim::ms(20));
         const auto t1 = std::chrono::steady_clock::now();
-        const double secs =
-            std::chrono::duration<double>(t1 - t0).count();
-        std::uint64_t stops = 0;
-        for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
-            stops += soc.wrapper(i).clock().stop_events();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        for (std::size_t s = 0; s < soc.num_sbs(); ++s) {
+            m.stops += soc.wrapper(s).clock().stop_events();
         }
+        m.events = soc.scheduler().events_executed();
+        m.events_per_sec =
+            static_cast<double>(m.events) / (secs > 0 ? secs : 1e-9);
+    }
 
-        // Determinism spot-check: one aggressive joint perturbation.
-        verify::DeterminismHarness<sys::DelayConfig> harness(
-            [&](const sys::DelayConfig& cfg) {
-                sys::Soc s(sys::apply(row.spec, cfg));
-                s.run_cycles(140, sim::ms(20));
-                return s.traces();
-            },
-            sys::DelayConfig::nominal(row.spec), 100);
-        auto cfg = sys::DelayConfig::nominal(row.spec);
-        for (std::size_t d = 0;
-             d < cfg.dimensions() - cfg.clock_pct.size(); ++d) {
-            cfg.set(d, d % 2 ? 200 : 50);
-        }
-        const auto diff = harness.check(cfg);
+    // Phase 2 (parallel): determinism spot-checks — one aggressive joint
+    // perturbation per topology, two full simulations each. Independent runs,
+    // fanned out across topologies on the st::runner engine.
+    const std::size_t jobs = runner::hardware_jobs();
+    std::vector<verify::TraceDiff> diffs(rows.size());
+    runner::sweep(
+        rows.size(), jobs,
+        [&](std::size_t i) {
+            const auto& spec = rows[i].spec;
+            verify::DeterminismHarness<sys::DelayConfig> harness(
+                [&spec](const sys::DelayConfig& cfg) {
+                    sys::Soc s(sys::apply(spec, cfg));
+                    s.run_cycles(140, sim::ms(20));
+                    return s.traces();
+                },
+                sys::DelayConfig::nominal(spec), 100);
+            auto cfg = sys::DelayConfig::nominal(spec);
+            for (std::size_t d = 0;
+                 d < cfg.dimensions() - cfg.clock_pct.size(); ++d) {
+                cfg.set(d, d % 2 ? 200 : 50);
+            }
+            return harness.check(cfg);
+        },
+        [&](std::size_t i, verify::TraceDiff&& d) { diffs[i] = std::move(d); });
 
+    std::printf("spot-checks fanned out over %zu job(s)\n", jobs);
+    std::printf("%-10s | %4s %5s %5s | %8s | %9s | %7s | %6s | %s\n",
+                "system", "SBs", "rings", "chans", "events", "events/s",
+                "stops", "rules", "determinism spot-check");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        const auto& m = measured[i];
         std::printf("%-10s | %4zu %5zu %5zu | %8llu | %9.0f | %7llu | %6s | %s\n",
-                    row.name.c_str(), row.spec.sbs.size(), row.spec.rings.size(),
-                    row.spec.channels.size(),
-                    static_cast<unsigned long long>(
-                        soc.scheduler().events_executed()),
-                    static_cast<double>(soc.scheduler().events_executed()) /
-                        (secs > 0 ? secs : 1e-9),
-                    static_cast<unsigned long long>(stops),
-                    rules_ok ? "safe" : "RISK",
-                    diff.identical ? "match" : "MISMATCH");
+                    row.name.c_str(), row.spec.sbs.size(),
+                    row.spec.rings.size(), row.spec.channels.size(),
+                    static_cast<unsigned long long>(m.events),
+                    m.events_per_sec,
+                    static_cast<unsigned long long>(m.stops),
+                    m.rules_ok ? "safe" : "RISK",
+                    diffs[i].identical ? "match" : "MISMATCH");
     }
 }
 

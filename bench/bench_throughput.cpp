@@ -8,11 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "analytic/models.hpp"
 #include "area/area_model.hpp"
 #include "baselines/stari.hpp"
 #include "bench_util.hpp"
+#include "runner/runner.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
 #include "workload/traffic.hpp"
@@ -49,14 +51,35 @@ void run_experiment() {
     std::printf("%4s %4s | %9s %9s | %7s | %9s | %s\n", "H", "R", "model",
                 "measured", "STARI", "widening", "widened-channel area cost");
     std::printf("----------+---------------------+---------+-----------+----\n");
-    const std::uint32_t holds[] = {2, 4, 8};
-    const std::uint32_t extra[] = {2, 4, 8, 16};
-    for (const auto h : holds) {
-        for (const auto e : extra) {
-            const std::uint32_t r = h + e;
-            const double model = model::synchro_throughput(h, r);
-            const double measured = measure_synchro_throughput(h, r);
-            const double stari = measure_stari_throughput(h < 2 ? 2 : h);
+    // Every (H, R) grid cell is an independent simulation; fan the grid out
+    // on the st::runner engine and print rows in grid order.
+    struct Cell {
+        std::uint32_t h = 0;
+        std::uint32_t r = 0;
+    };
+    std::vector<Cell> grid;
+    for (const std::uint32_t h : {2u, 4u, 8u}) {
+        for (const std::uint32_t e : {2u, 4u, 8u, 16u}) {
+            grid.push_back({h, h + e});
+        }
+    }
+    struct CellResult {
+        double model = 0.0;
+        double measured = 0.0;
+        double stari = 0.0;
+    };
+    runner::sweep(
+        grid.size(), runner::hardware_jobs(),
+        [&](std::size_t i) {
+            const auto [h, r] = grid[i];
+            CellResult res;
+            res.model = model::synchro_throughput(h, r);
+            res.measured = measure_synchro_throughput(h, r);
+            res.stari = measure_stari_throughput(h < 2 ? 2 : h);
+            return res;
+        },
+        [&](std::size_t i, CellResult&& res) {
+            const auto [h, r] = grid[i];
             const double widen = model::widening_factor(h, r);
             // Area cost of widening: interfaces + stages scale with bits.
             const double base_bits = 32;
@@ -73,10 +96,9 @@ void run_experiment() {
                 static_cast<double>(h) *
                     area::fifo_stage_netlist(widened).total_gate_eq(lib);
             std::printf("%4u %4u | %9.3f %9.3f | %7.3f | %8.2fx | %.0f -> %.0f gate-eq (%.2fx)\n",
-                        h, r, model, measured, stari, widen, base_area,
-                        widened_area, widened_area / base_area);
-        }
-    }
+                        h, r, res.model, res.measured, res.stari, widen,
+                        base_area, widened_area, widened_area / base_area);
+        });
     std::printf("\npaper: STARI achieves 1 word/cycle; synchro-tokens at most "
                 "H/(H+R); widening by (H+R)/H recovers parity at area cost.\n");
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace st::bench {
 
@@ -15,5 +17,54 @@ inline bool quick_mode() {
 inline void banner(const std::string& title) {
     std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// Machine-readable perf trajectory: collects (metric, value, units, jobs)
+/// rows and writes them as a JSON array, so successive PRs can diff measured
+/// numbers (`BENCH_scheduler.json`, `BENCH_campaign.json`, ...) instead of
+/// scraping bench stdout. See docs/PERF.md for the schema and the recorded
+/// history.
+class JsonReport {
+  public:
+    explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+    void add(const std::string& metric, double value,
+             const std::string& units, std::size_t jobs) {
+        entries_.push_back(Entry{metric, units, value, jobs});
+    }
+
+    /// Write the collected rows. Returns false (and warns) on I/O failure —
+    /// benches still print their human-readable tables either way.
+    bool write() const {
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+            return false;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry& e = entries_[i];
+            std::fprintf(f,
+                         "  {\"metric\": \"%s\", \"value\": %.6g, "
+                         "\"units\": \"%s\", \"jobs\": %zu}%s\n",
+                         e.metric.c_str(), e.value, e.units.c_str(), e.jobs,
+                         i + 1 < entries_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        std::printf("wrote %s (%zu metric(s))\n", path_.c_str(),
+                    entries_.size());
+        return true;
+    }
+
+  private:
+    struct Entry {
+        std::string metric;
+        std::string units;
+        double value = 0.0;
+        std::size_t jobs = 1;
+    };
+    std::string path_;
+    std::vector<Entry> entries_;
+};
 
 }  // namespace st::bench

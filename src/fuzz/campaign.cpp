@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fuzz/injector.hpp"
+#include "runner/runner.hpp"
 #include "system/delay_config.hpp"
 #include "system/invariant_monitor.hpp"
 #include "system/soc.hpp"
@@ -224,20 +225,35 @@ FuzzCase Campaign::random_case(sim::Rng& rng) const {
 CampaignSummary Campaign::run(
     std::uint64_t n_runs, std::uint64_t seed,
     const std::function<void(std::size_t, const FuzzCase&,
-                             const RunReport&)>& on_run) const {
-    CampaignSummary s;
+                             const RunReport&)>& on_run,
+    std::size_t jobs) const {
+    // Draw every case up front from the single campaign PRNG: the sequence
+    // of draws — and therefore every case — is independent of `jobs`. Case
+    // generation is trivially cheap next to running a simulation.
+    std::vector<FuzzCase> cases;
+    cases.reserve(n_runs);
     sim::Rng rng(seed);
     for (std::uint64_t i = 0; i < n_runs; ++i) {
-        const FuzzCase c = random_case(rng);
-        const RunReport r = run_case(c);
-        ++s.runs;
-        ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
-        if (r.faults_fired > 0) ++s.runs_with_fault_fired;
-        if (r.outcome != Outcome::kDeterministic) {
-            s.failures.emplace_back(c, r);
-        }
-        if (on_run) on_run(static_cast<std::size_t>(i), c, r);
+        cases.push_back(random_case(rng));
     }
+
+    // Each work item elaborates, injects, and runs its own private Soc (with
+    // its own Scheduler); the golden TraceSet is shared read-only. Reduction
+    // happens in case-index order on this thread, so the summary is
+    // bit-identical whatever `jobs` is.
+    CampaignSummary s;
+    runner::sweep(
+        cases.size(), jobs,
+        [&](std::size_t i) { return run_case(cases[i]); },
+        [&](std::size_t i, RunReport&& r) {
+            ++s.runs;
+            ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
+            if (r.faults_fired > 0) ++s.runs_with_fault_fired;
+            if (r.outcome != Outcome::kDeterministic) {
+                s.add_failure(cases[i], r);
+            }
+            if (on_run) on_run(i, cases[i], r);
+        });
     return s;
 }
 

@@ -40,6 +40,8 @@ struct RunReport {
     std::uint64_t events = 0;         ///< scheduler events this run
     std::uint64_t protocol_errors = 0;
     std::string detail;               ///< first diagnostic locus, if any
+
+    bool operator==(const RunReport&) const = default;
 };
 
 struct CampaignConfig {
@@ -59,8 +61,26 @@ struct CampaignSummary {
     std::uint64_t runs = 0;
     std::uint64_t by_outcome[kNumOutcomes] = {};
     std::uint64_t runs_with_fault_fired = 0;
-    /// Cases that did not classify kDeterministic, with their reports.
+    /// The first `kMaxFailures` cases (in campaign order) that did not
+    /// classify kDeterministic, with their reports. Bounded for the same
+    /// reason verify::SweepResult::add_example is: a long divergent campaign
+    /// would otherwise retain every failing case — delays, faults, detail
+    /// strings — and grow without bound. `failures_dropped` counts the
+    /// overflow so nothing is silently lost.
     std::vector<std::pair<FuzzCase, RunReport>> failures;
+    std::uint64_t failures_dropped = 0;
+    static constexpr std::size_t kMaxFailures = 32;
+
+    /// Record a failing case: retained up to kMaxFailures, counted beyond.
+    void add_failure(const FuzzCase& c, const RunReport& r) {
+        if (failures.size() >= kMaxFailures) {
+            ++failures_dropped;
+            return;
+        }
+        failures.emplace_back(c, r);
+    }
+
+    bool operator==(const CampaignSummary&) const = default;
 };
 
 /// Seeded property-based campaign over the composed (delays x faults) space
@@ -84,12 +104,19 @@ class Campaign {
     /// list is non-empty.
     FuzzCase random_case(sim::Rng& rng) const;
 
-    /// Run `n_runs` random cases from `seed`. `on_run` (optional) observes
-    /// every case as it completes.
+    /// Run `n_runs` random cases from `seed`, executing up to `jobs` cases
+    /// concurrently on the st::runner engine (`jobs == 1`, the default, is
+    /// the plain serial path; `jobs == 0` means all hardware threads).
+    ///
+    /// Cases are drawn serially from `seed` before execution and results are
+    /// reduced in case-index order, so the returned summary — counters,
+    /// retained failures, overflow count — and the `on_run` observation
+    /// sequence are bit-identical for every `jobs` value.
     CampaignSummary run(
         std::uint64_t n_runs, std::uint64_t seed,
         const std::function<void(std::size_t, const FuzzCase&,
-                                 const RunReport&)>& on_run = {}) const;
+                                 const RunReport&)>& on_run = {},
+        std::size_t jobs = 1) const;
 
   private:
     Fault random_fault(sim::Rng& rng) const;

@@ -1,0 +1,24 @@
+#include "runner/runner.hpp"
+
+#include <cstdlib>
+
+namespace st::runner {
+
+std::size_t hardware_jobs() {
+    if (const char* env = std::getenv("ST_JOBS");
+        env != nullptr && env[0] != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+    return requested == 0 ? hardware_jobs() : requested;
+}
+
+}  // namespace st::runner

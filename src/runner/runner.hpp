@@ -1,0 +1,142 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace st::runner {
+
+/// Number of worker threads to use when the caller asks for "all of them":
+/// `std::thread::hardware_concurrency()` clamped to >= 1, overridable with
+/// the `ST_JOBS` environment variable (useful to pin CI and benchmarks).
+std::size_t hardware_jobs();
+
+/// Resolve a user-facing jobs request: 0 means hardware_jobs(), anything
+/// else is taken literally (clamped to >= 1).
+std::size_t resolve_jobs(std::size_t requested);
+
+/// Run `n` independent work items on a fixed-size pool of `jobs` threads and
+/// reduce the results **in case-index order** on the calling thread.
+///
+/// This is the repo's run-execution engine: every sweep-shaped workload —
+/// fuzz campaigns, §5 determinism sweeps, bench grids — is a set of
+/// independent `sys::Soc` runs, and this primitive is how they all execute.
+///
+/// Contract:
+///  * `work(i)` is called exactly once for every `i` in `[0, n)`, from an
+///    unspecified pool thread, in an unspecified order. It must not touch
+///    mutable state shared with other work items: each item elaborates and
+///    runs its own private simulation (a `Soc` owns its `Scheduler`), and
+///    anything shared (a spec, a golden TraceSet) is read-only.
+///  * `reduce(i, result)` is called on the *calling* thread in strictly
+///    increasing `i` — regardless of which worker finished first — so any
+///    order-sensitive aggregation (counters, bounded failure lists, output
+///    text) is bit-identical between `jobs == 1` and `jobs == N`. This is
+///    the engine-level mirror of the paper's determinism discipline:
+///    parallelism must never become observable.
+///  * With `jobs <= 1` (or `n <= 1`) no thread is spawned: work and reduce
+///    interleave serially on the calling thread, byte-for-byte the code path
+///    a `--jobs 1` caller always had.
+///  * Exceptions from `work` are captured and rethrown from the calling
+///    thread at that item's reduce position (earlier items still reduce);
+///    remaining undistributed items are abandoned and workers are joined
+///    before the rethrow escapes.
+///
+/// Work distribution is a single atomic ticket counter: deterministic total
+/// work regardless of scheduling, no per-item queue allocation. Seed-stable
+/// by construction — callers derive each item's randomness from (seed, i),
+/// never from thread identity.
+template <typename Work, typename Reduce>
+void sweep(std::size_t n, std::size_t jobs, Work&& work, Reduce&& reduce) {
+    using R = std::decay_t<std::invoke_result_t<Work&, std::size_t>>;
+    static_assert(!std::is_void_v<R>,
+                  "runner::sweep: work must return a result value");
+
+    jobs = resolve_jobs(jobs);
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            reduce(i, work(i));
+        }
+        return;
+    }
+
+    struct Slot {
+        std::optional<R> result;
+        std::exception_ptr error;
+        bool done = false;
+    };
+    std::vector<Slot> slots(n);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::size_t> ticket{0};
+
+    auto worker = [&]() noexcept {
+        for (;;) {
+            const std::size_t i = ticket.fetch_add(1);
+            if (i >= n) return;
+            Slot slot;
+            try {
+                slot.result.emplace(work(i));
+            } catch (...) {
+                slot.error = std::current_exception();
+            }
+            slot.done = true;
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+                slots[i] = std::move(slot);
+            }
+            cv.notify_one();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(jobs, n));
+    for (std::size_t j = 0; j < std::min(jobs, n); ++j) {
+        pool.emplace_back(worker);
+    }
+    const auto shut_down = [&]() noexcept {
+        // Park the ticket past the end so idle workers exit, then join.
+        ticket.store(n);
+        for (auto& t : pool) t.join();
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return slots[i].done; });
+        Slot slot = std::move(slots[i]);
+        lock.unlock();
+        if (slot.error) {
+            shut_down();
+            std::rethrow_exception(slot.error);
+        }
+        try {
+            reduce(i, std::move(*slot.result));
+        } catch (...) {
+            shut_down();
+            throw;
+        }
+    }
+    shut_down();
+}
+
+/// `sweep` without a result: run `n` independent items, no reduction.
+template <typename Work>
+void for_each(std::size_t n, std::size_t jobs, Work&& work) {
+    sweep(
+        n, jobs,
+        [&work](std::size_t i) {
+            work(i);
+            return true;
+        },
+        [](std::size_t, bool) {});
+}
+
+}  // namespace st::runner

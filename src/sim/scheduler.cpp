@@ -10,12 +10,39 @@ namespace {
 constexpr std::size_t kMaxRaceRecords = 64;
 }  // namespace
 
+Scheduler::~Scheduler() = default;
+
+Scheduler::Event* Scheduler::acquire_event() {
+    if (free_.empty()) {
+        slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+        Event* base = slabs_.back().get();
+        free_.reserve(free_.size() + kSlabSize);
+        for (std::size_t i = 0; i < kSlabSize; ++i) {
+            free_.push_back(base + i);
+        }
+    }
+    Event* ev = free_.back();
+    free_.pop_back();
+    return ev;
+}
+
+void Scheduler::release_event(Event* ev) {
+    // The callback was either moved out (executed) or is dropped here; either
+    // way the record returns to the free list empty.
+    ev->cb.reset();
+    ev->tag = EventTag{};
+    free_.push_back(ev);
+}
+
 void Scheduler::schedule_at(Time t, Priority p, EventTag tag, Callback cb) {
     if (t < now_) {
         throw std::logic_error("Scheduler: event scheduled in the past");
     }
-    queue_.push(
-        Event{t, static_cast<int>(p), next_seq_++, tag, std::move(cb)});
+    Event* ev = acquire_event();
+    ev->tag = tag;
+    ev->cb = std::move(cb);
+    heap_.push_back(HeapEntry{t, static_cast<int>(p), next_seq_++, ev});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Scheduler::set_race_audit(bool on) {
@@ -24,50 +51,55 @@ void Scheduler::set_race_audit(bool on) {
     group_priority_ = -1;
 }
 
-void Scheduler::audit_step(const Event& ev) {
-    if (ev.t != group_t_ || ev.priority != group_priority_) {
-        group_t_ = ev.t;
-        group_priority_ = ev.priority;
+void Scheduler::audit_step(Time t, int priority, const EventTag& tag) {
+    if (t != group_t_ || priority != group_priority_) {
+        group_t_ = t;
+        group_priority_ = priority;
         group_.clear();
     }
-    if (ev.tag.actor == nullptr) return;
+    if (tag.actor == nullptr) return;
     for (const auto& m : group_) {
-        if (m.actor == ev.tag.actor && races_.size() < kMaxRaceRecords) {
+        if (m.actor == tag.actor && races_.size() < kMaxRaceRecords) {
             RaceRecord r;
-            r.t = ev.t;
-            r.priority = ev.priority;
-            r.actor = ev.tag.actor;
+            r.t = t;
+            r.priority = priority;
+            r.actor = tag.actor;
             r.first = m.label != nullptr ? m.label : "?";
-            r.second = ev.tag.label != nullptr ? ev.tag.label : "?";
+            r.second = tag.label != nullptr ? tag.label : "?";
             races_.push_back(std::move(r));
         }
     }
-    group_.push_back(GroupMember{ev.tag.actor, ev.tag.label});
+    group_.push_back(GroupMember{tag.actor, tag.label});
 }
 
 bool Scheduler::step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top() returns const&; move out via const_cast is UB-free
-    // here because we pop immediately and Event's move leaves it destructible.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.t;
-    if (interceptor_ && ev.tag.actor != nullptr &&
-        !interceptor_(ev.tag, ev.t)) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    now_ = e.t;
+    Event* ev = e.ev;
+    if (interceptor_ && ev->tag.actor != nullptr &&
+        !interceptor_(ev->tag, e.t)) {
         // Dropped: the transition never happened as far as any model can
         // tell. Invisible to the race audit — a lost event orders nothing.
+        release_event(ev);
         ++dropped_;
         return true;
     }
     ++executed_;
-    if (audit_) audit_step(ev);
-    ev.cb();
+    if (audit_) audit_step(e.t, e.priority, ev->tag);
+    // Move the callback out and recycle the record *before* invoking: the
+    // callback is free to schedule new events (which may reuse this record).
+    Callback cb = std::move(ev->cb);
+    release_event(ev);
+    cb();
     return true;
 }
 
 std::uint64_t Scheduler::run_until(Time t_end) {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.top().t <= t_end) {
+    while (!heap_.empty() && heap_.front().t <= t_end) {
         step();
         ++n;
     }

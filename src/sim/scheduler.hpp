@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace st::sim {
@@ -53,6 +55,19 @@ struct RaceRecord {
 /// subject of the paper) is represented as *data*: perturbed delay values fed
 /// to the models, never hidden simulator state.
 ///
+/// **Hot path**: callbacks are stored in a move-only small-buffer type
+/// (`SmallFn`, no heap allocation for the models' capture sizes) inside
+/// pool-allocated event records. The pending-event heap orders fixed-size
+/// (time, priority, seq, pointer) keys only, so sift operations never move a
+/// callback, and records return to a free list after execution — steady-state
+/// simulation performs no allocation per event. The order is byte-for-byte
+/// the same (time, priority, seq) total order as the original
+/// `std::priority_queue` kernel; golden traces are unchanged.
+///
+/// A Scheduler is confined to one thread. Run-level parallelism lives in
+/// `st::runner`, strictly *across* independent SoC instances, each owning a
+/// private Scheduler (docs/PERF.md).
+///
 /// **Race audit**: with `set_race_audit(true)`, executed events that carry an
 /// EventTag are grouped by (time, priority); two events in one group with the
 /// same actor are recorded as a RaceRecord. The audit is an instrumentation
@@ -61,11 +76,12 @@ struct RaceRecord {
 /// tie-breaking.
 class Scheduler {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     Scheduler() = default;
     Scheduler(const Scheduler&) = delete;
     Scheduler& operator=(const Scheduler&) = delete;
+    ~Scheduler();
 
     /// Current simulation time.
     Time now() const { return now_; }
@@ -108,15 +124,21 @@ class Scheduler {
 
     /// True when no event is pending — with stopped clocks this means the
     /// system is quiescent (the deadlock detector builds on this).
-    bool quiescent() const { return queue_.empty(); }
+    bool quiescent() const { return heap_.empty(); }
 
     /// Time of the earliest pending event, or kNever when quiescent.
     Time next_event_time() const {
-        return queue_.empty() ? kNever : queue_.top().t;
+        return heap_.empty() ? kNever : heap_.front().t;
     }
 
     /// Total events executed since construction.
     std::uint64_t events_executed() const { return executed_; }
+
+    /// Instrumentation: total event records in the slab pool (pending + free).
+    /// Stays bounded by the high-water mark of *concurrently pending* events —
+    /// records are recycled across `run_until` calls, not reallocated — so a
+    /// long run with shallow queues keeps this at one slab.
+    std::size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
 
     // --- fault injection (opt-in) ---
     /// Event-level fault surface used by the fuzz harness: when installed,
@@ -139,29 +161,48 @@ class Scheduler {
     void clear_races() { races_.clear(); }
 
   private:
+    /// Pool-resident payload: everything the heap does not need for ordering.
     struct Event {
-        Time t = 0;
-        int priority = 0;
-        std::uint64_t seq = 0;
         EventTag tag;
         Callback cb;
     };
+
+    /// Heap element: the total-order key plus the payload pointer. 40 bytes,
+    /// trivially movable — sifts never touch a callback.
+    struct HeapEntry {
+        Time t = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        Event* ev = nullptr;
+    };
+    /// "a runs later than b" — the std::push_heap comparator that keeps the
+    /// *earliest* (time, priority, seq) at the front.
     struct Later {
-        bool operator()(const Event& a, const Event& b) const {
+        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
             if (a.t != b.t) return a.t > b.t;
             if (a.priority != b.priority) return a.priority > b.priority;
             return a.seq > b.seq;
         }
     };
 
-    void audit_step(const Event& ev);
+    static constexpr std::size_t kSlabSize = 64;
+
+    Event* acquire_event();
+    void release_event(Event* ev);
+    void audit_step(Time t, int priority, const EventTag& tag);
 
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t dropped_ = 0;
     Interceptor interceptor_;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+    std::vector<HeapEntry> heap_;
+    // Slab pool: fixed-size chunks keep Event addresses stable (heap entries
+    // point into them); the free list recycles records across the whole life
+    // of the scheduler.
+    std::vector<std::unique_ptr<Event[]>> slabs_;
+    std::vector<Event*> free_;
 
     // Race-audit state: tagged members of the (time, priority) group
     // currently executing.

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace st::sim {
+
+/// Move-only `void()` callable with small-buffer-optimised storage.
+///
+/// This is the scheduler's event callback type. The event hot path schedules
+/// millions of tiny lambdas — `[this]`, `[this, cycle]`, `[this, i, fault]` —
+/// whose captures fit in a few machine words; `std::function` heap-allocates
+/// and type-erases through a copyable interface neither of which the kernel
+/// needs. SmallFn stores any callable whose state fits `kInlineSize` bytes
+/// (and is nothrow-move-constructible) inline in the event itself; larger or
+/// throwing-move callables fall back to a single heap allocation.
+///
+/// Being move-only it also accepts captures `std::function` cannot
+/// (e.g. `std::unique_ptr`), which models "this event owns its payload".
+class SmallFn {
+  public:
+    /// Inline capture budget. Covers every callback the shipped models
+    /// schedule (typically `this` + a couple of scalars) with room for a
+    /// `std::function`-sized capture; measured against the repo's own call
+    /// sites, nothing in the hot path spills to the heap.
+    static constexpr std::size_t kInlineSize = 48;
+
+    SmallFn() noexcept = default;
+    SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            ops_ = &kInlineOps<D>;
+        } else {
+            using P = D*;
+            ::new (static_cast<void*>(buf_)) P(new D(std::forward<F>(f)));
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+    SmallFn& operator=(SmallFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            steal(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn&) = delete;
+    SmallFn& operator=(const SmallFn&) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /// Invoke. Calling an empty SmallFn is a programming error.
+    void operator()() {
+        assert(ops_ != nullptr && "SmallFn: invoking empty callback");
+        ops_->invoke(buf_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /// Drop the stored callable (if any), leaving *this empty.
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void*);
+        /// Move-construct the callable into `dst` from `src`, destroying the
+        /// `src` copy. Must not throw: relocation happens inside move ctors.
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool fits_inline() {
+        return sizeof(D) <= kInlineSize &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static constexpr Ops kInlineOps = {
+        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* dst, void* src) noexcept {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops kHeapOps = {
+        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* dst, void* src) noexcept {
+            using P = D*;
+            ::new (dst) P(*std::launder(reinterpret_cast<P*>(src)));
+        },
+        [](void* p) noexcept {
+            delete *std::launder(reinterpret_cast<D**>(p));
+        },
+    };
+
+    void steal(SmallFn& other) noexcept {
+        if (other.ops_ != nullptr) {
+            ops_ = other.ops_;
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace st::sim

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/runner.hpp"
 #include "verify/io_trace.hpp"
 
 namespace st::verify {
@@ -66,19 +67,36 @@ class DeterminismHarness {
         return diff_traces(golden_, truncated(runner_(p), n_cycles_));
     }
 
-    /// Run a full sweep.
-    SweepResult sweep(const std::vector<Perturbation>& perturbations) {
+    /// Run a full sweep, executing up to `jobs` perturbations concurrently
+    /// on the st::runner engine (`jobs == 1`, the default, is the plain
+    /// serial path; `jobs == 0` means all hardware threads).
+    ///
+    /// The golden traces are captured once, up front, on the calling thread
+    /// and then shared read-only; each perturbation runs its own private
+    /// simulation via `runner_`, which must therefore be safe to invoke
+    /// concurrently (true of the standard "elaborate a fresh Soc from a
+    /// shared spec" runners). Results reduce in perturbation order, so the
+    /// SweepResult — counts and retained examples — is bit-identical for
+    /// every `jobs` value.
+    SweepResult sweep(const std::vector<Perturbation>& perturbations,
+                      std::size_t jobs = 1) {
+        if (!golden_captured_) capture_nominal();
         SweepResult r;
-        for (const auto& p : perturbations) {
-            const TraceDiff d = check(p);
-            ++r.runs;
-            if (d.identical) {
-                ++r.matches;
-            } else {
-                ++r.mismatches;
-                r.add_example(d.first_mismatch);
-            }
-        }
+        st::runner::sweep(
+            perturbations.size(), jobs,
+            [&](std::size_t i) {
+                return diff_traces(
+                    golden_, truncated(runner_(perturbations[i]), n_cycles_));
+            },
+            [&](std::size_t, TraceDiff&& d) {
+                ++r.runs;
+                if (d.identical) {
+                    ++r.matches;
+                } else {
+                    ++r.mismatches;
+                    r.add_example(d.first_mismatch);
+                }
+            });
         return r;
     }
 

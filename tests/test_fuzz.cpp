@@ -251,6 +251,24 @@ TEST(Campaign, SummaryCountsAndCollectsFailures) {
               10u);
     EXPECT_EQ(s.runs_with_fault_fired, 10u);
     EXPECT_EQ(s.failures.size(), 10u);
+    EXPECT_EQ(s.failures_dropped, 0u);
+}
+
+TEST(Campaign, SummaryCapsRetainedFailuresAndCountsOverflow) {
+    // Every token-drop run fails, so a 40-run campaign overflows the
+    // kMaxFailures retention bound; the overflow is counted, not silently
+    // discarded, and the aggregate counters still cover every run.
+    fuzz::CampaignConfig cfg = pair_config();
+    cfg.classes = {fuzz::FaultClass::kTokenDropWire};
+    const fuzz::Campaign campaign(cfg);
+    const std::uint64_t runs = fuzz::CampaignSummary::kMaxFailures + 8;
+    const fuzz::CampaignSummary s = campaign.run(runs, 7);
+    EXPECT_EQ(s.runs, runs);
+    EXPECT_EQ(s.failures.size(), fuzz::CampaignSummary::kMaxFailures);
+    EXPECT_EQ(s.failures_dropped, 8u);
+    std::uint64_t classified = 0;
+    for (const auto c : s.by_outcome) classified += c;
+    EXPECT_EQ(classified, runs);
 }
 
 // --- shrinking ---

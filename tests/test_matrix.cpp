@@ -112,5 +112,41 @@ INSTANTIATE_TEST_SUITE_P(
                           PerturbClass::kClocks, PerturbClass::kJointRandom),
         ::testing::Values<std::uint64_t>(1, 2)));
 
+// The same matrix sweep fanned out on the st::runner engine must produce the
+// same aggregate as the serial path — matrix cells are exactly the
+// independent-run shape the engine parallelizes, so this pins the
+// jobs-invariance contract at the methodology level.
+TEST(MethodologyMatrixParallel, SweepResultMatchesSerialRun) {
+    const SocSpec spec = topo_spec(Topology::kTriangle);
+    const auto run = [&spec](const DelayConfig& cfg) {
+        Soc soc(apply(spec, cfg));
+        soc.run_cycles(130, sim::ms(8));
+        return soc.traces();
+    };
+
+    std::vector<DelayConfig> sweep;
+    for (const PerturbClass pc :
+         {PerturbClass::kFifo, PerturbClass::kRing, PerturbClass::kClocks,
+          PerturbClass::kJointRandom}) {
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+            sweep.push_back(perturb(spec, pc, seed));
+        }
+    }
+
+    verify::DeterminismHarness<DelayConfig> serial(
+        run, DelayConfig::nominal(spec), 90);
+    verify::DeterminismHarness<DelayConfig> parallel(
+        run, DelayConfig::nominal(spec), 90);
+    const auto r1 = serial.sweep(sweep, 1);
+    const auto r4 = parallel.sweep(sweep, 4);
+
+    EXPECT_EQ(r1.runs, sweep.size());
+    EXPECT_EQ(r1.runs, r4.runs);
+    EXPECT_EQ(r1.matches, r4.matches);
+    EXPECT_EQ(r1.mismatches, r4.mismatches);
+    EXPECT_EQ(r1.examples, r4.examples);
+    EXPECT_TRUE(r1.all_match());
+}
+
 }  // namespace
 }  // namespace st::sys

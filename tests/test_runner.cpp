@@ -1,0 +1,211 @@
+// Unit tests for the st::runner parallel sweep engine and its determinism
+// contract — the reduction runs on the calling thread in strictly increasing
+// case index order, so any aggregate built through it is bit-identical at
+// every jobs value. The heavyweight consumers (fuzz campaigns, determinism
+// sweeps, the methodology matrix) are each checked jobs=1 vs jobs=N here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "runner/runner.hpp"
+#include "sim/random.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "system/testbenches.hpp"
+#include "verify/determinism.hpp"
+
+namespace {
+
+using namespace st;
+
+// --- core engine ---
+
+TEST(Runner, ResolveJobs) {
+    EXPECT_EQ(runner::resolve_jobs(1), 1u);
+    EXPECT_EQ(runner::resolve_jobs(3), 3u);
+    EXPECT_EQ(runner::resolve_jobs(0), runner::hardware_jobs());
+    EXPECT_GE(runner::hardware_jobs(), 1u);
+}
+
+TEST(Runner, ReducesInIndexOrderAtEveryJobsValue) {
+    for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+        std::vector<std::size_t> order;
+        runner::sweep(
+            64, jobs, [](std::size_t i) { return i * i; },
+            [&](std::size_t i, std::size_t&& sq) {
+                EXPECT_EQ(sq, i * i);
+                order.push_back(i);
+            });
+        ASSERT_EQ(order.size(), 64u) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            EXPECT_EQ(order[i], i) << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Runner, SerialAndParallelAggregatesIdentical) {
+    const auto run = [](std::size_t jobs) {
+        std::uint64_t acc = 0;
+        runner::sweep(
+            100, jobs, [](std::size_t i) { return (i * 2654435761u) % 1000; },
+            // Order-sensitive on purpose: a reduction that mixes indices
+            // out of order produces a different value.
+            [&](std::size_t i, std::uint64_t&& v) { acc = acc * 31 + v + i; });
+        return acc;
+    };
+    const std::uint64_t serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+}
+
+TEST(Runner, ReductionRunsOnCallingThread) {
+    const auto caller = std::this_thread::get_id();
+    runner::sweep(
+        16, 4, [](std::size_t i) { return i; },
+        [&](std::size_t, std::size_t&&) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+        });
+}
+
+TEST(Runner, SupportsMoveOnlyResults) {
+    std::size_t sum = 0;
+    runner::sweep(
+        8, 4, [](std::size_t i) { return std::make_unique<std::size_t>(i); },
+        [&](std::size_t, std::unique_ptr<std::size_t>&& p) { sum += *p; });
+    EXPECT_EQ(sum, 28u);
+}
+
+TEST(Runner, EmptySweepInvokesNothing) {
+    bool touched = false;
+    runner::sweep(
+        0, 4,
+        [&](std::size_t) {
+            touched = true;
+            return 0;
+        },
+        [&](std::size_t, int&&) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(Runner, WorkExceptionPropagatesToCaller) {
+    EXPECT_THROW(
+        runner::sweep(
+            32, 4,
+            [](std::size_t i) {
+                if (i == 17) throw std::runtime_error("boom at 17");
+                return i;
+            },
+            [](std::size_t, std::size_t&&) {}),
+        std::runtime_error);
+}
+
+TEST(Runner, ForEachVisitsEveryIndexExactlyOnce) {
+    std::vector<std::atomic<int>> counts(10);
+    runner::for_each(10, 4,
+                     [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+// --- fuzz campaign: summary and callback stream are jobs-invariant ---
+
+fuzz::CampaignConfig pair_config() {
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 100;
+    return cfg;
+}
+
+TEST(RunnerCampaign, FaultFreeSummaryBitIdenticalAcrossJobs) {
+    const fuzz::Campaign campaign(pair_config());
+    const fuzz::CampaignSummary s1 = campaign.run(16, 11, {}, 1);
+    const fuzz::CampaignSummary s8 = campaign.run(16, 11, {}, 8);
+    EXPECT_EQ(s1.runs, 16u);
+    EXPECT_TRUE(s1 == s8);
+}
+
+TEST(RunnerCampaign, FaultySummaryBitIdenticalAcrossJobs) {
+    fuzz::CampaignConfig cfg = pair_config();
+    cfg.classes = {fuzz::FaultClass::kTokenDropWire};
+    const fuzz::Campaign campaign(cfg);
+    const fuzz::CampaignSummary s1 = campaign.run(12, 7, {}, 1);
+    const fuzz::CampaignSummary s8 = campaign.run(12, 7, {}, 8);
+    EXPECT_EQ(s1.runs, 12u);
+    EXPECT_TRUE(s1 == s8);
+    // The retained failing cases must be the same cases in the same order.
+    ASSERT_EQ(s1.failures.size(), s8.failures.size());
+    for (std::size_t i = 0; i < s1.failures.size(); ++i) {
+        EXPECT_TRUE(s1.failures[i].first == s8.failures[i].first);
+        EXPECT_TRUE(s1.failures[i].second == s8.failures[i].second);
+    }
+}
+
+TEST(RunnerCampaign, OnRunCallbackStreamIsJobsInvariant) {
+    const fuzz::Campaign campaign(pair_config());
+    const auto collect = [&](std::size_t jobs) {
+        std::vector<std::pair<std::size_t, fuzz::RunReport>> events;
+        campaign.run(
+            10, 3,
+            [&](std::size_t i, const fuzz::FuzzCase&,
+                const fuzz::RunReport& r) { events.emplace_back(i, r); },
+            jobs);
+        return events;
+    };
+    const auto e1 = collect(1);
+    const auto e4 = collect(4);
+    ASSERT_EQ(e1.size(), 10u);
+    ASSERT_EQ(e1.size(), e4.size());
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_EQ(e1[i].first, i);
+        EXPECT_EQ(e4[i].first, i);
+        EXPECT_TRUE(e1[i].second == e4[i].second);
+    }
+}
+
+// --- determinism sweeps: SweepResult is jobs-invariant ---
+
+TEST(RunnerSweep, DeterminismSweepResultJobsInvariant) {
+    const sys::SocSpec spec = sys::make_pair_spec();
+    const auto run = [&spec](const sys::DelayConfig& cfg) {
+        sys::Soc soc(sys::apply(spec, cfg));
+        soc.run_cycles(130, sim::ms(8));
+        return soc.traces();
+    };
+
+    std::vector<sys::DelayConfig> perturbations;
+    sim::Rng rng(42);
+    const unsigned percents[4] = {50, 75, 150, 200};
+    for (int p = 0; p < 12; ++p) {
+        auto cfg = sys::DelayConfig::nominal(spec);
+        for (std::size_t d = 0; d < cfg.dimensions(); ++d) {
+            const bool is_clock = d >= cfg.dimensions() - cfg.clock_pct.size();
+            const unsigned pct = percents[rng.next_below(4)];
+            cfg.set(d, is_clock ? std::max(75u, pct) : pct);
+        }
+        perturbations.push_back(cfg);
+    }
+
+    verify::DeterminismHarness<sys::DelayConfig> h1(
+        run, sys::DelayConfig::nominal(spec), 90);
+    verify::DeterminismHarness<sys::DelayConfig> h4(
+        run, sys::DelayConfig::nominal(spec), 90);
+    const auto r1 = h1.sweep(perturbations, 1);
+    const auto r4 = h4.sweep(perturbations, 4);
+
+    EXPECT_EQ(r1.runs, 12u);
+    EXPECT_EQ(r1.runs, r4.runs);
+    EXPECT_EQ(r1.matches, r4.matches);
+    EXPECT_EQ(r1.mismatches, r4.mismatches);
+    EXPECT_EQ(r1.examples, r4.examples);
+    // Paper §5: fault-free delay perturbation never diverges.
+    EXPECT_TRUE(r1.all_match());
+}
+
+}  // namespace

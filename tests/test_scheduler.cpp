@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,85 @@ TEST(Scheduler, InterceptorSelectsByTag) {
     s.run();
     EXPECT_EQ(ran, (std::vector<std::string>{"keep", "keep2"}));
     EXPECT_EQ(s.events_dropped(), 1u);
+}
+
+// --- event pool + SmallFn callback storage (kernel hot-path overhaul) ---
+
+TEST(Scheduler, EventPoolRecyclesRecordsAcrossRuns) {
+    // A long self-rescheduling chain keeps the queue at depth 1; a pool that
+    // recycles records must never grow past a single slab no matter how many
+    // events execute.
+    Scheduler s;
+    std::uint64_t left = 10'000;
+    struct Hop {
+        Scheduler* s;
+        std::uint64_t* left;
+        void operator()() const {
+            if (--*left > 0) s->schedule_after(1, Hop{s, left});
+        }
+    };
+    s.schedule_after(1, Hop{&s, &left});
+    s.run();
+    EXPECT_EQ(left, 0u);
+    EXPECT_EQ(s.events_executed(), 10'000u);
+    EXPECT_LE(s.pool_capacity(), 64u);
+
+    // Reuse continues across separate run_until() calls on the same kernel.
+    const auto cap = s.pool_capacity();
+    for (int round = 0; round < 100; ++round) {
+        s.schedule_after(1, [] {});
+        s.run();
+    }
+    EXPECT_EQ(s.pool_capacity(), cap);
+}
+
+TEST(Scheduler, LargeCaptureCallbacksSpillToHeapCorrectly) {
+    // Captures past SmallFn's inline buffer take the heap path; behaviour
+    // must be identical.
+    Scheduler s;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    s.schedule_after(5, [payload, &sum] {
+        for (const auto v : payload) sum += v;
+    });
+    s.run();
+    std::uint64_t want = 0;
+    for (const auto v : payload) want += v;
+    EXPECT_EQ(sum, want);
+}
+
+TEST(Scheduler, AcceptsMoveOnlyCallbacks) {
+    // std::function required copyable callables; the kernel's move-only
+    // callback does not, so captures can own resources directly.
+    Scheduler s;
+    int got = 0;
+    s.schedule_after(1, [p = std::make_unique<int>(7), &got] { got = *p; });
+    s.run();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(Scheduler, DestroysCallbackStateAfterExecution) {
+    Scheduler s;
+    const auto token = std::make_shared<int>(1);
+    s.schedule_after(1, [token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    s.run();
+    EXPECT_EQ(token.use_count(), 1);  // pool slot must not pin the capture
+}
+
+TEST(Scheduler, DroppedEventsReleaseTheirCallbacks) {
+    Scheduler s;
+    int actor = 0;
+    const auto token = std::make_shared<int>(1);
+    s.set_interceptor([](const EventTag& tag, Time) {
+        return std::string(tag.label) != "drop-me";
+    });
+    s.schedule_at(1, Priority::kDefault, EventTag{&actor, "drop-me"},
+                  [token] {});
+    s.run();
+    EXPECT_EQ(s.events_dropped(), 1u);
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Rng, DeterministicFromSeedAndUnbiasedBounds) {

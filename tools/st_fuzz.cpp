@@ -32,6 +32,7 @@
 #include "fuzz/fault.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
+#include "runner/runner.hpp"
 #include "system/testbenches.hpp"
 
 namespace {
@@ -53,6 +54,7 @@ struct Options {
     std::string out_path;
     std::string replay_path;
     std::string fixture;
+    std::size_t jobs = 0;  ///< 0 = auto (hardware threads, ST_JOBS override)
     bool quiet = false;
 };
 
@@ -104,6 +106,9 @@ void usage() {
     for (const auto& f : kFixtures) std::printf(" [%s]", f.name);
     std::printf(
         "\n"
+        "  --jobs N           parallel campaign workers (default: hardware\n"
+        "                     threads, ST_JOBS override); results are\n"
+        "                     bit-identical at every N\n"
         "  --quiet            print only summary lines\n");
 }
 
@@ -258,7 +263,8 @@ int run_campaign(const Options& opt) {
                             fired_ok ? "" : " NO-FAULT-FIRED");
                 print_case(c, r);
             }
-        });
+        },
+        runner::resolve_jobs(opt.jobs));
 
     std::printf(
         "campaign: spec=%s seed=%llu runs=%llu | deterministic=%llu "
@@ -324,6 +330,8 @@ int main(int argc, char** argv) {
             opt.replay_path = next();
         } else if (arg == "--fixture") {
             opt.fixture = next();
+        } else if (arg == "--jobs") {
+            opt.jobs = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--help" || arg == "-h") {

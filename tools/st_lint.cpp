@@ -10,8 +10,9 @@
 //   $ ./tools/st_lint                      # lint all shipped testbenches
 //   $ ./tools/st_lint --spec triangle
 //   $ ./tools/st_lint --fixture undersized-fifo
-//   $ ./tools/st_lint --spec all --race-audit 200
+//   $ ./tools/st_lint --spec all --race-audit 200 --jobs 4
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "lint/fixtures.hpp"
 #include "lint/lint.hpp"
 #include "lint/race_audit.hpp"
+#include "runner/runner.hpp"
 #include "system/testbenches.hpp"
 
 namespace {
@@ -31,9 +33,30 @@ struct Options {
     std::string spec = "all";
     std::string fixture;
     std::uint64_t race_cycles = 0;
+    std::size_t jobs = 0;  ///< 0 = auto (hardware threads, ST_JOBS override)
     bool deadlock_pass = true;
     bool quiet = false;
 };
+
+/// printf-append into a string buffer. Specs are linted in parallel under
+/// --spec all, so each one's listing is built off to the side and printed by
+/// the reducer in catalog order — interleaving-free at any --jobs value.
+void appendf(std::string& out, const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n > 0) {
+        const auto old = out.size();
+        out.resize(old + static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                       ap2);
+        out.pop_back();  // drop vsnprintf's terminating NUL
+    }
+    va_end(ap2);
+}
 
 sys::SocSpec make_shipped(const std::string& name) {
     try {
@@ -54,6 +77,9 @@ void usage() {
         "  --fixture NAME    lint a deliberately broken fixture instead\n"
         "  --race-audit N    additionally simulate N local cycles with the\n"
         "                    scheduler same-slot race audit enabled\n"
+        "  --jobs N          lint specs in parallel under --spec all\n"
+        "                    (default: hardware threads, ST_JOBS override);\n"
+        "                    output order is always the catalog order\n"
         "  --no-deadlock     skip the absorbed deadlock fixpoint pass\n"
         "  --list            list passes and fixtures, then exit\n"
         "  --quiet           print only per-spec summary lines\n");
@@ -70,28 +96,35 @@ void list_catalogs() {
     }
 }
 
-/// Print one report GCC-style, using the spec name as the "file" component.
-void print_report(const std::string& spec_name, const lint::LintReport& report,
-                  bool quiet) {
+/// Render one report GCC-style, using the spec name as the "file" component.
+void render_report(std::string& out, const std::string& spec_name,
+                   const lint::LintReport& report, bool quiet) {
     if (!quiet) {
         for (const auto& d : report.diagnostics()) {
-            std::printf("%s: %s: %s: %s [%s]\n", spec_name.c_str(),
-                        d.locus.c_str(), lint::severity_name(d.severity),
-                        d.message.c_str(), d.rule.c_str());
+            appendf(out, "%s: %s: %s: %s [%s]\n", spec_name.c_str(),
+                    d.locus.c_str(), lint::severity_name(d.severity),
+                    d.message.c_str(), d.rule.c_str());
             if (!d.fix_hint.empty()) {
-                std::printf("%s: %s: note: fix: %s\n", spec_name.c_str(),
-                            d.locus.c_str(), d.fix_hint.c_str());
+                appendf(out, "%s: %s: note: fix: %s\n", spec_name.c_str(),
+                        d.locus.c_str(), d.fix_hint.c_str());
             }
         }
     }
-    std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
-                spec_name.c_str(), report.errors(), report.warnings(),
-                report.notes());
+    appendf(out, "%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+            spec_name.c_str(), report.errors(), report.warnings(),
+            report.notes());
 }
 
-/// Lint (and optionally race-audit) one spec; returns its error count.
-std::size_t lint_one(const std::string& name, const sys::SocSpec& spec,
-                     const Options& opt) {
+/// One spec's rendered diagnostics plus its error count.
+struct LintRun {
+    std::string text;
+    std::size_t errors = 0;
+};
+
+/// Lint (and optionally race-audit) one spec, rendering into `run.text`.
+LintRun lint_one(const std::string& name, const sys::SocSpec& spec,
+                 const Options& opt) {
+    LintRun run;
     lint::LintOptions lopt;
     lopt.deadlock_pass = opt.deadlock_pass;
     lint::LintReport report = lint::lint(spec, lopt);
@@ -101,15 +134,16 @@ std::size_t lint_one(const std::string& name, const sys::SocSpec& spec,
         lint::LintReport audit =
             lint::run_race_audit(spec, opt.race_cycles, sim::ms(500));
         if (!opt.quiet) {
-            std::printf("%s: race audit over %llu cycles: %zu race(s)\n",
-                        name.c_str(),
-                        static_cast<unsigned long long>(opt.race_cycles),
-                        audit.errors());
+            appendf(run.text, "%s: race audit over %llu cycles: %zu race(s)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(opt.race_cycles),
+                    audit.errors());
         }
         report.merge(audit);
     }
-    print_report(name, report, opt.quiet);
-    return report.errors();
+    render_report(run.text, name, report, opt.quiet);
+    run.errors = report.errors();
+    return run;
 }
 
 }  // namespace
@@ -140,6 +174,8 @@ int main(int argc, char** argv) {
                              value);
                 return 2;
             }
+        } else if (arg == "--jobs") {
+            opt.jobs = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--no-deadlock") {
             opt.deadlock_pass = false;
         } else if (arg == "--quiet") {
@@ -165,18 +201,31 @@ int main(int argc, char** argv) {
     std::size_t errors = 0;
     if (!opt.fixture.empty()) {
         try {
-            errors = lint_one(opt.fixture, lint::make_fixture(opt.fixture),
-                              opt);
+            const LintRun run =
+                lint_one(opt.fixture, lint::make_fixture(opt.fixture), opt);
+            std::fputs(run.text.c_str(), stdout);
+            errors = run.errors;
         } catch (const std::invalid_argument& e) {
             std::fprintf(stderr, "st_lint: %s\n", e.what());
             return 2;
         }
     } else if (opt.spec == "all") {
-        for (const auto& name : sys::named_specs()) {
-            errors += lint_one(name, make_shipped(name), opt);
-        }
+        // Specs are independent: fan them out on the st::runner engine and
+        // print each rendered listing in catalog order.
+        const auto names = sys::named_specs();
+        runner::sweep(
+            names.size(), runner::resolve_jobs(opt.jobs),
+            [&](std::size_t i) {
+                return lint_one(names[i], make_shipped(names[i]), opt);
+            },
+            [&](std::size_t, LintRun&& run) {
+                std::fputs(run.text.c_str(), stdout);
+                errors += run.errors;
+            });
     } else {
-        errors = lint_one(opt.spec, make_shipped(opt.spec), opt);
+        const LintRun run = lint_one(opt.spec, make_shipped(opt.spec), opt);
+        std::fputs(run.text.c_str(), stdout);
+        errors = run.errors;
     }
     return errors == 0 ? 0 : 1;
 }
