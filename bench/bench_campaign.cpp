@@ -77,6 +77,54 @@ void run_experiment() {
             std::exit(1);
         }
     }
+
+    // Warm-up fast-forward: every case shares a nominal prefix; forking it
+    // from one snapshot removes the re-simulated prefix from each case's
+    // cost. Restore-equivalence demands the forked summary stay
+    // bit-identical to the re-simulated baseline — checked on every run.
+    bench::banner("campaign warm-up fast-forward (pair, warmup=60/100)");
+    fuzz::CampaignConfig wcfg;
+    wcfg.spec_name = "pair";
+    wcfg.cycles = 100;
+    wcfg.warmup_cycles = 60;
+    wcfg.warmup_fork = false;
+    const fuzz::Campaign warm_plain(wcfg);
+    wcfg.warmup_fork = true;
+    const fuzz::Campaign warm_forked(wcfg);
+
+    std::printf("%10s | %9s | %9s | %8s | %s\n", "prefix", "seconds",
+                "runs/s", "speedup", "summary vs re-simulated");
+    fuzz::CampaignSummary s_plain;
+    const double secs_plain = timed_run(warm_plain, runs, seed, 1, s_plain);
+    std::printf("%10s | %9.3f | %9.1f | %7.2fx | (baseline)\n",
+                "re-sim", secs_plain,
+                static_cast<double>(runs) / (secs_plain > 0 ? secs_plain : 1e-9),
+                1.0);
+    fuzz::CampaignSummary s_forked;
+    const double secs_forked = timed_run(warm_forked, runs, seed, 1, s_forked);
+    const bool warm_identical = s_forked == s_plain;
+    std::printf("%10s | %9.3f | %9.1f | %7.2fx | %s\n", "snap-fork",
+                secs_forked,
+                static_cast<double>(runs) /
+                    (secs_forked > 0 ? secs_forked : 1e-9),
+                secs_plain / (secs_forked > 0 ? secs_forked : 1e-9),
+                warm_identical ? "bit-identical" : "DIVERGED");
+    report.add("campaign_pair_warmup_resim_runs_per_sec",
+               static_cast<double>(runs) / (secs_plain > 0 ? secs_plain : 1e-9),
+               "runs/s", 1);
+    report.add("campaign_pair_warmup_fork_runs_per_sec",
+               static_cast<double>(runs) /
+                   (secs_forked > 0 ? secs_forked : 1e-9),
+               "runs/s", 1);
+    report.add("campaign_pair_warmup_fork_speedup",
+               secs_plain / (secs_forked > 0 ? secs_forked : 1e-9), "x", 1);
+    if (!warm_identical) {
+        std::fprintf(stderr,
+                     "bench_campaign: snapshot-forked summary diverged from "
+                     "the re-simulated baseline — restore-equivalence is "
+                     "broken\n");
+        std::exit(1);
+    }
     report.write();
 }
 

@@ -85,6 +85,11 @@ class FourPhaseLink final : public Link {
     const Params& params() const { return params_; }
     const std::string& name() const { return name_; }
 
+    /// Snapshot: handshake state machine, data word, stats, and the fire
+    /// slot of the in-flight req/rtz event (re-armed by restore_state).
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     enum class State {
         kIdle,        ///< req low, ack low
@@ -95,6 +100,7 @@ class FourPhaseLink final : public Link {
 
     void sink_sees_req();
     void do_accept();
+    void finish_rtz();
 
     sim::Scheduler& sched_;
     std::string name_;
@@ -108,6 +114,9 @@ class FourPhaseLink final : public Link {
     std::uint64_t transfers_ = 0;
     sim::Time last_latency_ = 0;
     sim::Time max_latency_ = 0;
+    // Fire slot of the in-flight event (kReqFlight / kAckFlight states).
+    sim::Time pending_time_ = 0;
+    std::uint64_t pending_seq_ = 0;
 };
 
 }  // namespace st::achan

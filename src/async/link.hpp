@@ -5,6 +5,7 @@
 
 #include "async/types.hpp"
 #include "sim/time.hpp"
+#include "snap/snapshot.hpp"
 
 namespace st::achan {
 
@@ -15,9 +16,9 @@ class LinkSink;
 /// and TwoPhaseLink (non-return-to-zero, transition signalling). Producers
 /// call send(); consumers provide a LinkSink and nudge a back-pressured
 /// transfer with poke().
-class Link {
+class Link : public snap::Snapshottable {
   public:
-    virtual ~Link() = default;
+    ~Link() override = default;
 
     virtual void bind_sink(LinkSink* sink) = 0;
     virtual bool has_sink() const = 0;

@@ -10,6 +10,7 @@ SelfTimedFifo::SelfTimedFifo(sim::Scheduler& sched, std::string name, Params p)
       params_(p),
       stages_(p.depth),
       moving_(p.depth, false),
+      moves_(p.depth),
       head_link_(make_link(sched, name_ + ".head",
                            FourPhaseLink::Params{p.data_bits,
                                                  p.head_req_delay,
@@ -63,30 +64,98 @@ void SelfTimedFifo::try_advance(std::size_t i) {
     moving_[i] = true;
     StageFault fault;
     if (stage_fault_) fault = stage_fault_(i + 1, *stages_[i]);
+    std::optional<Word> force;
+    if (fault.force_word) {
+        force = mask_word(*fault.force_word, params_.data_bits);
+    }
+    moves_[i].t = sched_.now() + params_.stage_delay + fault.extra_delay;
+    moves_[i].force = force;
     // Actor = the receiving stage: two ripple arrivals into one stage at the
     // same instant would be an observable ordering race; moves of disjoint
     // stages commute and may share a slot freely.
-    sched_.schedule_after(params_.stage_delay + fault.extra_delay,
-                          sim::EventTag{&stages_[i + 1], "fifo.ripple"},
-                          [this, i, fault] {
-        stages_[i + 1] = fault.force_word
-                             ? mask_word(*fault.force_word, params_.data_bits)
-                             : *stages_[i];
-        stages_[i].reset();
-        moving_[i] = false;
-        if (i + 1 == params_.depth - 1) {
-            last_head_arrival_ = sched_.now();
-            try_send_head();
-        } else {
-            try_advance(i + 1);
+    moves_[i].seq = sched_.schedule_after(
+        params_.stage_delay + fault.extra_delay,
+        sim::EventTag{&stages_[i + 1], "fifo.ripple"},
+        [this, i, force] { finish_move(i, force); });
+}
+
+void SelfTimedFifo::finish_move(std::size_t i, std::optional<Word> force) {
+    stages_[i + 1] = force ? *force : *stages_[i];
+    stages_[i].reset();
+    moving_[i] = false;
+    if (i + 1 == params_.depth - 1) {
+        last_head_arrival_ = sched_.now();
+        try_send_head();
+    } else {
+        try_advance(i + 1);
+    }
+    if (i > 0) {
+        try_advance(i - 1);
+    } else if (tail_link_ != nullptr) {
+        // Tail stage freed: a backpressured upstream transfer can land.
+        tail_link_->poke();
+    }
+}
+
+void SelfTimedFifo::save_state(snap::StateWriter& w) const {
+    w.begin_group("fifo");
+    w.begin("stages");
+    w.u64(params_.stage_delay);
+    w.u64(params_.depth);
+    for (std::size_t i = 0; i < params_.depth; ++i) {
+        w.b(stages_[i].has_value());
+        w.u64(stages_[i].value_or(0));
+        w.b(moving_[i]);
+        if (moving_[i]) {
+            w.u64(moves_[i].t);
+            w.u64(moves_[i].seq);
+            w.b(moves_[i].force.has_value());
+            w.u64(moves_[i].force.value_or(0));
         }
-        if (i > 0) {
-            try_advance(i - 1);
-        } else if (tail_link_ != nullptr) {
-            // Tail stage freed: a backpressured upstream transfer can land.
-            tail_link_->poke();
+    }
+    w.b(head_sending_);
+    w.u64(words_in_);
+    w.u64(words_out_);
+    w.u64(last_head_arrival_);
+    w.end();
+    head_link_->save_state(w);
+    w.end();
+}
+
+void SelfTimedFifo::restore_state(snap::StateReader& r) {
+    r.enter("fifo");
+    r.enter("stages");
+    params_.stage_delay = r.u64();
+    if (r.u64() != params_.depth) {
+        throw snap::SnapshotError("SelfTimedFifo[" + name_ +
+                                  "]: depth mismatch");
+    }
+    for (std::size_t i = 0; i < params_.depth; ++i) {
+        const bool has = r.b();
+        const Word v = r.u64();
+        stages_[i] = has ? std::optional<Word>(v) : std::nullopt;
+        moving_[i] = r.b();
+        if (moving_[i]) {
+            moves_[i].t = r.u64();
+            moves_[i].seq = r.u64();
+            const bool forced = r.b();
+            const Word fv = r.u64();
+            moves_[i].force =
+                forced ? std::optional<Word>(fv) : std::nullopt;
+            const auto force = moves_[i].force;
+            sched_.rearm(moves_[i].t, sim::Priority::kDefault,
+                         sim::EventTag{&stages_[i + 1], "fifo.ripple"},
+                         moves_[i].seq,
+                         [this, i, force] { finish_move(i, force); });
         }
-    });
+    }
+    head_sending_ = r.b();
+    words_in_ = r.u64();
+    words_out_ = r.u64();
+    last_head_arrival_ = r.u64();
+    r.leave();
+    head_link_->restore_state(r);
+    r.leave();
 }
 
 void SelfTimedFifo::try_send_head() {

@@ -25,7 +25,7 @@ namespace st::achan {
 /// The paper's head-visibility timing constraint — data added to the tail
 /// just before the token departs must reach the head before the token enables
 /// the head interface — is auditable via `last_head_arrival()`.
-class SelfTimedFifo : public LinkSink {
+class SelfTimedFifo : public LinkSink, public snap::Snapshottable {
   public:
     struct Params {
         std::size_t depth = 4;        ///< number of stages (>= 1)
@@ -95,15 +95,30 @@ class SelfTimedFifo : public LinkSink {
     using StageFaultFn = std::function<StageFault(std::size_t to_stage, Word w)>;
     void set_stage_fault(StageFaultFn fn) { stage_fault_ = std::move(fn); }
 
+    /// Snapshot: stage contents, per-stage in-flight ripple (fire slot and
+    /// the *resolved* word — a stuck-data fault already decided what lands),
+    /// head-link state, counters. restore_state re-arms every ripple.
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     void try_advance(std::size_t i);
+    void finish_move(std::size_t i, std::optional<Word> force);
     void try_send_head();
+
+    /// Bookkeeping for an in-flight ripple out of stage i (moving_[i]).
+    struct PendingMove {
+        sim::Time t = 0;
+        std::uint64_t seq = 0;
+        std::optional<Word> force;  ///< fault-resolved replacement word
+    };
 
     sim::Scheduler& sched_;
     std::string name_;
     Params params_;
     std::vector<std::optional<Word>> stages_;  // [0]=tail, [depth-1]=head
     std::vector<bool> moving_;                 // stage i -> i+1 in flight
+    std::vector<PendingMove> moves_;           // valid where moving_[i]
     StageFaultFn stage_fault_;
     std::unique_ptr<Link> head_link_;
     Link* tail_link_ = nullptr;

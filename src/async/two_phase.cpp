@@ -14,8 +14,10 @@ void TwoPhaseLink::send(Word w) {
     state_ = State::kReqFlight;
     word_ = mask_word(w, params_.data_bits);
     send_time_ = sched_.now();
-    sched_.schedule_after(params_.req_delay, sim::EventTag{this, "link.req"},
-                          [this] { sink_sees_req(); });
+    pending_time_ = sched_.now() + params_.req_delay;
+    pending_seq_ = sched_.schedule_after(params_.req_delay,
+                                         sim::EventTag{this, "link.req"},
+                                         [this] { sink_sees_req(); });
 }
 
 void TwoPhaseLink::sink_sees_req() {
@@ -36,14 +38,57 @@ void TwoPhaseLink::do_accept() {
     state_ = State::kAckFlight;
     sink_->accept(word_);
     // NRZ: the ack transition alone completes the transfer.
-    sched_.schedule_after(params_.ack_delay, sim::EventTag{this, "link.ack"},
-                          [this] {
-        state_ = State::kIdle;
-        ++transfers_;
-        last_latency_ = sched_.now() - send_time_;
-        if (last_latency_ > max_latency_) max_latency_ = last_latency_;
-        if (complete_) complete_();
-    });
+    pending_time_ = sched_.now() + params_.ack_delay;
+    pending_seq_ = sched_.schedule_after(params_.ack_delay,
+                                         sim::EventTag{this, "link.ack"},
+                                         [this] { finish_ack(); });
+}
+
+void TwoPhaseLink::finish_ack() {
+    state_ = State::kIdle;
+    ++transfers_;
+    last_latency_ = sched_.now() - send_time_;
+    if (last_latency_ > max_latency_) max_latency_ = last_latency_;
+    if (complete_) complete_();
+}
+
+void TwoPhaseLink::save_state(snap::StateWriter& w) const {
+    w.begin("link2");
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(word_);
+    w.u64(send_time_);
+    w.u64(transfers_);
+    w.u64(last_latency_);
+    w.u64(max_latency_);
+    if (state_ == State::kReqFlight || state_ == State::kAckFlight) {
+        w.u64(pending_time_);
+        w.u64(pending_seq_);
+    }
+    w.end();
+}
+
+void TwoPhaseLink::restore_state(snap::StateReader& r) {
+    r.enter("link2");
+    state_ = static_cast<State>(r.u8());
+    word_ = r.u64();
+    send_time_ = r.u64();
+    transfers_ = r.u64();
+    last_latency_ = r.u64();
+    max_latency_ = r.u64();
+    if (state_ == State::kReqFlight || state_ == State::kAckFlight) {
+        pending_time_ = r.u64();
+        pending_seq_ = r.u64();
+        if (state_ == State::kReqFlight) {
+            sched_.rearm(pending_time_, sim::Priority::kDefault,
+                         sim::EventTag{this, "link.req"}, pending_seq_,
+                         [this] { sink_sees_req(); });
+        } else {
+            sched_.rearm(pending_time_, sim::Priority::kDefault,
+                         sim::EventTag{this, "link.ack"}, pending_seq_,
+                         [this] { finish_ack(); });
+        }
+    }
+    r.leave();
 }
 
 }  // namespace st::achan

@@ -43,11 +43,16 @@ class TwoPhaseLink final : public Link {
     }
     const FourPhaseLink::Params& params() const { return params_; }
 
+    /// Snapshot: same shape as FourPhaseLink (chunk name "link2").
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     enum class State { kIdle, kReqFlight, kReqPending, kAckFlight };
 
     void sink_sees_req();
     void do_accept();
+    void finish_ack();
 
     sim::Scheduler& sched_;
     std::string name_;
@@ -61,6 +66,9 @@ class TwoPhaseLink final : public Link {
     std::uint64_t transfers_ = 0;
     sim::Time last_latency_ = 0;
     sim::Time max_latency_ = 0;
+    // Fire slot of the in-flight event (kReqFlight / kAckFlight states).
+    sim::Time pending_time_ = 0;
+    std::uint64_t pending_seq_ = 0;
 };
 
 }  // namespace st::achan

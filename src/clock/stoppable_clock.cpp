@@ -40,8 +40,11 @@ void StoppableClock::start() {
 
 void StoppableClock::schedule_edge(sim::Time t) {
     edge_pending_ = true;
-    sched_.schedule_at(t, sim::Priority::kClockEdge,
-                       sim::EventTag{this, "clock.edge"}, [this] { edge(); });
+    edge_time_ = t;
+    edge_seq_ =
+        sched_.schedule_at(t, sim::Priority::kClockEdge,
+                           sim::EventTag{this, "clock.edge"},
+                           [this] { edge(); });
 }
 
 void StoppableClock::edge() {
@@ -82,6 +85,51 @@ void StoppableClock::edge() {
             for (auto& f : edge_observers_) f(cycle, t);
         });
     }
+}
+
+void StoppableClock::save_state(snap::StateWriter& w) const {
+    w.begin("clk");
+    w.u64(params_.base_period);
+    w.u32(params_.divider);
+    w.u64(params_.phase);
+    w.u64(params_.restart_delay);
+    w.b(started_);
+    w.b(halted_);
+    w.b(stopped_);
+    w.b(edge_pending_);
+    w.u64(cycles_);
+    w.u64(stop_began_);
+    w.u64(total_stopped_);
+    w.u64(stop_events_);
+    if (edge_pending_) {
+        w.u64(edge_time_);
+        w.u64(edge_seq_);
+    }
+    w.end();
+}
+
+void StoppableClock::restore_state(snap::StateReader& r) {
+    r.enter("clk");
+    params_.base_period = r.u64();
+    params_.divider = r.u32();
+    params_.phase = r.u64();
+    params_.restart_delay = r.u64();
+    started_ = r.b();
+    halted_ = r.b();
+    stopped_ = r.b();
+    edge_pending_ = r.b();
+    cycles_ = r.u64();
+    stop_began_ = r.u64();
+    total_stopped_ = r.u64();
+    stop_events_ = r.u64();
+    if (edge_pending_) {
+        edge_time_ = r.u64();
+        edge_seq_ = r.u64();
+        sched_.rearm(edge_time_, sim::Priority::kClockEdge,
+                     sim::EventTag{this, "clock.edge"}, edge_seq_,
+                     [this] { edge(); });
+    }
+    r.leave();
 }
 
 void StoppableClock::async_restart() {

@@ -7,6 +7,7 @@
 
 #include "clock/clock_sink.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 
 namespace st::clk {
 
@@ -25,7 +26,7 @@ namespace st::clk {
 ///
 /// The cycle counter gives every edge a *local cycle index*; the determinism
 /// property of synchro-tokens is stated in this index space (DESIGN.md §5).
-class StoppableClock {
+class StoppableClock : public snap::Snapshottable {
   public:
     struct Params {
         sim::Time base_period = 1000;    ///< ring oscillator period, ps
@@ -89,6 +90,13 @@ class StoppableClock {
 
     sim::Scheduler& scheduler() const { return sched_; }
 
+    /// Snapshot: full register state plus the fire slot of the pending
+    /// edge event (if any), which restore_state re-arms. Taken only at
+    /// slot boundaries, so the same-time commit/gate/monitor events are
+    /// never in flight.
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     void schedule_edge(sim::Time t);
     void edge();
@@ -109,6 +117,9 @@ class StoppableClock {
     sim::Time stop_began_ = 0;
     sim::Time total_stopped_ = 0;
     std::uint64_t stop_events_ = 0;
+    // Fire slot of the pending edge event, valid while edge_pending_.
+    sim::Time edge_time_ = 0;
+    std::uint64_t edge_seq_ = 0;
 };
 
 }  // namespace st::clk

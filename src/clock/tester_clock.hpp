@@ -7,6 +7,7 @@
 
 #include "clock/clock_sink.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 
 namespace st::clk {
 
@@ -17,7 +18,7 @@ namespace st::clk {
 /// *interlock* gate (paper §4.2, Interlocked Mode) can swallow edges: when the
 /// gate function returns false the pulse is absorbed and reported to the
 /// tester as a wait state, keeping tester/SoC data exchange deterministic.
-class TesterClock {
+class TesterClock : public snap::Snapshottable {
   public:
     explicit TesterClock(sim::Scheduler& sched, std::string name = "tck")
         : sched_(sched), name_(std::move(name)) {}
@@ -37,6 +38,21 @@ class TesterClock {
     std::uint64_t cycles() const { return cycles_; }
     std::uint64_t swallowed() const { return swallowed_; }
     const std::string& name() const { return name_; }
+
+    /// Snapshot: counters only — TCK has no free-running event in flight,
+    /// every edge is host-driven.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("tck");
+        w.u64(cycles_);
+        w.u64(swallowed_);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("tck");
+        cycles_ = r.u64();
+        swallowed_ = r.u64();
+        r.leave();
+    }
 
   private:
     sim::Scheduler& sched_;

@@ -1,6 +1,7 @@
 #include "fuzz/campaign.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -104,18 +105,61 @@ Campaign::Campaign(CampaignConfig cfg)
                                  "' did not reach the cycle goal");
     }
     golden_ = verify::truncated(soc.traces(), cfg_.cycles);
+
+    if (cfg_.warmup_cycles > 0) {
+        if (cfg_.warmup_cycles >= cfg_.cycles) {
+            throw std::invalid_argument(
+                "Campaign: warmup_cycles must be < cycles");
+        }
+        if (cfg_.warmup_fork) {
+            // Shared prefix: nominal delays, no faults, snapshotted once at
+            // a slot boundary. The golden run above proved the nominal spec
+            // reaches cfg_.cycles, so this shorter leg cannot fail.
+            sys::Soc warm(spec_);
+            run_bounded(warm, cfg_.warmup_cycles, deadline, cfg_.max_events,
+                        budget_expired);
+            warm.settle();
+            prefix_ = warm.save_snapshot();
+        }
+    }
 }
 
 RunReport Campaign::run_case(const FuzzCase& c) const {
     const sys::SocSpec perturbed = sys::apply(spec_, c.delays);
-    sys::Soc soc(perturbed);
-    Injector injector(soc, c.faults);
-    sys::InvariantMonitor monitor(soc);
-
-    bool budget_expired = false;
     const sim::Time deadline =
         static_cast<sim::Time>(cfg_.cycles + 64) *
         max_effective_period(perturbed) * 8;
+
+    std::unique_ptr<sys::Soc> soc_owner;
+    std::unique_ptr<Injector> injector_owner;
+    std::unique_ptr<sys::InvariantMonitor> monitor_owner;
+    if (cfg_.warmup_cycles == 0) {
+        soc_owner = std::make_unique<sys::Soc>(perturbed);
+        injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
+        monitor_owner = std::make_unique<sys::InvariantMonitor>(*soc_owner);
+    } else {
+        // Warm-up path: nominal prefix (forked from the shared snapshot or
+        // re-simulated), then the case delta applied live. Both prefix
+        // variants land in the identical state — restore-equivalence — so
+        // the continuation, and therefore the report, is bit-identical.
+        soc_owner = std::make_unique<sys::Soc>(spec_);
+        if (cfg_.warmup_fork) {
+            soc_owner->restore_snapshot(prefix_);
+        } else {
+            bool warm_budget = false;
+            run_bounded(*soc_owner, cfg_.warmup_cycles, deadline,
+                        cfg_.max_events, warm_budget);
+            soc_owner->settle();
+        }
+        injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
+        monitor_owner = std::make_unique<sys::InvariantMonitor>(*soc_owner);
+        sys::apply_live(*soc_owner, c.delays);
+    }
+    sys::Soc& soc = *soc_owner;
+    Injector& injector = *injector_owner;
+    sys::InvariantMonitor& monitor = *monitor_owner;
+
+    bool budget_expired = false;
     const bool goal = run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
                                   budget_expired);
 

@@ -8,6 +8,7 @@
 
 #include "fuzz/fault.hpp"
 #include "sim/random.hpp"
+#include "snap/snapshot.hpp"
 #include "system/spec.hpp"
 #include "verify/io_trace.hpp"
 
@@ -55,6 +56,16 @@ struct CampaignConfig {
     /// (pure delay perturbation, the paper's §5 experiment).
     std::vector<FaultClass> classes;
     std::size_t max_faults = 2;  ///< faults per random case (1..max)
+    /// Shared warm-up prefix (local cycles, < `cycles`; 0 = off): every case
+    /// runs the first `warmup_cycles` at nominal delays with no faults, then
+    /// the case's delta is applied live (sys::apply_live + clamped fault
+    /// times) and the run continues to `cycles`.
+    std::uint64_t warmup_cycles = 0;
+    /// With warm-up on: fork each case from one snapshot of the shared
+    /// prefix (taken once at construction) instead of re-simulating it.
+    /// Restore-equivalence makes the two paths bit-identical; the flag
+    /// exists so tests and benches can run the non-forked baseline.
+    bool warmup_fork = true;
 };
 
 struct CampaignSummary {
@@ -118,12 +129,16 @@ class Campaign {
                                  const RunReport&)>& on_run = {},
         std::size_t jobs = 1) const;
 
+    /// Snapshot of the shared warm-up prefix (empty when warmup_cycles == 0).
+    const snap::Snapshot& warmup_prefix() const { return prefix_; }
+
   private:
     Fault random_fault(sim::Rng& rng) const;
 
     CampaignConfig cfg_;
     sys::SocSpec spec_;
     verify::TraceSet golden_;
+    snap::Snapshot prefix_;
 };
 
 }  // namespace st::fuzz

@@ -61,6 +61,10 @@ FuzzCase Repro::to_case(const sys::SocSpec& spec) const {
 
 std::string Repro::to_text() const {
     std::ostringstream os;
+    os << "st-fuzz-repro v" << kFormatVersion;
+    if (seed) os << " seed=" << *seed;
+    if (jobs) os << " jobs=" << *jobs;
+    os << "\n";
     os << "# st_fuzz counterexample repro\n";
     os << "spec " << spec_name << "\n";
     os << "cycles " << cycles << "\n";
@@ -76,7 +80,9 @@ std::string Repro::to_text() const {
 
 Repro Repro::parse(const std::string& text) {
     Repro r;
+    r.version = 1;  // headerless files are the pre-header format
     bool saw_spec = false;
+    bool saw_directive = false;
     std::istringstream is(text);
     std::string line;
     std::size_t lineno = 0;
@@ -87,6 +93,41 @@ Repro Repro::parse(const std::string& text) {
         std::istringstream ls(line);
         std::string directive;
         if (!(ls >> directive)) continue;  // blank / comment-only line
+        if (directive == "st-fuzz-repro") {
+            if (saw_directive) {
+                bad_line(lineno, "header must be the first directive");
+            }
+            std::string vtok;
+            if (!(ls >> vtok) || vtok.size() < 2 || vtok[0] != 'v') {
+                bad_line(lineno, "header needs 'v<version>'");
+            }
+            try {
+                r.version = std::stoull(vtok.substr(1));
+            } catch (const std::exception&) {
+                bad_line(lineno, "bad version in '" + vtok + "'");
+            }
+            if (r.version == 0 || r.version > kFormatVersion) {
+                bad_line(lineno,
+                         "format version " + std::to_string(r.version) +
+                             " is not supported by this build (reads up to "
+                             "v" +
+                             std::to_string(kFormatVersion) +
+                             ") — regenerate the repro or upgrade st_fuzz");
+            }
+            std::string kv;
+            while (ls >> kv) {
+                if (kv.rfind("seed=", 0) == 0) {
+                    r.seed = parse_kv(kv, "seed", lineno);
+                } else if (kv.rfind("jobs=", 0) == 0) {
+                    r.jobs = parse_kv(kv, "jobs", lineno);
+                } else {
+                    bad_line(lineno, "unknown header field '" + kv + "'");
+                }
+            }
+            saw_directive = true;
+            continue;
+        }
+        saw_directive = true;
         if (directive == "spec") {
             if (!(ls >> r.spec_name)) bad_line(lineno, "spec needs a name");
             saw_spec = true;

@@ -15,6 +15,7 @@ namespace st::fuzz {
 /// A replayable counterexample: spec-independent text that `st_fuzz --replay`
 /// (or any future session) turns back into the exact failing run. Line-based:
 ///
+///     st-fuzz-repro v2 seed=11 jobs=2
 ///     # comment
 ///     spec pair
 ///     cycles 100
@@ -22,10 +23,22 @@ namespace st::fuzz {
 ///     delay 3 50        # ring0.ab
 ///     fault token-drop unit=0 side=1 nth=1 value=0
 ///
-/// Only non-nominal delay dimensions are stored (flat DelayConfig index);
-/// everything else is implicitly 100%. `outcome` records the classification
-/// at save time so a replay can assert it reproduces.
+/// The header line carries the format version plus the provenance of the
+/// campaign that produced the file (PRNG seed, worker count) so a
+/// counterexample can always be traced back to its campaign. Files without
+/// a header parse as version 1 (the pre-header format); versions newer than
+/// kFormatVersion are rejected with a clear diagnostic rather than
+/// misparsed. Only non-nominal delay dimensions are stored (flat
+/// DelayConfig index); everything else is implicitly 100%. `outcome`
+/// records the classification at save time so a replay can assert it
+/// reproduces.
 struct Repro {
+    /// Newest format this build reads and the version it always writes.
+    static constexpr std::uint64_t kFormatVersion = 2;
+
+    std::uint64_t version = kFormatVersion;
+    std::optional<std::uint64_t> seed;  ///< campaign PRNG seed provenance
+    std::optional<std::uint64_t> jobs;  ///< campaign worker-count provenance
     std::string spec_name;
     std::uint64_t cycles = 100;
     std::optional<Outcome> expected;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sb/ports.hpp"
+#include "snap/state_io.hpp"
 
 namespace st::sb {
 
@@ -42,6 +43,27 @@ class Kernel {
     /// than scan_state() update a prefix; longer images are an error.
     virtual void load_state(const std::vector<std::uint64_t>& image) {
         (void)image;
+    }
+
+    /// Snapshot hook. The default round-trips through the scan chain image
+    /// (scan_state/load_state), which is complete for register-file kernels.
+    /// Kernels with state outside the scan image (growing sample logs,
+    /// deques, pending queues) must override both methods.
+    virtual void save_state(snap::StateWriter& w) const {
+        w.begin("kernel");
+        const auto img = scan_state();
+        w.u64(img.size());
+        for (const auto v : img) w.u64(v);
+        w.end();
+    }
+    virtual void restore_state(snap::StateReader& r) {
+        r.enter("kernel");
+        const std::uint64_t n = r.u64();
+        std::vector<std::uint64_t> img;
+        img.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) img.push_back(r.u64());
+        load_state(img);
+        r.leave();
     }
 };
 

@@ -29,6 +29,33 @@ class RecorderSink final : public Kernel {
         return {samples_.size()};
     }
 
+    /// The scan image exposes only the sample count; the snapshot must
+    /// carry the full log so a restored run replays into an identical one.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("recorder");
+        w.u64(samples_.size());
+        for (const auto& s : samples_) {
+            w.u64(s.cycle);
+            w.u64(s.port);
+            w.u64(s.word);
+        }
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("recorder");
+        const std::uint64_t n = r.u64();
+        samples_.clear();
+        samples_.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Sample s;
+            s.cycle = r.u64();
+            s.port = static_cast<std::size_t>(r.u64());
+            s.word = r.u64();
+            samples_.push_back(s);
+        }
+        r.leave();
+    }
+
   private:
     std::vector<Sample> samples_;
 };
@@ -44,6 +71,20 @@ class CheckerSink final : public Kernel {
 
     std::uint64_t words_consumed() const { return consumed_; }
     std::uint64_t mismatches() const { return mismatches_; }
+
+    /// Counters live outside the scan image (no scan_state override).
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("checker");
+        w.u64(consumed_);
+        w.u64(mismatches_);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("checker");
+        consumed_ = r.u64();
+        mismatches_ = r.u64();
+        r.leave();
+    }
 
   private:
     std::function<Word(std::uint64_t)> golden_;

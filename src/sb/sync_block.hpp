@@ -9,6 +9,7 @@
 #include "clock/clock_sink.hpp"
 #include "sb/kernel.hpp"
 #include "sb/ports.hpp"
+#include "snap/snapshot.hpp"
 
 namespace st::sb {
 
@@ -17,7 +18,9 @@ namespace st::sb {
 /// Hosts a Kernel, adapts it to the two-phase ClockSink protocol, and gives
 /// it a stable, index-addressed bundle of channel ports. The wrapper (module
 /// `synchro`) registers port implementations here during elaboration.
-class SyncBlock final : public clk::ClockSink, public SbContext {
+class SyncBlock final : public clk::ClockSink,
+                        public SbContext,
+                        public snap::Snapshottable {
   public:
     explicit SyncBlock(std::string name, std::unique_ptr<Kernel> kernel);
 
@@ -47,6 +50,24 @@ class SyncBlock final : public clk::ClockSink, public SbContext {
     /// used for cycle-indexed trace capture.
     void on_cycle_observer(std::function<void(std::uint64_t)> fn) {
         observers_.push_back(std::move(fn));
+    }
+
+    /// Snapshot: local-cycle register plus the kernel's state.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin_group("sb");
+        w.begin("regs");
+        w.u64(cycle_);
+        w.end();
+        kernel_->save_state(w);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("sb");
+        r.enter("regs");
+        cycle_ = r.u64();
+        r.leave();
+        kernel_->restore_state(r);
+        r.leave();
     }
 
   private:

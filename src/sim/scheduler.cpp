@@ -34,15 +34,117 @@ void Scheduler::release_event(Event* ev) {
     free_.push_back(ev);
 }
 
-void Scheduler::schedule_at(Time t, Priority p, EventTag tag, Callback cb) {
+std::uint64_t Scheduler::schedule_at(Time t, Priority p, EventTag tag,
+                                     Callback cb) {
     if (t < now_) {
         throw std::logic_error("Scheduler: event scheduled in the past");
+    }
+    if (restoring_) {
+        throw std::logic_error(
+            "Scheduler: schedule_at during restore — use rearm()");
     }
     Event* ev = acquire_event();
     ev->tag = tag;
     ev->cb = std::move(cb);
-    heap_.push_back(HeapEntry{t, static_cast<int>(p), next_seq_++, ev});
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(HeapEntry{t, static_cast<int>(p), seq, ev});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return seq;
+}
+
+std::uint64_t Scheduler::settle() {
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.front().t == now_) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+void Scheduler::save_state(snap::StateWriter& w) const {
+    if (!at_slot_boundary()) {
+        throw snap::SnapshotError(
+            "Scheduler::save_state mid-slot — settle() first");
+    }
+    w.begin("sched");
+    w.u64(now_);
+    w.u64(next_seq_);
+    w.u64(executed_);
+    w.u64(dropped_);
+    w.u64(heap_.size());
+    w.end();
+}
+
+void Scheduler::begin_restore(snap::StateReader& r) {
+    if (!heap_.empty() || restoring_) {
+        throw snap::SnapshotError(
+            "Scheduler::begin_restore on a non-fresh scheduler");
+    }
+    r.enter("sched");
+    now_ = r.u64();
+    next_seq_ = r.u64();
+    executed_ = r.u64();
+    dropped_ = r.u64();
+    expected_pending_ = r.u64();
+    r.leave();
+    restoring_ = true;
+    staged_.clear();
+}
+
+void Scheduler::rearm(Time t, Priority p, EventTag tag,
+                      std::uint64_t orig_seq, Callback cb) {
+    if (!restoring_) {
+        throw std::logic_error("Scheduler: rearm outside restore");
+    }
+    if (t < now_) {
+        throw snap::SnapshotError("rearm: event fire time in the past");
+    }
+    staged_.push_back(Staged{t, p, tag, orig_seq, std::move(cb)});
+}
+
+void Scheduler::end_restore() {
+    if (!restoring_) {
+        throw std::logic_error("Scheduler: end_restore outside restore");
+    }
+    restoring_ = false;
+    if (staged_.size() != expected_pending_) {
+        throw snap::SnapshotError(
+            "restore re-armed " + std::to_string(staged_.size()) +
+            " events but the snapshot recorded " +
+            std::to_string(expected_pending_) +
+            " pending — a component missed (or double-counted) an event");
+    }
+    // Re-insert under the ORIGINAL sequence numbers. Every orig_seq is
+    // below the saved next_seq_, so restored events still sort ahead of
+    // anything scheduled after the restore, ties break exactly as in the
+    // saving run, and — because components persist their events' seqs —
+    // the next snapshot of this scheduler is byte-identical to what the
+    // saving run would have produced.
+    std::sort(staged_.begin(), staged_.end(),
+              [](const Staged& a, const Staged& b) {
+                  return a.orig_seq < b.orig_seq;
+              });
+    for (std::size_t i = 1; i < staged_.size(); ++i) {
+        if (staged_[i].orig_seq == staged_[i - 1].orig_seq) {
+            throw snap::SnapshotError(
+                "restore staged two events with seq " +
+                std::to_string(staged_[i].orig_seq));
+        }
+    }
+    if (!staged_.empty() && staged_.back().orig_seq >= next_seq_) {
+        throw snap::SnapshotError(
+            "restore staged seq " + std::to_string(staged_.back().orig_seq) +
+            " >= the snapshot's next_seq " + std::to_string(next_seq_));
+    }
+    for (auto& s : staged_) {
+        Event* ev = acquire_event();
+        ev->tag = s.tag;
+        ev->cb = std::move(s.cb);
+        heap_.push_back(
+            HeapEntry{s.t, static_cast<int>(s.p), s.orig_seq, ev});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+    staged_.clear();
 }
 
 void Scheduler::set_race_audit(bool on) {

@@ -9,6 +9,7 @@
 
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
+#include "snap/state_io.hpp"
 
 namespace st::sim {
 
@@ -86,30 +87,35 @@ class Scheduler {
     /// Current simulation time.
     Time now() const { return now_; }
 
-    /// Schedule `cb` at absolute time `t` (must be >= now()).
-    void schedule_at(Time t, Priority p, Callback cb) {
-        schedule_at(t, p, EventTag{}, std::move(cb));
+    /// Schedule `cb` at absolute time `t` (must be >= now()). Returns the
+    /// event's insertion sequence number — the tie-break key of the total
+    /// order. Components that participate in snapshot/restore record it so
+    /// the event can be re-armed in exactly its original slot (see rearm).
+    std::uint64_t schedule_at(Time t, Priority p, Callback cb) {
+        return schedule_at(t, p, EventTag{}, std::move(cb));
     }
 
     /// Schedule a tagged event (visible to the race audit).
-    void schedule_at(Time t, Priority p, EventTag tag, Callback cb);
+    std::uint64_t schedule_at(Time t, Priority p, EventTag tag, Callback cb);
 
     /// Schedule `cb` `delay` picoseconds from now.
-    void schedule_after(Time delay, Priority p, Callback cb) {
-        schedule_at(now_ + delay, p, std::move(cb));
+    std::uint64_t schedule_after(Time delay, Priority p, Callback cb) {
+        return schedule_at(now_ + delay, p, std::move(cb));
     }
 
-    void schedule_after(Time delay, Priority p, EventTag tag, Callback cb) {
-        schedule_at(now_ + delay, p, tag, std::move(cb));
+    std::uint64_t schedule_after(Time delay, Priority p, EventTag tag,
+                                 Callback cb) {
+        return schedule_at(now_ + delay, p, tag, std::move(cb));
     }
 
     /// Schedule with default (asynchronous-event) priority.
-    void schedule_after(Time delay, Callback cb) {
-        schedule_after(delay, Priority::kDefault, std::move(cb));
+    std::uint64_t schedule_after(Time delay, Callback cb) {
+        return schedule_after(delay, Priority::kDefault, std::move(cb));
     }
 
-    void schedule_after(Time delay, EventTag tag, Callback cb) {
-        schedule_after(delay, Priority::kDefault, tag, std::move(cb));
+    std::uint64_t schedule_after(Time delay, EventTag tag, Callback cb) {
+        return schedule_after(delay, Priority::kDefault, tag,
+                              std::move(cb));
     }
 
     /// Execute the single earliest event. Returns false if the queue is empty.
@@ -151,6 +157,45 @@ class Scheduler {
 
     /// Events dropped by the interceptor (not counted in events_executed()).
     std::uint64_t events_dropped() const { return dropped_; }
+
+    // --- snapshot/restore ---
+    /// True when no pending event shares the current timestamp — the only
+    /// states in which a snapshot may be taken (mid-slot the two-phase
+    /// clock-edge protocol is half-applied).
+    bool at_slot_boundary() const {
+        return heap_.empty() || heap_.front().t > now_;
+    }
+
+    /// Execute every event scheduled at exactly now(). Behaviour-neutral:
+    /// these events would run before anything else anyway, in this order.
+    /// Returns events executed.
+    std::uint64_t settle();
+
+    /// Write the kernel's own state: counters plus the pending-event count.
+    /// The pending events themselves are NOT serialized here — closures
+    /// cannot be; instead every component records the (fire time, seq) of
+    /// its in-flight events and re-arms them on restore. The count saved
+    /// here cross-checks that no component forgot.
+    void save_state(snap::StateWriter& w) const;
+
+    /// Begin a restore: load counters, then accept rearm() calls from the
+    /// components' restore_state methods. schedule_at is rejected until
+    /// end_restore() — restoring code must use rearm so ordering is exact.
+    void begin_restore(snap::StateReader& r);
+
+    /// Re-create one pending event during restore. `orig_seq` is the seq
+    /// the event had in the saving run; staged events are replayed in
+    /// orig_seq order, so every same-(time, priority) tie breaks exactly
+    /// as it did before the snapshot.
+    void rearm(Time t, Priority p, EventTag tag, std::uint64_t orig_seq,
+               Callback cb);
+
+    /// Finish a restore: verify the staged count matches the saved pending
+    /// count (throws snap::SnapshotError otherwise) and push the staged
+    /// events into the heap in orig_seq order.
+    void end_restore();
+
+    bool restoring() const { return restoring_; }
 
     // --- race audit ---
     /// Enable/disable the same-slot collision audit. Toggling clears the
@@ -196,6 +241,18 @@ class Scheduler {
     std::uint64_t executed_ = 0;
     std::uint64_t dropped_ = 0;
     Interceptor interceptor_;
+
+    // Restore staging (see begin_restore/rearm/end_restore).
+    struct Staged {
+        Time t = 0;
+        Priority p = Priority::kDefault;
+        EventTag tag;
+        std::uint64_t orig_seq = 0;
+        Callback cb;
+    };
+    bool restoring_ = false;
+    std::uint64_t expected_pending_ = 0;
+    std::vector<Staged> staged_;
 
     std::vector<HeapEntry> heap_;
     // Slab pool: fixed-size chunks keep Event addresses stable (heap entries

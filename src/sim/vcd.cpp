@@ -20,6 +20,11 @@ std::string id_code(int index) {
 VcdWriter::VcdWriter(std::ostream& out, std::string top_module)
     : out_(out), top_(std::move(top_module)) {}
 
+VcdWriter::~VcdWriter() {
+    finalize_header();
+    out_.flush();
+}
+
 int VcdWriter::add_signal(const std::string& name, unsigned width) {
     if (header_done_) {
         throw std::logic_error("VcdWriter: add_signal after header finalized");

@@ -19,6 +19,11 @@ class VcdWriter {
     /// `timescale_ps` picoseconds per VCD time unit (1 → "1ps").
     explicit VcdWriter(std::ostream& out, std::string top_module = "soc");
 
+    /// Finalizes the header (so a run that never reported a change still
+    /// yields a well-formed file) and flushes the stream: a truncated or
+    /// aborted run leaves a VCD readable up to its last change.
+    ~VcdWriter();
+
     VcdWriter(const VcdWriter&) = delete;
     VcdWriter& operator=(const VcdWriter&) = delete;
 

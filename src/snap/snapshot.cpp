@@ -1,0 +1,154 @@
+#include "snap/snapshot.hpp"
+
+#include <cstdio>
+
+namespace st::snap {
+
+namespace {
+
+constexpr char kMagic[] = "STSNAP1\n";
+constexpr std::size_t kMagicLen = 8;
+
+}  // namespace
+
+void Snapshot::save_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) throw SnapshotError("cannot open '" + path + "' for writing");
+    bool ok = std::fwrite(kMagic, 1, kMagicLen, f) == kMagicLen;
+    if (ok && !image_.empty()) {
+        ok = std::fwrite(image_.data(), 1, image_.size(), f) == image_.size();
+    }
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) throw SnapshotError("short write to '" + path + "'");
+}
+
+Snapshot Snapshot::load_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) throw SnapshotError("cannot open '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (len < static_cast<long>(kMagicLen)) {
+        std::fclose(f);
+        throw SnapshotError("'" + path + "' is not a snapshot (too short)");
+    }
+    char magic[kMagicLen];
+    if (std::fread(magic, 1, kMagicLen, f) != kMagicLen ||
+        std::string(magic, kMagicLen) != std::string(kMagic, kMagicLen)) {
+        std::fclose(f);
+        throw SnapshotError("'" + path + "' is not a snapshot (bad magic)");
+    }
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(len) -
+                                    kMagicLen);
+    const bool ok = image.empty() ||
+                    std::fread(image.data(), 1, image.size(), f) ==
+                        image.size();
+    std::fclose(f);
+    if (!ok) throw SnapshotError("short read from '" + path + "'");
+    return Snapshot(std::move(image));
+}
+
+namespace {
+
+/// Raw view of one chunk header parsed straight off the wire. Mirrors the
+/// layout documented in state_io.hpp; kept here so diff can walk images
+/// generically without a StateReader expectation of chunk names.
+struct RawChunk {
+    std::string name;
+    std::uint8_t kind = 0;
+    const std::uint8_t* body = nullptr;
+    std::size_t body_len = 0;
+    std::size_t total = 0;  ///< header + body size
+};
+
+RawChunk parse_chunk(const std::uint8_t* p, std::size_t n) {
+    auto fail = [] { throw SnapshotError("corrupt image in diff walk"); };
+    std::size_t pos = 0;
+    auto rd = [&](int bytes) {
+        if (pos + static_cast<std::size_t>(bytes) > n) fail();
+        std::uint64_t v = 0;
+        for (int i = 0; i < bytes; ++i) {
+            v |= static_cast<std::uint64_t>(p[pos + static_cast<std::size_t>(i)]) << (8 * i);
+        }
+        pos += static_cast<std::size_t>(bytes);
+        return v;
+    };
+    RawChunk c;
+    const auto name_len = static_cast<std::size_t>(rd(2));
+    if (pos + name_len > n) fail();
+    c.name.assign(reinterpret_cast<const char*>(p + pos), name_len);
+    pos += name_len;
+    rd(2);  // version — not part of identity
+    c.kind = static_cast<std::uint8_t>(rd(1));
+    c.body_len = static_cast<std::size_t>(rd(8));
+    if (pos + c.body_len > n) fail();
+    c.body = p + pos;
+    c.total = pos + c.body_len;
+    return c;
+}
+
+void walk(const std::uint8_t* p, std::size_t n, const std::string& prefix,
+          std::vector<std::pair<std::string, std::uint64_t>>& out) {
+    std::size_t pos = 0;
+    // Sibling chunks can share a name (e.g. repeated "hop" entries); a
+    // per-level ordinal keeps paths unique.
+    std::size_t ordinal = 0;
+    while (pos < n) {
+        const RawChunk c = parse_chunk(p + pos, n - pos);
+        const std::string path = prefix + "/" + c.name + "[" +
+                                 std::to_string(ordinal++) + "]";
+        if (c.kind == 1) {
+            walk(c.body, c.body_len, path, out);
+        } else {
+            out.emplace_back(path, fnv1a(c.body, c.body_len));
+        }
+        pos += c.total;
+    }
+}
+
+}  // namespace
+
+std::vector<ChunkDiff> diff_snapshots(const Snapshot& a, const Snapshot& b) {
+    std::vector<std::pair<std::string, std::uint64_t>> la, lb;
+    walk(a.bytes().data(), a.bytes().size(), "", la);
+    walk(b.bytes().data(), b.bytes().size(), "", lb);
+    std::vector<ChunkDiff> out;
+    std::size_t i = 0, j = 0;
+    // Leaf lists are in tree order; identical models yield identical paths,
+    // so a linear merge keyed on path equality suffices. If the trees have
+    // different shapes (different specs), unmatched leaves show up as
+    // one-sided entries.
+    while (i < la.size() || j < lb.size()) {
+        if (i < la.size() && j < lb.size() && la[i].first == lb[j].first) {
+            if (la[i].second != lb[j].second) {
+                out.push_back({la[i].first, la[i].second, lb[j].second});
+            }
+            ++i;
+            ++j;
+        } else if (i < la.size() &&
+                   (j >= lb.size() || la[i].first < lb[j].first)) {
+            out.push_back({la[i].first, la[i].second, 0});
+            ++i;
+        } else {
+            out.push_back({lb[j].first, 0, lb[j].second});
+            ++j;
+        }
+    }
+    return out;
+}
+
+std::string format_diff(const std::vector<ChunkDiff>& diffs) {
+    if (diffs.empty()) return "snapshots identical\n";
+    std::string out;
+    char line[160];
+    for (const auto& d : diffs) {
+        std::snprintf(line, sizeof(line), "%-40s %016llx != %016llx\n",
+                      d.path.c_str(),
+                      static_cast<unsigned long long>(d.digest_a),
+                      static_cast<unsigned long long>(d.digest_b));
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace st::snap

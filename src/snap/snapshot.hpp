@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snap/state_io.hpp"
+
+namespace st::snap {
+
+/// Uniform checkpoint interface. Implementations write their complete
+/// model state (including the fire times of any events they have pending
+/// in the scheduler) in save_state, and reconstruct it — re-arming those
+/// pending events through the scheduler's restore staging — in
+/// restore_state. save_state and restore_state must consume exactly the
+/// same chunk sequence.
+class Snapshottable {
+  public:
+    virtual ~Snapshottable() = default;
+    virtual void save_state(StateWriter& w) const = 0;
+    virtual void restore_state(StateReader& r) = 0;
+};
+
+/// A complete checkpoint image: the raw chunk bytes plus helpers for
+/// digesting, diffing, and file round-trips.
+class Snapshot {
+  public:
+    Snapshot() = default;
+    explicit Snapshot(std::vector<std::uint8_t> image)
+        : image_(std::move(image)) {}
+
+    const std::vector<std::uint8_t>& bytes() const { return image_; }
+    bool empty() const { return image_.empty(); }
+
+    /// FNV-1a over the whole image. Two runs of the same model are in the
+    /// same state iff their snapshot digests match.
+    std::uint64_t digest() const {
+        return fnv1a(image_.data(), image_.size());
+    }
+
+    /// Write to / read from a file ("STSNAP1\n" magic + image bytes).
+    /// Throws SnapshotError on I/O failure or bad magic.
+    void save_file(const std::string& path) const;
+    static Snapshot load_file(const std::string& path);
+
+    friend bool operator==(const Snapshot& a, const Snapshot& b) {
+        return a.image_ == b.image_;
+    }
+    friend bool operator!=(const Snapshot& a, const Snapshot& b) {
+        return !(a == b);
+    }
+
+  private:
+    std::vector<std::uint8_t> image_;
+};
+
+/// One differing chunk between two snapshots.
+struct ChunkDiff {
+    std::string path;       ///< slash-joined chunk names, e.g. "soc/sb0/clk"
+    std::uint64_t digest_a = 0;  ///< 0 when the chunk is absent on a side
+    std::uint64_t digest_b = 0;
+};
+
+/// Walk both chunk trees in parallel and report every leaf-level chunk
+/// whose bytes differ (or that exists on only one side). Used by
+/// `st_debug --diff` to localise state divergence between checkpoints.
+std::vector<ChunkDiff> diff_snapshots(const Snapshot& a, const Snapshot& b);
+
+/// Render a chunk diff for humans, one line per differing chunk.
+std::string format_diff(const std::vector<ChunkDiff>& diffs);
+
+}  // namespace st::snap

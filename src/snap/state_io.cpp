@@ -1,0 +1,194 @@
+#include "snap/state_io.hpp"
+
+namespace st::snap {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t seed) {
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------- writer
+
+namespace {
+
+void put_le(std::vector<std::uint8_t>& buf, std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+}  // namespace
+
+void StateWriter::open_chunk(const std::string& name, std::uint16_t version,
+                             std::uint8_t kind) {
+    if (name.empty() || name.size() > 0xffff) {
+        throw SnapshotError("bad chunk name '" + name + "'");
+    }
+    put_le(buf_, name.size(), 2);
+    buf_.insert(buf_.end(), name.begin(), name.end());
+    put_le(buf_, version, 2);
+    put_le(buf_, kind, 1);
+    open_.push_back(buf_.size());
+    put_le(buf_, 0, 8);  // body_len placeholder, patched by end()
+}
+
+void StateWriter::begin(const std::string& name, std::uint16_t version) {
+    open_chunk(name, version, 0);
+}
+
+void StateWriter::begin_group(const std::string& name,
+                              std::uint16_t version) {
+    open_chunk(name, version, 1);
+}
+
+void StateWriter::end() {
+    if (open_.empty()) throw SnapshotError("end() without begin()");
+    const std::size_t at = open_.back();
+    open_.pop_back();
+    const std::uint64_t body = buf_.size() - (at + 8);
+    for (int i = 0; i < 8; ++i) {
+        buf_[at + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(body >> (8 * i));
+    }
+}
+
+void StateWriter::u8(std::uint8_t v) { put_le(buf_, v, 1); }
+void StateWriter::u16(std::uint16_t v) { put_le(buf_, v, 2); }
+void StateWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void StateWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+
+void StateWriter::str(const std::string& s) {
+    if (s.size() > 0xffffffffull) throw SnapshotError("string too long");
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void StateWriter::blob(const std::vector<std::uint8_t>& v) {
+    u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+std::vector<std::uint8_t> StateWriter::take() {
+    if (!open_.empty()) throw SnapshotError("take() with open chunk");
+    return std::move(buf_);
+}
+
+// ---------------------------------------------------------------- reader
+
+std::uint64_t StateReader::limit() const {
+    return ends_.empty() ? size_ : ends_.back();
+}
+
+void StateReader::need(std::size_t n) const {
+    if (pos_ + n > limit()) {
+        throw SnapshotError("truncated image (need " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) + ")");
+    }
+}
+
+std::uint8_t StateReader::u8() {
+    need(1);
+    return buf_[pos_++];
+}
+
+std::uint16_t StateReader::u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+        v = static_cast<std::uint16_t>(
+            v | static_cast<std::uint16_t>(buf_[pos_ + static_cast<std::size_t>(i)]) << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t StateReader::u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t StateReader::u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+}
+
+std::string StateReader::str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+std::vector<std::uint8_t> StateReader::blob() {
+    const std::uint64_t n = u64();
+    need(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> v(buf_ + pos_, buf_ + pos_ + n);
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+}
+
+std::string StateReader::peek() {
+    if (pos_ >= limit()) return {};
+    const std::size_t saved = pos_;
+    const std::uint16_t len = u16();
+    need(len);
+    std::string name(reinterpret_cast<const char*>(buf_ + pos_), len);
+    pos_ = saved;
+    return name;
+}
+
+std::uint16_t StateReader::enter(const std::string& name,
+                                 std::uint16_t max_version) {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string got(reinterpret_cast<const char*>(buf_ + pos_), len);
+    pos_ += len;
+    if (got != name) {
+        throw SnapshotError("expected chunk '" + name + "', found '" + got +
+                            "'");
+    }
+    const std::uint16_t version = u16();
+    if (version > max_version) {
+        throw SnapshotError("chunk '" + name + "' has version " +
+                            std::to_string(version) +
+                            "; this build reads <= " +
+                            std::to_string(max_version));
+    }
+    const std::uint8_t kind = u8();
+    if (kind > 1) {
+        throw SnapshotError("chunk '" + name + "' has bad kind " +
+                            std::to_string(kind));
+    }
+    const std::uint64_t body = u64();
+    need(static_cast<std::size_t>(body));
+    ends_.push_back(pos_ + static_cast<std::size_t>(body));
+    return version;
+}
+
+void StateReader::leave() {
+    if (ends_.empty()) throw SnapshotError("leave() without enter()");
+    if (pos_ != ends_.back()) {
+        throw SnapshotError("chunk body has " +
+                            std::to_string(ends_.back() - pos_) +
+                            " unread bytes");
+    }
+    ends_.pop_back();
+}
+
+}  // namespace st::snap

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace st::snap {
+
+/// Thrown on any malformed, truncated, or mismatching snapshot image.
+class SnapshotError : public std::runtime_error {
+  public:
+    explicit SnapshotError(const std::string& what)
+        : std::runtime_error("snapshot: " + what) {}
+};
+
+/// FNV-1a over a byte range (same constants as sys::fig2 digest).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Serializer for the snapshot chunk format.
+///
+/// The image is a flat byte buffer of nested *chunks*. Every chunk is
+///
+///     name_len : u16    little-endian
+///     name     : bytes  (ASCII, no NUL)
+///     version  : u16
+///     kind     : u8     0 = leaf (body is primitives only),
+///                       1 = group (body is a sequence of chunks)
+///     body_len : u64    byte length of the body
+///     body     : bytes
+///
+/// All primitives are explicitly little-endian regardless of host byte
+/// order, so images are portable across machines. Versions are per-chunk:
+/// a reader that encounters a chunk version newer than it understands must
+/// reject the image (see StateReader::enter). The kind byte lets generic
+/// tools (diff_snapshots) walk the tree without model knowledge.
+class StateWriter {
+  public:
+    /// Open a leaf chunk (primitives only). Must be balanced with end().
+    void begin(const std::string& name, std::uint16_t version = 1);
+    /// Open a group chunk (body is nested chunks only).
+    void begin_group(const std::string& name, std::uint16_t version = 1);
+    void end();
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void b(bool v) { u8(v ? 1 : 0); }
+    void str(const std::string& s);
+    /// Length-prefixed raw byte blob.
+    void blob(const std::vector<std::uint8_t>& v);
+
+    /// Finish and take the image. Throws if any chunk is still open.
+    std::vector<std::uint8_t> take();
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+  private:
+    void open_chunk(const std::string& name, std::uint16_t version,
+                    std::uint8_t kind);
+
+    std::vector<std::uint8_t> buf_;
+    /// Offsets of the body_len field of each open chunk, innermost last.
+    std::vector<std::size_t> open_;
+};
+
+/// Deserializer for the snapshot chunk format. Strict by design: chunk
+/// names must match exactly, every body byte must be consumed before
+/// leave(), and versions newer than the caller expects are rejected.
+class StateReader {
+  public:
+    explicit StateReader(const std::vector<std::uint8_t>& image)
+        : buf_(image.data()), size_(image.size()) {}
+    StateReader(const std::uint8_t* data, std::size_t n)
+        : buf_(data), size_(n) {}
+
+    /// Enter the next chunk; its name must equal `name` and its version
+    /// must be <= max_version. Returns the chunk's version.
+    std::uint16_t enter(const std::string& name,
+                        std::uint16_t max_version = 1);
+    /// Leave the current chunk; throws if body bytes remain unread.
+    void leave();
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    bool b() { return u8() != 0; }
+    std::string str();
+    std::vector<std::uint8_t> blob();
+
+    /// Name of the next chunk at the current position (without consuming
+    /// it). Empty string when the current chunk body (or image) is done.
+    std::string peek();
+
+    /// True when every byte of the image has been consumed.
+    bool done() const { return pos_ == size_; }
+
+  private:
+    std::uint64_t limit() const;
+    void need(std::size_t n) const;
+
+    const std::uint8_t* buf_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    /// End offset of each open chunk body, innermost last.
+    std::vector<std::size_t> ends_;
+};
+
+}  // namespace st::snap

@@ -39,8 +39,10 @@ class GatedLinkSink final : public achan::LinkSink {
 /// The four-phase handshake that refills the latch completes within one local
 /// clock cycle (audited by verify::TimingChecker), so "FIFO non-empty" maps
 /// to "word available" at a deterministic local cycle.
-class InputInterface final : public clk::ClockSink, public achan::LinkSink,
-                             public sb::InPortIf {
+class InputInterface final : public clk::ClockSink,
+                             public achan::LinkSink,
+                             public sb::InPortIf,
+                             public snap::Snapshottable {
   public:
     InputInterface(sim::Scheduler& sched, std::string name, TokenNode& node,
                    achan::SelfTimedFifo& fifo);
@@ -76,6 +78,33 @@ class InputInterface final : public clk::ClockSink, public achan::LinkSink,
     /// Re-evaluate a pending head handshake (enable gate opened).
     void poke() { fifo_.head_link().poke(); }
 
+    /// Snapshot: latch + per-cycle registers (no scheduler events of its
+    /// own — the refill handshake lives in the FIFO's head link).
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("in_if");
+        w.u64(latch_);
+        w.b(latch_valid_);
+        w.u64(latch_time_);
+        w.u64(cycle_word_);
+        w.b(cycle_valid_);
+        w.b(taken_);
+        w.u64(cycle_);
+        w.u64(delivered_);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("in_if");
+        latch_ = r.u64();
+        latch_valid_ = r.b();
+        latch_time_ = r.u64();
+        cycle_word_ = r.u64();
+        cycle_valid_ = r.b();
+        taken_ = r.b();
+        cycle_ = r.u64();
+        delivered_ = r.u64();
+        r.leave();
+    }
+
   private:
     sim::Scheduler& sched_;
     std::string name_;
@@ -100,7 +129,9 @@ class InputInterface final : public clk::ClockSink, public achan::LinkSink,
 /// pushes a word during sample; the interface launches the four-phase
 /// handshake into the FIFO tail at commit. `can_push()` is the inverse of
 /// the paper's Full: false while disabled or while the FIFO back-pressures.
-class OutputInterface final : public clk::ClockSink, public sb::OutPortIf {
+class OutputInterface final : public clk::ClockSink,
+                              public sb::OutPortIf,
+                              public snap::Snapshottable {
   public:
     OutputInterface(sim::Scheduler& sched, std::string name, TokenNode& node,
                     achan::SelfTimedFifo& fifo,
@@ -133,6 +164,30 @@ class OutputInterface final : public clk::ClockSink, public sb::OutPortIf {
 
     /// Re-evaluate a pending tail handshake (enable gate opened).
     void poke() { link_->poke(); }
+
+    /// Snapshot: staged word plus the owned tail link's handshake state.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin_group("out_if");
+        w.begin("regs");
+        w.u64(staged_word_);
+        w.b(staged_);
+        w.u64(cycle_);
+        w.u64(sent_);
+        w.end();
+        link_->save_state(w);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("out_if");
+        r.enter("regs");
+        staged_word_ = r.u64();
+        staged_ = r.b();
+        cycle_ = r.u64();
+        sent_ = r.u64();
+        r.leave();
+        link_->restore_state(r);
+        r.leave();
+    }
 
   private:
     std::string name_;

@@ -109,4 +109,42 @@ void TokenNode::token_arrive() {
     }
 }
 
+void TokenNode::save_state(snap::StateWriter& w) const {
+    w.begin("node");
+    w.u32(hold_reg_);
+    w.u32(recycle_reg_);
+    w.u32(hold_ctr_);
+    w.u32(recycle_ctr_);
+    w.u8(static_cast<std::uint8_t>(phase_));
+    w.b(token_here_);
+    w.b(waiting_);
+    w.b(sb_en_);
+    w.b(clken_);
+    w.b(debug_hold_);
+    w.u64(tokens_passed_);
+    w.u64(tokens_received_);
+    w.u64(late_arrivals_);
+    w.u64(protocol_errors_);
+    w.end();
+}
+
+void TokenNode::restore_state(snap::StateReader& r) {
+    r.enter("node");
+    hold_reg_ = r.u32();
+    recycle_reg_ = r.u32();
+    hold_ctr_ = r.u32();
+    recycle_ctr_ = r.u32();
+    phase_ = static_cast<Phase>(r.u8());
+    token_here_ = r.b();
+    waiting_ = r.b();
+    sb_en_ = r.b();
+    clken_ = r.b();
+    debug_hold_ = r.b();
+    tokens_passed_ = r.u64();
+    tokens_received_ = r.u64();
+    late_arrivals_ = r.u64();
+    protocol_errors_ = r.u64();
+    r.leave();
+}
+
 }  // namespace st::core

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "clock/clock_sink.hpp"
+#include "snap/snapshot.hpp"
 #include "synchro/token_endpoint.hpp"
 
 namespace st::core {
@@ -31,7 +32,9 @@ class SbWrapper;
 /// counter reaches zero; a **late** token freezes the local cycle counter.
 /// Either way the enable schedule *in local-cycle-index space* is identical,
 /// which is the root of the determinism property.
-class TokenNode final : public clk::ClockSink, public TokenEndpoint {
+class TokenNode final : public clk::ClockSink,
+                        public TokenEndpoint,
+                        public snap::Snapshottable {
   public:
     enum class Phase { kHolding, kRecycling };
 
@@ -98,6 +101,12 @@ class TokenNode final : public clk::ClockSink, public TokenEndpoint {
     std::uint64_t late_arrivals() const { return late_arrivals_; }
     std::uint64_t protocol_errors() const { return protocol_errors_; }
     const std::string& name() const { return name_; }
+
+    /// Snapshot: the node is pure synchronous register state — counters,
+    /// phase, flags — with no scheduler events of its own (wires in flight
+    /// belong to the TokenRing).
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
 
   private:
     void enter_holding();

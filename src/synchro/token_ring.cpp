@@ -24,22 +24,90 @@ void TokenRing::finalize() {
         throw std::logic_error("TokenRing[" + name_ + "]: needs >= 2 nodes");
     }
     for (std::size_t i = 0; i < hops_.size(); ++i) {
-        TokenEndpoint* next = hops_[(i + 1) % hops_.size()].node;
         // The hop delay is read at pass time so pre-run perturbation works
         // even though finalize() already captured the topology.
         const std::size_t next_idx = (i + 1) % hops_.size();
-        hops_[i].node->set_pass_fn([this, i, next, next_idx] {
+        hops_[i].node->set_pass_fn([this, i, next_idx] {
             ++passes_;
             if (pass_observer_) pass_observer_(i, sched_.now());
-            sched_.schedule_after(hops_[i].delay,
-                                  sim::EventTag{next, "token.arrive"},
-                                  [this, next, next_idx] {
-                if (arrive_observer_) arrive_observer_(next_idx, sched_.now());
-                next->token_arrive();
-            });
+            launch_flight(next_idx, hops_[i].delay);
         });
     }
     finalized_ = true;
+}
+
+void TokenRing::launch_flight(std::size_t next_idx, sim::Time delay) {
+    Flight f;
+    f.id = next_flight_id_++;
+    f.next_idx = next_idx;
+    f.t = sched_.now() + delay;
+    const std::uint64_t id = f.id;
+    f.seq = sched_.schedule_after(
+        delay, sim::EventTag{hops_[next_idx].node, "token.arrive"},
+        [this, id] { arrive(id); });
+    flights_.push_back(f);
+}
+
+void TokenRing::arrive(std::uint64_t flight_id) {
+    std::size_t next_idx = 0;
+    bool found = false;
+    for (std::size_t k = 0; k < flights_.size(); ++k) {
+        if (flights_[k].id == flight_id) {
+            next_idx = flights_[k].next_idx;
+            flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(k));
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        throw std::logic_error("TokenRing[" + name_ + "]: unknown flight");
+    }
+    if (arrive_observer_) arrive_observer_(next_idx, sched_.now());
+    hops_[next_idx].node->token_arrive();
+}
+
+void TokenRing::save_state(snap::StateWriter& w) const {
+    w.begin("ring");
+    w.u64(passes_);
+    // A flight whose arrival slot is in the past was dropped by the fault
+    // interceptor (the callback that would have erased it never ran):
+    // the token is gone and must not be resurrected by a restore.
+    std::uint64_t live = 0;
+    for (const auto& f : flights_) {
+        if (f.t > sched_.now()) ++live;
+    }
+    w.u64(live);
+    for (const auto& f : flights_) {
+        if (f.t <= sched_.now()) continue;
+        w.u64(f.next_idx);
+        w.u64(f.t);
+        w.u64(f.seq);
+    }
+    w.end();
+}
+
+void TokenRing::restore_state(snap::StateReader& r) {
+    r.enter("ring");
+    passes_ = r.u64();
+    const std::uint64_t live = r.u64();
+    flights_.clear();
+    for (std::uint64_t k = 0; k < live; ++k) {
+        Flight f;
+        f.id = next_flight_id_++;
+        f.next_idx = static_cast<std::size_t>(r.u64());
+        if (f.next_idx >= hops_.size()) {
+            throw snap::SnapshotError("TokenRing[" + name_ +
+                                      "]: flight hop out of range");
+        }
+        f.t = r.u64();
+        f.seq = r.u64();
+        const std::uint64_t id = f.id;
+        sched_.rearm(f.t, sim::Priority::kDefault,
+                     sim::EventTag{hops_[f.next_idx].node, "token.arrive"},
+                     f.seq, [this, id] { arrive(id); });
+        flights_.push_back(f);
+    }
+    r.leave();
 }
 
 }  // namespace st::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 #include "synchro/token_endpoint.hpp"
 
 namespace st::core {
@@ -15,7 +16,7 @@ namespace st::core {
 /// this model generalizes to N nodes passed round-robin, which is exercised
 /// as an extension experiment. Exactly one node must be the initial holder.
 /// Each hop is a wire with its own (perturbable) propagation delay.
-class TokenRing {
+class TokenRing : public snap::Snapshottable {
   public:
     TokenRing(sim::Scheduler& sched, std::string name)
         : sched_(sched), name_(std::move(name)) {}
@@ -48,17 +49,36 @@ class TokenRing {
         arrive_observer_ = std::move(fn);
     }
 
+    /// Snapshot: pass counter plus every token currently in flight on a
+    /// wire (destination hop, arrival slot). Tokens whose arrival event was
+    /// dropped by a fault interceptor are pruned — they no longer exist.
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     struct Hop {
         TokenEndpoint* node = nullptr;
         sim::Time delay = 0;
     };
 
+    /// One token in flight: scheduled arrival at hops_[next_idx].
+    struct Flight {
+        std::uint64_t id = 0;
+        std::size_t next_idx = 0;
+        sim::Time t = 0;
+        std::uint64_t seq = 0;
+    };
+
+    void launch_flight(std::size_t next_idx, sim::Time delay);
+    void arrive(std::uint64_t flight_id);
+
     sim::Scheduler& sched_;
     std::string name_;
     std::vector<Hop> hops_;
     bool finalized_ = false;
     std::uint64_t passes_ = 0;
+    std::vector<Flight> flights_;
+    std::uint64_t next_flight_id_ = 0;
     std::function<void(std::size_t, sim::Time)> pass_observer_;
     std::function<void(std::size_t, sim::Time)> arrive_observer_;
 };

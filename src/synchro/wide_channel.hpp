@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sb/kernel.hpp"
+#include "snap/state_io.hpp"
 
 namespace st::core {
 
@@ -34,6 +35,27 @@ class LaneSplitter {
     std::size_t queue_depth() const { return queue_.size(); }
     std::size_t max_queue_depth() const { return max_depth_; }
     std::uint64_t words_sent() const { return sent_; }
+    std::size_t lane_count() const { return lanes_.size(); }
+
+    void save_state(snap::StateWriter& w) const {
+        w.begin("splitter");
+        w.u64(next_lane_);
+        w.u64(max_depth_);
+        w.u64(sent_);
+        w.u64(queue_.size());
+        for (const auto v : queue_) w.u64(v);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) {
+        r.enter("splitter");
+        next_lane_ = static_cast<std::size_t>(r.u64());
+        max_depth_ = static_cast<std::size_t>(r.u64());
+        sent_ = r.u64();
+        const std::uint64_t n = r.u64();
+        queue_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.u64());
+        r.leave();
+    }
 
   private:
     std::vector<std::size_t> lanes_;
@@ -58,6 +80,25 @@ class LaneMerger {
     Word pop();
     std::uint64_t words_received() const { return received_; }
     std::size_t queue_depth() const { return queue_.size(); }
+    std::size_t lane_count() const { return lanes_.size(); }
+
+    void save_state(snap::StateWriter& w) const {
+        w.begin("merger");
+        w.u64(next_lane_);
+        w.u64(received_);
+        w.u64(queue_.size());
+        for (const auto v : queue_) w.u64(v);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) {
+        r.enter("merger");
+        next_lane_ = static_cast<std::size_t>(r.u64());
+        received_ = r.u64();
+        const std::uint64_t n = r.u64();
+        queue_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.u64());
+        r.leave();
+    }
 
   private:
     std::vector<std::size_t> lanes_;

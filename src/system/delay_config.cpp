@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "system/soc.hpp"
+
 namespace st::sys {
 
 DelayConfig DelayConfig::nominal(const SocSpec& spec) {
@@ -81,6 +83,33 @@ SocSpec apply(const SocSpec& nominal, const DelayConfig& cfg) {
         c.base_period = sim::scale_percent(c.base_period, cfg.clock_pct[i]);
     }
     return out;
+}
+
+void apply_live(Soc& soc, const DelayConfig& cfg) {
+    const SocSpec& nominal = soc.spec();
+    if (cfg.fifo_pct.size() != nominal.channels.size() ||
+        cfg.ring_ab_pct.size() != nominal.rings.size() ||
+        cfg.ring_ba_pct.size() != nominal.rings.size() ||
+        cfg.clock_pct.size() != nominal.sbs.size()) {
+        throw std::invalid_argument("DelayConfig shape does not match SocSpec");
+    }
+    for (std::size_t i = 0; i < nominal.channels.size(); ++i) {
+        soc.fifo(i).set_stage_delay(sim::scale_percent(
+            nominal.channels[i].fifo.stage_delay, cfg.fifo_pct[i]));
+    }
+    for (std::size_t i = 0; i < nominal.rings.size(); ++i) {
+        // Hop 0 carries a -> b (the Soc adds node_a first), hop 1 b -> a.
+        soc.ring(i).set_hop_delay(
+            0, sim::scale_percent(nominal.rings[i].delay_ab,
+                                  cfg.ring_ab_pct[i]));
+        soc.ring(i).set_hop_delay(
+            1, sim::scale_percent(nominal.rings[i].delay_ba,
+                                  cfg.ring_ba_pct[i]));
+    }
+    for (std::size_t i = 0; i < nominal.sbs.size(); ++i) {
+        soc.wrapper(i).clock().set_base_period(sim::scale_percent(
+            nominal.sbs[i].clock.base_period, cfg.clock_pct[i]));
+    }
 }
 
 }  // namespace st::sys

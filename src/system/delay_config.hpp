@@ -38,4 +38,13 @@ struct DelayConfig {
 /// Produce the perturbed spec: every delay scaled by its percentage.
 SocSpec apply(const SocSpec& nominal, const DelayConfig& cfg);
 
+class Soc;
+
+/// Apply a perturbation to an already-elaborated (possibly running) Soc —
+/// the snapshot-forking fork point: a warm-up prefix runs at nominal
+/// delays, then each case scales the live components exactly as apply()
+/// would have scaled the spec. Scaling is always relative to the Soc's own
+/// (nominal) spec, so applying twice is not cumulative.
+void apply_live(Soc& soc, const DelayConfig& cfg);
+
 }  // namespace st::sys

@@ -164,6 +164,123 @@ core::TokenNode& Soc::multi_ring_node(std::size_t r, std::size_t sb) {
     throw std::invalid_argument("Soc::multi_ring_node: SB not on multi-ring");
 }
 
+snap::Snapshot Soc::save_snapshot(const ExtraSave& extra) const {
+    if (!started_) {
+        throw snap::SnapshotError("Soc::save_snapshot: not started");
+    }
+    snap::StateWriter w;
+    w.begin_group("soc");
+
+    // Structural fingerprint: restore validates the target Soc was
+    // elaborated to the same shape before touching any component.
+    w.begin("shape");
+    w.u32(static_cast<std::uint32_t>(wrappers_.size()));
+    for (const auto& wr : wrappers_) {
+        w.u32(static_cast<std::uint32_t>(wr->num_nodes()));
+        w.u32(static_cast<std::uint32_t>(wr->num_inputs()));
+        w.u32(static_cast<std::uint32_t>(wr->num_outputs()));
+    }
+    w.u32(static_cast<std::uint32_t>(rings_.size()));
+    w.u32(static_cast<std::uint32_t>(multi_rings_.size()));
+    w.u32(static_cast<std::uint32_t>(fifos_.size()));
+    w.end();
+
+    sched_.save_state(w);
+    for (const auto& wr : wrappers_) {
+        w.begin_group("wrapper");
+        wr->clock().save_state(w);
+        for (std::size_t i = 0; i < wr->num_nodes(); ++i) {
+            wr->node(i).save_state(w);
+        }
+        for (std::size_t i = 0; i < wr->num_inputs(); ++i) {
+            wr->input(i).save_state(w);
+        }
+        for (std::size_t i = 0; i < wr->num_outputs(); ++i) {
+            wr->output(i).save_state(w);
+        }
+        wr->block().save_state(w);
+        w.end();
+    }
+    for (const auto& r : rings_) r->save_state(w);
+    for (const auto& r : multi_rings_) r->save_state(w);
+    for (const auto& f : fifos_) f->save_state(w);
+    for (const auto& p : probes_) p->save_state(w);
+    if (extra) extra(w);
+
+    w.end();
+    return snap::Snapshot(w.take());
+}
+
+void Soc::restore_snapshot(const snap::Snapshot& snapshot,
+                           const ExtraRestore& extra) {
+    if (started_) {
+        throw snap::SnapshotError(
+            "Soc::restore_snapshot: target must be freshly constructed");
+    }
+    // Bring the structure to post-start shape WITHOUT scheduling the first
+    // clock edges — the snapshot carries the live event set instead.
+    started_ = true;
+    for (auto& wr : wrappers_) {
+        wr->finalize();
+        probes_.push_back(std::make_unique<verify::TraceProbe>(*wr));
+    }
+
+    snap::StateReader r(snapshot.bytes());
+    r.enter("soc");
+
+    r.enter("shape");
+    const auto expect = [](std::uint32_t got, std::uint32_t want,
+                           const char* what) {
+        if (got != want) {
+            throw snap::SnapshotError(
+                std::string("structure mismatch: image has ") +
+                std::to_string(got) + " " + what + ", target has " +
+                std::to_string(want));
+        }
+    };
+    expect(r.u32(), static_cast<std::uint32_t>(wrappers_.size()), "SBs");
+    for (const auto& wr : wrappers_) {
+        expect(r.u32(), static_cast<std::uint32_t>(wr->num_nodes()), "nodes");
+        expect(r.u32(), static_cast<std::uint32_t>(wr->num_inputs()),
+               "inputs");
+        expect(r.u32(), static_cast<std::uint32_t>(wr->num_outputs()),
+               "outputs");
+    }
+    expect(r.u32(), static_cast<std::uint32_t>(rings_.size()), "rings");
+    expect(r.u32(), static_cast<std::uint32_t>(multi_rings_.size()),
+           "multi-rings");
+    expect(r.u32(), static_cast<std::uint32_t>(fifos_.size()), "channels");
+    r.leave();
+
+    sched_.begin_restore(r);
+    for (auto& wr : wrappers_) {
+        r.enter("wrapper");
+        wr->clock().restore_state(r);
+        for (std::size_t i = 0; i < wr->num_nodes(); ++i) {
+            wr->node(i).restore_state(r);
+        }
+        for (std::size_t i = 0; i < wr->num_inputs(); ++i) {
+            wr->input(i).restore_state(r);
+        }
+        for (std::size_t i = 0; i < wr->num_outputs(); ++i) {
+            wr->output(i).restore_state(r);
+        }
+        wr->block().restore_state(r);
+        r.leave();
+    }
+    for (auto& ring : rings_) ring->restore_state(r);
+    for (auto& ring : multi_rings_) ring->restore_state(r);
+    for (auto& f : fifos_) f->restore_state(r);
+    for (auto& p : probes_) p->restore_state(r);
+    if (extra) extra(r);
+    sched_.end_restore();
+
+    r.leave();
+    if (!r.done()) {
+        throw snap::SnapshotError("trailing bytes after soc chunk");
+    }
+}
+
 verify::TraceSet Soc::traces() const {
     verify::TraceSet out;
     for (const auto& p : probes_) {

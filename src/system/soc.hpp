@@ -6,6 +6,7 @@
 
 #include "async/self_timed_fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 #include "synchro/token_ring.hpp"
 #include "synchro/wrapper.hpp"
 #include "verify/io_trace.hpp"
@@ -68,6 +69,36 @@ class Soc {
 
     /// Audit the bundling/timing constraints after (or during) a run.
     verify::TimingReport audit_timing() const;
+
+    // --- snapshot/restore ---
+    /// Drain every event scheduled at exactly now() so the system sits at a
+    /// slot boundary — the only states a snapshot may capture. Behaviour
+    /// neutral: those events would run before anything else anyway.
+    void settle() { sched_.settle(); }
+
+    /// Extension point: extra state (e.g. a fuzz::Injector's trigger
+    /// counters) saved after / restored alongside the Soc's own chunks, so
+    /// external components can participate in the same image and re-arm
+    /// their pending events inside the scheduler's restore window.
+    using ExtraSave = std::function<void(snap::StateWriter&)>;
+    using ExtraRestore = std::function<void(snap::StateReader&)>;
+
+    /// Serialize the entire SoC — scheduler counters, every wrapper (clock,
+    /// nodes, interfaces, kernel), rings, FIFOs (including in-flight link
+    /// and ripple events), and captured I/O traces — into one image.
+    /// Requires start() and a slot boundary (call settle() when unsure).
+    snap::Snapshot save_snapshot(const ExtraSave& extra = {}) const;
+
+    /// FNV-1a digest of save_snapshot(): the cheap state-equality witness.
+    std::uint64_t state_digest() const { return save_snapshot().digest(); }
+
+    /// Load a snapshot taken from a Soc elaborated from an identical spec.
+    /// Must be called on a freshly constructed, never-started Soc; on return
+    /// this instance continues exactly where the saved one stopped —
+    /// identical event order, traces, digests. Throws snap::SnapshotError on
+    /// any structural or format mismatch.
+    void restore_snapshot(const snap::Snapshot& snapshot,
+                          const ExtraRestore& extra = {});
 
     const SocSpec& spec() const { return spec_; }
 

@@ -1,0 +1,47 @@
+#include "system/warm_runner.hpp"
+
+#include <stdexcept>
+
+namespace st::sys {
+
+WarmRunner::WarmRunner(SocSpec spec, std::uint64_t cycles, sim::Time deadline,
+                       std::uint64_t warmup, bool fork)
+    : spec_(std::move(spec)),
+      cycles_(cycles),
+      deadline_(deadline),
+      warmup_(warmup),
+      fork_(fork) {
+    if (warmup_ >= cycles_ && warmup_ != 0) {
+        throw std::invalid_argument("WarmRunner: warmup must be < cycles");
+    }
+    if (warmup_ > 0 && fork_) {
+        Soc warm(spec_);
+        if (!warm.run_cycles(warmup_, deadline_)) {
+            throw std::runtime_error(
+                "WarmRunner: nominal warm-up leg did not reach its cycle "
+                "goal");
+        }
+        warm.settle();
+        prefix_ = warm.save_snapshot();
+    }
+}
+
+verify::TraceSet WarmRunner::operator()(const DelayConfig& cfg) const {
+    if (warmup_ == 0) {
+        Soc soc(apply(spec_, cfg));
+        soc.run_cycles(cycles_, deadline_);
+        return soc.traces();
+    }
+    Soc soc(spec_);
+    if (fork_) {
+        soc.restore_snapshot(prefix_);
+    } else {
+        soc.run_cycles(warmup_, deadline_);
+        soc.settle();
+    }
+    apply_live(soc, cfg);
+    soc.run_cycles(cycles_, deadline_);
+    return soc.traces();
+}
+
+}  // namespace st::sys

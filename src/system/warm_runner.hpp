@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "snap/snapshot.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::sys {
+
+/// Runner functor for `verify::DeterminismHarness<DelayConfig>`: executes
+/// `cycles` local cycles of `spec` under a delay perturbation and returns
+/// the traces. With `warmup > 0` every case shares a nominal prefix of
+/// `warmup` cycles before its perturbation is applied live; with `fork`
+/// additionally enabled (the default) that prefix is simulated once at
+/// construction, snapshotted, and every case resumes from the snapshot.
+/// Restore-equivalence makes forked and non-forked sweeps bit-identical —
+/// the fork only removes the re-simulated prefix from each case's cost.
+class WarmRunner {
+  public:
+    WarmRunner(SocSpec spec, std::uint64_t cycles, sim::Time deadline,
+               std::uint64_t warmup = 0, bool fork = true);
+
+    verify::TraceSet operator()(const DelayConfig& cfg) const;
+
+    std::uint64_t warmup() const { return warmup_; }
+    const snap::Snapshot& prefix() const { return prefix_; }
+
+  private:
+    SocSpec spec_;
+    std::uint64_t cycles_;
+    sim::Time deadline_;
+    std::uint64_t warmup_;
+    bool fork_;
+    snap::Snapshot prefix_;
+};
+
+}  // namespace st::sys

@@ -6,6 +6,7 @@
 
 #include "clock/stoppable_clock.hpp"
 #include "sb/kernel.hpp"
+#include "snap/snapshot.hpp"
 #include "synchro/token_node.hpp"
 #include "tap/data_registers.hpp"
 
@@ -79,7 +80,8 @@ class ClockConfigTarget final : public ScanTarget {
 /// The write-enable control cell (nearest TDI) makes reads non-destructive:
 /// Update-DR only propagates the shifted-in image to the targets when it
 /// holds 1.
-class SelfTimedScanChain final : public DataRegister {
+class SelfTimedScanChain final : public DataRegister,
+                                 public snap::Snapshottable {
   public:
     explicit SelfTimedScanChain(std::string name,
                                 std::size_t empty_tail_stages = 4);
@@ -98,6 +100,25 @@ class SelfTimedScanChain final : public DataRegister {
     std::size_t payload_bits() const { return payload_bits_; }
     std::size_t tail_bits() const { return empty_tail_; }
     const std::string& name() const { return name_; }
+
+    // --- Snapshottable (shift-stage image; targets snapshot themselves) ---
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("scan");
+        w.u64(bits_.size());
+        for (const bool bit : bits_) w.b(bit);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("scan");
+        const std::uint64_t n = r.u64();
+        if (n != bits_.size()) {
+            throw snap::SnapshotError("scan chain length mismatch: image " +
+                                      std::to_string(n) + ", chain " +
+                                      std::to_string(bits_.size()));
+        }
+        for (auto&& bit : bits_) bit = r.b();
+        r.leave();
+    }
 
   private:
     std::string name_;

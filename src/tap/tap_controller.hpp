@@ -5,6 +5,7 @@
 #include <string>
 
 #include "clock/clock_sink.hpp"
+#include "snap/snapshot.hpp"
 #include "tap/data_registers.hpp"
 
 namespace st::tap {
@@ -38,7 +39,7 @@ TapState tap_next_state(TapState s, bool tms);
 /// bank of selectable test data registers. Clocked by the tester's TCK
 /// (a clk::TesterClock sink); the tester sets TMS/TDI before each pulse and
 /// reads TDO afterwards.
-class TapController final : public clk::ClockSink {
+class TapController final : public clk::ClockSink, public snap::Snapshottable {
   public:
     /// `ir_bits` instruction register width; unknown opcodes select BYPASS
     /// as the standard requires.
@@ -74,6 +75,28 @@ class TapController final : public clk::ClockSink {
     std::uint64_t current_instruction() const { return current_ir_; }
     std::string current_mnemonic() const;
     const std::string& name() const { return name_; }
+
+    // --- Snapshottable (FSM + IR; data registers snapshot separately) ---
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("tap");
+        w.u8(static_cast<std::uint8_t>(state_));
+        w.b(tms_);
+        w.b(tdi_);
+        w.b(tdo_);
+        w.u64(ir_shift_);
+        w.u64(current_ir_);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("tap");
+        state_ = static_cast<TapState>(r.u8());
+        tms_ = r.b();
+        tdi_ = r.b();
+        tdo_ = r.b();
+        ir_shift_ = r.u64();
+        current_ir_ = r.u64();
+        r.leave();
+    }
 
   private:
     void reset_state();

@@ -20,4 +20,38 @@ TraceProbe::TraceProbe(core::SbWrapper& wrapper) {
     }
 }
 
+void TraceProbe::save_state(snap::StateWriter& w) const {
+    w.begin("probe");
+    w.str(trace_.sb_name);
+    w.u64(trace_.events.size());
+    for (const auto& e : trace_.events) {
+        w.u64(e.cycle);
+        w.u8(static_cast<std::uint8_t>(e.dir));
+        w.u32(e.port);
+        w.u64(e.word);
+    }
+    w.end();
+}
+
+void TraceProbe::restore_state(snap::StateReader& r) {
+    r.enter("probe");
+    const std::string name = r.str();
+    if (name != trace_.sb_name) {
+        throw snap::SnapshotError("trace probe name mismatch: image '" + name +
+                                  "', probe '" + trace_.sb_name + "'");
+    }
+    const std::uint64_t n = r.u64();
+    trace_.events.clear();
+    trace_.events.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        IoEvent e;
+        e.cycle = r.u64();
+        e.dir = static_cast<IoEvent::Dir>(r.u8());
+        e.port = r.u32();
+        e.word = r.u64();
+        trace_.events.push_back(e);
+    }
+    r.leave();
+}
+
 }  // namespace st::verify

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "snap/state_io.hpp"
 #include "synchro/wrapper.hpp"
 #include "verify/io_trace.hpp"
 
@@ -17,6 +18,11 @@ class TraceProbe {
     TraceProbe& operator=(const TraceProbe&) = delete;
 
     const IoTrace& trace() const { return trace_; }
+
+    /// The captured trace is replayable state: a restored Soc must report
+    /// byte-identical traces() for the pre-snapshot prefix.
+    void save_state(snap::StateWriter& w) const;
+    void restore_state(snap::StateReader& r);
 
   private:
     IoTrace trace_;

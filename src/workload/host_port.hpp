@@ -30,6 +30,30 @@ class HostPortKernel final : public sb::Kernel {
 
     void on_cycle(sb::SbContext& ctx) override;
 
+    /// Host-visible queues are variable-length state outside the scan image.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("host_port");
+        w.u64(words_in_);
+        w.u64(words_out_);
+        w.u64(to_soc_.size());
+        for (const auto v : to_soc_) w.u64(v);
+        w.u64(from_soc_.size());
+        for (const auto v : from_soc_) w.u64(v);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("host_port");
+        words_in_ = r.u64();
+        words_out_ = r.u64();
+        const std::uint64_t nt = r.u64();
+        to_soc_.clear();
+        for (std::uint64_t i = 0; i < nt; ++i) to_soc_.push_back(r.u64());
+        const std::uint64_t nf = r.u64();
+        from_soc_.clear();
+        for (std::uint64_t i = 0; i < nf; ++i) from_soc_.push_back(r.u64());
+        r.leave();
+    }
+
   private:
     std::deque<Word> to_soc_;
     std::deque<Word> from_soc_;

@@ -54,6 +54,27 @@ class RouterKernel final : public sb::Kernel {
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t injected() const { return injected_; }
 
+    /// The stalled-injection latch is state the scan image does not carry.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("router");
+        w.u64(forwarded_);
+        w.u64(delivered_);
+        w.u64(injected_);
+        w.b(pending_inject_.has_value());
+        w.u64(pending_inject_.value_or(0));
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("router");
+        forwarded_ = r.u64();
+        delivered_ = r.u64();
+        injected_ = r.u64();
+        const bool has = r.b();
+        const Word v = r.u64();
+        pending_inject_ = has ? std::optional<Word>(v) : std::nullopt;
+        r.leave();
+    }
+
   private:
     /// XY routing decision; kNone means "this tile".
     std::size_t route(Word w) const;

@@ -58,4 +58,66 @@ void StreamingSink::on_cycle(sb::SbContext& ctx) {
     }
 }
 
+void StreamingSource::save_state(snap::StateWriter& w) const {
+    w.begin_group("stream_src");
+    w.begin("regs");
+    w.u64(lfsr_);
+    w.u64(generated_);
+    w.b(splitter_ != nullptr);
+    w.u64(splitter_ ? splitter_->lane_count() : 0);
+    w.end();
+    if (splitter_) splitter_->save_state(w);
+    w.end();
+}
+
+void StreamingSource::restore_state(snap::StateReader& r) {
+    r.enter("stream_src");
+    r.enter("regs");
+    lfsr_ = r.u64();
+    generated_ = r.u64();
+    const bool has = r.b();
+    const std::uint64_t lanes = r.u64();
+    r.leave();
+    if (has) {
+        splitter_ = std::make_unique<core::LaneSplitter>(
+            iota_ports(static_cast<std::size_t>(lanes)));
+        splitter_->restore_state(r);
+    } else {
+        splitter_.reset();
+    }
+    r.leave();
+}
+
+void StreamingSink::save_state(snap::StateWriter& w) const {
+    w.begin_group("stream_sink");
+    w.begin("regs");
+    w.u64(expect_lfsr_);
+    w.u64(consumed_);
+    w.u64(errors_);
+    w.b(merger_ != nullptr);
+    w.u64(merger_ ? merger_->lane_count() : 0);
+    w.end();
+    if (merger_) merger_->save_state(w);
+    w.end();
+}
+
+void StreamingSink::restore_state(snap::StateReader& r) {
+    r.enter("stream_sink");
+    r.enter("regs");
+    expect_lfsr_ = r.u64();
+    consumed_ = r.u64();
+    errors_ = r.u64();
+    const bool has = r.b();
+    const std::uint64_t lanes = r.u64();
+    r.leave();
+    if (has) {
+        merger_ = std::make_unique<core::LaneMerger>(
+            iota_ports(static_cast<std::size_t>(lanes)));
+        merger_->restore_state(r);
+    } else {
+        merger_.reset();
+    }
+    r.leave();
+}
+
 }  // namespace st::wl

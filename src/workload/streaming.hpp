@@ -27,6 +27,11 @@ class StreamingSource final : public sb::Kernel {
         return {lfsr_, generated_};
     }
 
+    /// The splitter queue is state the scan image does not carry; it is
+    /// rebuilt (lane count saved) and refilled on restore.
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
+
   private:
     std::uint64_t lfsr_;
     std::uint64_t generated_ = 0;
@@ -43,6 +48,9 @@ class StreamingSink final : public sb::Kernel {
 
     std::uint64_t words_consumed() const { return consumed_; }
     std::uint64_t sequence_errors() const { return errors_; }
+
+    void save_state(snap::StateWriter& w) const override;
+    void restore_state(snap::StateReader& r) override;
 
   private:
     std::uint64_t expect_lfsr_;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "sb/kernel.hpp"
@@ -48,6 +49,18 @@ class BurstTrafficKernel final : public sb::Kernel {
 
     std::uint64_t words_emitted() const { return emitted_; }
 
+    std::vector<std::uint64_t> scan_state() const override {
+        return {lfsr_, phase_, emitted_};
+    }
+    void load_state(const std::vector<std::uint64_t>& image) override {
+        if (image.size() > 3) {
+            throw std::invalid_argument("BurstTrafficKernel: image too long");
+        }
+        if (image.size() > 0) lfsr_ = image[0];
+        if (image.size() > 1) phase_ = image[1];
+        if (image.size() > 2) emitted_ = image[2];
+    }
+
   private:
     std::uint64_t lfsr_;
     std::uint32_t on_cycles_;
@@ -68,6 +81,30 @@ class RequesterKernel final : public sb::Kernel {
     std::uint64_t requests_sent() const { return sent_; }
     std::uint64_t responses_ok() const { return ok_; }
     std::uint64_t responses_bad() const { return bad_; }
+
+    /// The outstanding-request window is variable-length state the scan
+    /// image does not carry.
+    void save_state(snap::StateWriter& w) const override {
+        w.begin("requester");
+        w.u64(next_req_);
+        w.u64(sent_);
+        w.u64(ok_);
+        w.u64(bad_);
+        w.u64(outstanding_.size());
+        for (const auto v : outstanding_) w.u64(v);
+        w.end();
+    }
+    void restore_state(snap::StateReader& r) override {
+        r.enter("requester");
+        next_req_ = r.u64();
+        sent_ = r.u64();
+        ok_ = r.u64();
+        bad_ = r.u64();
+        const std::uint64_t n = r.u64();
+        outstanding_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) outstanding_.push_back(r.u64());
+        r.leave();
+    }
 
   private:
     std::function<Word(Word)> expected_;

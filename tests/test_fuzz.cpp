@@ -363,6 +363,50 @@ TEST(Repro, ParseRejectsMalformedInput) {
         std::invalid_argument);
 }
 
+TEST(Repro, HeaderRoundTripsVersionAndProvenance) {
+    fuzz::Repro out;
+    out.spec_name = "pair";
+    out.cycles = 90;
+    out.seed = 12345;
+    out.jobs = 4;
+    const std::string text = out.to_text();
+    EXPECT_EQ(text.rfind("st-fuzz-repro v2 seed=12345 jobs=4\n", 0), 0u);
+
+    const fuzz::Repro in = fuzz::Repro::parse(text);
+    EXPECT_EQ(in.version, fuzz::Repro::kFormatVersion);
+    ASSERT_TRUE(in.seed.has_value());
+    EXPECT_EQ(*in.seed, 12345u);
+    ASSERT_TRUE(in.jobs.has_value());
+    EXPECT_EQ(*in.jobs, 4u);
+}
+
+TEST(Repro, HeaderlessFilesParseAsVersionOne) {
+    const fuzz::Repro r = fuzz::Repro::parse("spec pair\ncycles 50\n");
+    EXPECT_EQ(r.version, 1u);
+    EXPECT_FALSE(r.seed.has_value());
+    EXPECT_FALSE(r.jobs.has_value());
+}
+
+TEST(Repro, RejectsUnknownFormatVersionWithClearDiagnostic) {
+    try {
+        fuzz::Repro::parse("st-fuzz-repro v3\nspec pair\n");
+        FAIL() << "v3 header must be rejected";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("v2"), std::string::npos) << what;
+    }
+    EXPECT_THROW(fuzz::Repro::parse("st-fuzz-repro v0\nspec pair\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(fuzz::Repro::parse("st-fuzz-repro 2\nspec pair\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(fuzz::Repro::parse("st-fuzz-repro v2 color=red\n"),
+                 std::invalid_argument);
+    // The header must lead the file.
+    EXPECT_THROW(fuzz::Repro::parse("spec pair\nst-fuzz-repro v2\n"),
+                 std::invalid_argument);
+}
+
 TEST(Repro, ToCaseRejectsOutOfRangeDimension) {
     const auto spec = sys::make_named_spec("pair");
     fuzz::Repro r;

@@ -37,6 +37,31 @@ TEST(VcdWriter, RejectsLateSignalRegistration) {
     EXPECT_THROW(vcd.add_signal("b"), std::logic_error);
 }
 
+TEST(VcdWriter, DestructorFinalizesHeaderAndFlushes) {
+    // A run aborted before any change still yields a well-formed file: the
+    // destructor closes the header and flushes the stream.
+    std::ostringstream out;
+    {
+        VcdWriter vcd(out, "soc");
+        vcd.add_signal("clk", 1);
+    }
+    const std::string s = out.str();
+    EXPECT_NE(s.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+
+    // A truncated run stays readable up to its last change, and destruction
+    // appends nothing after it.
+    std::ostringstream out2;
+    {
+        VcdWriter vcd(out2, "soc");
+        const int clk = vcd.add_signal("clk", 1);
+        vcd.change(clk, 1, 100);
+    }
+    const std::string s2 = out2.str();
+    EXPECT_NE(s2.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_TRUE(s2.ends_with("#100\n1!\n")) << s2;
+}
+
 TEST(WaveRecorder, RendersRailsDigitsAndAnnotations) {
     WaveRecorder rec;
     const int clk = rec.add_signal("clk", /*is_bit=*/true, 0);

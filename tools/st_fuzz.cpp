@@ -47,6 +47,8 @@ struct Options {
     std::uint64_t max_events = 2'000'000;
     std::vector<fuzz::FaultClass> classes;
     std::size_t max_faults = 2;
+    std::uint64_t warmup = 0;
+    bool warmup_fork = true;
     std::optional<std::set<fuzz::Outcome>> expect;
     bool require_fired = false;
     bool do_shrink = false;
@@ -93,6 +95,11 @@ void usage() {
         "  --faults LIST      comma-separated fault classes to inject, or\n"
         "                     'all'; omitted = fault-free delay fuzzing\n"
         "  --max-faults N     max faults per random case (default 2)\n"
+        "  --warmup N         shared nominal warm-up prefix (local cycles,\n"
+        "                     < --cycles); each case forks from one snapshot\n"
+        "                     of the prefix instead of re-simulating it\n"
+        "  --no-warmup-fork   with --warmup: re-simulate the prefix per case\n"
+        "                     (baseline; summaries are bit-identical)\n"
         "  --expect LIST      comma-separated acceptable outcomes; any run\n"
         "                     outside the list fails the campaign\n"
         "  --require-fired    every run must trigger >= 1 injected fault\n"
@@ -181,9 +188,11 @@ bool shrink_and_report(const fuzz::Campaign& campaign,
         return false;
     }
     if (!opt.out_path.empty()) {
-        const fuzz::Repro repro = fuzz::Repro::from_case(
+        fuzz::Repro repro = fuzz::Repro::from_case(
             campaign.config().spec_name, campaign.config().cycles,
             res.outcome, res.minimal);
+        repro.seed = opt.seed;
+        repro.jobs = runner::resolve_jobs(opt.jobs);
         std::ofstream out(opt.out_path);
         if (!out) {
             std::fprintf(stderr, "st_fuzz: cannot write '%s'\n",
@@ -206,8 +215,19 @@ int run_repro(const fuzz::Repro& repro, const Options& opt) {
     const fuzz::Campaign campaign(cfg);
     const fuzz::FuzzCase c = repro.to_case(campaign.spec());
     const fuzz::RunReport r = campaign.run_case(c);
-    std::printf("replay: spec=%s cycles=%llu\n", repro.spec_name.c_str(),
+    std::printf("replay: format=v%llu spec=%s cycles=%llu",
+                static_cast<unsigned long long>(repro.version),
+                repro.spec_name.c_str(),
                 static_cast<unsigned long long>(repro.cycles));
+    if (repro.seed) {
+        std::printf(" seed=%llu",
+                    static_cast<unsigned long long>(*repro.seed));
+    }
+    if (repro.jobs) {
+        std::printf(" jobs=%llu",
+                    static_cast<unsigned long long>(*repro.jobs));
+    }
+    std::printf("\n");
     print_case(c, r);
     if (repro.expected && r.outcome != *repro.expected) {
         std::fprintf(stderr,
@@ -235,6 +255,8 @@ int run_campaign(const Options& opt) {
     cfg.max_events = opt.max_events;
     cfg.classes = opt.classes;
     cfg.max_faults = opt.max_faults;
+    cfg.warmup_cycles = opt.warmup;
+    cfg.warmup_fork = opt.warmup_fork;
     const fuzz::Campaign campaign(cfg);
 
     // Fault-free campaigns default to demanding full determinism — that is
@@ -314,6 +336,10 @@ int main(int argc, char** argv) {
             if (!parse_classes(next(), opt.classes)) return 2;
         } else if (arg == "--max-faults") {
             opt.max_faults = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--warmup") {
+            opt.warmup = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--no-warmup-fork") {
+            opt.warmup_fork = false;
         } else if (arg == "--expect") {
             std::set<fuzz::Outcome> e;
             if (!parse_expect(next(), e)) return 2;
