@@ -1,0 +1,206 @@
+// Streaming golden-trace verification: wall-clock of the online
+// StreamingChecker pipeline (rolling per-SB digests, cooperative early exit,
+// arena-backed capture) against the offline batch diff over the same runs.
+//
+// Two workload mixes, matching how the pipeline is used:
+//  - deterministic-heavy: the paper's §5 sweep on the synchro-tokens
+//    triangle — every run matches, so streaming's win is the O(#SBs) verdict
+//    (no end-of-run scan) and the allocation-free capture;
+//  - divergent-heavy: the two-flop-synchronizer baseline on a plesiochronous
+//    pair — most runs diverge within a few cycles, so the early exit skips
+//    almost the whole remaining simulation.
+//
+// Every row re-checks the pipeline's contract — streaming and batch
+// SweepResults bit-identical (verdicts, counts, retained example loci) — and
+// the bench exits non-zero if it ever breaks. Numbers land in
+// BENCH_verify.json (docs/PERF.md).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/baseline_soc.hpp"
+#include "bench_util.hpp"
+#include "system/delay_config.hpp"
+#include "system/testbenches.hpp"
+#include "system/warm_runner.hpp"
+#include "verify/determinism.hpp"
+
+namespace {
+
+using namespace st;
+
+using Harness = verify::DeterminismHarness<sys::DelayConfig>;
+
+std::vector<sys::DelayConfig> grid(const sys::SocSpec& spec,
+                                   std::size_t target_runs) {
+    std::vector<sys::DelayConfig> out;
+    const auto nominal = sys::DelayConfig::nominal(spec);
+    out.push_back(nominal);
+    while (out.size() < target_runs) {
+        for (std::size_t dim = 0;
+             dim < nominal.dimensions() && out.size() < target_runs; ++dim) {
+            for (unsigned pct : {50u, 75u, 150u, 200u}) {
+                if (out.size() >= target_runs) break;
+                auto cfg = nominal;
+                cfg.set(dim, pct);
+                out.push_back(cfg);
+            }
+        }
+    }
+    return out;
+}
+
+double timed_sweep(Harness& h, const std::vector<sys::DelayConfig>& ps,
+                   verify::SweepResult& out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = h.sweep(ps);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void require_identical(const verify::SweepResult& a,
+                       const verify::SweepResult& b, const char* what) {
+    if (a == b) return;
+    std::fprintf(stderr,
+                 "bench_verify: %s sweep diverged from the streaming result "
+                 "— the streaming/batch parity contract is broken\n",
+                 what);
+    std::exit(1);
+}
+
+double rate(std::size_t runs, double secs) {
+    return static_cast<double>(runs) / (secs > 0 ? secs : 1e-9);
+}
+
+void run_experiment() {
+    const std::size_t runs = bench::quick_mode() ? 48 : 240;
+    bench::JsonReport report("BENCH_verify.json");
+
+    // ---- deterministic-heavy: synchro-tokens triangle, all runs match ----
+    bench::banner("streaming verification — deterministic-heavy (triangle)");
+    {
+        const auto spec = sys::make_named_spec("triangle");
+        const sys::WarmRunner runner(spec, 100, sim::ms(1));
+        const auto live = [&runner](const sys::DelayConfig& cfg,
+                                    verify::RunCapture& cap) {
+            runner.run(cfg, cap);
+        };
+        const auto ps = grid(spec, runs);
+
+        Harness stream{Harness::LiveRunner(live),
+                       sys::DelayConfig::nominal(spec), 100};
+        Harness batch{Harness::LiveRunner(live),
+                      sys::DelayConfig::nominal(spec), 100};
+        batch.set_streaming(false);
+
+        verify::SweepResult rs, rb;
+        const double ts = timed_sweep(stream, ps, rs);
+        const double tb = timed_sweep(batch, ps, rb);
+        require_identical(rs, rb, "deterministic-heavy batch");
+        if (!rs.all_match()) {
+            std::fprintf(stderr,
+                         "bench_verify: triangle sweep found mismatches — "
+                         "determinism regression\n");
+            std::exit(1);
+        }
+        std::printf("%10s | %9s | %9s | %s\n", "mode", "seconds", "runs/s",
+                    "result vs streaming");
+        std::printf("%10s | %9.3f | %9.1f | (baseline)\n", "streaming", ts,
+                    rate(ps.size(), ts));
+        std::printf("%10s | %9.3f | %9.1f | bit-identical\n", "batch", tb,
+                    rate(ps.size(), tb));
+        report.add("verify_stream_runs_per_sec", rate(ps.size(), ts),
+                   "runs/s", 1);
+        report.add("verify_batch_runs_per_sec", rate(ps.size(), tb),
+                   "runs/s", 1);
+    }
+
+    // ---- divergent-heavy: two-flop baseline, early exit dominates ----
+    bench::banner(
+        "streaming verification — divergent-heavy (two-flop baseline)");
+    {
+        sys::PairOptions opt;
+        opt.period_b = 1009;  // plesiochronous: the baseline diverges early
+        const auto spec = sys::make_pair_spec(opt);
+        const auto live = [&spec](const sys::DelayConfig& cfg,
+                                  verify::RunCapture& cap) {
+            baseline::BaselineSoc soc(sys::apply(spec, cfg),
+                                      baseline::BaselineSoc::Kind::kTwoFlop,
+                                      &cap);
+            soc.run_cycles(150, sim::ms(1));
+        };
+        const auto ps = grid(spec, runs);
+        const auto nominal = sys::DelayConfig::nominal(spec);
+
+        Harness early{Harness::LiveRunner(live), nominal, 100};
+        Harness no_early{Harness::LiveRunner(live), nominal, 100};
+        no_early.set_early_exit(false);
+        Harness batch{Harness::LiveRunner(live), nominal, 100};
+        batch.set_streaming(false);
+
+        verify::SweepResult re, rn, rb;
+        const double te = timed_sweep(early, ps, re);
+        const double tn = timed_sweep(no_early, ps, rn);
+        const double tb = timed_sweep(batch, ps, rb);
+        require_identical(re, rn, "no-early-exit streaming");
+        require_identical(re, rb, "divergent-heavy batch");
+        if (re.mismatches == 0) {
+            std::fprintf(stderr,
+                         "bench_verify: divergent-heavy mix produced no "
+                         "mismatches — the workload is mislabelled\n");
+            std::exit(1);
+        }
+        const double speedup = tb / (te > 0 ? te : 1e-9);
+        std::printf("divergent runs: %llu / %llu\n",
+                    static_cast<unsigned long long>(re.mismatches),
+                    static_cast<unsigned long long>(re.runs));
+        std::printf("%12s | %9s | %9s | %8s | %s\n", "mode", "seconds",
+                    "runs/s", "speedup", "result vs early-exit");
+        std::printf("%12s | %9.3f | %9.1f | %7.2fx | (baseline)\n",
+                    "early-exit", te, rate(ps.size(), te), 1.0);
+        std::printf("%12s | %9.3f | %9.1f | %7.2fx | bit-identical\n",
+                    "stream-full", tn, rate(ps.size(), tn),
+                    te / (tn > 0 ? tn : 1e-9));
+        std::printf("%12s | %9.3f | %9.1f | %7.2fx | bit-identical\n",
+                    "batch", tb, rate(ps.size(), tb),
+                    te / (tb > 0 ? tb : 1e-9));
+        std::printf("early-exit speedup vs batch: %.2fx\n", speedup);
+        report.add("verify_stream_div_runs_per_sec", rate(ps.size(), te),
+                   "runs/s", 1);
+        report.add("verify_batch_div_runs_per_sec", rate(ps.size(), tb),
+                   "runs/s", 1);
+        report.add("verify_early_exit_speedup", speedup, "x", 1);
+    }
+
+    report.write();
+}
+
+void BM_SweepTriangle(benchmark::State& state) {
+    const auto spec = sys::make_named_spec("triangle");
+    const sys::WarmRunner runner(spec, 100, sim::ms(1));
+    Harness h{Harness::LiveRunner(
+                  [&runner](const sys::DelayConfig& cfg,
+                            verify::RunCapture& cap) { runner.run(cfg, cap); }),
+              sys::DelayConfig::nominal(spec), 100};
+    h.set_streaming(state.range(0) != 0);
+    const auto ps = grid(spec, 8);
+    h.capture_nominal();
+    for (auto _ : state) {
+        const auto r = h.sweep(ps);
+        benchmark::DoNotOptimize(r.runs);
+    }
+}
+BENCHMARK(BM_SweepTriangle)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -4,8 +4,19 @@
 
 namespace st::baseline {
 
-BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind)
+BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind,
+                         verify::RunCapture* capture)
     : spec_(spec), kind_(kind) {
+    if (capture != nullptr) {
+        capture_ = capture;
+    } else {
+        own_capture_ = std::make_unique<verify::RunCapture>();
+        capture_ = own_capture_.get();
+    }
+    capture_->begin_run();
+    capture_->bind_scheduler(&sched_);
+
+    // One capture stream per SB, in spec order (slot == SB index).
     for (const auto& s : spec_.sbs) {
         if (kind_ == Kind::kTwoFlop) {
             two_flop_.push_back(std::make_unique<TwoFlopWrapper>(
@@ -17,13 +28,14 @@ BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind)
             pausible_.push_back(std::make_unique<PausibleWrapper>(
                 sched_, s.name, pc, s.make_kernel()));
         }
-        traces_.emplace(s.name, verify::IoTrace{s.name, {}});
+        capture_->add_stream(s.name);
     }
 
     for (const auto& c : spec_.channels) {
         auto fifo = std::make_unique<achan::SelfTimedFifo>(sched_, c.name, c.fifo);
-        const auto record = [this](const std::string& sb, verify::IoEvent ev) {
-            traces_[sb].events.push_back(ev);
+        verify::RunCapture* cap = capture_;
+        const auto record = [cap](std::size_t slot, verify::IoEvent ev) {
+            cap->record(slot, ev);
         };
         if (kind_ == Kind::kTwoFlop) {
             auto& out = two_flop_[c.from_sb]->attach_output(*fifo, c.tail_link);
@@ -32,13 +44,13 @@ BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind)
                 two_flop_[c.from_sb]->num_outputs() - 1);
             const auto in_port = static_cast<std::uint32_t>(
                 two_flop_[c.to_sb]->num_inputs() - 1);
-            out.on_send([record, sb = spec_.sbs[c.from_sb].name, out_port](
+            out.on_send([record, slot = c.from_sb, out_port](
                             std::uint64_t cycle, Word w) {
-                record(sb, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
+                record(slot, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
             });
-            in.on_deliver([record, sb = spec_.sbs[c.to_sb].name, in_port](
+            in.on_deliver([record, slot = c.to_sb, in_port](
                               std::uint64_t cycle, Word w) {
-                record(sb, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
+                record(slot, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
             });
         } else {
             auto& out = pausible_[c.from_sb]->attach_output(*fifo, c.tail_link);
@@ -47,13 +59,13 @@ BaselineSoc::BaselineSoc(const sys::SocSpec& spec, Kind kind)
                 pausible_[c.from_sb]->num_outputs() - 1);
             const auto in_port = static_cast<std::uint32_t>(
                 pausible_[c.to_sb]->num_inputs() - 1);
-            out.on_send([record, sb = spec_.sbs[c.from_sb].name, out_port](
+            out.on_send([record, slot = c.from_sb, out_port](
                             std::uint64_t cycle, Word w) {
-                record(sb, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
+                record(slot, {cycle, verify::IoEvent::Dir::kOut, out_port, w});
             });
-            in.on_deliver([record, sb = spec_.sbs[c.to_sb].name, in_port](
+            in.on_deliver([record, slot = c.to_sb, in_port](
                               std::uint64_t cycle, Word w) {
-                record(sb, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
+                record(slot, {cycle, verify::IoEvent::Dir::kIn, in_port, w});
             });
         }
         fifos_.push_back(std::move(fifo));
@@ -86,6 +98,7 @@ bool BaselineSoc::run_cycles(std::uint64_t n_cycles, sim::Time deadline) {
         return true;
     };
     while (!goal_met()) {
+        if (sched_.stop_requested()) return false;  // cooperative early exit
         if (sched_.quiescent() || sched_.next_event_time() > deadline) {
             return false;
         }

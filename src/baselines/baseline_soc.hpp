@@ -7,6 +7,7 @@
 #include "baselines/two_flop.hpp"
 #include "system/spec.hpp"
 #include "verify/io_trace.hpp"
+#include "verify/trace_arena.hpp"
 
 namespace st::baseline {
 
@@ -22,7 +23,12 @@ class BaselineSoc {
         kPausible,  ///< pausible-clock arbitration on channel inputs
     };
 
-    BaselineSoc(const sys::SocSpec& spec, Kind kind);
+    /// As with sys::Soc, a caller may lend a verify::RunCapture so sweep
+    /// workers reuse arena storage (and stream to an attached checker — the
+    /// baselines are the divergent-heavy arm of the determinism experiment,
+    /// where the checker's early exit pays the most).
+    BaselineSoc(const sys::SocSpec& spec, Kind kind,
+                verify::RunCapture* capture = nullptr);
 
     BaselineSoc(const BaselineSoc&) = delete;
     BaselineSoc& operator=(const BaselineSoc&) = delete;
@@ -38,7 +44,9 @@ class BaselineSoc {
     sb::SyncBlock& block(std::size_t i);
     std::uint64_t cycles(std::size_t i) const;
 
-    verify::TraceSet traces() const { return traces_; }
+    verify::TraceSet traces() const { return capture_->traces(); }
+
+    verify::RunCapture& capture() { return *capture_; }
 
   private:
     sys::SocSpec spec_;
@@ -47,7 +55,8 @@ class BaselineSoc {
     std::vector<std::unique_ptr<TwoFlopWrapper>> two_flop_;
     std::vector<std::unique_ptr<PausibleWrapper>> pausible_;
     std::vector<std::unique_ptr<achan::SelfTimedFifo>> fifos_;
-    verify::TraceSet traces_;
+    std::unique_ptr<verify::RunCapture> own_capture_;
+    verify::RunCapture* capture_ = nullptr;
     bool started_ = false;
 };
 

@@ -49,6 +49,11 @@ bool run_bounded(sys::Soc& soc, std::uint64_t n_cycles, sim::Time deadline,
     auto& sched = soc.scheduler();
     const std::uint64_t budget0 = sched.events_executed();
     while (!goal_met()) {
+        if (sched.stop_requested()) {
+            // Cooperative early exit (streaming checker classified the run
+            // divergent): at most the event in flight ran past the mismatch.
+            return false;
+        }
         if (sched.quiescent() || sched.next_event_time() > deadline) {
             return false;
         }
@@ -105,6 +110,7 @@ Campaign::Campaign(CampaignConfig cfg)
                                  "' did not reach the cycle goal");
     }
     golden_ = verify::truncated(soc.traces(), cfg_.cycles);
+    golden_index_ = verify::GoldenIndex(golden_, cfg_.cycles);
 
     if (cfg_.warmup_cycles > 0) {
         if (cfg_.warmup_cycles >= cfg_.cycles) {
@@ -130,11 +136,30 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         static_cast<sim::Time>(cfg_.cycles + 64) *
         max_effective_period(perturbed) * 8;
 
+    // One capture per case, backed by the worker thread's arena. In
+    // streaming mode a checker subscribes before the Soc exists (the Soc
+    // ctor's begin_run keeps the attachment), so even the restored warm-up
+    // prefix is checked online as it is replayed.
+    verify::RunCapture cap;
+    std::unique_ptr<verify::StreamingChecker> checker;
+    if (cfg_.streaming) {
+        verify::StreamingOptions opt;
+        // Early exit is sound only where divergence is the final word: a
+        // faulted run must complete, because a later deadlock or invariant
+        // violation outranks the divergence (Outcome precedence). Checked
+        // per case, not per config — a replayed fault counterexample under
+        // a fault-free campaign config still carries faults.
+        opt.early_exit = cfg_.classes.empty() && c.faults.empty();
+        checker =
+            std::make_unique<verify::StreamingChecker>(golden_index_, opt);
+        checker->attach(cap);
+    }
+
     std::unique_ptr<sys::Soc> soc_owner;
     std::unique_ptr<Injector> injector_owner;
     std::unique_ptr<sys::InvariantMonitor> monitor_owner;
     if (cfg_.warmup_cycles == 0) {
-        soc_owner = std::make_unique<sys::Soc>(perturbed);
+        soc_owner = std::make_unique<sys::Soc>(perturbed, &cap);
         injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
         monitor_owner = std::make_unique<sys::InvariantMonitor>(*soc_owner);
     } else {
@@ -142,7 +167,7 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         // re-simulated), then the case delta applied live. Both prefix
         // variants land in the identical state — restore-equivalence — so
         // the continuation, and therefore the report, is bit-identical.
-        soc_owner = std::make_unique<sys::Soc>(spec_);
+        soc_owner = std::make_unique<sys::Soc>(spec_, &cap);
         if (cfg_.warmup_fork) {
             soc_owner->restore_snapshot(prefix_);
         } else {
@@ -162,6 +187,7 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
     bool budget_expired = false;
     const bool goal = run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
                                   budget_expired);
+    const bool stopped_early = soc.scheduler().stop_requested();
 
     RunReport r;
     r.goal_met = goal;
@@ -180,6 +206,18 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         }
         return r;
     }
+    if (stopped_early && checker != nullptr && checker->diverged()) {
+        // The checker classified the run at its first mismatching event and
+        // stopped the scheduler; the remaining cycles could only have
+        // changed the verdict through an invariant violation (checked
+        // above), which early exit forgoes by being enabled only in
+        // fault-free campaigns.
+        const verify::TraceDiff diff = checker->finish();
+        r.outcome = Outcome::kTraceDivergent;
+        r.detail = diff.first_mismatch;
+        r.locus = diff.locus;
+        return r;
+    }
     if (!goal) {
         r.outcome = Outcome::kDeadlocked;
         if (budget_expired) {
@@ -191,12 +229,16 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         }
         return r;
     }
-    const verify::TraceDiff diff =
-        verify::diff_traces(golden_, verify::truncated(soc.traces(),
-                                                       cfg_.cycles));
+    // Verdict: online (O(#SBs) for a deterministic run) or offline over the
+    // arrival-ordered capture — the two are bit-identical by construction.
+    const verify::TraceDiff diff = cfg_.streaming
+                                       ? checker->finish()
+                                       : verify::diff_capture(golden_index_,
+                                                              cap);
     if (!diff.identical) {
         r.outcome = Outcome::kTraceDivergent;
         r.detail = diff.first_mismatch;
+        r.locus = diff.locus;
         return r;
     }
     r.outcome = Outcome::kDeterministic;

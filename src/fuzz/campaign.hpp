@@ -11,6 +11,7 @@
 #include "snap/snapshot.hpp"
 #include "system/spec.hpp"
 #include "verify/io_trace.hpp"
+#include "verify/streaming.hpp"
 
 namespace st::fuzz {
 
@@ -41,6 +42,10 @@ struct RunReport {
     std::uint64_t events = 0;         ///< scheduler events this run
     std::uint64_t protocol_errors = 0;
     std::string detail;               ///< first diagnostic locus, if any
+    /// Structured trace-mismatch locus (kind != kNone only for
+    /// kTraceDivergent): machine-readable counterpart of `detail`, printed
+    /// by the shrink reports. Identical between streaming and batch modes.
+    verify::MismatchLocus locus;
 
     bool operator==(const RunReport&) const = default;
 };
@@ -66,6 +71,18 @@ struct CampaignConfig {
     /// Restore-equivalence makes the two paths bit-identical; the flag
     /// exists so tests and benches can run the non-forked baseline.
     bool warmup_fork = true;
+    /// Streaming verification (default): each run's events are checked
+    /// online against the golden index by a verify::StreamingChecker, so a
+    /// deterministic run finishes with an O(#SBs) verdict and — in
+    /// fault-free campaigns, where a trace divergence is classification-
+    /// final — a divergent run stops at the first mismatching event. With
+    /// fault classes enabled the online check still replaces the end-of-run
+    /// scan but the run always completes, because a later deadlock or
+    /// invariant violation outranks the divergence (Outcome precedence).
+    /// `false` (st_fuzz --no-streaming) compares offline via
+    /// verify::diff_capture instead: bit-identical reports and summaries,
+    /// batch timing — the differential-testing and checker-debugging path.
+    bool streaming = true;
 };
 
 struct CampaignSummary {
@@ -105,6 +122,7 @@ class Campaign {
     const CampaignConfig& config() const { return cfg_; }
     const sys::SocSpec& spec() const { return spec_; }
     const verify::TraceSet& golden() const { return golden_; }
+    const verify::GoldenIndex& golden_index() const { return golden_index_; }
 
     /// Elaborate, inject, run bounded, classify. Deterministic per case.
     RunReport run_case(const FuzzCase& c) const;
@@ -138,6 +156,7 @@ class Campaign {
     CampaignConfig cfg_;
     sys::SocSpec spec_;
     verify::TraceSet golden_;
+    verify::GoldenIndex golden_index_;
     snap::Snapshot prefix_;
 };
 

@@ -201,17 +201,17 @@ bool Scheduler::step() {
 
 std::uint64_t Scheduler::run_until(Time t_end) {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.front().t <= t_end) {
+    while (!stop_requested_ && !heap_.empty() && heap_.front().t <= t_end) {
         step();
         ++n;
     }
-    if (now_ < t_end) now_ = t_end;
+    if (!stop_requested_ && now_ < t_end) now_ = t_end;
     return n;
 }
 
 std::uint64_t Scheduler::run(std::uint64_t max_events) {
     std::uint64_t n = 0;
-    while (n < max_events && step()) ++n;
+    while (!stop_requested_ && n < max_events && step()) ++n;
     return n;
 }
 

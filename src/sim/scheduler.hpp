@@ -140,6 +140,18 @@ class Scheduler {
     /// Total events executed since construction.
     std::uint64_t events_executed() const { return executed_; }
 
+    // --- cooperative stop ---
+    /// Ask the current run loop to stop at the next event boundary. Safe to
+    /// call from inside an executing callback (the streaming trace checker
+    /// calls it the instant a run is classified divergent — the remaining
+    /// cycles can no longer change the verdict). `run()` / `run_until()` and
+    /// the Soc-level cycle loops check the flag before popping the next
+    /// event; the event in flight always completes, so a stopped run still
+    /// sits at a well-formed boundary. The flag is sticky until cleared.
+    void request_stop() { stop_requested_ = true; }
+    bool stop_requested() const { return stop_requested_; }
+    void clear_stop_request() { stop_requested_ = false; }
+
     /// Instrumentation: total event records in the slab pool (pending + free).
     /// Stays bounded by the high-water mark of *concurrently pending* events —
     /// records are recycled across `run_until` calls, not reallocated — so a
@@ -237,6 +249,7 @@ class Scheduler {
     void audit_step(Time t, int priority, const EventTag& tag);
 
     Time now_ = 0;
+    bool stop_requested_ = false;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t dropped_ = 0;

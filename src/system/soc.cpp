@@ -4,7 +4,19 @@
 
 namespace st::sys {
 
-Soc::Soc(const SocSpec& spec) : spec_(spec) {
+Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
+    if (capture != nullptr) {
+        capture_ = capture;
+    } else {
+        own_capture_ = std::make_unique<verify::RunCapture>();
+        capture_ = own_capture_.get();
+    }
+    // This Soc is one run of the capture: reset its streams/arrival counter
+    // (an attached StreamingChecker is kept and reset alongside) and bind
+    // the scheduler so the checker can request an early exit.
+    capture_->begin_run();
+    capture_->bind_scheduler(&sched_);
+
     // 1. Wrappers (clock + SB).
     for (const auto& s : spec_.sbs) {
         if (!s.make_kernel) {
@@ -119,7 +131,7 @@ void Soc::start() {
     started_ = true;
     for (auto& w : wrappers_) {
         w->finalize();
-        probes_.push_back(std::make_unique<verify::TraceProbe>(*w));
+        probes_.push_back(std::make_unique<verify::TraceProbe>(*w, *capture_));
         w->start();
     }
 }
@@ -133,6 +145,7 @@ bool Soc::run_cycles(std::uint64_t n_cycles, sim::Time deadline) {
         return true;
     };
     while (!goal_met()) {
+        if (sched_.stop_requested()) return false;  // cooperative early exit
         if (sched_.quiescent() || sched_.next_event_time() > deadline) {
             return false;
         }
@@ -222,7 +235,8 @@ void Soc::restore_snapshot(const snap::Snapshot& snapshot,
     started_ = true;
     for (auto& wr : wrappers_) {
         wr->finalize();
-        probes_.push_back(std::make_unique<verify::TraceProbe>(*wr));
+        probes_.push_back(
+            std::make_unique<verify::TraceProbe>(*wr, *capture_));
     }
 
     snap::StateReader r(snapshot.bytes());
@@ -284,7 +298,7 @@ void Soc::restore_snapshot(const snap::Snapshot& snapshot,
 verify::TraceSet Soc::traces() const {
     verify::TraceSet out;
     for (const auto& p : probes_) {
-        out.emplace(p->trace().sb_name, p->trace());
+        out.emplace(p->sb_name(), p->trace());
     }
     return out;
 }

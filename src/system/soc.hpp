@@ -11,6 +11,7 @@
 #include "synchro/wrapper.hpp"
 #include "verify/io_trace.hpp"
 #include "verify/timing_checker.hpp"
+#include "verify/trace_arena.hpp"
 #include "verify/trace_probe.hpp"
 
 #include "system/spec.hpp"
@@ -24,7 +25,12 @@ namespace st::sys {
 /// Construction elaborates; `start()` schedules the first clock edges.
 class Soc {
   public:
-    explicit Soc(const SocSpec& spec);
+    /// Elaborate from `spec`. With `capture == nullptr` the Soc owns a
+    /// private verify::RunCapture; passing one in lets a sweep worker reuse
+    /// a single capture (arena chunks, attached StreamingChecker) across
+    /// many cases — the ctor calls `capture->begin_run()` and binds the
+    /// scheduler, so each Soc is one "run" of the capture.
+    explicit Soc(const SocSpec& spec, verify::RunCapture* capture = nullptr);
 
     Soc(const Soc&) = delete;
     Soc& operator=(const Soc&) = delete;
@@ -64,8 +70,13 @@ class Soc {
     std::size_t num_multi_rings() const { return multi_rings_.size(); }
     core::TokenRing& multi_ring(std::size_t i) { return *multi_rings_.at(i); }
 
-    /// Per-SB cycle-indexed I/O traces captured so far.
+    /// Per-SB cycle-indexed I/O traces captured so far (materialized out of
+    /// the run capture's arena streams).
     verify::TraceSet traces() const;
+
+    /// The capture this Soc records into (owned or borrowed).
+    verify::RunCapture& capture() { return *capture_; }
+    const verify::RunCapture& capture() const { return *capture_; }
 
     /// Audit the bundling/timing constraints after (or during) a run.
     verify::TimingReport audit_timing() const;
@@ -113,6 +124,8 @@ class Soc {
     // multi-ring index -> member nodes (parallel to spec members)
     std::vector<std::vector<core::TokenNode*>> multi_ring_nodes_;
     std::vector<std::unique_ptr<achan::SelfTimedFifo>> fifos_;
+    std::unique_ptr<verify::RunCapture> own_capture_;  ///< when not borrowed
+    verify::RunCapture* capture_ = nullptr;
     std::vector<std::unique_ptr<verify::TraceProbe>> probes_;
     bool started_ = false;
 };

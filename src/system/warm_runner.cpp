@@ -27,12 +27,18 @@ WarmRunner::WarmRunner(SocSpec spec, std::uint64_t cycles, sim::Time deadline,
 }
 
 verify::TraceSet WarmRunner::operator()(const DelayConfig& cfg) const {
+    verify::RunCapture cap;
+    run(cfg, cap);
+    return cap.traces();
+}
+
+void WarmRunner::run(const DelayConfig& cfg, verify::RunCapture& cap) const {
     if (warmup_ == 0) {
-        Soc soc(apply(spec_, cfg));
+        Soc soc(apply(spec_, cfg), &cap);
         soc.run_cycles(cycles_, deadline_);
-        return soc.traces();
+        return;
     }
-    Soc soc(spec_);
+    Soc soc(spec_, &cap);
     if (fork_) {
         soc.restore_snapshot(prefix_);
     } else {
@@ -41,7 +47,6 @@ verify::TraceSet WarmRunner::operator()(const DelayConfig& cfg) const {
     }
     apply_live(soc, cfg);
     soc.run_cycles(cycles_, deadline_);
-    return soc.traces();
 }
 
 }  // namespace st::sys

@@ -24,6 +24,12 @@ class WarmRunner {
 
     verify::TraceSet operator()(const DelayConfig& cfg) const;
 
+    /// Streaming-pipeline entry point (DeterminismHarness::LiveRunner
+    /// shape): drive the case through the caller's RunCapture so an
+    /// attached StreamingChecker observes events online. The batch
+    /// operator() above is this plus materialization.
+    void run(const DelayConfig& cfg, verify::RunCapture& cap) const;
+
     std::uint64_t warmup() const { return warmup_; }
     const snap::Snapshot& prefix() const { return prefix_; }
 

@@ -7,6 +7,8 @@
 
 #include "runner/runner.hpp"
 #include "verify/io_trace.hpp"
+#include "verify/streaming.hpp"
+#include "verify/trace_arena.hpp"
 
 namespace st::verify {
 
@@ -31,6 +33,8 @@ struct SweepResult {
     }
 
     bool all_match() const { return mismatches == 0 && runs > 0; }
+
+    bool operator==(const SweepResult&) const = default;
 };
 
 /// The paper's §5 experiment shape: simulate a system under its nominal
@@ -41,10 +45,25 @@ struct SweepResult {
 /// The harness is generic in the perturbation type so it drives both the
 /// synchro-tokens SoC (expected: all match) and the bypassed/synchronizer
 /// baselines (expected: mismatches) with the same code.
+///
+/// Two runner shapes are supported:
+///  - the legacy batch `Runner` returns a finished TraceSet; every check is
+///    a full-run diff_traces (name-order first mismatch);
+///  - a `LiveRunner` drives a simulation *through a RunCapture* the harness
+///    provides (elaborate `sys::Soc(spec, &cap)` and run). This is the
+///    streaming pipeline: by default an attached StreamingChecker classifies
+///    each run online, requests a cooperative scheduler stop at the first
+///    mismatching event, and delivers an O(#SBs) verdict for deterministic
+///    runs. `set_streaming(false)` keeps the capture but compares offline
+///    via diff_capture — bit-identical verdicts and loci, batch timing — for
+///    differential testing and for debugging a suspected checker bug
+///    (docs/TESTING.md).
 template <typename Perturbation>
 class DeterminismHarness {
   public:
     using Runner = std::function<TraceSet(const Perturbation&)>;
+    using LiveRunner =
+        std::function<void(const Perturbation&, RunCapture&)>;
 
     DeterminismHarness(Runner runner, Perturbation nominal,
                        std::uint64_t n_cycles)
@@ -52,19 +71,42 @@ class DeterminismHarness {
           nominal_cfg_(std::move(nominal)),
           n_cycles_(n_cycles) {}
 
+    DeterminismHarness(LiveRunner runner, Perturbation nominal,
+                       std::uint64_t n_cycles)
+        : live_(std::move(runner)),
+          nominal_cfg_(std::move(nominal)),
+          n_cycles_(n_cycles) {}
+
+    /// Streaming (online check + early exit) vs batch (offline
+    /// diff_capture). Live-runner harnesses only; defaults to streaming.
+    void set_streaming(bool on) { streaming_ = on; }
+    bool streaming() const { return streaming_; }
+
+    /// Disable the cooperative stop while keeping the online check (used by
+    /// benches to separate the two effects). No result changes either way.
+    void set_early_exit(bool on) { early_exit_ = on; }
+
     /// Run the nominal configuration and capture the golden traces.
     void capture_nominal() {
-        golden_ = truncated(runner_(nominal_cfg_), n_cycles_);
+        if (live_) {
+            RunCapture cap;
+            live_(nominal_cfg_, cap);
+            golden_ = truncated(cap.traces(), n_cycles_);
+        } else {
+            golden_ = truncated(runner_(nominal_cfg_), n_cycles_);
+        }
+        golden_index_ = GoldenIndex(golden_, n_cycles_);
         golden_captured_ = true;
     }
 
     const TraceSet& golden() const { return golden_; }
+    const GoldenIndex& golden_index() const { return golden_index_; }
 
     /// Run one perturbation and compare against the golden traces.
     /// capture_nominal() is called lazily on first use.
     TraceDiff check(const Perturbation& p) {
         if (!golden_captured_) capture_nominal();
-        return diff_traces(golden_, truncated(runner_(p), n_cycles_));
+        return run_one(p);
     }
 
     /// Run a full sweep, executing up to `jobs` perturbations concurrently
@@ -73,21 +115,19 @@ class DeterminismHarness {
     ///
     /// The golden traces are captured once, up front, on the calling thread
     /// and then shared read-only; each perturbation runs its own private
-    /// simulation via `runner_`, which must therefore be safe to invoke
-    /// concurrently (true of the standard "elaborate a fresh Soc from a
-    /// shared spec" runners). Results reduce in perturbation order, so the
+    /// simulation, which must therefore be safe to invoke concurrently
+    /// (true of the standard "elaborate a fresh Soc from a shared spec"
+    /// runners — each worker thread gets its own RunCapture over its own
+    /// thread-local arena). Results reduce in perturbation order, so the
     /// SweepResult — counts and retained examples — is bit-identical for
-    /// every `jobs` value.
+    /// every `jobs` value, and identical between streaming and batch modes.
     SweepResult sweep(const std::vector<Perturbation>& perturbations,
                       std::size_t jobs = 1) {
         if (!golden_captured_) capture_nominal();
         SweepResult r;
         st::runner::sweep(
             perturbations.size(), jobs,
-            [&](std::size_t i) {
-                return diff_traces(
-                    golden_, truncated(runner_(perturbations[i]), n_cycles_));
-            },
+            [&](std::size_t i) { return run_one(perturbations[i]); },
             [&](std::size_t, TraceDiff&& d) {
                 ++r.runs;
                 if (d.identical) {
@@ -101,10 +141,30 @@ class DeterminismHarness {
     }
 
   private:
+    TraceDiff run_one(const Perturbation& p) const {
+        if (!live_) {
+            return diff_traces(golden_, truncated(runner_(p), n_cycles_));
+        }
+        RunCapture cap;
+        if (streaming_) {
+            StreamingChecker checker(
+                golden_index_, StreamingOptions{.early_exit = early_exit_});
+            checker.attach(cap);
+            live_(p, cap);
+            return checker.finish();
+        }
+        live_(p, cap);
+        return diff_capture(golden_index_, cap);
+    }
+
     Runner runner_;
+    LiveRunner live_;
     Perturbation nominal_cfg_;
     std::uint64_t n_cycles_;
+    bool streaming_ = true;
+    bool early_exit_ = true;
     TraceSet golden_;
+    GoldenIndex golden_index_;
     bool golden_captured_ = false;
 };
 

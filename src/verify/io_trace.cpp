@@ -1,40 +1,104 @@
 #include "verify/io_trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace st::verify {
 
 namespace {
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= kFnvPrime;
-    }
-    return h;
+void format_event(std::ostream& os, const IoEvent& e) {
+    os << "cycle=" << e.cycle
+       << ", dir=" << (e.dir == IoEvent::Dir::kIn ? "in" : "out")
+       << ", port=" << e.port << ", word=0x" << std::hex << e.word
+       << std::dec;
 }
+
+MismatchLocus value_locus(const std::string& sb, std::uint64_t index,
+                          const IoEvent& expected, const IoEvent& actual) {
+    MismatchLocus l;
+    l.kind = MismatchLocus::Kind::kValue;
+    l.sb = sb;
+    l.index = index;
+    l.cycle = actual.cycle;
+    l.port = actual.port;
+    l.expected = expected;
+    l.actual = actual;
+    return l;
+}
+
+MismatchLocus count_locus(const std::string& sb, std::uint64_t expected_count,
+                          std::uint64_t actual_count,
+                          const std::vector<IoEvent>& expected_events) {
+    MismatchLocus l;
+    l.kind = MismatchLocus::Kind::kShortfall;
+    l.sb = sb;
+    l.index = actual_count;
+    // The defining event is the first golden event the run never produced.
+    if (actual_count < expected_events.size()) {
+        l.expected = expected_events[static_cast<std::size_t>(actual_count)];
+        l.cycle = l.expected->cycle;
+        l.port = l.expected->port;
+    }
+    (void)expected_count;
+    return l;
+}
+
 }  // namespace
 
 std::uint64_t IoTrace::fingerprint() const {
     std::uint64_t h = kFnvOffset;
-    for (const auto& e : events) {
-        h = fnv1a(h, e.cycle);
-        h = fnv1a(h, static_cast<std::uint64_t>(e.dir));
-        h = fnv1a(h, e.port);
-        h = fnv1a(h, e.word);
-    }
+    for (const auto& e : events) h = fnv1a_event(h, e);
     return h;
 }
 
 IoTrace IoTrace::truncated(std::uint64_t n_cycles) const {
+    // Events are cycle-sorted (header precondition), so the kept prefix is
+    // exactly [begin, partition_point): one binary search, one reserve, one
+    // contiguous copy.
+    const auto cut = std::partition_point(
+        events.begin(), events.end(),
+        [n_cycles](const IoEvent& e) { return e.cycle < n_cycles; });
     IoTrace out;
     out.sb_name = sb_name;
-    for (const auto& e : events) {
-        if (e.cycle < n_cycles) out.events.push_back(e);
-    }
+    out.events.reserve(static_cast<std::size_t>(cut - events.begin()));
+    out.events.assign(events.begin(), cut);
     return out;
+}
+
+std::string format_value_mismatch(const std::string& sb, std::uint64_t index,
+                                  const IoEvent& expected,
+                                  const IoEvent& actual) {
+    std::ostringstream os;
+    os << "SB '" << sb << "' event " << index << ": nominal(";
+    format_event(os, expected);
+    os << ") vs perturbed(";
+    format_event(os, actual);
+    os << ")";
+    return os.str();
+}
+
+std::string format_count_mismatch(const std::string& sb,
+                                  std::uint64_t expected_count,
+                                  std::uint64_t actual_count) {
+    std::ostringstream os;
+    os << "SB '" << sb << "': nominal has " << expected_count
+       << " events, compared run has " << actual_count;
+    return os.str();
+}
+
+std::string format_missing_sb(const std::string& sb) {
+    return "SB '" + sb + "' missing from compared run";
+}
+
+std::string format_extra_event(const std::string& sb, std::uint64_t index,
+                               const IoEvent& actual) {
+    std::ostringstream os;
+    os << "SB '" << sb << "' event " << index
+       << ": beyond nominal end, perturbed(";
+    format_event(os, actual);
+    os << ")";
+    return os.str();
 }
 
 TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other) {
@@ -43,7 +107,9 @@ TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other) {
         auto it = other.find(name);
         if (it == other.end()) {
             d.identical = false;
-            d.first_mismatch = "SB '" + name + "' missing from compared run";
+            d.first_mismatch = format_missing_sb(name);
+            d.locus.kind = MismatchLocus::Kind::kMissingSb;
+            d.locus.sb = name;
             return d;
         }
         const auto& a = trace.events;
@@ -51,25 +117,28 @@ TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other) {
         const std::size_t n = std::min(a.size(), b.size());
         for (std::size_t i = 0; i < n; ++i) {
             if (a[i] != b[i]) {
-                std::ostringstream os;
-                os << "SB '" << name << "' event " << i << ": nominal(cycle="
-                   << a[i].cycle << ", dir=" << (a[i].dir == IoEvent::Dir::kIn ? "in" : "out")
-                   << ", port=" << a[i].port << ", word=0x" << std::hex << a[i].word
-                   << std::dec << ") vs perturbed(cycle=" << b[i].cycle
-                   << ", dir=" << (b[i].dir == IoEvent::Dir::kIn ? "in" : "out")
-                   << ", port=" << b[i].port << ", word=0x" << std::hex << b[i].word
-                   << std::dec << ")";
                 d.identical = false;
-                d.first_mismatch = os.str();
+                d.first_mismatch = format_value_mismatch(name, i, a[i], b[i]);
+                d.locus = value_locus(name, i, a[i], b[i]);
                 return d;
             }
         }
         if (a.size() != b.size()) {
-            std::ostringstream os;
-            os << "SB '" << name << "': nominal has " << a.size()
-               << " events, compared run has " << b.size();
             d.identical = false;
-            d.first_mismatch = os.str();
+            d.first_mismatch =
+                format_count_mismatch(name, a.size(), b.size());
+            if (b.size() > a.size()) {
+                // Run overran the golden: the defining event is the first
+                // extra one.
+                d.locus.kind = MismatchLocus::Kind::kExtra;
+                d.locus.sb = name;
+                d.locus.index = a.size();
+                d.locus.actual = b[a.size()];
+                d.locus.cycle = d.locus.actual->cycle;
+                d.locus.port = d.locus.actual->port;
+            } else {
+                d.locus = count_locus(name, a.size(), b.size(), a);
+            }
             return d;
         }
     }
@@ -79,8 +148,8 @@ TraceDiff diff_traces(const TraceSet& nominal, const TraceSet& other) {
 std::uint64_t fingerprint(const TraceSet& traces) {
     std::uint64_t h = kFnvOffset;
     for (const auto& [name, trace] : traces) {  // map: stable order
-        for (char c : name) h = fnv1a(h, static_cast<std::uint64_t>(c));
-        h = fnv1a(h, trace.fingerprint());
+        for (char c : name) h = fnv1a_u64(h, static_cast<std::uint64_t>(c));
+        h = fnv1a_u64(h, trace.fingerprint());
     }
     return h;
 }

@@ -1,0 +1,226 @@
+#include "verify/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::verify {
+
+GoldenIndex::GoldenIndex(const TraceSet& golden, std::uint64_t n_cycles)
+    : n_cycles_(n_cycles) {
+    entries_.reserve(golden.size());
+    for (const auto& [name, trace] : golden) {  // map: name order
+        PerSb e;
+        e.name = name;
+        // Golden events are cycle-sorted (IoTrace::truncated precondition);
+        // keep only the comparison window.
+        const auto cut = std::partition_point(
+            trace.events.begin(), trace.events.end(),
+            [n_cycles](const IoEvent& ev) { return ev.cycle < n_cycles; });
+        e.events.assign(trace.events.begin(), cut);
+        for (const auto& ev : e.events) e.digest = fnv1a_event(e.digest, ev);
+        entries_.push_back(std::move(e));
+    }
+}
+
+std::size_t GoldenIndex::find(const std::string& name) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const PerSb& e, const std::string& n) { return e.name < n; });
+    if (it == entries_.end() || it->name != name) return npos;
+    return static_cast<std::size_t>(it - entries_.begin());
+}
+
+StreamingChecker::StreamingChecker(const GoldenIndex& golden,
+                                   StreamingOptions opt)
+    : golden_(&golden), opt_(opt) {}
+
+StreamingChecker::~StreamingChecker() {
+    if (cap_ != nullptr && cap_->checker() == this) cap_->set_checker(nullptr);
+}
+
+void StreamingChecker::attach(RunCapture& cap) {
+    cap_ = &cap;
+    reader_ = &cap;
+    cap.set_checker(this);
+    // Catch up on anything already captured (e.g. a warm-up prefix restored
+    // into the capture before the checker subscribed), in arrival order.
+    if (cap.events_captured() > 0) {
+        std::vector<std::size_t> pos(cap.num_streams(), 0);
+        for (;;) {
+            std::size_t best = RunCapture::npos_slot();
+            std::uint64_t best_seq = 0;
+            for (std::size_t s = 0; s < cap.num_streams(); ++s) {
+                const auto& stream = cap.stream(s);
+                if (pos[s] >= stream.size()) continue;
+                const std::uint64_t seq = stream.entry(pos[s]).seq;
+                if (best == RunCapture::npos_slot() || seq < best_seq) {
+                    best = s;
+                    best_seq = seq;
+                }
+            }
+            if (best == RunCapture::npos_slot()) break;
+            observe(best, cap.stream(best).event(pos[best]));
+            ++pos[best];
+        }
+    }
+}
+
+StreamingChecker::Slot& StreamingChecker::slot_at(std::size_t slot) {
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    Slot& s = slots_[slot];
+    if (s.sb.empty()) {
+        if (reader_ == nullptr) {
+            throw std::logic_error(
+                "StreamingChecker: observe() before attach()");
+        }
+        s.sb = reader_->stream(slot).sb_name();
+        const std::size_t g = golden_->find(s.sb);
+        s.golden = g == GoldenIndex::npos ? nullptr : &golden_->entries()[g];
+    }
+    return s;
+}
+
+void StreamingChecker::record_mismatch(MismatchLocus locus,
+                                       std::string message) {
+    diverged_ = true;
+    locus_ = std::move(locus);
+    message_ = std::move(message);
+    if (opt_.early_exit && cap_ != nullptr) cap_->request_stop();
+}
+
+void StreamingChecker::observe(std::size_t slot, const IoEvent& e) {
+    if (e.cycle >= golden_->n_cycles()) return;  // outside the window
+    Slot& s = slot_at(slot);
+    const std::uint64_t index = s.seen;
+    s.digest = fnv1a_event(s.digest, e);
+    ++s.seen;
+    ++checked_;
+    if (diverged_) return;  // verdict already fixed at the first mismatch
+    if (s.golden == nullptr) return;  // SB unknown to golden: batch ignores it
+    if (index >= s.golden->events.size()) {
+        MismatchLocus l;
+        l.kind = MismatchLocus::Kind::kExtra;
+        l.sb = s.sb;
+        l.index = index;
+        l.actual = e;
+        l.cycle = e.cycle;
+        l.port = e.port;
+        record_mismatch(std::move(l), format_extra_event(s.sb, index, e));
+        return;
+    }
+    const IoEvent& g = s.golden->events[static_cast<std::size_t>(index)];
+    if (e != g) {
+        MismatchLocus l;
+        l.kind = MismatchLocus::Kind::kValue;
+        l.sb = s.sb;
+        l.index = index;
+        l.cycle = e.cycle;
+        l.port = e.port;
+        l.expected = g;
+        l.actual = e;
+        record_mismatch(std::move(l),
+                        format_value_mismatch(s.sb, index, g, e));
+    }
+}
+
+TraceDiff StreamingChecker::finish() const {
+    TraceDiff d;
+    if (diverged_) {
+        d.identical = false;
+        d.first_mismatch = message_;
+        d.locus = locus_;
+        return d;
+    }
+    // No event-level mismatch: the run is deterministic iff every golden SB
+    // produced its full event count. O(#SBs), name order (matching
+    // diff_traces' report order for the shortfall/missing cases, which have
+    // no arrival position to order by).
+    for (const auto& g : golden_->entries()) {
+        const Slot* s = nullptr;
+        for (const auto& cand : slots_) {
+            if (cand.golden == &g) {
+                s = &cand;
+                break;
+            }
+        }
+        const std::uint64_t seen = s == nullptr ? 0 : s->seen;
+        if (s == nullptr && !g.events.empty()) {
+            // No slot means no in-window event ever arrived for this SB.
+            // Distinguish "the run has no such SB at all" (missing) from
+            // "the SB's stream exists but stayed empty" (shortfall) — the
+            // same split diff_traces makes on materialized traces.
+            bool stream_exists = false;
+            if (reader_ != nullptr) {
+                for (std::size_t i = 0; i < reader_->num_streams(); ++i) {
+                    if (reader_->stream(i).sb_name() == g.name) {
+                        stream_exists = true;
+                        break;
+                    }
+                }
+            }
+            if (!stream_exists) {
+                d.identical = false;
+                d.first_mismatch = format_missing_sb(g.name);
+                d.locus.kind = MismatchLocus::Kind::kMissingSb;
+                d.locus.sb = g.name;
+                return d;
+            }
+        }
+        if (seen < g.events.size()) {
+            d.identical = false;
+            d.first_mismatch =
+                format_count_mismatch(g.name, g.events.size(), seen);
+            d.locus.kind = MismatchLocus::Kind::kShortfall;
+            d.locus.sb = g.name;
+            d.locus.index = seen;
+            d.locus.expected = g.events[static_cast<std::size_t>(seen)];
+            d.locus.cycle = d.locus.expected->cycle;
+            d.locus.port = d.locus.expected->port;
+            return d;
+        }
+        // Defence in depth for the O(1) claim: counts match and no
+        // positional compare failed, so the rolling digest must equal the
+        // precomputed golden digest — anything else is a checker bug.
+        if (s != nullptr && s->digest != g.digest) {
+            throw std::logic_error(
+                "StreamingChecker: digest mismatch with per-event match on "
+                "SB '" + g.name + "' — checker bug");
+        }
+    }
+    return d;
+}
+
+void StreamingChecker::begin_run() {
+    slots_.clear();
+    diverged_ = false;
+    checked_ = 0;
+    locus_ = MismatchLocus{};
+    message_.clear();
+}
+
+TraceDiff diff_capture(const GoldenIndex& golden, const RunCapture& cap) {
+    StreamingChecker checker(golden, StreamingOptions{.early_exit = false});
+    checker.set_reader(cap);
+    // K-way merge of the per-SB streams by arrival seq: the exact event
+    // order the online checker saw.
+    std::vector<std::size_t> pos(cap.num_streams(), 0);
+    for (;;) {
+        std::size_t best = RunCapture::npos_slot();
+        std::uint64_t best_seq = 0;
+        for (std::size_t s = 0; s < cap.num_streams(); ++s) {
+            const auto& stream = cap.stream(s);
+            if (pos[s] >= stream.size()) continue;
+            const std::uint64_t seq = stream.entry(pos[s]).seq;
+            if (best == RunCapture::npos_slot() || seq < best_seq) {
+                best = s;
+                best_seq = seq;
+            }
+        }
+        if (best == RunCapture::npos_slot()) break;
+        checker.observe(best, cap.stream(best).event(pos[best]));
+        ++pos[best];
+    }
+    return checker.finish();
+}
+
+}  // namespace st::verify

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/io_trace.hpp"
+#include "verify/trace_arena.hpp"
+
+namespace st::verify {
+
+/// Golden traces pre-digested for streaming comparison: per SB (in name
+/// order) the truncated event prefix, its count, and its FNV-1a digest.
+///
+/// Built once per campaign / harness and shared read-only by every run; the
+/// index owns copies of the truncated events so its lifetime is independent
+/// of the TraceSet it was built from.
+class GoldenIndex {
+  public:
+    struct PerSb {
+        std::string name;
+        std::vector<IoEvent> events;  ///< golden prefix, cycle < n_cycles
+        std::uint64_t digest = kFnvOffset;
+    };
+
+    GoldenIndex() = default;
+    GoldenIndex(const TraceSet& golden, std::uint64_t n_cycles);
+
+    std::uint64_t n_cycles() const { return n_cycles_; }
+
+    /// Entries in SB-name order (TraceSet iteration order).
+    const std::vector<PerSb>& entries() const { return entries_; }
+
+    /// Index into entries() for `name`, or npos when the golden run has no
+    /// such SB.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t find(const std::string& name) const;
+
+  private:
+    std::uint64_t n_cycles_ = 0;
+    std::vector<PerSb> entries_;  ///< sorted by name
+};
+
+struct StreamingOptions {
+    /// On the first mismatching event, ask the bound scheduler to stop the
+    /// run at the next event boundary. Sound only where a trace divergence
+    /// is the final classification — determinism sweeps, and fault-free
+    /// campaigns; a fault campaign must keep simulating because a later
+    /// deadlock or invariant violation outranks the divergence
+    /// (fuzz::Outcome precedence).
+    bool early_exit = true;
+};
+
+/// Online golden-trace comparator: observes each captured event as it is
+/// produced and compares it positionally against the golden prefix of its
+/// SB, keeping a rolling per-SB FNV-1a digest.
+///
+/// A deterministic run therefore finishes with an O(#SBs) verdict — every
+/// digest and event count matches the index, no end-of-run event scan — and
+/// a divergent run is classified at the first mismatching event *in arrival
+/// order*, at which point (early_exit) the checker requests a cooperative
+/// scheduler stop instead of simulating the remaining cycles.
+///
+/// finish() returns a TraceDiff bit-identical (verdict, first_mismatch
+/// string, structured locus) to diff_capture() over the same capture — the
+/// offline differ replays the arrival-ordered stream through this same
+/// class, so parity holds by construction.
+class StreamingChecker {
+  public:
+    explicit StreamingChecker(const GoldenIndex& golden,
+                              StreamingOptions opt = {});
+    ~StreamingChecker();
+
+    StreamingChecker(const StreamingChecker&) = delete;
+    StreamingChecker& operator=(const StreamingChecker&) = delete;
+
+    /// Subscribe to `cap`: every subsequent RunCapture::record forwards the
+    /// event here. Attach before the run starts (or before the events you
+    /// care about); the capture keeps the attachment across begin_run().
+    void attach(RunCapture& cap);
+
+    /// Observe one captured event (called by RunCapture::record — or by
+    /// diff_capture's offline replay). Events at cycle >= n_cycles are
+    /// outside the paper's comparison window and ignored.
+    void observe(std::size_t slot, const IoEvent& e);
+
+    bool diverged() const { return diverged_; }
+    std::uint64_t events_checked() const { return checked_; }
+
+    /// The verdict. Callable any time; meaningful once the run has ended
+    /// (or the early exit fired). O(#SBs) on the deterministic path.
+    TraceDiff finish() const;
+
+    /// Reset per-run comparison state (slots, digests, verdict), keeping
+    /// the golden index and the attachment. RunCapture::begin_run calls
+    /// this on its attached checker.
+    void begin_run();
+
+    /// Called by ~RunCapture so a checker outliving its capture does not
+    /// dangle.
+    void on_capture_destroyed() {
+        cap_ = nullptr;
+        reader_ = nullptr;
+    }
+
+  private:
+    struct Slot {
+        std::string sb;
+        const GoldenIndex::PerSb* golden = nullptr;  ///< null: not in golden
+        std::uint64_t seen = 0;  ///< in-window events observed
+        std::uint64_t digest = kFnvOffset;
+    };
+
+    friend TraceDiff diff_capture(const GoldenIndex& golden,
+                                  const RunCapture& cap);
+
+    Slot& slot_at(std::size_t slot);
+    void record_mismatch(MismatchLocus locus, std::string message);
+    /// Point the lazy slot-name lookup at `cap` without subscribing (the
+    /// offline replay path).
+    void set_reader(const RunCapture& cap) { reader_ = &cap; }
+
+    const GoldenIndex* golden_;
+    StreamingOptions opt_;
+    RunCapture* cap_ = nullptr;           ///< attached (online) capture
+    const RunCapture* reader_ = nullptr;  ///< slot-name source
+    std::vector<Slot> slots_;
+    bool diverged_ = false;
+    std::uint64_t checked_ = 0;
+    MismatchLocus locus_;
+    std::string message_;
+};
+
+/// Offline arrival-ordered differ: replay `cap`'s streams merged by arrival
+/// seq through a StreamingChecker and return its verdict. This is the batch
+/// path of the streaming pipeline — same comparison core, same locus, same
+/// strings; only *when* the work happens differs. (Contrast diff_traces,
+/// which scans SBs in name order and can pick a different — equally valid —
+/// first mismatch when several SBs diverge.)
+TraceDiff diff_capture(const GoldenIndex& golden, const RunCapture& cap);
+
+}  // namespace st::verify

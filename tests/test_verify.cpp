@@ -47,6 +47,59 @@ TEST(IoTrace, TruncationKeepsOnlyEarlyCycles) {
     EXPECT_EQ(cut.events[1].cycle, 99u);
 }
 
+TEST(IoTrace, TruncationCutoffIsBinarySearchedOnSortedEvents) {
+    // truncated() documents a cycle-sorted precondition (holds for every
+    // captured trace: local cycle counters are monotone) and finds its
+    // cutoff with std::partition_point. Pin the boundary semantics.
+    const auto t = make_trace("sb", {{0, IoEvent::Dir::kIn, 0, 1},
+                                     {1, IoEvent::Dir::kOut, 0, 2},
+                                     {1, IoEvent::Dir::kIn, 1, 3},
+                                     {7, IoEvent::Dir::kIn, 0, 4},
+                                     {100, IoEvent::Dir::kIn, 0, 5},
+                                     {120, IoEvent::Dir::kOut, 0, 6}});
+    EXPECT_EQ(t.truncated(0).events.size(), 0u);    // empty window
+    EXPECT_EQ(t.truncated(1).events.size(), 1u);    // cycle < 1
+    EXPECT_EQ(t.truncated(2).events.size(), 3u);    // duplicate cycles kept
+    EXPECT_EQ(t.truncated(100).events.size(), 4u);  // cycle == n excluded
+    EXPECT_EQ(t.truncated(1000).events.size(), 6u);
+    EXPECT_EQ(t.truncated(1000).sb_name, "sb");
+
+    IoTrace empty;
+    EXPECT_TRUE(empty.truncated(100).events.empty());
+}
+
+TEST(DiffTraces, FillsStructuredMismatchLocus) {
+    TraceSet a;
+    a.emplace("sb", make_trace("sb", {{1, IoEvent::Dir::kIn, 2, 7},
+                                      {4, IoEvent::Dir::kIn, 2, 8}}));
+    TraceSet value = a;
+    value["sb"].events[1].word = 9;
+    const auto d = diff_traces(a, value);
+    ASSERT_FALSE(d.identical);
+    EXPECT_EQ(d.locus.kind, MismatchLocus::Kind::kValue);
+    EXPECT_EQ(d.locus.sb, "sb");
+    EXPECT_EQ(d.locus.index, 1u);
+    EXPECT_EQ(d.locus.cycle, 4u);
+    EXPECT_EQ(d.locus.port, 2u);
+    ASSERT_TRUE(d.locus.expected.has_value());
+    ASSERT_TRUE(d.locus.actual.has_value());
+    EXPECT_EQ(d.locus.expected->word, 8u);
+    EXPECT_EQ(d.locus.actual->word, 9u);
+
+    TraceSet shorter = a;
+    shorter["sb"].events.pop_back();
+    const auto ds = diff_traces(a, shorter);
+    EXPECT_EQ(ds.locus.kind, MismatchLocus::Kind::kShortfall);
+    EXPECT_EQ(ds.locus.index, 1u);
+
+    TraceSet missing;
+    const auto dm = diff_traces(a, missing);
+    EXPECT_EQ(dm.locus.kind, MismatchLocus::Kind::kMissingSb);
+    EXPECT_EQ(dm.locus.sb, "sb");
+
+    EXPECT_FALSE(diff_traces(a, a).locus.valid());
+}
+
 TEST(DiffTraces, DetectsValueCycleAndLengthMismatches) {
     TraceSet a;
     a.emplace("sb", make_trace("sb", {{1, IoEvent::Dir::kIn, 0, 7},

@@ -49,6 +49,7 @@ struct Options {
     std::size_t max_faults = 2;
     std::uint64_t warmup = 0;
     bool warmup_fork = true;
+    bool streaming = true;
     std::optional<std::set<fuzz::Outcome>> expect;
     bool require_fired = false;
     bool do_shrink = false;
@@ -100,6 +101,9 @@ void usage() {
         "                     of the prefix instead of re-simulating it\n"
         "  --no-warmup-fork   with --warmup: re-simulate the prefix per case\n"
         "                     (baseline; summaries are bit-identical)\n"
+        "  --no-streaming     classify runs by the batch differ instead of\n"
+        "                     the online streaming checker (bit-identical\n"
+        "                     summaries, no early exit; see docs/PERF.md)\n"
         "  --expect LIST      comma-separated acceptable outcomes; any run\n"
         "                     outside the list fails the campaign\n"
         "  --require-fired    every run must trigger >= 1 injected fault\n"
@@ -154,12 +158,41 @@ bool parse_expect(const std::string& list, std::set<fuzz::Outcome>& out) {
     return !out.empty();
 }
 
+const char* locus_kind_name(verify::MismatchLocus::Kind k) {
+    switch (k) {
+        case verify::MismatchLocus::Kind::kValue: return "value";
+        case verify::MismatchLocus::Kind::kExtra: return "extra-event";
+        case verify::MismatchLocus::Kind::kShortfall: return "shortfall";
+        case verify::MismatchLocus::Kind::kMissingSb: return "missing-sb";
+        case verify::MismatchLocus::Kind::kNone: break;
+    }
+    return "none";
+}
+
+void print_locus(const verify::MismatchLocus& l) {
+    if (!l.valid()) return;
+    std::printf("    locus kind=%s sb=%s index=%llu cycle=%llu port=%u",
+                locus_kind_name(l.kind), l.sb.c_str(),
+                static_cast<unsigned long long>(l.index),
+                static_cast<unsigned long long>(l.cycle), l.port);
+    if (l.expected) {
+        std::printf(" expected=0x%llx",
+                    static_cast<unsigned long long>(l.expected->word));
+    }
+    if (l.actual) {
+        std::printf(" actual=0x%llx",
+                    static_cast<unsigned long long>(l.actual->word));
+    }
+    std::printf("\n");
+}
+
 void print_case(const fuzz::FuzzCase& c, const fuzz::RunReport& r) {
     std::printf("  outcome=%s fired=%llu events=%llu%s%s\n",
                 fuzz::outcome_name(r.outcome),
                 static_cast<unsigned long long>(r.faults_fired),
                 static_cast<unsigned long long>(r.events),
                 r.detail.empty() ? "" : " :: ", r.detail.c_str());
+    print_locus(r.locus);
     for (std::size_t d = 0; d < c.delays.dimensions(); ++d) {
         if (c.delays.get(d) != 100) {
             std::printf("    delay %s = %u%%\n",
@@ -212,6 +245,7 @@ int run_repro(const fuzz::Repro& repro, const Options& opt) {
     cfg.spec_name = repro.spec_name;
     cfg.cycles = repro.cycles;
     cfg.max_events = opt.max_events;
+    cfg.streaming = opt.streaming;
     const fuzz::Campaign campaign(cfg);
     const fuzz::FuzzCase c = repro.to_case(campaign.spec());
     const fuzz::RunReport r = campaign.run_case(c);
@@ -257,6 +291,7 @@ int run_campaign(const Options& opt) {
     cfg.max_faults = opt.max_faults;
     cfg.warmup_cycles = opt.warmup;
     cfg.warmup_fork = opt.warmup_fork;
+    cfg.streaming = opt.streaming;
     const fuzz::Campaign campaign(cfg);
 
     // Fault-free campaigns default to demanding full determinism — that is
@@ -340,6 +375,8 @@ int main(int argc, char** argv) {
             opt.warmup = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--no-warmup-fork") {
             opt.warmup_fork = false;
+        } else if (arg == "--no-streaming") {
+            opt.streaming = false;
         } else if (arg == "--expect") {
             std::set<fuzz::Outcome> e;
             if (!parse_expect(next(), e)) return 2;
