@@ -79,10 +79,19 @@ snap::Snapshot Driver::snapshot() {
 
 void Driver::save(const std::string& path) { snapshot().save_file(path); }
 
+void Driver::set_race_audit(bool on) {
+    race_audit_ = on;
+    soc_->scheduler().set_race_audit(on);
+}
+
 void Driver::restore(const snap::Snapshot& snapshot) {
     auto fresh = std::make_unique<sys::Soc>(spec_);
     fresh->restore_snapshot(snapshot);
     soc_ = std::move(fresh);
+    // Re-arm driver-owned observation state on the fresh Soc: without this a
+    // resumed session silently stops auditing and diverges from the cold
+    // session's diagnostics.
+    if (race_audit_) soc_->scheduler().set_race_audit(true);
 }
 
 void Driver::load(const std::string& path) {

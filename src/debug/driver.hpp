@@ -79,6 +79,19 @@ class Driver {
     sim::Time now() const { return soc_->scheduler().now(); }
     bool quiescent() const { return soc_->scheduler().quiescent(); }
 
+    // --- race audit ---
+    /// Toggle the scheduler's same-slot race audit. The setting is driver
+    /// state, not Soc state: it survives restore()/load() (which elaborate a
+    /// fresh Soc), so a resumed debug session audits exactly like the cold
+    /// session it was snapshotted from.
+    void set_race_audit(bool on);
+    bool race_audit() const { return race_audit_; }
+    /// Races recorded by the current Soc (cleared by a restore — the races
+    /// belong to the discarded simulation, not the restored one).
+    const std::vector<sim::RaceRecord>& races() const {
+        return soc_->scheduler().races();
+    }
+
     // --- snapshot/restore ---
     snap::Snapshot snapshot();
     std::uint64_t digest() { return snapshot().digest(); }
@@ -98,6 +111,7 @@ class Driver {
     sys::SocSpec spec_;
     std::unique_ptr<sys::Soc> soc_;
     std::vector<Breakpoint> breakpoints_;
+    bool race_audit_ = false;
 };
 
 /// Human-readable stop description for CLI output.

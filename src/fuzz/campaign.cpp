@@ -95,7 +95,10 @@ std::optional<Outcome> parse_outcome(const std::string& name) {
 }
 
 Campaign::Campaign(CampaignConfig cfg)
-    : cfg_(std::move(cfg)), spec_(sys::make_named_spec(cfg_.spec_name)) {
+    : Campaign(cfg, sys::make_named_spec(cfg.spec_name)) {}
+
+Campaign::Campaign(CampaignConfig cfg, sys::SocSpec spec)
+    : cfg_(std::move(cfg)), spec_(std::move(spec)) {
     // Golden: nominal delays, no faults. Must meet the cycle goal — a spec
     // that cannot run fault-free nominally is a configuration error.
     sys::Soc soc(spec_);
@@ -239,6 +242,50 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         r.outcome = Outcome::kTraceDivergent;
         r.detail = diff.first_mismatch;
         r.locus = diff.locus;
+        return r;
+    }
+    r.outcome = Outcome::kDeterministic;
+    return r;
+}
+
+RunReport probe_case(const sys::SocSpec& spec, const FuzzCase& c,
+                     std::uint64_t cycles, std::uint64_t max_events) {
+    const sys::SocSpec perturbed = sys::apply(spec, c.delays);
+    const sim::Time deadline = static_cast<sim::Time>(cycles + 64) *
+                               max_effective_period(perturbed) * 8;
+    sys::Soc soc(perturbed);
+    Injector injector(soc, c.faults);
+    sys::InvariantMonitor monitor(soc);
+
+    bool budget_expired = false;
+    const bool goal =
+        run_bounded(soc, cycles, deadline, max_events, budget_expired);
+
+    RunReport r;
+    r.goal_met = goal;
+    r.faults_fired = injector.fired();
+    r.events = soc.scheduler().events_executed();
+    r.protocol_errors = total_protocol_errors(soc);
+    if (!monitor.violations().empty() || r.protocol_errors > 0) {
+        r.outcome = Outcome::kInvariantViolation;
+        if (!monitor.violations().empty()) {
+            r.detail = monitor.violations().front();
+        } else {
+            std::ostringstream os;
+            os << r.protocol_errors << " token protocol error(s)";
+            r.detail = os.str();
+        }
+        return r;
+    }
+    if (!goal) {
+        r.outcome = Outcome::kDeadlocked;
+        if (budget_expired) {
+            r.detail = "event budget expired (livelock watchdog)";
+        } else if (soc.deadlocked()) {
+            r.detail = "quiescent with stopped clock(s)";
+        } else {
+            r.detail = "cycle goal not met before deadline";
+        }
         return r;
     }
     r.outcome = Outcome::kDeterministic;

@@ -119,6 +119,12 @@ class Campaign {
   public:
     explicit Campaign(CampaignConfig cfg);
 
+    /// Campaign over an explicit spec instead of a shipped catalog name —
+    /// the entry point for generated and fixture specs (the sva witness
+    /// cross-check replays counterexamples against specs that have no
+    /// catalog name). `cfg.spec_name` is used only in error messages.
+    Campaign(CampaignConfig cfg, sys::SocSpec spec);
+
     const CampaignConfig& config() const { return cfg_; }
     const sys::SocSpec& spec() const { return spec_; }
     const verify::TraceSet& golden() const { return golden_; }
@@ -159,5 +165,18 @@ class Campaign {
     verify::GoldenIndex golden_index_;
     snap::Snapshot prefix_;
 };
+
+/// Classify one case against `spec` WITHOUT a golden run: elaborate the
+/// perturbed spec, inject the faults, run bounded, and report deadlock /
+/// invariant-violation outcomes (trace divergence needs a golden and is
+/// never produced here — a run that meets the goal cleanly classifies
+/// kDeterministic). Exceptions from elaboration propagate to the caller.
+///
+/// This is the first stage of the sva witness cross-check: deadlock and
+/// invariant witnesses are confirmable even for specs whose *nominal* run
+/// cannot reach the cycle goal (where the Campaign constructor would throw).
+RunReport probe_case(const sys::SocSpec& spec, const FuzzCase& c,
+                     std::uint64_t cycles,
+                     std::uint64_t max_events = 2'000'000);
 
 }  // namespace st::fuzz

@@ -1,6 +1,9 @@
 #include "lint/diagnostic.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
+#include <tuple>
 
 namespace st::lint {
 
@@ -21,6 +24,55 @@ std::string Diagnostic::to_string() const {
     os << locus << ": " << severity_name(severity) << ": " << message << " ["
        << rule << "]";
     if (!fix_hint.empty()) os << "\n" << locus << ": note: fix: " << fix_hint;
+    return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string Diagnostic::to_json() const {
+    std::ostringstream os;
+    os << "{\"rule\":\"" << json_escape(rule) << "\",\"severity\":\""
+       << severity_name(severity) << "\",\"locus\":\"" << json_escape(locus)
+       << "\",\"message\":\"" << json_escape(message) << "\"";
+    if (!fix_hint.empty()) {
+        os << ",\"fix_hint\":\"" << json_escape(fix_hint) << "\"";
+    }
+    if (!witness.empty()) {
+        os << ",\"witness\":\"" << json_escape(witness) << "\"";
+    }
+    os << "}";
     return os.str();
 }
 
@@ -66,6 +118,32 @@ std::string LintReport::to_string() const {
 
 void LintReport::merge(const LintReport& other) {
     diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+void LintReport::canonicalize(const std::vector<std::string>& rule_order) {
+    const auto rank = [&](const std::string& rule) {
+        for (std::size_t i = 0; i < rule_order.size(); ++i) {
+            if (rule_order[i] == rule) return i;
+        }
+        return rule_order.size();
+    };
+    std::stable_sort(
+        diags_.begin(), diags_.end(),
+        [&](const Diagnostic& a, const Diagnostic& b) {
+            const std::size_t ra = rank(a.rule), rb = rank(b.rule);
+            return std::tie(ra, a.rule, a.locus, a.severity, a.message) <
+                   std::tie(rb, b.rule, b.locus, b.severity, b.message);
+        });
+}
+
+std::string LintReport::to_json() const {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        os << (i ? "," : "") << diags_[i].to_json();
+    }
+    os << "]";
+    return os.str();
 }
 
 }  // namespace st::lint

@@ -25,10 +25,21 @@ struct Diagnostic {
     std::string message;
     /// Optional concrete remedy ("raise recycle to >= 7").
     std::string fix_hint;
+    /// Optional concretized counterexample (sva verifier witnesses): the
+    /// delay/fault recipe that reproduces the finding dynamically. Shown in
+    /// machine-readable output; the human listing stays unchanged.
+    std::string witness;
 
     /// GCC-style one-liner: `<locus>: <severity>: <message> [<rule>]`.
     std::string to_string() const;
+
+    /// One JSON object: {"rule", "severity", "locus", "message",
+    /// "fix_hint"?, "witness"?}. Optional fields are omitted when empty.
+    std::string to_json() const;
 };
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
 
 /// Aggregated result of running lint passes over one SocSpec.
 class LintReport {
@@ -56,6 +67,16 @@ class LintReport {
 
     /// Merge another report's diagnostics into this one.
     void merge(const LintReport& other);
+
+    /// Impose the canonical diagnostic order: stable sort by position of the
+    /// rule id in `rule_order` (unknown rules sort after known ones, by
+    /// name), then locus, severity, and message. Passes may emit findings in
+    /// any order (e.g. when fanned out over worker threads); canonicalizing
+    /// before rendering makes output invariant under --jobs.
+    void canonicalize(const std::vector<std::string>& rule_order);
+
+    /// JSON array of `Diagnostic::to_json()` objects, in current order.
+    std::string to_json() const;
 
   private:
     std::size_t count(Severity s) const;

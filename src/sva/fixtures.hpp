@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sva/passes.hpp"
+#include "system/spec.hpp"
+
+namespace st::sva {
+
+/// A deliberately defective SocSpec paired with the verifier pass that must
+/// flag it and the verdict the full PLAUSIBLE->replay pipeline must reach.
+/// Most entries reuse the lint fixture set; the rest target obligations only
+/// the graph passes can see.
+struct Fixture {
+    const char* name;     ///< CLI / CTest identifier
+    const char* pass;     ///< sva pass id whose obligation must be non-proven
+    const char* summary;  ///< what is defective, in one line
+    /// Verdict after witness replay. `kRetracted` marks the deliberate
+    /// retraction demo (a static over-approximation that runs fine).
+    Verdict expected = Verdict::kConfirmed;
+};
+
+/// All registered verifier fixtures.
+const std::vector<Fixture>& fixture_catalog();
+
+/// Materialize fixture `name` (lint fixtures resolve too). Throws
+/// std::invalid_argument on unknown names.
+sys::SocSpec make_fixture(const std::string& name);
+
+}  // namespace st::sva

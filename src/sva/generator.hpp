@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sva/spec_text.hpp"
+
+namespace st::sva {
+
+/// Geometry of a generated ring-of-rings stress spec: `clusters` multi-ring
+/// buses of `members` SBs each, cluster gateways chained by two-node outer
+/// rings. Every ring is provisioned from the same closed-form recycle math
+/// the verifier checks, so generated specs are clean by construction at any
+/// size — the negative space is covered by the fixture set.
+struct RingOfRingsOptions {
+    std::size_t clusters = 8;
+    std::size_t members = 8;
+    std::uint64_t base_period = 1000;  ///< ps
+    /// Per-SB period spread: period = base + (global_index % 5) * step.
+    std::uint64_t period_step = 120;
+    std::uint64_t hop_delay = 600;    ///< bus member-to-member token wire, ps
+    std::uint64_t outer_delay = 900;  ///< gateway-to-gateway token wire, ps
+    std::uint32_t hold = 3;
+    /// Extra recycle cycles on top of the computed token-absence bound.
+    std::uint32_t recycle_slack = 4;
+    std::uint64_t seed = 0xC0FFEE;  ///< traffic-kernel seed base
+};
+
+/// Deterministic: equal options yield equal docs (and, via `to_text`,
+/// byte-identical .stspec files — the checked-in stress specs are asserted
+/// against this).
+SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt = {});
+
+}  // namespace st::sva

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/spec.hpp"
+
+namespace st::sva {
+
+// A plain-data mirror of sys::SocSpec with a stable line-oriented text form
+// (`.stspec`). SocSpec itself cannot round-trip through text — its kernel
+// factories are opaque closures — so SpecDoc is the authoritative
+// intermediate: generators produce SpecDoc, `to_text` serializes it,
+// `parse_spec_text` reads it back, and `to_spec` elaborates it (kernels are
+// reconstructed from the recorded traffic seed). Used for the checked-in
+// ring-of-rings stress specs and `st_lint --spec-file`.
+
+struct NodeDoc {
+    std::uint32_t hold = 4;
+    std::uint32_t recycle = 4;
+    bool has_initial_recycle = false;  ///< false = node defaults to recycle
+    std::uint32_t initial_recycle = 0;
+    bool holder = false;
+
+    bool operator==(const NodeDoc&) const = default;
+};
+
+struct SbDoc {
+    std::string name;
+    std::uint64_t period = 1000;  ///< ring-oscillator base period, ps
+    unsigned divider = 1;
+    std::uint64_t phase = 0;
+    std::uint64_t restart = 50;
+    std::uint64_t seed = 0;  ///< TrafficKernel seed
+
+    bool operator==(const SbDoc&) const = default;
+};
+
+struct RingDoc {
+    std::string name;
+    std::size_t sb_a = 0;
+    std::size_t sb_b = 0;
+    NodeDoc node_a;
+    NodeDoc node_b;
+    std::uint64_t delay_ab = 900;
+    std::uint64_t delay_ba = 900;
+
+    bool operator==(const RingDoc&) const = default;
+};
+
+struct MemberDoc {
+    std::size_t sb = 0;
+    std::uint64_t hop_delay = 900;
+    NodeDoc node;
+
+    bool operator==(const MemberDoc&) const = default;
+};
+
+struct MultiRingDoc {
+    std::string name;
+    std::vector<MemberDoc> members;
+
+    bool operator==(const MultiRingDoc&) const = default;
+};
+
+struct ChannelDoc {
+    std::string name;
+    std::size_t from_sb = 0;
+    std::size_t to_sb = 0;
+    std::size_t ring = 0;
+    bool on_multi_ring = false;
+    std::size_t depth = 4;
+    std::uint64_t stage_delay = 100;
+    unsigned data_bits = 32;
+    std::uint64_t head_req = 20;
+    std::uint64_t head_ack = 20;
+    std::uint64_t tail_req = 20;
+    std::uint64_t tail_ack = 20;
+
+    bool operator==(const ChannelDoc&) const = default;
+};
+
+struct SpecDoc {
+    std::vector<SbDoc> sbs;
+    std::vector<RingDoc> rings;
+    std::vector<MultiRingDoc> multi_rings;
+    std::vector<ChannelDoc> channels;
+
+    bool operator==(const SpecDoc&) const = default;
+};
+
+/// Serialize to the `.stspec` v1 text form. Deterministic: equal docs yield
+/// byte-identical text.
+std::string to_text(const SpecDoc& doc);
+
+/// Parse `.stspec` text. Throws std::runtime_error with a line number on any
+/// malformed input. parse_spec_text(to_text(d)) == d for every valid doc.
+SpecDoc parse_spec_text(const std::string& text);
+
+/// Read and parse a `.stspec` file. Throws std::runtime_error on I/O errors.
+SpecDoc load_spec_file(const std::string& path);
+
+/// Elaboratable SocSpec with TrafficKernel factories from the recorded
+/// seeds. Does not validate topology — that is the verifier's job.
+sys::SocSpec to_spec(const SpecDoc& doc);
+
+}  // namespace st::sva

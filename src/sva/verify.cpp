@@ -1,0 +1,109 @@
+#include "sva/verify.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "runner/runner.hpp"
+#include "sva/graph.hpp"
+
+namespace st::sva {
+
+std::size_t VerifyReport::count(Verdict v) const {
+    std::size_t n = 0;
+    for (const auto& ob : obligations) {
+        if (ob.verdict == v) ++n;
+    }
+    return n;
+}
+
+bool VerifyReport::clean() const {
+    for (const auto& ob : obligations) {
+        if (ob.verdict != Verdict::kProven) return false;
+    }
+    return true;
+}
+
+std::string VerifyReport::summary() const {
+    std::ostringstream os;
+    os << obligations.size() << " obligation(s): " << count(Verdict::kProven)
+       << " proven, " << count(Verdict::kConfirmed) << " confirmed, "
+       << count(Verdict::kPlausible) << " plausible, "
+       << count(Verdict::kRetracted) << " retracted";
+    return os.str();
+}
+
+VerifyReport verify(const sys::SocSpec& spec, const VerifyOptions& opt) {
+    const TokenFlowGraph g = lower(spec);
+    VerifyReport vr;
+    vr.lowered_ok = g.ok();
+
+    // The passes are independent pure analyses over the shared immutable
+    // graph: fan them out on the runner engine. Reduction in pass order
+    // keeps the obligation list bit-identical at any --jobs value.
+    using PassFn = std::vector<Obligation> (*)(const TokenFlowGraph&);
+    static constexpr PassFn kPasses[] = {pass_structure, pass_deadlock,
+                                         pass_occupancy, pass_clocks,
+                                         pass_ordering};
+    constexpr std::size_t kNumPasses = sizeof(kPasses) / sizeof(kPasses[0]);
+    runner::sweep(
+        kNumPasses, opt.jobs,
+        [&](std::size_t i) { return kPasses[i](g); },
+        [&](std::size_t, std::vector<Obligation>&& obs) {
+            for (auto& ob : obs) vr.obligations.push_back(std::move(ob));
+        });
+
+    if (opt.cross_check) {
+        std::vector<std::size_t> todo;
+        for (std::size_t i = 0; i < vr.obligations.size(); ++i) {
+            if (vr.obligations[i].witness.has_value()) todo.push_back(i);
+        }
+        // Witness replays are full (bounded) simulations — the expensive
+        // tier — and independent of each other: fan them out too.
+        runner::sweep(
+            todo.size(), opt.jobs,
+            [&](std::size_t k) {
+                Witness w = *vr.obligations[todo[k]].witness;
+                if (w.cycles == 0) w.cycles = opt.witness_cycles;
+                return replay_witness(spec, w);
+            },
+            [&](std::size_t k, ReplayResult&& res) {
+                Obligation& ob = vr.obligations[todo[k]];
+                if (ob.witness->cycles == 0) {
+                    ob.witness->cycles = opt.witness_cycles;
+                }
+                ob.verdict = res.confirmed ? Verdict::kConfirmed
+                                           : Verdict::kRetracted;
+                ob.replay = std::move(res.detail);
+            });
+    }
+    return vr;
+}
+
+void render(const VerifyReport& vr, lint::LintReport& out) {
+    for (const auto& ob : vr.obligations) {
+        lint::Diagnostic d;
+        d.rule = ob.pass;
+        d.locus = ob.locus;
+        const bool bad = ob.verdict == Verdict::kPlausible ||
+                         ob.verdict == Verdict::kConfirmed;
+        d.severity = bad ? lint::Severity::kError : lint::Severity::kNote;
+        std::string msg =
+            std::string(verdict_name(ob.verdict)) + ": " + ob.evidence;
+        if (ob.verdict == Verdict::kRetracted) {
+            msg += " — static over-approximation, finding withdrawn";
+        }
+        if (!ob.replay.empty()) msg += "; replay: " + ob.replay;
+        d.message = std::move(msg);
+        if (ob.witness.has_value()) {
+            d.witness = ob.witness->describe();
+        }
+        out.add(std::move(d));
+    }
+    if (!vr.lowered_ok) {
+        out.add(lint::Severity::kNote, "sva-structure", "soc",
+                "deadlock/occupancy/clock/ordering passes skipped until the "
+                "structure obligations are resolved");
+    }
+}
+
+}  // namespace st::sva

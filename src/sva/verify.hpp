@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "sva/passes.hpp"
+#include "system/spec.hpp"
+
+namespace st::sva {
+
+struct VerifyOptions {
+    /// Replay every witness through the st_fuzz classifier to upgrade
+    /// PLAUSIBLE findings to CONFIRMED or retract them.
+    bool cross_check = true;
+    /// Replay horizon (local cycles) for witnesses that do not pin one.
+    std::uint64_t witness_cycles = 200;
+    /// Fan passes and witness replays out over runner::sweep.
+    std::size_t jobs = 1;
+};
+
+struct VerifyReport {
+    std::vector<Obligation> obligations;
+    bool lowered_ok = true;
+
+    std::size_t count(Verdict v) const;
+    /// Every obligation discharged statically — the acceptance bar for
+    /// shipped and generated specs.
+    bool clean() const;
+    /// "7 obligation(s): 7 proven, 0 confirmed, 0 plausible, 0 retracted"
+    std::string summary() const;
+};
+
+/// Lower `spec` and run the full static-verification pipeline: the five
+/// passes fan out on the runner engine, then every witnessed obligation is
+/// cross-checked dynamically (when enabled). Never throws on malformed
+/// specs — structural defects become obligations.
+VerifyReport verify(const sys::SocSpec& spec, const VerifyOptions& opt = {});
+
+/// Render obligations as lint diagnostics: PROVEN and RETRACTED are notes,
+/// PLAUSIBLE and CONFIRMED are errors; the witness description rides along
+/// on the diagnostic for machine-readable output.
+void render(const VerifyReport& vr, lint::LintReport& out);
+
+}  // namespace st::sva

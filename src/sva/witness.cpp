@@ -1,0 +1,91 @@
+#include "sva/witness.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+namespace st::sva {
+
+std::string Witness::describe() const {
+    std::ostringstream os;
+    os << "delays{";
+    bool first = true;
+    for (std::size_t d = 0; d < delays.dimensions(); ++d) {
+        if (delays.get(d) == 100) continue;
+        if (!first) os << ", ";
+        first = false;
+        os << delays.dim_name(d) << "=" << delays.get(d) << "%";
+    }
+    if (first) os << "nominal";
+    os << "}";
+    for (const auto& f : faults) os << " fault{" << f.describe() << "}";
+    if (cycles > 0) os << " cycles=" << cycles;
+    if (expect_trap) {
+        os << " expect=trap";
+    } else {
+        os << " expect={";
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            os << (i ? "," : "") << fuzz::outcome_name(expect[i]);
+        }
+        os << "}";
+    }
+    return os.str();
+}
+
+ReplayResult replay_witness(const sys::SocSpec& spec, const Witness& w) {
+    const std::uint64_t cycles = w.cycles > 0 ? w.cycles : 200;
+    fuzz::FuzzCase c;
+    c.delays = w.delays;
+    c.faults = w.faults;
+
+    const auto expected = [&](fuzz::Outcome o) {
+        return std::find(w.expect.begin(), w.expect.end(), o) !=
+               w.expect.end();
+    };
+
+    // Stage 1: direct bounded probe. Elaboration traps and goal misses are
+    // classified here without needing a golden run (whose own nominal leg
+    // can legitimately fail for deadlocking specs).
+    fuzz::RunReport probe;
+    try {
+        probe = fuzz::probe_case(spec, c, cycles);
+    } catch (const std::exception& e) {
+        if (w.expect_trap) {
+            return {true, std::string("model trap: ") + e.what()};
+        }
+        return {false, std::string("unexpected model trap: ") + e.what()};
+    }
+    if (w.expect_trap) {
+        return {false,
+                "expected an elaboration trap but the witness ran (" +
+                    std::string(fuzz::outcome_name(probe.outcome)) + ")"};
+    }
+    if (probe.outcome == fuzz::Outcome::kDeadlocked ||
+        probe.outcome == fuzz::Outcome::kInvariantViolation) {
+        const std::string what =
+            std::string(fuzz::outcome_name(probe.outcome)) +
+            (probe.detail.empty() ? "" : ": " + probe.detail);
+        if (expected(probe.outcome)) return {true, what};
+        return {false, "witness replayed '" + what + "'"};
+    }
+
+    // Stage 2: the goal was met cleanly, so a divergence verdict needs the
+    // golden-backed classifier.
+    fuzz::RunReport r;
+    try {
+        fuzz::CampaignConfig cfg;
+        cfg.spec_name = "<sva-witness>";
+        cfg.cycles = cycles;
+        const fuzz::Campaign campaign(cfg, spec);
+        r = campaign.run_case(c);
+    } catch (const std::exception& e) {
+        return {false,
+                std::string("golden-backed replay failed: ") + e.what()};
+    }
+    const std::string what = std::string(fuzz::outcome_name(r.outcome)) +
+                             (r.detail.empty() ? "" : ": " + r.detail);
+    if (expected(r.outcome)) return {true, what};
+    return {false, "witness replayed '" + what + "'"};
+}
+
+}  // namespace st::sva

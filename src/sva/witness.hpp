@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/fault.hpp"
+#include "system/delay_config.hpp"
+#include "system/spec.hpp"
+
+namespace st::sva {
+
+/// A concretized counterexample attached to a non-proven obligation: a
+/// delay configuration (plus an optional fault plan) that, replayed through
+/// the st_fuzz classifier, should reproduce the predicted failure. This is
+/// the contract that keeps the static layer honest — every PLAUSIBLE
+/// finding either upgrades to CONFIRMED dynamically or is retracted.
+struct Witness {
+    sys::DelayConfig delays;
+    std::vector<fuzz::Fault> faults;
+    /// Replay horizon in local cycles; 0 = use the verifier's default.
+    std::uint64_t cycles = 0;
+    /// The defect is structural: elaborating the spec at all must throw
+    /// (a "model trap"); `expect` is ignored.
+    bool expect_trap = false;
+    /// Acceptable fuzz outcomes; any of them confirms the finding.
+    std::vector<fuzz::Outcome> expect;
+
+    /// Compact human/JSON-safe description: perturbed delay dimensions,
+    /// fault plan, horizon, and the expected outcome set.
+    std::string describe() const;
+};
+
+/// Result of replaying one witness through the dynamic classifier.
+struct ReplayResult {
+    bool confirmed = false;
+    std::string detail;  ///< outcome + classifier detail, or trap message
+};
+
+/// Replay `w` against `spec`:
+///  1. a thrown elaboration/model error counts as CONFIRMED iff the witness
+///     expected a trap;
+///  2. a deadlock or invariant violation observed by a direct bounded probe
+///     (no golden needed) confirms if expected;
+///  3. otherwise a golden-backed fuzz::Campaign classifies the case and the
+///     outcome must be in the expected set.
+ReplayResult replay_witness(const sys::SocSpec& spec, const Witness& w);
+
+}  // namespace st::sva

@@ -245,6 +245,52 @@ TEST(RaceAudit, DistinctActorsOrSlotsDoNotFire) {
     EXPECT_TRUE(sched.races().empty());
 }
 
+TEST(DiagnosticFormat, JsonObjectEscapesAndOmitsEmptyFields) {
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.rule = "fifo-depth";
+    d.locus = "channel \"x\"";
+    d.message = "line1\nline2";
+    EXPECT_EQ(d.to_json(),
+              "{\"rule\":\"fifo-depth\",\"severity\":\"warning\","
+              "\"locus\":\"channel \\\"x\\\"\","
+              "\"message\":\"line1\\nline2\"}");
+    d.fix_hint = "raise depth";
+    d.witness = "delays{fifo0=200%}";
+    EXPECT_NE(d.to_json().find("\"fix_hint\":\"raise depth\""),
+              std::string::npos);
+    EXPECT_NE(d.to_json().find("\"witness\":\"delays{fifo0=200%}\""),
+              std::string::npos);
+}
+
+TEST(DiagnosticFormat, ReportJsonIsAnArray) {
+    LintReport r;
+    r.add(Severity::kError, "a-rule", "spot", "msg");
+    r.add(Severity::kNote, "b-rule", "spot2", "msg2");
+    const std::string j = r.to_json();
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_EQ(j.back(), ']');
+    EXPECT_NE(j.find("\"rule\":\"a-rule\""), std::string::npos);
+    EXPECT_NE(j.find("},{"), std::string::npos);
+}
+
+TEST(DiagnosticFormat, CanonicalizeSortsByCatalogOrderThenLocus) {
+    LintReport r;
+    r.add(Severity::kNote, "zzz-unknown", "b", "m");
+    r.add(Severity::kError, "fifo-depth", "z", "m");
+    r.add(Severity::kError, "fifo-depth", "a", "m");
+    r.add(Severity::kNote, "channel-ring", "x", "m");
+    r.add(Severity::kNote, "aaa-unknown", "a", "m");
+    r.canonicalize({"channel-ring", "fifo-depth"});
+    const auto& d = r.diagnostics();
+    ASSERT_EQ(d.size(), 5u);
+    EXPECT_EQ(d[0].rule, "channel-ring");
+    EXPECT_EQ(d[1].locus, "a");  // fifo-depth sorted by locus
+    EXPECT_EQ(d[2].locus, "z");
+    EXPECT_EQ(d[3].rule, "aaa-unknown");  // unknown rules last, by name
+    EXPECT_EQ(d[4].rule, "zzz-unknown");
+}
+
 TEST(RaceAudit, AuditOffRecordsNothing) {
     sim::Scheduler sched;
     int dummy = 0;

@@ -447,6 +447,53 @@ TEST(DebugDriver, SaveLoadResumesExactly) {
     std::remove(path.c_str());
 }
 
+TEST(DebugDriverRaceAudit, SettingSurvivesRestoreAndStaysArmed) {
+    debug::Driver drv(sys::make_pair_spec());
+    drv.set_race_audit(true);
+    drv.run_to_cycle(0, kPrefix, kDeadline);
+    const auto image = drv.snapshot();
+    drv.restore(image);
+    // The flag is driver state: the fresh Soc elaborated by restore() must
+    // come back with the scheduler audit re-armed.
+    EXPECT_TRUE(drv.race_audit());
+    EXPECT_TRUE(drv.soc().scheduler().race_audit());
+    // And genuinely armed, not just reported: a synthetic same-slot
+    // collision on the restored scheduler is recorded.
+    int dummy = 0;
+    auto& sched = drv.soc().scheduler();
+    sched.schedule_after(10, sim::EventTag{&dummy, "writer-a"}, [] {});
+    sched.schedule_after(10, sim::EventTag{&dummy, "writer-b"}, [] {});
+    drv.step(2000);
+    EXPECT_FALSE(drv.races().empty());
+}
+
+TEST(DebugDriverRaceAudit, ResumedSessionAuditsLikeTheColdSession) {
+    // Cold session: audit enabled over the whole window.
+    debug::Driver cold(sys::make_triangle_spec());
+    cold.set_race_audit(true);
+    cold.run_to_cycle(0, kTotal, kDeadline);
+    // Resumed session: audit enabled, snapshot mid-run, restore, continue.
+    debug::Driver split(sys::make_triangle_spec());
+    split.set_race_audit(true);
+    split.run_to_cycle(0, kPrefix, kDeadline);
+    const auto image = split.snapshot();
+    split.restore(image);
+    split.run_to_cycle(0, kTotal, kDeadline);
+    // Identical end state, and the audited event stream is race-free in
+    // both sessions — the resume changed nothing about the audit.
+    EXPECT_EQ(cold.digest(), split.digest());
+    EXPECT_TRUE(cold.races().empty());
+    EXPECT_TRUE(split.races().empty());
+}
+
+TEST(DebugDriverRaceAudit, OffByDefaultAndOffAfterPlainRestore) {
+    debug::Driver drv(sys::make_pair_spec());
+    EXPECT_FALSE(drv.race_audit());
+    drv.run_to_cycle(0, kPrefix, kDeadline);
+    drv.restore(drv.snapshot());
+    EXPECT_FALSE(drv.soc().scheduler().race_audit());
+}
+
 // --- warm-up forking ----------------------------------------------------
 
 TEST(WarmRunner, ForkedSweepIsBitIdenticalToNonForked) {

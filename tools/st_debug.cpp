@@ -46,6 +46,10 @@ void usage() {
         "  --load FILE        restore FILE into a fresh Soc (same spec)\n"
         "  --digest           print the 64-bit state digest\n"
         "  --cycles           print each SB's local cycle count\n"
+        "  --race-audit       enable the scheduler same-slot race audit for\n"
+        "                     subsequent commands; the setting survives\n"
+        "                     --load (resumed sessions audit identically)\n"
+        "  --races            print the number of races recorded so far\n"
         "  --diff A B         compare two snapshot files; lists differing\n"
         "                     chunks, exit 1 unless identical\n");
 }
@@ -167,6 +171,10 @@ int main(int argc, char** argv) {
                                 ses.get().digest()));
             } else if (arg == "--cycles") {
                 print_state(ses.get(), ses.get().soc().spec());
+            } else if (arg == "--race-audit") {
+                ses.get().set_race_audit(true);
+            } else if (arg == "--races") {
+                std::printf("%zu race(s)\n", ses.get().races().size());
             } else if (arg == "--diff") {
                 const std::string a = next();
                 const std::string b = next();
