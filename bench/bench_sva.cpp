@@ -16,21 +16,21 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sva/generator.hpp"
 #include "sva/graph.hpp"
 #include "sva/spec_text.hpp"
 #include "sva/verify.hpp"
 #include "system/testbenches.hpp"
+#include "topo/topo.hpp"
 
 namespace {
 
 using namespace st;
 
 sys::SocSpec ring_of_rings(std::size_t n) {
-    sva::RingOfRingsOptions opt;
+    topo::RingOfRingsOptions opt;
     opt.clusters = n;
     opt.members = n;
-    return sva::to_spec(sva::make_ring_of_rings(opt));
+    return sva::to_spec(topo::make_ring_of_rings(opt));
 }
 
 double timed_verify(const sys::SocSpec& spec, std::size_t jobs,

@@ -1,0 +1,110 @@
+// Topology-generator scaling grid: generation, lint, static verify, and
+// routed-traffic simulation wall-clock versus SB count for the procedural
+// shapes in src/topo. The interesting axis is SB count — the deadlock
+// fixpoint and the event-driven sim both scale with stations/channels, and
+// this grid records where the 64 -> 1024 growth actually lands. Rows go to
+// BENCH_topo.json (docs/PERF.md schema); quick mode (ST_QUICK=1) caps the
+// grid at 256 SBs for CI.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lint/lint.hpp"
+#include "sim/time.hpp"
+#include "sva/spec_text.hpp"
+#include "sva/verify.hpp"
+#include "system/soc.hpp"
+#include "topo/topo.hpp"
+
+namespace {
+
+using namespace st;
+
+double best_of(std::size_t reps, const std::function<void()>& fn) {
+    double best = 1e9;
+    for (std::size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s = std::chrono::duration<double>(t1 - t0).count();
+        if (s < best) best = s;
+    }
+    return best;
+}
+
+constexpr std::uint64_t kSimCycles = 200;
+
+void run_experiment() {
+    const bool quick = bench::quick_mode();
+    const std::size_t reps = quick ? 3 : 5;
+    bench::JsonReport report("BENCH_topo.json");
+
+    bench::banner("topo generator — gen / lint / verify / sim vs SB count");
+    std::printf("%6s | %5s | %10s | %10s | %10s | %10s\n", "shape", "sbs",
+                "gen ms", "lint ms", "verify ms", "sim ms");
+
+    std::vector<std::size_t> sizes = {64, 256};
+    if (!quick) sizes.push_back(1024);
+
+    for (const topo::Shape shape :
+         {topo::Shape::kMesh, topo::Shape::kTorus, topo::Shape::kStar,
+          topo::Shape::kHierRing}) {
+        for (const std::size_t n : sizes) {
+            topo::Options opt;
+            opt.shape = shape;
+            opt.sbs = n;
+            opt.seed = 42;
+            const double gen_s =
+                best_of(reps, [&] { (void)topo::generate(opt); });
+            const auto spec = sva::to_spec(topo::generate(opt));
+            const double lint_s = best_of(reps, [&] {
+                if (!lint::lint(spec).ok()) std::exit(1);
+            });
+            sva::VerifyOptions vo;
+            vo.cross_check = false;  // static tier; generated specs PROVEN
+            const double verify_s = best_of(reps, [&] {
+                if (!sva::verify(spec, vo).clean()) std::exit(1);
+            });
+            const double sim_s = best_of(reps, [&] {
+                sys::Soc soc(spec);
+                if (!soc.run_cycles(kSimCycles, sim::ms(60))) std::exit(1);
+            });
+            std::printf("%6s | %5zu | %10.3f | %10.3f | %10.3f | %10.3f\n",
+                        topo::shape_name(shape), n, gen_s * 1e3, lint_s * 1e3,
+                        verify_s * 1e3, sim_s * 1e3);
+            const std::string tag =
+                std::string(topo::shape_name(shape)) + std::to_string(n);
+            report.add("topo_gen_" + tag, gen_s * 1e3, "ms", 1);
+            report.add("topo_lint_" + tag, lint_s * 1e3, "ms", 1);
+            report.add("topo_verify_" + tag, verify_s * 1e3, "ms", 1);
+            report.add("topo_sim" + std::to_string(kSimCycles) + "_" + tag,
+                       sim_s * 1e3, "ms", 1);
+        }
+    }
+
+    report.write();
+}
+
+void BM_GenerateMesh256(benchmark::State& state) {
+    topo::Options opt;
+    opt.sbs = 256;
+    opt.seed = 42;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topo::generate(opt));
+    }
+}
+BENCHMARK(BM_GenerateMesh256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    run_experiment();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

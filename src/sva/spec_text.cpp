@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "synchro/token_node.hpp"
+#include "workload/noc.hpp"
 #include "workload/traffic.hpp"
 
 namespace st::sva {
@@ -13,6 +14,16 @@ namespace st::sva {
 namespace {
 
 // --- writer ----------------------------------------------------------------
+
+const char* noc_mode_name(unsigned mode) {
+    switch (mode) {
+        case 0: return "mesh";
+        case 1: return "torus";
+        case 2: return "star";
+    }
+    throw std::invalid_argument("stspec: unknown noc mode " +
+                                std::to_string(mode));
+}
 
 void write_node(std::ostringstream& os, const NodeDoc& n) {
     os << n.hold << "," << n.recycle << ",";
@@ -139,8 +150,17 @@ std::string to_text(const SpecDoc& doc) {
     for (const auto& sb : doc.sbs) {
         os << "sb " << sb.name << " period=" << sb.period
            << " divider=" << sb.divider << " phase=" << sb.phase
-           << " restart=" << sb.restart << " kernel=traffic:0x" << std::hex
-           << sb.seed << std::dec << "\n";
+           << " restart=" << sb.restart;
+        if (sb.has_noc) {
+            os << " kernel=noc:" << noc_mode_name(sb.noc.mode) << ","
+               << sb.noc.x << "," << sb.noc.y << "," << sb.noc.width << ","
+               << sb.noc.height << "," << sb.noc.nodes << ","
+               << sb.noc.inject_period << ",0x" << std::hex << sb.seed
+               << std::dec;
+        } else {
+            os << " kernel=traffic:0x" << std::hex << sb.seed << std::dec;
+        }
+        os << "\n";
     }
     for (const auto& r : doc.rings) {
         os << "ring " << r.name << " a=" << r.sb_a << " b=" << r.sb_b
@@ -199,12 +219,41 @@ SpecDoc parse_spec_text(const std::string& text) {
             sb.phase = f.num("phase");
             sb.restart = f.num("restart");
             const std::string kernel = f.get("kernel");
-            const std::string prefix = "traffic:";
-            if (kernel.rfind(prefix, 0) != 0) {
+            const std::string traffic_prefix = "traffic:";
+            const std::string noc_prefix = "noc:";
+            if (kernel.rfind(traffic_prefix, 0) == 0) {
+                sb.seed =
+                    parse_u64(at, kernel.substr(traffic_prefix.size()));
+            } else if (kernel.rfind(noc_prefix, 0) == 0) {
+                const auto bits =
+                    split(kernel.substr(noc_prefix.size()), ',');
+                if (bits.size() != 8) {
+                    fail(at, "noc kernel wants "
+                             "mode,x,y,w,h,nodes,inject,seed");
+                }
+                sb.has_noc = true;
+                if (bits[0] == "mesh") {
+                    sb.noc.mode = 0;
+                } else if (bits[0] == "torus") {
+                    sb.noc.mode = 1;
+                } else if (bits[0] == "star") {
+                    sb.noc.mode = 2;
+                } else {
+                    fail(at, "unknown noc mode '" + bits[0] + "'");
+                }
+                sb.noc.x = static_cast<unsigned>(parse_u64(at, bits[1]));
+                sb.noc.y = static_cast<unsigned>(parse_u64(at, bits[2]));
+                sb.noc.width = static_cast<unsigned>(parse_u64(at, bits[3]));
+                sb.noc.height =
+                    static_cast<unsigned>(parse_u64(at, bits[4]));
+                sb.noc.nodes = static_cast<unsigned>(parse_u64(at, bits[5]));
+                sb.noc.inject_period =
+                    static_cast<unsigned>(parse_u64(at, bits[6]));
+                sb.seed = parse_u64(at, bits[7]);
+            } else {
                 fail(at, "unsupported kernel '" + kernel +
-                             "' (only traffic:<seed>)");
+                             "' (traffic:<seed> or noc:<...>)");
             }
-            sb.seed = parse_u64(at, kernel.substr(prefix.size()));
             doc.sbs.push_back(std::move(sb));
         } else if (kind == "ring") {
             RingDoc r;
@@ -290,7 +339,8 @@ core::TokenNode::Params to_params(const NodeDoc& n) {
 
 sys::SocSpec to_spec(const SpecDoc& doc) {
     sys::SocSpec spec;
-    for (const auto& sb : doc.sbs) {
+    for (std::size_t i = 0; i < doc.sbs.size(); ++i) {
+        const auto& sb = doc.sbs[i];
         sys::SbSpec s;
         s.name = sb.name;
         s.clock.base_period = sb.period;
@@ -298,9 +348,42 @@ sys::SocSpec to_spec(const SpecDoc& doc) {
         s.clock.phase = sb.phase;
         s.clock.restart_delay = sb.restart;
         const std::uint64_t seed = sb.seed;
-        s.make_kernel = [seed] {
-            return std::make_unique<wl::TrafficKernel>(seed);
-        };
+        if (sb.has_noc) {
+            // Output port k of SB i is the k-th channel with from_sb == i
+            // (Soc attaches outputs in channel order); each port's
+            // neighbour coordinates come from the destination SB's own noc
+            // record, so the routing table is derived, never stored.
+            wl::NocKernel::Config cfg;
+            cfg.mode = static_cast<wl::NocKernel::Config::Mode>(sb.noc.mode);
+            cfg.x = static_cast<std::uint8_t>(sb.noc.x);
+            cfg.y = static_cast<std::uint8_t>(sb.noc.y);
+            cfg.width = static_cast<std::uint8_t>(sb.noc.width);
+            cfg.height = static_cast<std::uint8_t>(sb.noc.height);
+            cfg.nodes = static_cast<std::uint16_t>(sb.noc.nodes);
+            cfg.seed = seed;
+            cfg.inject_period = sb.noc.inject_period;
+            for (const auto& c : doc.channels) {
+                if (c.from_sb != i) continue;
+                if (c.to_sb >= doc.sbs.size() ||
+                    !doc.sbs[c.to_sb].has_noc) {
+                    throw std::runtime_error(
+                        "stspec: noc SB '" + sb.name + "' channel '" +
+                        c.name + "' targets a non-noc SB");
+                }
+                const auto& peer = doc.sbs[c.to_sb].noc;
+                wl::NocKernel::Config::OutPort port;
+                port.x = static_cast<std::uint8_t>(peer.x);
+                port.y = static_cast<std::uint8_t>(peer.y);
+                cfg.ports.push_back(port);
+            }
+            s.make_kernel = [cfg] {
+                return std::make_unique<wl::NocKernel>(cfg);
+            };
+        } else {
+            s.make_kernel = [seed] {
+                return std::make_unique<wl::TrafficKernel>(seed);
+            };
+        }
         spec.sbs.push_back(std::move(s));
     }
     for (const auto& r : doc.rings) {

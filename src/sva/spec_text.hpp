@@ -26,13 +26,35 @@ struct NodeDoc {
     bool operator==(const NodeDoc&) const = default;
 };
 
+/// Routed-traffic kernel parameters (wl::NocKernel). The per-SB output-port
+/// table is NOT recorded here: `to_spec` derives it from the channel list —
+/// output port k of SB i is the k-th channel with from_sb == i, and its
+/// neighbour coordinates come from the destination SB's own noc record — so
+/// the text form cannot drift out of sync with the wiring.
+struct NocDoc {
+    unsigned mode = 0;  ///< 0 = mesh, 1 = torus, 2 = star
+    unsigned x = 0;
+    unsigned y = 0;
+    unsigned width = 1;
+    unsigned height = 1;
+    unsigned nodes = 1;
+    unsigned inject_period = 0;
+
+    bool operator==(const NocDoc&) const = default;
+};
+
 struct SbDoc {
     std::string name;
     std::uint64_t period = 1000;  ///< ring-oscillator base period, ps
     unsigned divider = 1;
     std::uint64_t phase = 0;
     std::uint64_t restart = 50;
-    std::uint64_t seed = 0;  ///< TrafficKernel seed
+    std::uint64_t seed = 0;  ///< kernel seed (traffic stream / injector)
+    /// Kernel kind: false = `traffic:<seed>` (TrafficKernel), true =
+    /// `noc:<mode>,...` (NocKernel routed traffic; additive v1 extension —
+    /// files without it parse exactly as before).
+    bool has_noc = false;
+    NocDoc noc;
 
     bool operator==(const SbDoc&) const = default;
 };

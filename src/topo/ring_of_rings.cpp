@@ -1,9 +1,9 @@
-#include "sva/generator.hpp"
+#include "topo/topo.hpp"
 
 #include <stdexcept>
 #include <string>
 
-namespace st::sva {
+namespace st::topo {
 
 namespace {
 
@@ -13,12 +13,12 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
-SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
+sva::SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     if (opt.clusters < 1 || opt.members < 2) {
         throw std::invalid_argument(
             "ring-of-rings wants >= 1 cluster of >= 2 members");
     }
-    SpecDoc doc;
+    sva::SpecDoc doc;
     const auto period_of = [&](std::size_t global) {
         return opt.base_period + (global % 5) * opt.period_step;
     };
@@ -26,7 +26,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     for (std::size_t c = 0; c < opt.clusters; ++c) {
         for (std::size_t i = 0; i < opt.members; ++i) {
             const std::size_t g = c * opt.members + i;
-            SbDoc sb;
+            sva::SbDoc sb;
             sb.name = "c" + std::to_string(c) + "m" + std::to_string(i);
             sb.period = period_of(g);
             sb.restart = 50;
@@ -40,7 +40,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     // (H+1 local periods each) — the same bound the deadlock pass provisions
     // against. Recycle = ceil(absence / T_local) + slack.
     for (std::size_t c = 0; c < opt.clusters; ++c) {
-        MultiRingDoc m;
+        sva::MultiRingDoc m;
         m.name = "bus" + std::to_string(c);
         const std::uint64_t hops_total = opt.members * opt.hop_delay;
         for (std::size_t i = 0; i < opt.members; ++i) {
@@ -51,7 +51,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
                 absence += (opt.hold + 1ull) *
                            period_of(c * opt.members + j);
             }
-            MemberDoc mem;
+            sva::MemberDoc mem;
             mem.sb = g;
             mem.hop_delay = opt.hop_delay;
             mem.node.hold = opt.hold;
@@ -69,7 +69,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
         for (std::size_t c = 0; c < opt.clusters; ++c) {
             const std::size_t a = c * opt.members;
             const std::size_t b = ((c + 1) % opt.clusters) * opt.members;
-            RingDoc r;
+            sva::RingDoc r;
             r.name = "outer" + std::to_string(c);
             r.sb_a = a;
             r.sb_b = b;
@@ -97,7 +97,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     // the service-rate envelope corner-stable.
     for (std::size_t c = 0; c < opt.clusters; ++c) {
         for (std::size_t i = 0; i < opt.members; ++i) {
-            ChannelDoc ch;
+            sva::ChannelDoc ch;
             ch.name = "c" + std::to_string(c) + "ch" + std::to_string(i);
             ch.from_sb = c * opt.members + i;
             ch.to_sb = c * opt.members + (i + 1) % opt.members;
@@ -109,7 +109,7 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     }
     if (opt.clusters > 1) {
         for (std::size_t c = 0; c < opt.clusters; ++c) {
-            ChannelDoc ch;
+            sva::ChannelDoc ch;
             ch.name = "och" + std::to_string(c);
             ch.from_sb = c * opt.members;
             ch.to_sb = ((c + 1) % opt.clusters) * opt.members;
@@ -122,4 +122,4 @@ SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt) {
     return doc;
 }
 
-}  // namespace st::sva
+}  // namespace st::topo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sva/spec_text.hpp"
+
+namespace st::topo {
+
+/// Procedural topology generator: seeded, byte-reproducible SocSpec
+/// construction at NoC scale (64-1024 SBs). Every shape emits a
+/// `sva::SpecDoc`, so the `.stspec` v1 writer, `st_lint`, `st_lint
+/// --verify`, `st_fuzz` and `st_debug` consume generated systems unchanged.
+/// All rings are provisioned from the same closed-form recycle bound the
+/// lint/verify passes check, so generated specs are clean by construction at
+/// any size — the negative space stays covered by the fixture set.
+
+enum class Shape {
+    kMesh,      ///< 2-D mesh, XY-routed traffic
+    kTorus,     ///< 2-D torus (wraparound-shortest routing)
+    kStar,      ///< hub-and-spoke
+    kHierRing,  ///< hierarchical token rings (ring-of-rings buses)
+};
+
+const char* shape_name(Shape s);
+
+/// "mesh" / "torus" / "star" / "hring" -> Shape; nullopt otherwise.
+std::optional<Shape> parse_shape(const std::string& name);
+
+/// Near-square factorization of `sbs` (width <= height, width * height ==
+/// sbs). 64 -> 8x8, 256 -> 16x16, 1024 -> 32x32; primes degenerate to
+/// 1 x sbs.
+struct Geometry {
+    std::size_t width = 1;
+    std::size_t height = 1;
+};
+Geometry plan_geometry(std::size_t sbs);
+
+/// Distribution knobs. Every stochastic parameter is drawn from one
+/// `sim::Rng(seed)` stream in a documented fixed order (docs/TOPOLOGY.md),
+/// so equal options yield equal docs and — via `sva::to_text` —
+/// byte-identical `.stspec` files.
+///
+/// The default envelope is chosen so every lint pass and all five `st_lint
+/// --verify` obligations discharge statically at any supported size, AND so
+/// the dynamic determinism contract holds under the paper's +-50..100%
+/// delay perturbations (docs/TOPOLOGY.md "Provisioning envelope"):
+/// periods in [800, 1600] keep clock ratios <= 2 and the service-rate
+/// envelope corner-stable; token delays in [3000, 3600] dominate the
+/// worst-case FIFO ripple even at 200% stretch, so pushed data is always
+/// kernel-visible before the token that licenses its consumption; restart
+/// at 200 ps covers wedged tail-handshake resolution after a window-start
+/// poke; a single symmetric hold per ring balances producer/consumer
+/// service rates so channel FIFOs never back-pressure.
+struct Options {
+    Shape shape = Shape::kMesh;
+    std::size_t sbs = 64;
+    std::uint64_t seed = 1;  ///< non-zero; the whole-draw-stream seed
+
+    std::uint64_t period_lo = 800;  ///< ps, inclusive
+    std::uint64_t period_hi = 1600;
+    std::uint64_t period_quantum = 50;
+    std::uint32_t hold_lo = 2;  ///< per ring (both nodes), inclusive
+    std::uint32_t hold_hi = 4;
+    std::uint64_t token_delay_lo = 3000;  ///< ps, per token wire, inclusive
+    std::uint64_t token_delay_hi = 3600;
+    std::uint64_t token_delay_quantum = 50;
+    std::uint32_t depth_slack = 2;  ///< FIFO depth = producer hold + slack
+    /// Extra recycle cycles on top of the computed token-absence bound.
+    std::uint32_t recycle_slack = 8;
+    std::uint64_t restart = 200;      ///< ps, async restart latency
+    std::uint64_t stage_delay = 100;  ///< ps, FIFO stage ripple
+    /// Local cycles between packet injections at every node (0 = idle NoC).
+    std::uint32_t inject_period = 4;
+};
+
+/// Generate a spec document. Throws std::invalid_argument on unusable
+/// options (zero seed, too few SBs for the shape, a grid that does not fit
+/// 8-bit tile coordinates).
+sva::SpecDoc generate(const Options& opt);
+
+/// Geometry of a generated ring-of-rings stress spec: `clusters` multi-ring
+/// buses of `members` SBs each, cluster gateways chained by two-node outer
+/// rings. Parameters are formula-derived (not drawn), matching the
+/// checked-in `tests/data/ring_of_rings_*.stspec` fixtures byte-for-byte.
+/// `generate({.shape = Shape::kHierRing, ...})` routes here with a
+/// near-square clusters x members split.
+struct RingOfRingsOptions {
+    std::size_t clusters = 8;
+    std::size_t members = 8;
+    std::uint64_t base_period = 1000;  ///< ps
+    /// Per-SB period spread: period = base + (global_index % 5) * step.
+    std::uint64_t period_step = 120;
+    std::uint64_t hop_delay = 600;    ///< bus member-to-member token wire, ps
+    std::uint64_t outer_delay = 900;  ///< gateway-to-gateway token wire, ps
+    std::uint32_t hold = 3;
+    /// Extra recycle cycles on top of the computed token-absence bound.
+    std::uint32_t recycle_slack = 4;
+    std::uint64_t seed = 0xC0FFEE;  ///< traffic-kernel seed base
+};
+
+/// Deterministic: equal options yield equal docs (and, via `to_text`,
+/// byte-identical .stspec files — the checked-in stress specs are asserted
+/// against this).
+sva::SpecDoc make_ring_of_rings(const RingOfRingsOptions& opt = {});
+
+}  // namespace st::topo

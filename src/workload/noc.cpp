@@ -1,0 +1,192 @@
+#include "workload/noc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sb/kernels/transforms.hpp"
+
+namespace st::wl {
+
+namespace {
+
+constexpr std::size_t kNone = RouterKernel::kNone;
+
+/// Manhattan distance with optional wraparound per axis (torus).
+std::uint32_t axis_dist(std::uint8_t a, std::uint8_t b, std::uint8_t extent,
+                        bool wrap) {
+    const std::uint32_t d = a > b ? a - b : b - a;
+    if (!wrap || extent == 0) return d;
+    return std::min(d, extent - d);
+}
+
+}  // namespace
+
+NocKernel::NocKernel(Config cfg) : cfg_(std::move(cfg)), rng_state_(cfg_.seed) {
+    if (cfg_.seed == 0) throw std::invalid_argument("NocKernel: zero seed");
+    if (cfg_.nodes == 0) throw std::invalid_argument("NocKernel: zero nodes");
+    if (cfg_.mode != Config::Mode::kStar &&
+        (cfg_.width == 0 || cfg_.height == 0)) {
+        throw std::invalid_argument("NocKernel: empty grid");
+    }
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+        const auto c = node_coords(cfg_.mode, cfg_.width, i);
+        if (c.x == cfg_.x && c.y == cfg_.y) {
+            self_index_ = i;
+            break;
+        }
+    }
+    out_queues_.resize(cfg_.ports.size());
+}
+
+std::uint64_t NocKernel::rng_next() {
+    // splitmix64 (same core as sim::Rng): one u64 of state, trivially
+    // snapshot-able through the scan image.
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Word NocKernel::make_packet() {
+    // Uniform destination over every node but this one: draw in
+    // [0, nodes-1) and skip self. The modulo bias over <= 65535 nodes is
+    // irrelevant for traffic shaping and keeps the draw single-step.
+    std::size_t dest = static_cast<std::size_t>(
+        rng_next() % (cfg_.nodes > 1 ? cfg_.nodes - 1 : 1));
+    if (dest >= self_index_) ++dest;
+    const auto c = node_coords(cfg_.mode, cfg_.width, dest);
+    return Packet::make(c.x, c.y, rng_next() & 0x0000ffffffffffffull);
+}
+
+std::size_t NocKernel::route(Word w) const {
+    const std::uint8_t dx = Packet::dest_x(w);
+    const std::uint8_t dy = Packet::dest_y(w);
+    if (cfg_.mode == Config::Mode::kStar) {
+        // Hub: the destination leaf's own port matches exactly. Leaf: the
+        // single uplink (port 0) — the hub is often *farther* from the
+        // destination than the leaf is, so the greedy metric below would
+        // wrongly refuse it.
+        for (std::size_t p = 0; p < cfg_.ports.size(); ++p) {
+            if (cfg_.ports[p].x == dx && cfg_.ports[p].y == dy) return p;
+        }
+        if ((cfg_.x != 0 || cfg_.y != 0) && !cfg_.ports.empty()) return 0;
+        return kNone;
+    }
+    const bool wrap = cfg_.mode == Config::Mode::kTorus;
+    // Greedy minimal-distance step with lowest-port tie-break. The
+    // generator emits grid ports in east, west, north, south order, which
+    // makes this exactly RouterKernel's dimension-ordered (XY) policy on a
+    // mesh: a correct-direction x move and a correct-direction y move tie
+    // on remaining distance and the x port wins by index. On a torus the
+    // wrap metric picks the shorter way round each axis.
+    std::uint32_t best_dist = std::numeric_limits<std::uint32_t>::max();
+    std::size_t best = kNone;
+    const std::uint32_t here =
+        axis_dist(cfg_.x, dx, cfg_.width, wrap) +
+        axis_dist(cfg_.y, dy, cfg_.height, wrap);
+    for (std::size_t p = 0; p < cfg_.ports.size(); ++p) {
+        const auto& n = cfg_.ports[p];
+        const std::uint32_t d = axis_dist(n.x, dx, cfg_.width, wrap) +
+                                axis_dist(n.y, dy, cfg_.height, wrap);
+        if (d < here && d < best_dist) {
+            best_dist = d;
+            best = p;
+        }
+    }
+    return best;
+}
+
+void NocKernel::accept(Word w) {
+    if (Packet::dest_x(w) == cfg_.x && Packet::dest_y(w) == cfg_.y) {
+        crc_ = sb::Crc32Kernel::update(crc_, w);
+        ++delivered_;
+        return;
+    }
+    const std::size_t port = route(w);
+    if (port == kNone) {
+        // No port makes progress (mis-addressed packet on a degenerate
+        // shape): absorb it rather than queue it forever.
+        crc_ = sb::Crc32Kernel::update(crc_, w);
+        ++delivered_;
+        return;
+    }
+    out_queues_[port].push_back(w);
+}
+
+void NocKernel::on_cycle(sb::SbContext& ctx) {
+    // Ingest every visible word unconditionally — the store-and-forward
+    // contract. Leaving a word in the channel FIFO would tie its drain to
+    // the producer's wall-clock handshake pace instead of this SB's cycle
+    // count.
+    for (std::size_t i = 0; i < ctx.num_in(); ++i) {
+        if (ctx.in(i).has_data()) accept(ctx.in(i).take());
+    }
+    ++phase_;
+    if (cfg_.inject_period != 0 && cfg_.nodes > 1 &&
+        phase_ % cfg_.inject_period == 0) {
+        accept(make_packet());
+        ++injected_;
+    }
+    // Drain one queued word per output per enabled cycle, fixed port order
+    // — RouterKernel's deterministic priority. Transit queued ahead of the
+    // same-cycle injection above, because accept() appends.
+    for (std::size_t p = 0; p < out_queues_.size(); ++p) {
+        if (out_queues_[p].empty()) continue;
+        auto& out = ctx.out(p);
+        if (!out.can_push()) continue;
+        out.push(out_queues_[p].front());
+        out_queues_[p].pop_front();
+        ++forwarded_;
+    }
+}
+
+std::uint64_t NocKernel::queued() const {
+    std::uint64_t total = 0;
+    for (const auto& q : out_queues_) total += q.size();
+    return total;
+}
+
+std::vector<std::uint64_t> NocKernel::scan_state() const {
+    std::vector<std::uint64_t> image = {rng_state_, phase_,      injected_,
+                                        forwarded_, delivered_, crc_};
+    image.push_back(out_queues_.size());
+    for (const auto& q : out_queues_) {
+        image.push_back(q.size());
+        image.insert(image.end(), q.begin(), q.end());
+    }
+    return image;
+}
+
+void NocKernel::load_state(const std::vector<std::uint64_t>& image) {
+    if (image.size() > 0) rng_state_ = image[0];
+    if (image.size() > 1) phase_ = image[1];
+    if (image.size() > 2) injected_ = image[2];
+    if (image.size() > 3) forwarded_ = image[3];
+    if (image.size() > 4) delivered_ = image[4];
+    if (image.size() > 5) crc_ = static_cast<std::uint32_t>(image[5]);
+    if (image.size() <= 6) return;  // register prefix only; queues untouched
+    std::size_t pos = 6;
+    if (image[pos] != out_queues_.size()) {
+        throw std::invalid_argument("NocKernel: image port count mismatch");
+    }
+    ++pos;
+    std::vector<std::deque<Word>> queues(out_queues_.size());
+    for (auto& q : queues) {
+        if (pos >= image.size()) {
+            throw std::invalid_argument("NocKernel: truncated queue image");
+        }
+        const std::uint64_t len = image[pos++];
+        if (len > image.size() - pos) {
+            throw std::invalid_argument("NocKernel: truncated queue image");
+        }
+        q.assign(image.begin() + static_cast<std::ptrdiff_t>(pos),
+                 image.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        pos += len;
+    }
+    if (pos != image.size()) {
+        throw std::invalid_argument("NocKernel: image too long");
+    }
+    out_queues_ = std::move(queues);
+}
+
+}  // namespace st::wl

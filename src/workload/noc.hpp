@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "sb/kernel.hpp"
+#include "workload/router.hpp"
+
+namespace st::wl {
+
+/// Serializable routed-traffic node for generated NoC-scale topologies.
+///
+/// RouterKernel is the wiring-level router core, but its Config carries
+/// opaque deliver/inject closures, so it cannot ride a `.stspec` file. This
+/// kernel is the plain-data counterpart the `src/topo` generator emits: the
+/// whole configuration is integers (coordinates, grid extent, seed,
+/// injection cadence, per-port neighbour coordinates), so `sva::SpecDoc`
+/// round-trips it byte-exactly and `to_spec` re-elaborates it.
+///
+/// Unlike RouterKernel, which backpressures by *not consuming*, this kernel
+/// is store-and-forward: every visible input word is taken the cycle it
+/// shows, routed, and parked in an internal per-output queue; each output
+/// port drains one queued word per enabled cycle. The distinction is load-
+/// bearing for chip-level determinism (DESIGN.md §5, docs/TOPOLOGY.md): a
+/// refused word would back up the channel FIFO until the producer's tail
+/// handshake stalls, and a stalled handshake resolves at the *consumer's*
+/// wall-clock pace — leaking physical delay into the producer's local-cycle
+/// trace. Queued words, by contrast, are pure kernel state. Transit drains
+/// in fixed port order ahead of local injection (RouterKernel's priority).
+/// Packets use the wl::Packet word layout. Deliveries fold into a running
+/// CRC-32 and injections draw from a seeded splitmix64 stream, so — exactly
+/// like TrafficKernel — the signature is a determinism witness: one word
+/// delivered at a different cycle permanently scrambles it.
+class NocKernel final : public sb::Kernel {
+  public:
+    struct Config {
+        enum class Mode : std::uint8_t {
+            kMesh = 0,   ///< dimension-ordered (XY) routing
+            kTorus = 1,  ///< XY with wraparound-shortest direction choice
+            kStar = 2,   ///< hub-and-spoke: exact-match at the hub
+        };
+
+        Mode mode = Mode::kMesh;
+        std::uint8_t x = 0;       ///< own tile coordinates
+        std::uint8_t y = 0;
+        std::uint8_t width = 1;   ///< grid extent (mesh/torus dest mapping)
+        std::uint8_t height = 1;
+        std::uint16_t nodes = 1;  ///< total SB count (destination universe)
+        std::uint64_t seed = 1;   ///< injection stream seed (non-zero)
+        /// Local cycles between injection attempts; 0 disables injection
+        /// (pure transit node).
+        std::uint32_t inject_period = 0;
+        /// Neighbour coordinates per output port, in port order. Port order
+        /// is the generator's channel order for this SB (east, west, north,
+        /// south on grids; leaf order at a star hub).
+        struct OutPort {
+            std::uint8_t x = 0;
+            std::uint8_t y = 0;
+            bool operator==(const OutPort&) const = default;
+        };
+        std::vector<OutPort> ports;
+    };
+
+    /// Destination-index -> coordinates mapping shared by the generator and
+    /// the kernel's injection draw. Grid modes enumerate row-major; star
+    /// mode places the hub (index 0) at (0,0) and leaf i on a 16-wide
+    /// apron starting at y=1, so leaf coordinates never collide with the
+    /// hub's for any supported size.
+    static constexpr std::uint8_t kStarRow = 16;
+    static Config::OutPort node_coords(Config::Mode mode, std::uint8_t width,
+                                       std::size_t index) {
+        Config::OutPort c;
+        if (mode == Config::Mode::kStar) {
+            if (index == 0) return c;  // hub at (0,0)
+            const std::size_t leaf = index - 1;
+            c.x = static_cast<std::uint8_t>(leaf % kStarRow);
+            c.y = static_cast<std::uint8_t>(1 + leaf / kStarRow);
+            return c;
+        }
+        c.x = static_cast<std::uint8_t>(index % width);
+        c.y = static_cast<std::uint8_t>(index / width);
+        return c;
+    }
+
+    explicit NocKernel(Config cfg);
+
+    void on_cycle(sb::SbContext& ctx) override;
+
+    /// Output port for a packet not addressed here (kNone when no port can
+    /// make progress — the packet is absorbed locally). Exposed for tests.
+    std::size_t route(Word w) const;
+
+    std::uint64_t injected() const { return injected_; }
+    std::uint64_t forwarded() const { return forwarded_; }
+    std::uint64_t delivered() const { return delivered_; }
+    /// Words parked in internal output queues (store-and-forward backlog).
+    std::uint64_t queued() const;
+    std::uint32_t signature() const { return crc_; }
+    const Config& config() const { return cfg_; }
+
+    /// Scan image layout: 6 fixed registers, then the output queues
+    /// ([port count] then per port [length, words...]). Images of 6 or
+    /// fewer words update a register prefix and leave the queues alone.
+    std::vector<std::uint64_t> scan_state() const override;
+    void load_state(const std::vector<std::uint64_t>& image) override;
+
+  private:
+    std::uint64_t rng_next();
+    Word make_packet();
+    void accept(Word w);
+
+    Config cfg_;
+    std::size_t self_index_ = 0;  ///< derived from coords; not state
+    std::uint64_t rng_state_;
+    std::uint64_t phase_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint32_t crc_ = 0xffffffffu;
+    std::vector<std::deque<Word>> out_queues_;  ///< one per output port
+};
+
+}  // namespace st::wl

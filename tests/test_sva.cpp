@@ -21,7 +21,6 @@
 #include "fuzz/repro.hpp"
 #include "lint/lint.hpp"
 #include "sva/fixtures.hpp"
-#include "sva/generator.hpp"
 #include "sva/graph.hpp"
 #include "sva/spec_text.hpp"
 #include "sva/verify.hpp"
@@ -241,29 +240,8 @@ TEST(SpecText, RejectsMalformedInputWithLineNumbers) {
                  std::runtime_error);
 }
 
-TEST(Generator, CheckedInStressSpecsMatchTheGenerator) {
-    const std::filesystem::path dir = ST_TESTS_DATA_DIR;
-    for (const std::size_t n : {std::size_t(8), std::size_t(16)}) {
-        sva::RingOfRingsOptions opt;
-        opt.clusters = n;
-        opt.members = n;
-        const std::string expected = sva::to_text(sva::make_ring_of_rings(opt));
-        const std::string actual = read_file(
-            dir / ("ring_of_rings_" + std::to_string(n * n) + ".stspec"));
-        EXPECT_EQ(actual, expected)
-            << "regenerate tests/data with the current generator";
-    }
-}
-
-TEST(Generator, RingOfRings64IsProvenClean) {
-    sva::RingOfRingsOptions opt;
-    opt.clusters = 8;
-    opt.members = 8;
-    const auto spec = sva::to_spec(sva::make_ring_of_rings(opt));
-    EXPECT_TRUE(lint::lint(spec).ok());
-    const auto vr = sva::verify(spec);
-    EXPECT_TRUE(vr.clean()) << vr.summary();
-}
+// The ring-of-rings generator tests (fixture byte-identity, proven-clean at
+// 64 SBs) live in test_topo.cpp since the generator moved to src/topo.
 
 // --- repro-corpus pipeline -------------------------------------------------
 
