@@ -128,7 +128,9 @@ void run_experiment() {
                     static_cast<double>(ctl_result.runs ? ctl_result.runs : 1));
     if (!st_result.all_match()) {
         for (const auto& e : st_result.examples) {
-            std::printf("  example: %s\n", e.c_str());
+            std::printf("  example: run %llu: %s\n",
+                        static_cast<unsigned long long>(e.index),
+                        e.locus.c_str());
         }
     }
 }

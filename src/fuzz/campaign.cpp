@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fuzz/checkpoint.hpp"
 #include "fuzz/injector.hpp"
 #include "runner/runner.hpp"
 #include "system/delay_config.hpp"
@@ -133,35 +134,45 @@ Campaign::Campaign(CampaignConfig cfg, sys::SocSpec spec)
     }
 }
 
-RunReport Campaign::run_case(const FuzzCase& c) const {
-    const sys::SocSpec perturbed = sys::apply(spec_, c.delays);
+CaseRunner::CaseRunner(const Campaign& campaign) : campaign_(&campaign) {
+    if (campaign.config().streaming) {
+        // One checker for the worker's lifetime: the per-SB slot table and
+        // digest state reset per run (RunCapture::begin_run), but the
+        // golden binding and the attachment are paid once. Early exit is
+        // decided per case in run().
+        checker_ = std::make_unique<verify::StreamingChecker>(
+            campaign.golden_index());
+        checker_->attach(cap_);
+    }
+}
+
+RunReport CaseRunner::run(const FuzzCase& c) {
+    const Campaign& campaign = *campaign_;
+    const CampaignConfig& cfg = campaign.config();
+    const sys::SocSpec perturbed = sys::apply(campaign.spec(), c.delays);
     const sim::Time deadline =
-        static_cast<sim::Time>(cfg_.cycles + 64) *
+        static_cast<sim::Time>(cfg.cycles + 64) *
         max_effective_period(perturbed) * 8;
 
-    // One capture per case, backed by the worker thread's arena. In
-    // streaming mode a checker subscribes before the Soc exists (the Soc
-    // ctor's begin_run keeps the attachment), so even the restored warm-up
-    // prefix is checked online as it is replayed.
-    verify::RunCapture cap;
-    std::unique_ptr<verify::StreamingChecker> checker;
-    if (cfg_.streaming) {
-        verify::StreamingOptions opt;
+    // The capture is reused across cases, backed by this worker thread's
+    // arena. In streaming mode the checker stays subscribed across runs
+    // (the Soc ctor's begin_run keeps the attachment), so even the restored
+    // warm-up prefix is checked online as it is replayed.
+    verify::RunCapture& cap = cap_;
+    verify::StreamingChecker* checker = checker_.get();
+    if (checker != nullptr) {
         // Early exit is sound only where divergence is the final word: a
         // faulted run must complete, because a later deadlock or invariant
         // violation outranks the divergence (Outcome precedence). Checked
         // per case, not per config — a replayed fault counterexample under
         // a fault-free campaign config still carries faults.
-        opt.early_exit = cfg_.classes.empty() && c.faults.empty();
-        checker =
-            std::make_unique<verify::StreamingChecker>(golden_index_, opt);
-        checker->attach(cap);
+        checker->set_early_exit(cfg.classes.empty() && c.faults.empty());
     }
 
     std::unique_ptr<sys::Soc> soc_owner;
     std::unique_ptr<Injector> injector_owner;
     std::unique_ptr<sys::InvariantMonitor> monitor_owner;
-    if (cfg_.warmup_cycles == 0) {
+    if (cfg.warmup_cycles == 0) {
         soc_owner = std::make_unique<sys::Soc>(perturbed, &cap);
         injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
         monitor_owner = std::make_unique<sys::InvariantMonitor>(*soc_owner);
@@ -170,13 +181,13 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
         // re-simulated), then the case delta applied live. Both prefix
         // variants land in the identical state — restore-equivalence — so
         // the continuation, and therefore the report, is bit-identical.
-        soc_owner = std::make_unique<sys::Soc>(spec_, &cap);
-        if (cfg_.warmup_fork) {
-            soc_owner->restore_snapshot(prefix_);
+        soc_owner = std::make_unique<sys::Soc>(campaign.spec(), &cap);
+        if (cfg.warmup_fork) {
+            soc_owner->restore_snapshot(campaign.warmup_prefix());
         } else {
             bool warm_budget = false;
-            run_bounded(*soc_owner, cfg_.warmup_cycles, deadline,
-                        cfg_.max_events, warm_budget);
+            run_bounded(*soc_owner, cfg.warmup_cycles, deadline,
+                        cfg.max_events, warm_budget);
             soc_owner->settle();
         }
         injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
@@ -188,7 +199,7 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
     sys::InvariantMonitor& monitor = *monitor_owner;
 
     bool budget_expired = false;
-    const bool goal = run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
+    const bool goal = run_bounded(soc, cfg.cycles, deadline, cfg.max_events,
                                   budget_expired);
     const bool stopped_early = soc.scheduler().stop_requested();
 
@@ -234,10 +245,10 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
     }
     // Verdict: online (O(#SBs) for a deterministic run) or offline over the
     // arrival-ordered capture — the two are bit-identical by construction.
-    const verify::TraceDiff diff = cfg_.streaming
-                                       ? checker->finish()
-                                       : verify::diff_capture(golden_index_,
-                                                              cap);
+    const verify::TraceDiff diff =
+        checker != nullptr ? checker->finish()
+                           : verify::diff_capture(campaign.golden_index(),
+                                                  cap);
     if (!diff.identical) {
         r.outcome = Outcome::kTraceDivergent;
         r.detail = diff.first_mismatch;
@@ -246,6 +257,11 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
     }
     r.outcome = Outcome::kDeterministic;
     return r;
+}
+
+RunReport Campaign::run_case(const FuzzCase& c) const {
+    CaseRunner runner(*this);
+    return runner.run(c);
 }
 
 RunReport probe_case(const sys::SocSpec& spec, const FuzzCase& c,
@@ -359,35 +375,122 @@ CampaignSummary Campaign::run(
     std::uint64_t n_runs, std::uint64_t seed,
     const std::function<void(std::size_t, const FuzzCase&,
                              const RunReport&)>& on_run,
-    std::size_t jobs) const {
+    std::size_t jobs, const CampaignControl& ctl) const {
+    ctl.shard.validate();
+
     // Draw every case up front from the single campaign PRNG: the sequence
-    // of draws — and therefore every case — is independent of `jobs`. Case
-    // generation is trivially cheap next to running a simulation.
-    std::vector<FuzzCase> cases;
-    cases.reserve(n_runs);
+    // of draws — and therefore every case — is independent of `jobs` AND of
+    // the shard split (each shard replays the full draw sequence and keeps
+    // only its indices; drawing is trivially cheap next to simulation).
+    std::vector<FuzzCase> cases;       // this shard's cases
+    std::vector<std::uint64_t> index;  // their global campaign indices
+    cases.reserve(ctl.shard.size_of(n_runs));
+    index.reserve(cases.capacity());
     sim::Rng rng(seed);
     for (std::uint64_t i = 0; i < n_runs; ++i) {
-        cases.push_back(random_case(rng));
+        FuzzCase c = random_case(rng);
+        if (ctl.shard.selects(i)) {
+            cases.push_back(std::move(c));
+            index.push_back(i);
+        }
     }
 
-    // Each work item elaborates, injects, and runs its own private Soc (with
-    // its own Scheduler); the golden TraceSet is shared read-only. Reduction
-    // happens in case-index order on this thread, so the summary is
-    // bit-identical whatever `jobs` is.
+    const CampaignKey key =
+        make_campaign_key(cfg_, seed, n_runs, ctl.shard);
     CampaignSummary s;
-    runner::sweep(
-        cases.size(), jobs,
-        [&](std::size_t i) { return run_case(cases[i]); },
-        [&](std::size_t i, RunReport&& r) {
+    std::uint64_t done = 0;  // shard-local completed prefix
+    if (ctl.resume) {
+        if (ctl.checkpoint_path.empty()) {
+            throw std::invalid_argument(
+                "Campaign: resume requires a checkpoint path");
+        }
+        CampaignProgress p = load_progress_file(ctl.checkpoint_path);
+        if (!(p.key == key)) {
+            throw snap::SnapshotError(
+                "checkpoint '" + ctl.checkpoint_path +
+                "' belongs to a different campaign (spec/seed/runs/"
+                "config/shard mismatch)");
+        }
+        if (p.completed > cases.size()) {
+            throw snap::SnapshotError(
+                "checkpoint '" + ctl.checkpoint_path +
+                "' claims more completed cases than the shard holds");
+        }
+        s = std::move(p.summary);
+        done = p.completed;
+    }
+
+    // In-order reduction makes completed work a contiguous prefix of the
+    // shard's sequence, so `stop_after` (the deterministic stand-in for a
+    // mid-campaign kill) is a simple truncation and every checkpoint image
+    // is {key, prefix length, partial summary}.
+    std::uint64_t todo = cases.size() - done;
+    if (ctl.stop_after != 0 && ctl.stop_after < todo) todo = ctl.stop_after;
+    const bool checkpointing = !ctl.checkpoint_path.empty();
+    const std::uint64_t every =
+        ctl.checkpoint_every != 0 ? ctl.checkpoint_every : 1024;
+    std::uint64_t since_image = 0;
+
+    // Each work item elaborates, injects, and runs its own private Soc
+    // (with its own Scheduler) through its worker's reusable CaseRunner;
+    // the golden index is shared read-only. Reduction happens in case-index
+    // order on this thread, so the summary is bit-identical whatever `jobs`
+    // is.
+    runner::sweep_ctx(
+        static_cast<std::size_t>(todo), jobs,
+        [this] { return CaseRunner(*this); },
+        [&](CaseRunner& runner, std::size_t k) {
+            return runner.run(cases[done + k]);
+        },
+        [&](std::size_t k, RunReport&& r) {
+            const std::uint64_t gi = index[done + k];
             ++s.runs;
             ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
             if (r.faults_fired > 0) ++s.runs_with_fault_fired;
             if (r.outcome != Outcome::kDeterministic) {
-                s.add_failure(cases[i], r);
+                s.add_failure(gi, cases[done + k], r);
             }
-            if (on_run) on_run(i, cases[i], r);
+            if (on_run) {
+                on_run(static_cast<std::size_t>(gi), cases[done + k], r);
+            }
+            if (checkpointing &&
+                (++since_image >= every || k + 1 == todo)) {
+                save_progress_file(
+                    CampaignProgress{key, done + k + 1, s},
+                    ctl.checkpoint_path);
+                since_image = 0;
+            }
         });
     return s;
+}
+
+CampaignSummary merge_shards(const std::vector<CampaignSummary>& shards) {
+    CampaignSummary out;
+    std::uint64_t total_failures = 0;
+    for (const CampaignSummary& s : shards) {
+        out.runs += s.runs;
+        for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+            out.by_outcome[i] += s.by_outcome[i];
+        }
+        out.runs_with_fault_fired += s.runs_with_fault_fired;
+        total_failures += s.failures.size() + s.failures_dropped;
+        out.failures.insert(out.failures.end(), s.failures.begin(),
+                            s.failures.end());
+    }
+    // Re-create the single-process retention decision: order by global
+    // index, keep the first kMaxFailures, count the rest as dropped. Sound
+    // because each shard retains at least the failures a single process
+    // would have (see merge_shards doc).
+    std::sort(out.failures.begin(), out.failures.end(),
+              [](const CampaignSummary::Failure& a,
+                 const CampaignSummary::Failure& b) {
+                  return a.index < b.index;
+              });
+    if (out.failures.size() > CampaignSummary::kMaxFailures) {
+        out.failures.resize(CampaignSummary::kMaxFailures);
+    }
+    out.failures_dropped = total_failures - out.failures.size();
+    return out;
 }
 
 }  // namespace st::fuzz

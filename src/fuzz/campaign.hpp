@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fuzz/fault.hpp"
+#include "runner/runner.hpp"
 #include "sim/random.hpp"
 #include "snap/snapshot.hpp"
 #include "system/spec.hpp"
@@ -86,6 +88,19 @@ struct CampaignConfig {
 };
 
 struct CampaignSummary {
+    /// One retained failing case, tagged with its *global* campaign index —
+    /// the position in the seed's draw sequence, not the position within a
+    /// shard. Global indices are what make shard summaries mergeable: the
+    /// merged failure list is re-sorted by `index` and re-capped, which
+    /// reproduces the single-process retention decision exactly.
+    struct Failure {
+        std::uint64_t index = 0;
+        FuzzCase c;
+        RunReport report;
+
+        bool operator==(const Failure&) const = default;
+    };
+
     std::uint64_t runs = 0;
     std::uint64_t by_outcome[kNumOutcomes] = {};
     std::uint64_t runs_with_fault_fired = 0;
@@ -95,20 +110,89 @@ struct CampaignSummary {
     /// would otherwise retain every failing case — delays, faults, detail
     /// strings — and grow without bound. `failures_dropped` counts the
     /// overflow so nothing is silently lost.
-    std::vector<std::pair<FuzzCase, RunReport>> failures;
+    std::vector<Failure> failures;
     std::uint64_t failures_dropped = 0;
     static constexpr std::size_t kMaxFailures = 32;
 
     /// Record a failing case: retained up to kMaxFailures, counted beyond.
-    void add_failure(const FuzzCase& c, const RunReport& r) {
+    void add_failure(std::uint64_t index, const FuzzCase& c,
+                     const RunReport& r) {
         if (failures.size() >= kMaxFailures) {
             ++failures_dropped;
             return;
         }
-        failures.emplace_back(c, r);
+        failures.push_back(Failure{index, c, r});
     }
 
     bool operator==(const CampaignSummary&) const = default;
+};
+
+/// Merge N shard summaries into the byte-identical single-process summary.
+///
+/// Counters add. The failure lists concatenate, sort by global index, and
+/// re-cap at kMaxFailures — correct because shard retention is a superset
+/// of global retention: a failure among the global first-32 has fewer
+/// failures before it within its own shard than globally, so its shard
+/// necessarily retained it. Shards may be passed in any order; each global
+/// index must appear in at most one shard (`runner::Shard` guarantees this).
+CampaignSummary merge_shards(const std::vector<CampaignSummary>& shards);
+
+/// Execution controls for Campaign::run that are not part of the case
+/// space: sharding, checkpointing, resume, and deterministic truncation.
+/// The default-constructed value reproduces the plain `run` behaviour.
+struct CampaignControl {
+    /// Deterministic 1-of-N split of the campaign's global case indices.
+    /// Every shard draws the full case sequence from the seed (drawing is
+    /// trivially cheap next to simulation) and executes only its own
+    /// indices, so shard results merge to the single-process summary.
+    runner::Shard shard;
+    /// When non-empty, periodically write a campaign-progress image
+    /// (STSNAP chunk format, atomic tmp+rename) to this path, and always
+    /// write a final image when the run ends. A completed shard's image
+    /// doubles as its mergeable summary file.
+    std::string checkpoint_path;
+    /// Reduced cases between progress images; 0 = default (1024). The
+    /// in-order reduction makes completed work a contiguous prefix, so an
+    /// image is just {campaign key, completed count, partial summary}.
+    std::uint64_t checkpoint_every = 0;
+    /// Load `checkpoint_path`, validate its campaign key against this run's
+    /// configuration, and continue from the recorded prefix. The final
+    /// summary is bit-identical to the uninterrupted run's.
+    bool resume = false;
+    /// When > 0, stop cleanly after this many (further) reduced cases —
+    /// a deterministic stand-in for killing the process mid-campaign, used
+    /// by the resume tests and CLI fixtures. The cut happens at a reduction
+    /// boundary, so the written checkpoint is always consistent.
+    std::uint64_t stop_after = 0;
+};
+
+class Campaign;
+
+/// Reusable per-worker execution context: one trace capture and (in
+/// streaming mode) one golden checker, recycled across every case the
+/// worker runs. Constructing these per case was measurable campaign
+/// overhead — the checker re-derived its per-SB slot table and the capture
+/// re-registered every stream; reuse keeps both warm, alongside the worker
+/// thread's trace arena and scheduler slab pool. Construct on the thread
+/// that will call run() (the capture pins that thread's arena).
+///
+/// `Campaign::run` creates one per engine worker via runner::sweep_ctx;
+/// run_case() is the convenience wrapper that builds a throwaway one.
+class CaseRunner {
+  public:
+    explicit CaseRunner(const Campaign& campaign);
+
+    CaseRunner(const CaseRunner&) = delete;
+    CaseRunner& operator=(const CaseRunner&) = delete;
+
+    /// Elaborate, inject, run bounded, classify — bit-identical to
+    /// Campaign::run_case for the same case.
+    RunReport run(const FuzzCase& c);
+
+  private:
+    const Campaign* campaign_;
+    verify::RunCapture cap_;
+    std::unique_ptr<verify::StreamingChecker> checker_;
 };
 
 /// Seeded property-based campaign over the composed (delays x faults) space
@@ -151,7 +235,21 @@ class Campaign {
         std::uint64_t n_runs, std::uint64_t seed,
         const std::function<void(std::size_t, const FuzzCase&,
                                  const RunReport&)>& on_run = {},
-        std::size_t jobs = 1) const;
+        std::size_t jobs = 1) const {
+        return run(n_runs, seed, on_run, jobs, CampaignControl{});
+    }
+
+    /// `run` with execution controls: sharding (`ctl.shard`), periodic
+    /// checkpoint images (`ctl.checkpoint_path` / `checkpoint_every`),
+    /// resume from a checkpoint (`ctl.resume`), and deterministic
+    /// truncation (`ctl.stop_after`). `on_run` receives *global* case
+    /// indices; under a shard it observes only that shard's cases, and on
+    /// resume only the cases after the checkpointed prefix.
+    CampaignSummary run(
+        std::uint64_t n_runs, std::uint64_t seed,
+        const std::function<void(std::size_t, const FuzzCase&,
+                                 const RunReport&)>& on_run,
+        std::size_t jobs, const CampaignControl& ctl) const;
 
     /// Snapshot of the shared warm-up prefix (empty when warmup_cycles == 0).
     const snap::Snapshot& warmup_prefix() const { return prefix_; }

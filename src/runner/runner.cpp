@@ -21,4 +21,25 @@ std::size_t resolve_jobs(std::size_t requested) {
     return requested == 0 ? hardware_jobs() : requested;
 }
 
+std::optional<Shard> parse_shard(const std::string& text) {
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        return std::nullopt;
+    }
+    const auto parse_u64 = [](const std::string& s,
+                              std::uint64_t& out) -> bool {
+        char* end = nullptr;
+        out = std::strtoull(s.c_str(), &end, 10);
+        return end != s.c_str() && *end == '\0';
+    };
+    Shard shard;
+    if (!parse_u64(text.substr(0, slash), shard.index) ||
+        !parse_u64(text.substr(slash + 1), shard.count)) {
+        return std::nullopt;
+    }
+    if (shard.count == 0 || shard.index >= shard.count) return std::nullopt;
+    return shard;
+}
+
 }  // namespace st::runner

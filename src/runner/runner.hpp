@@ -4,9 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
+#include <new>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -23,19 +27,74 @@ std::size_t hardware_jobs();
 /// else is taken literally (clamped to >= 1).
 std::size_t resolve_jobs(std::size_t requested);
 
+/// Deterministic 1-of-N split of a case-index space. Shard `i/N` owns every
+/// case whose global index `g` satisfies `g % N == i`, so N shard runs —
+/// on one machine or N — partition a campaign exactly, and each shard sees
+/// the same cases at every `--jobs` value (cases are drawn from the seed by
+/// global index, never by shard-local position).
+struct Shard {
+    std::uint64_t index = 0;
+    std::uint64_t count = 1;
+
+    bool selects(std::uint64_t global_index) const {
+        return global_index % count == index;
+    }
+    bool is_full() const { return count == 1; }
+    /// Number of indices in `[0, n)` this shard owns.
+    std::uint64_t size_of(std::uint64_t n) const {
+        return index >= n ? 0 : (n - index + count - 1) / count;
+    }
+    void validate() const {
+        if (count == 0 || index >= count) {
+            throw std::invalid_argument(
+                "runner::Shard: require index < count, count >= 1");
+        }
+    }
+    bool operator==(const Shard&) const = default;
+};
+
+/// Parse the CLI form "I/N" (e.g. "0/4"). Returns nullopt on malformed
+/// input or an invalid split (count == 0 or index >= count).
+std::optional<Shard> parse_shard(const std::string& text);
+
+/// Engine knobs, primarily for tests and benchmarks; `{}` means "auto".
+///  * `chunk`: work items claimed per ticket fetch. Auto picks a value that
+///    amortises the atomic while still load-balancing the tail.
+///  * `window`: in-flight result slots (rounded up to a chunk multiple,
+///    floor `chunk * (jobs + 1)`). Bounds result memory for 10^6-run
+///    campaigns: workers stall until the reducer frees slots.
+struct Tuning {
+    std::size_t chunk = 0;
+    std::size_t window = 0;
+};
+
+/// Auto chunk size: amortise ticket traffic without starving the tail.
+inline std::size_t default_chunk(std::size_t n, std::size_t jobs) {
+    // ~8 claims per worker keeps the tail balanced; cap so one chunk never
+    // holds the reduction window hostage on long sweeps.
+    const std::size_t target = n / (jobs * 8);
+    return std::clamp<std::size_t>(target, 1, 64);
+}
+
 /// Run `n` independent work items on a fixed-size pool of `jobs` threads and
-/// reduce the results **in case-index order** on the calling thread.
+/// reduce the results **in case-index order** on the calling thread, giving
+/// each worker thread a private reusable context.
 ///
 /// This is the repo's run-execution engine: every sweep-shaped workload —
 /// fuzz campaigns, §5 determinism sweeps, bench grids — is a set of
 /// independent `sys::Soc` runs, and this primitive is how they all execute.
 ///
 /// Contract:
-///  * `work(i)` is called exactly once for every `i` in `[0, n)`, from an
-///    unspecified pool thread, in an unspecified order. It must not touch
-///    mutable state shared with other work items: each item elaborates and
-///    runs its own private simulation (a `Soc` owns its `Scheduler`), and
-///    anything shared (a spec, a golden TraceSet) is read-only.
+///  * `make_ctx()` is invoked exactly once per worker thread, *on* that
+///    thread (and once on the calling thread in the serial path), before any
+///    work runs there. The context is how callers hoist per-run setup out of
+///    the hot loop: a reusable `verify::RunCapture`, a warm `StreamingChecker`,
+///    pooled scheduler slabs. It may be non-movable — the factory's prvalue
+///    is materialised in place.
+///  * `work(ctx, i)` is called exactly once for every `i` in `[0, n)`, from
+///    an unspecified pool thread, in an unspecified order, always with that
+///    thread's own `ctx`. It must not touch mutable state shared with other
+///    work items; anything shared (a spec, a golden TraceSet) is read-only.
 ///  * `reduce(i, result)` is called on the *calling* thread in strictly
 ///    increasing `i` — regardless of which worker finished first — so any
 ///    order-sensitive aggregation (counters, bounded failure lists, output
@@ -45,86 +104,223 @@ std::size_t resolve_jobs(std::size_t requested);
 ///  * With `jobs <= 1` (or `n <= 1`) no thread is spawned: work and reduce
 ///    interleave serially on the calling thread, byte-for-byte the code path
 ///    a `--jobs 1` caller always had.
-///  * Exceptions from `work` are captured and rethrown from the calling
-///    thread at that item's reduce position (earlier items still reduce);
-///    remaining undistributed items are abandoned and workers are joined
-///    before the rethrow escapes.
+///  * Exceptions from `work` (or a worker's `make_ctx`) are captured and
+///    rethrown from the calling thread at that item's reduce position
+///    (earlier items still reduce); remaining undistributed items are
+///    abandoned and workers are joined before the rethrow escapes.
 ///
-/// Work distribution is a single atomic ticket counter: deterministic total
-/// work regardless of scheduling, no per-item queue allocation. Seed-stable
-/// by construction — callers derive each item's randomness from (seed, i),
-/// never from thread identity.
-template <typename Work, typename Reduce>
-void sweep(std::size_t n, std::size_t jobs, Work&& work, Reduce&& reduce) {
-    using R = std::decay_t<std::invoke_result_t<Work&, std::size_t>>;
+/// Engine shape (why the parallel path scales):
+///  * Workers claim *chunks* of `Tuning::chunk` contiguous indices with one
+///    `fetch_add`, not one per run — ticket-line traffic drops by the chunk
+///    factor and adjacent runs stay cache-warm on one worker.
+///  * Results land in a fixed ring of `Tuning::window` slots guarded by
+///    per-slot ready flags; workers publish with a release store and only
+///    take the wake-up mutex once per chunk. The old engine locked a global
+///    mutex and signalled the reducer once per run — at NoC-scale run costs
+///    that serialised the whole pool onto one lock (the measured 0.95x).
+///  * All cross-thread hot state (`ticket`, `reduced`) is cache-line padded
+///    so the claim counter and the reduction cursor never false-share.
+///  * The ring gives O(window) result memory instead of O(n): a 10^6-run
+///    campaign holds a few hundred reports in flight, not a million.
+///
+/// Work distribution stays deterministic *in aggregate*: chunking changes
+/// which thread computes an item, never the item set or the reduce order.
+/// Seed-stable by construction — callers derive each item's randomness from
+/// (seed, i), never from thread identity.
+template <typename MakeCtx, typename Work, typename Reduce>
+void sweep_ctx(std::size_t n, std::size_t jobs, MakeCtx&& make_ctx,
+               Work&& work, Reduce&& reduce, Tuning tuning = {}) {
+    using Ctx = std::invoke_result_t<MakeCtx&>;
+    static_assert(!std::is_void_v<Ctx>,
+                  "runner::sweep_ctx: make_ctx must return a context value");
+    using R = std::decay_t<
+        std::invoke_result_t<Work&, std::remove_reference_t<Ctx>&,
+                             std::size_t>>;
     static_assert(!std::is_void_v<R>,
-                  "runner::sweep: work must return a result value");
+                  "runner::sweep_ctx: work must return a result value");
 
     jobs = resolve_jobs(jobs);
     if (jobs <= 1 || n <= 1) {
+        if (n == 0) return;
+        Ctx ctx = make_ctx();
         for (std::size_t i = 0; i < n; ++i) {
-            reduce(i, work(i));
+            reduce(i, work(ctx, i));
         }
         return;
     }
+    jobs = std::min(jobs, n);
+
+    const std::size_t chunk =
+        tuning.chunk != 0 ? tuning.chunk : default_chunk(n, jobs);
+    // Window floor: one chunk per worker plus one keeps every worker able to
+    // hold a claimed chunk while the reducer drains the oldest.
+    std::size_t window = std::max(tuning.window, chunk * (jobs + 1));
+    window = ((window + chunk - 1) / chunk) * chunk;  // chunk multiple
+    window = std::min(window, ((n + chunk - 1) / chunk) * chunk);
 
     struct Slot {
         std::optional<R> result;
         std::exception_ptr error;
-        bool done = false;
     };
-    std::vector<Slot> slots(n);
-    std::mutex mu;
-    std::condition_variable cv;
-    std::atomic<std::size_t> ticket{0};
+    std::vector<Slot> slots(window);
+    std::vector<std::atomic<std::uint8_t>> ready(window);
+    for (auto& f : ready) f.store(0, std::memory_order_relaxed);
 
-    auto worker = [&]() noexcept {
+    // A fixed 64 (not std::hardware_destructive_interference_size, whose
+    // value is -mtune-dependent and warns under GCC) covers every target we
+    // build on; the point is only that the two counters never share a line.
+    constexpr std::size_t kLine = 64;
+    struct alignas(kLine) PaddedCounter {
+        std::atomic<std::size_t> v{0};
+        char pad[kLine - sizeof(std::atomic<std::size_t>)];
+    };
+    PaddedCounter ticket;   // next unclaimed index (workers, contended)
+    PaddedCounter reduced;  // count of slots consumed (reducer writes)
+    std::atomic<bool> abort{false};
+    std::atomic<std::size_t> space_waiters{0};
+    std::exception_ptr ctx_error;  // worker make_ctx failure, guarded by mu
+    std::mutex mu;
+    std::condition_variable cv_ready;  // reducer waits for slot publication
+    std::condition_variable cv_space;  // workers wait for ring space
+
+    auto run_chunks = [&](auto& ctx) {
         for (;;) {
-            const std::size_t i = ticket.fetch_add(1);
-            if (i >= n) return;
-            Slot slot;
-            try {
-                slot.result.emplace(work(i));
-            } catch (...) {
-                slot.error = std::current_exception();
+            const std::size_t base =
+                ticket.v.fetch_add(chunk, std::memory_order_relaxed);
+            if (base >= n || abort.load(std::memory_order_acquire)) return;
+            const std::size_t end = std::min(base + chunk, n);
+            // Wait until the whole chunk's slots are free. Chunks are claimed
+            // in increasing base order and each worker finishes its previous
+            // chunk before claiming another, so every chunk below `base` is
+            // already published and the reducer can always advance: the wait
+            // condition is monotone in `base`, no circular wait.
+            if (end > reduced.v.load(std::memory_order_acquire) + window) {
+                std::unique_lock<std::mutex> lock(mu);
+                space_waiters.fetch_add(1, std::memory_order_relaxed);
+                cv_space.wait(lock, [&] {
+                    return abort.load(std::memory_order_acquire) ||
+                           end <= reduced.v.load(std::memory_order_acquire) +
+                                      window;
+                });
+                space_waiters.fetch_sub(1, std::memory_order_relaxed);
+                if (abort.load(std::memory_order_acquire)) return;
             }
-            slot.done = true;
+            for (std::size_t i = base; i < end; ++i) {
+                Slot& slot = slots[i % window];
+                try {
+                    slot.result.emplace(work(ctx, i));
+                } catch (...) {
+                    slot.error = std::current_exception();
+                }
+                ready[i % window].store(1, std::memory_order_release);
+            }
+            // One wake-up per chunk, not per run: take the mutex (empty
+            // critical section pairs with the reducer's locked wait) and
+            // signal that new slots are published.
             {
                 const std::lock_guard<std::mutex> lock(mu);
-                slots[i] = std::move(slot);
             }
-            cv.notify_one();
+            cv_ready.notify_one();
+        }
+    };
+    auto worker = [&]() noexcept {
+        try {
+            // Materialise the context in place (guaranteed copy elision):
+            // contexts may be non-movable (a RunCapture pins its thread's
+            // trace arena). All `work` exceptions are captured per-slot
+            // inside run_chunks, so this catch only sees setup failures.
+            Ctx ctx = make_ctx();
+            run_chunks(ctx);
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+                if (!ctx_error) ctx_error = std::current_exception();
+                abort.store(true, std::memory_order_release);
+            }
+            cv_ready.notify_all();
+            cv_space.notify_all();
         }
     };
 
     std::vector<std::thread> pool;
-    pool.reserve(std::min(jobs, n));
-    for (std::size_t j = 0; j < std::min(jobs, n); ++j) {
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
         pool.emplace_back(worker);
     }
     const auto shut_down = [&]() noexcept {
-        // Park the ticket past the end so idle workers exit, then join.
-        ticket.store(n);
+        // Park the ticket past the end so idle workers exit, release any
+        // worker stalled on ring space, then join.
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            abort.store(true, std::memory_order_release);
+            ticket.v.store(n, std::memory_order_relaxed);
+        }
+        cv_space.notify_all();
         for (auto& t : pool) t.join();
     };
 
     for (std::size_t i = 0; i < n; ++i) {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return slots[i].done; });
-        Slot slot = std::move(slots[i]);
-        lock.unlock();
+        std::atomic<std::uint8_t>& flag = ready[i % window];
+        if (flag.load(std::memory_order_acquire) == 0) {
+            std::unique_lock<std::mutex> lock(mu);
+            // A worker may have registered as a space waiter after our last
+            // waiter check; re-signal under the mutex before sleeping so the
+            // reducer never blocks while a worker waits on freed slots.
+            if (space_waiters.load(std::memory_order_relaxed) != 0) {
+                cv_space.notify_all();
+            }
+            cv_ready.wait(lock, [&] {
+                return flag.load(std::memory_order_acquire) != 0 ||
+                       (ctx_error != nullptr);
+            });
+            if (flag.load(std::memory_order_acquire) == 0 && ctx_error) {
+                // Workers may still be alive; only surface the context
+                // failure once no published result is pending at `i`.
+                std::exception_ptr err = ctx_error;
+                lock.unlock();
+                shut_down();
+                std::rethrow_exception(err);
+            }
+        }
+        Slot& slot = slots[i % window];
         if (slot.error) {
+            const std::exception_ptr error = slot.error;
             shut_down();
-            std::rethrow_exception(slot.error);
+            std::rethrow_exception(error);
+        }
+        R result = std::move(*slot.result);
+        slot.result.reset();
+        flag.store(0, std::memory_order_release);
+        // Publish the freed slot; wake stalled workers only when one is
+        // actually registered (cheap check first: no waiters, no syscall).
+        reduced.v.store(i + 1, std::memory_order_release);
+        if (space_waiters.load(std::memory_order_relaxed) != 0) {
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+            }
+            cv_space.notify_all();
         }
         try {
-            reduce(i, std::move(*slot.result));
+            reduce(i, std::move(result));
         } catch (...) {
             shut_down();
             throw;
         }
     }
     shut_down();
+}
+
+/// Context-free `sweep`: the historical engine entry point. `work(i)` runs
+/// on a pool thread, `reduce(i, result)` in index order on the caller.
+/// Identical contract to `sweep_ctx` with a stateless context.
+template <typename Work, typename Reduce>
+void sweep(std::size_t n, std::size_t jobs, Work&& work, Reduce&& reduce,
+           Tuning tuning = {}) {
+    struct NoCtx {};
+    sweep_ctx(
+        n, jobs, [] { return NoCtx{}; },
+        [&work](NoCtx&, std::size_t i) { return work(i); },
+        std::forward<Reduce>(reduce), tuning);
 }
 
 /// `sweep` without a result: run `n` independent items, no reduction.

@@ -8,13 +8,46 @@ namespace {
 /// Cap on recorded races: a systemic ordering bug would otherwise flood the
 /// record with one entry per clock cycle.
 constexpr std::size_t kMaxRaceRecords = 64;
+
+/// Cap on thread-local recycled slabs: 256 slabs x 64 events bounds a worker
+/// thread's parked pool at a few MB while still covering the deepest queue
+/// any bench topology produces.
+constexpr std::size_t kMaxPooledSlabs = 256;
 }  // namespace
 
-Scheduler::~Scheduler() = default;
+std::vector<std::unique_ptr<Scheduler::Event[]>>& Scheduler::slab_pool() {
+    thread_local std::vector<std::unique_ptr<Event[]>> pool;
+    return pool;
+}
+
+std::size_t Scheduler::tls_pooled_slabs() { return slab_pool().size(); }
+
+Scheduler::~Scheduler() {
+    // Donate slabs to the thread's recycle pool instead of freeing them: a
+    // sweep worker builds one Soc (one Scheduler) per case, and per-case
+    // slab churn was contended allocator traffic across worker threads.
+    // Pending callbacks (events never executed) live in slab slots; reset
+    // every slot so nothing owned by a dead run survives into the pool.
+    auto& pool = slab_pool();
+    for (auto& slab : slabs_) {
+        if (pool.size() >= kMaxPooledSlabs) break;
+        for (std::size_t i = 0; i < kSlabSize; ++i) {
+            slab[i].cb.reset();
+            slab[i].tag = EventTag{};
+        }
+        pool.push_back(std::move(slab));
+    }
+}
 
 Scheduler::Event* Scheduler::acquire_event() {
     if (free_.empty()) {
-        slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+        auto& pool = slab_pool();
+        if (!pool.empty()) {
+            slabs_.push_back(std::move(pool.back()));
+            pool.pop_back();
+        } else {
+            slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+        }
         Event* base = slabs_.back().get();
         free_.reserve(free_.size() + kSlabSize);
         for (std::size_t i = 0; i < kSlabSize; ++i) {

@@ -158,6 +158,14 @@ class Scheduler {
     /// long run with shallow queues keeps this at one slab.
     std::size_t pool_capacity() const { return slabs_.size() * kSlabSize; }
 
+    /// Slabs parked in the calling thread's recycle pool (instrumentation
+    /// for soak tests). Destroyed Schedulers donate their slabs here and new
+    /// ones on the same thread draw from it, so a sweep worker constructing
+    /// one `Soc` per case stops hitting the allocator after its first case —
+    /// per-run slab malloc/free was a cross-thread allocator contention
+    /// point in parallel campaigns.
+    static std::size_t tls_pooled_slabs();
+
     // --- fault injection (opt-in) ---
     /// Event-level fault surface used by the fuzz harness: when installed,
     /// every *tagged* event is offered to the interceptor just before its
@@ -247,6 +255,9 @@ class Scheduler {
     Event* acquire_event();
     void release_event(Event* ev);
     void audit_step(Time t, int priority, const EventTag& tag);
+
+    /// The calling thread's slab recycle pool (see tls_pooled_slabs).
+    static std::vector<std::unique_ptr<Event[]>>& slab_pool();
 
     Time now_ = 0;
     bool stop_requested_ = false;

@@ -22,6 +22,15 @@ void Snapshot::save_file(const std::string& path) const {
     if (!ok) throw SnapshotError("short write to '" + path + "'");
 }
 
+void Snapshot::save_file_atomic(const std::string& path) const {
+    const std::string tmp = path + ".tmp";
+    save_file(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename '" + tmp + "' to '" + path + "'");
+    }
+}
+
 Snapshot Snapshot::load_file(const std::string& path) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (!f) throw SnapshotError("cannot open '" + path + "'");

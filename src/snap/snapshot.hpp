@@ -43,6 +43,12 @@ class Snapshot {
     void save_file(const std::string& path) const;
     static Snapshot load_file(const std::string& path);
 
+    /// save_file via a sibling temp file + rename, so a reader (or a crash
+    /// mid-write) never observes a torn image at `path`. This is what
+    /// campaign checkpointing uses: a kill between any two progress images
+    /// leaves the previous complete image in place.
+    void save_file_atomic(const std::string& path) const;
+
     friend bool operator==(const Snapshot& a, const Snapshot& b) {
         return a.image_ == b.image_;
     }

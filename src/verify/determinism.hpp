@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,28 +16,60 @@ namespace st::verify {
 
 /// Aggregate outcome of a determinism sweep.
 struct SweepResult {
+    /// One retained mismatch locus, tagged with the *global* perturbation
+    /// index of the first run that produced it. Global indices make shard
+    /// results mergeable: re-sorting by index and re-deduplicating replays
+    /// the single-process retention decision exactly.
+    struct Example {
+        std::uint64_t index = 0;
+        std::string locus;
+
+        bool operator==(const Example&) const = default;
+    };
+
     std::uint64_t runs = 0;
     std::uint64_t matches = 0;
     std::uint64_t mismatches = 0;
     /// Up to `kMaxExamples` *distinct* human-readable mismatch loci for
     /// diagnosis (a sweep often trips over the same locus thousands of
     /// times; repeating it tells the reader nothing new).
-    std::vector<std::string> examples;
+    std::vector<Example> examples;
     static constexpr std::size_t kMaxExamples = 8;
 
     /// Record a mismatch locus: deduplicated, bounded by kMaxExamples.
-    void add_example(const std::string& locus) {
+    void add_example(std::uint64_t index, const std::string& locus) {
         if (examples.size() >= kMaxExamples) return;
         for (const auto& e : examples) {
-            if (e == locus) return;
+            if (e.locus == locus) return;
         }
-        examples.push_back(locus);
+        examples.push_back(Example{index, locus});
     }
 
     bool all_match() const { return mismatches == 0 && runs > 0; }
 
     bool operator==(const SweepResult&) const = default;
 };
+
+/// Merge N shard sweep results into the byte-identical single-process
+/// result. Counters add; examples concatenate, sort by first-seen global
+/// index, and re-deduplicate/re-cap — sound because a locus's globally
+/// first occurrence lives in exactly one shard, which retained it unless
+/// its own 8 distinct earlier loci are also globally earlier.
+inline SweepResult merge_sweep_shards(const std::vector<SweepResult>& shards) {
+    SweepResult out;
+    std::vector<SweepResult::Example> all;
+    for (const SweepResult& s : shards) {
+        out.runs += s.runs;
+        out.matches += s.matches;
+        out.mismatches += s.mismatches;
+        all.insert(all.end(), s.examples.begin(), s.examples.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SweepResult::Example& a,
+                 const SweepResult::Example& b) { return a.index < b.index; });
+    for (const auto& e : all) out.add_example(e.index, e.locus);
+    return out;
+}
 
 /// The paper's §5 experiment shape: simulate a system under its nominal
 /// delay settings, then re-simulate under thousands of perturbed settings and
@@ -111,50 +145,81 @@ class DeterminismHarness {
 
     /// Run a full sweep, executing up to `jobs` perturbations concurrently
     /// on the st::runner engine (`jobs == 1`, the default, is the plain
-    /// serial path; `jobs == 0` means all hardware threads).
+    /// serial path; `jobs == 0` means all hardware threads). A non-default
+    /// `shard` runs only that 1-of-N slice of the perturbation indices;
+    /// shard results merge back with merge_sweep_shards.
     ///
     /// The golden traces are captured once, up front, on the calling thread
     /// and then shared read-only; each perturbation runs its own private
     /// simulation, which must therefore be safe to invoke concurrently
     /// (true of the standard "elaborate a fresh Soc from a shared spec"
-    /// runners — each worker thread gets its own RunCapture over its own
-    /// thread-local arena). Results reduce in perturbation order, so the
-    /// SweepResult — counts and retained examples — is bit-identical for
-    /// every `jobs` value, and identical between streaming and batch modes.
+    /// runners). Each engine worker thread gets one reusable context — a
+    /// RunCapture over its own thread-local arena plus, in streaming mode,
+    /// an attached StreamingChecker — recycled across every perturbation it
+    /// runs. Results reduce in perturbation order, so the SweepResult —
+    /// counts and retained examples — is bit-identical for every `jobs`
+    /// value, every shard split, and between streaming and batch modes.
     SweepResult sweep(const std::vector<Perturbation>& perturbations,
-                      std::size_t jobs = 1) {
+                      std::size_t jobs = 1,
+                      st::runner::Shard shard = {}) {
+        shard.validate();
         if (!golden_captured_) capture_nominal();
+        std::vector<std::uint64_t> index;  // shard-local -> global
+        index.reserve(shard.size_of(perturbations.size()));
+        for (std::uint64_t i = 0; i < perturbations.size(); ++i) {
+            if (shard.selects(i)) index.push_back(i);
+        }
         SweepResult r;
-        st::runner::sweep(
-            perturbations.size(), jobs,
-            [&](std::size_t i) { return run_one(perturbations[i]); },
-            [&](std::size_t, TraceDiff&& d) {
+        st::runner::sweep_ctx(
+            index.size(), jobs, [this] { return SweepContext(*this); },
+            [&](SweepContext& ctx, std::size_t k) {
+                return run_one(perturbations[index[k]], ctx);
+            },
+            [&](std::size_t k, TraceDiff&& d) {
                 ++r.runs;
                 if (d.identical) {
                     ++r.matches;
                 } else {
                     ++r.mismatches;
-                    r.add_example(d.first_mismatch);
+                    r.add_example(index[k], d.first_mismatch);
                 }
             });
         return r;
     }
 
   private:
-    TraceDiff run_one(const Perturbation& p) const {
+    /// Per-worker reusable state: the capture (pinning the worker's trace
+    /// arena) and, for streaming live runners, a checker attached once and
+    /// reset per run by RunCapture::begin_run.
+    struct SweepContext {
+        explicit SweepContext(const DeterminismHarness& h) {
+            if (h.live_ && h.streaming_) {
+                checker = std::make_unique<StreamingChecker>(
+                    h.golden_index_,
+                    StreamingOptions{.early_exit = h.early_exit_});
+                checker->attach(cap);
+            }
+        }
+        SweepContext(const SweepContext&) = delete;
+        SweepContext& operator=(const SweepContext&) = delete;
+
+        RunCapture cap;
+        std::unique_ptr<StreamingChecker> checker;
+    };
+
+    TraceDiff run_one(const Perturbation& p, SweepContext& ctx) const {
         if (!live_) {
             return diff_traces(golden_, truncated(runner_(p), n_cycles_));
         }
-        RunCapture cap;
-        if (streaming_) {
-            StreamingChecker checker(
-                golden_index_, StreamingOptions{.early_exit = early_exit_});
-            checker.attach(cap);
-            live_(p, cap);
-            return checker.finish();
-        }
-        live_(p, cap);
-        return diff_capture(golden_index_, cap);
+        ctx.cap.begin_run();
+        live_(p, ctx.cap);
+        if (ctx.checker) return ctx.checker->finish();
+        return diff_capture(golden_index_, ctx.cap);
+    }
+
+    TraceDiff run_one(const Perturbation& p) const {
+        SweepContext ctx(*this);
+        return run_one(p, ctx);
     }
 
     Runner runner_;

@@ -87,6 +87,15 @@ class StreamingChecker {
     bool diverged() const { return diverged_; }
     std::uint64_t events_checked() const { return checked_; }
 
+    /// Flip the early-exit policy between runs. A per-worker checker reused
+    /// across campaign cases needs this: early exit is sound for a
+    /// fault-free case but not for one that injects faults (a later
+    /// deadlock / invariant violation outranks the divergence). Takes
+    /// effect from the next observed event; call before (or right after)
+    /// begin_run.
+    void set_early_exit(bool on) { opt_.early_exit = on; }
+    bool early_exit() const { return opt_.early_exit; }
+
     /// The verdict. Callable any time; meaningful once the run has ended
     /// (or the early exit fired). O(#SBs) on the deterministic path.
     TraceDiff finish() const;

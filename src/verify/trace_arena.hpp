@@ -65,6 +65,31 @@ class TraceArena {
     /// repeated same-shaped runs once the pool reaches its high-water mark.
     std::size_t chunks_allocated() const { return owned_.size(); }
     std::size_t chunks_free() const { return free_.size(); }
+    std::size_t bytes_retained() const {
+        return owned_.size() * sizeof(Chunk);
+    }
+
+    /// Shrink the pool: free idle chunks until at most `max_free` remain on
+    /// the free list. The high-water-mark design is what makes steady-state
+    /// capture allocation-free, so long campaigns should NOT call this per
+    /// run — it exists for one-off giant cases (a 1024-SB topology probed
+    /// once) whose chunks would otherwise pin memory for the rest of the
+    /// worker thread's life. Returns the number of chunks freed.
+    std::size_t trim(std::size_t max_free) {
+        std::size_t freed = 0;
+        while (free_.size() > max_free) {
+            Chunk* victim = free_.back();
+            free_.pop_back();
+            for (auto it = owned_.begin(); it != owned_.end(); ++it) {
+                if (it->get() == victim) {
+                    owned_.erase(it);
+                    ++freed;
+                    break;
+                }
+            }
+        }
+        return freed;
+    }
 
     /// The calling thread's arena (each sweep worker gets its own — streams
     /// never cross threads, so no locking).

@@ -1,0 +1,242 @@
+// Tests for campaign checkpoint images, resume, and shard merge — the
+// determinism contract extended across process boundaries: a campaign split
+// into N shards, or killed and resumed at any reduction point, must produce
+// the byte-identical summary of one uninterrupted single-process run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/checkpoint.hpp"
+#include "snap/snapshot.hpp"
+#include "snap/state_io.hpp"
+
+namespace {
+
+using namespace st;
+
+fuzz::CampaignConfig faulty_config() {
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 80;
+    cfg.classes = fuzz::all_fault_classes();
+    cfg.max_faults = 2;
+    return cfg;
+}
+
+/// A progress image with a non-trivial summary: real failures carrying
+/// delay vectors, faults, loci, and expected/actual events.
+fuzz::CampaignProgress sample_progress() {
+    const fuzz::Campaign campaign(faulty_config());
+    fuzz::CampaignProgress p;
+    p.key = fuzz::make_campaign_key(campaign.config(), 9, 24,
+                                    runner::Shard{1, 3});
+    fuzz::CampaignControl ctl;
+    ctl.shard = p.key.shard;
+    p.summary = campaign.run(24, 9, {}, 2, ctl);
+    p.completed = p.summary.runs;
+    return p;
+}
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "st_checkpoint_" + name;
+}
+
+// --- image round-trip ---
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+    const fuzz::CampaignProgress p = sample_progress();
+    ASSERT_GT(p.summary.runs, 0u);
+    const fuzz::CampaignProgress q =
+        fuzz::decode_progress(fuzz::encode_progress(p));
+    EXPECT_TRUE(p == q);
+}
+
+TEST(Checkpoint, FileRoundTripIsAtomicAndStable) {
+    const fuzz::CampaignProgress p = sample_progress();
+    const std::string path = temp_path("roundtrip.ckpt");
+    fuzz::save_progress_file(p, path);
+    // Overwrite in place (the atomic tmp+rename path) and reload.
+    fuzz::save_progress_file(p, path);
+    const fuzz::CampaignProgress q = fuzz::load_progress_file(path);
+    EXPECT_TRUE(p == q);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsNewerFormatVersion) {
+    // Negative fixture: a hand-crafted image whose top-level chunk claims
+    // version 2. A build that only understands version 1 must refuse it
+    // rather than misparse the body.
+    snap::StateWriter w;
+    w.begin_group("stcampaign", 2);
+    w.begin("key", 2);
+    w.str("pair");
+    w.end();
+    w.end();
+    EXPECT_THROW(fuzz::decode_progress(snap::Snapshot(w.take())),
+                 snap::SnapshotError);
+}
+
+TEST(Checkpoint, RejectsTrailingBytes) {
+    const fuzz::CampaignProgress p = sample_progress();
+    snap::Snapshot img = fuzz::encode_progress(p);
+    std::vector<std::uint8_t> bytes = img.bytes();
+    bytes.push_back(0xAB);
+    EXPECT_THROW(fuzz::decode_progress(snap::Snapshot(std::move(bytes))),
+                 snap::SnapshotError);
+}
+
+// --- resume ---
+
+TEST(CheckpointResume, ResumeReproducesUninterruptedSummary) {
+    const fuzz::Campaign campaign(faulty_config());
+    const std::uint64_t n = 30;
+    const std::uint64_t seed = 5;
+    const fuzz::CampaignSummary whole = campaign.run(n, seed, {}, 2);
+
+    for (const std::uint64_t stop : {1u, 7u, 15u, 29u}) {
+        const std::string path =
+            temp_path("resume_" + std::to_string(stop) + ".ckpt");
+        fuzz::CampaignControl first;
+        first.checkpoint_path = path;
+        first.checkpoint_every = 4;
+        first.stop_after = stop;
+        const fuzz::CampaignSummary partial =
+            campaign.run(n, seed, {}, 2, first);
+        EXPECT_EQ(partial.runs, stop);
+
+        fuzz::CampaignControl second;
+        second.checkpoint_path = path;
+        second.resume = true;
+        const fuzz::CampaignSummary resumed =
+            campaign.run(n, seed, {}, 4, second);
+        EXPECT_TRUE(resumed == whole) << "stop=" << stop;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CheckpointResume, OnRunSeesOnlyTheRemainingGlobalIndices) {
+    const fuzz::Campaign campaign(faulty_config());
+    const std::string path = temp_path("resume_indices.ckpt");
+    fuzz::CampaignControl first;
+    first.checkpoint_path = path;
+    first.stop_after = 6;
+    campaign.run(20, 3, {}, 1, first);
+
+    std::vector<std::size_t> indices;
+    fuzz::CampaignControl second;
+    second.checkpoint_path = path;
+    second.resume = true;
+    campaign.run(
+        20, 3,
+        [&](std::size_t i, const fuzz::FuzzCase&, const fuzz::RunReport&) {
+            indices.push_back(i);
+        },
+        2, second);
+    ASSERT_EQ(indices.size(), 14u);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        EXPECT_EQ(indices[k], 6 + k);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RejectsCheckpointFromDifferentCampaign) {
+    const fuzz::Campaign campaign(faulty_config());
+    const std::string path = temp_path("mismatch.ckpt");
+    fuzz::CampaignControl first;
+    first.checkpoint_path = path;
+    first.stop_after = 4;
+    campaign.run(20, 3, {}, 1, first);
+
+    fuzz::CampaignControl second;
+    second.checkpoint_path = path;
+    second.resume = true;
+    // Different seed -> different campaign identity -> refuse to resume.
+    EXPECT_THROW(campaign.run(20, 4, {}, 1, second), snap::SnapshotError);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, ResumeWithoutPathIsAUsageError) {
+    const fuzz::Campaign campaign(faulty_config());
+    fuzz::CampaignControl ctl;
+    ctl.resume = true;
+    EXPECT_THROW(campaign.run(10, 1, {}, 1, ctl), std::invalid_argument);
+}
+
+// --- shard merge ---
+
+TEST(CheckpointShards, MergeMatchesSingleProcessAtEveryJobsValue) {
+    const fuzz::Campaign campaign(faulty_config());
+    const std::uint64_t n = 36;
+    const std::uint64_t seed = 13;
+    const fuzz::CampaignSummary whole = campaign.run(n, seed, {}, 1);
+    ASSERT_GT(whole.failures.size(), 0u);
+
+    for (const std::size_t jobs : {1u, 2u, 4u}) {
+        for (const std::uint64_t count : {2u, 3u}) {
+            std::vector<fuzz::CampaignSummary> parts;
+            for (std::uint64_t idx = 0; idx < count; ++idx) {
+                fuzz::CampaignControl ctl;
+                ctl.shard = runner::Shard{idx, count};
+                parts.push_back(campaign.run(n, seed, {}, jobs, ctl));
+            }
+            const fuzz::CampaignSummary merged = fuzz::merge_shards(parts);
+            EXPECT_TRUE(merged == whole)
+                << "jobs=" << jobs << " shards=" << count;
+        }
+    }
+}
+
+TEST(CheckpointShards, CompletedShardCheckpointsMergeToWhole) {
+    // A completed shard's final checkpoint IS its summary: load the files
+    // back and merge them, as `st_fuzz --merge` does.
+    const fuzz::Campaign campaign(faulty_config());
+    const std::uint64_t n = 24;
+    const std::uint64_t seed = 21;
+    const fuzz::CampaignSummary whole = campaign.run(n, seed, {}, 2);
+
+    std::vector<fuzz::CampaignSummary> parts;
+    for (std::uint64_t idx = 0; idx < 2; ++idx) {
+        const std::string path =
+            temp_path("shard_" + std::to_string(idx) + ".ckpt");
+        fuzz::CampaignControl ctl;
+        ctl.shard = runner::Shard{idx, 2};
+        ctl.checkpoint_path = path;
+        campaign.run(n, seed, {}, 2, ctl);
+        const fuzz::CampaignProgress p = fuzz::load_progress_file(path);
+        EXPECT_EQ(p.completed, p.key.shard.size_of(n));
+        parts.push_back(p.summary);
+        std::remove(path.c_str());
+    }
+    EXPECT_TRUE(fuzz::merge_shards(parts) == whole);
+}
+
+TEST(CheckpointShards, MergeShardsReappliesFailureRetentionCap) {
+    // Synthetic shards holding more than kMaxFailures combined: the merge
+    // must keep the 32 globally-earliest failures and count the rest as
+    // dropped, exactly as a single process would have.
+    fuzz::CampaignSummary a;
+    fuzz::CampaignSummary b;
+    fuzz::FuzzCase c;
+    fuzz::RunReport r;
+    r.outcome = fuzz::Outcome::kTraceDivergent;
+    for (std::uint64_t g = 0; g < 48; ++g) {
+        fuzz::CampaignSummary& s = (g % 2 == 0) ? a : b;
+        s.runs += 1;
+        s.by_outcome[static_cast<std::size_t>(r.outcome)] += 1;
+        s.add_failure(g, c, r);
+    }
+    const fuzz::CampaignSummary merged = fuzz::merge_shards({a, b});
+    EXPECT_EQ(merged.runs, 48u);
+    ASSERT_EQ(merged.failures.size(), fuzz::CampaignSummary::kMaxFailures);
+    for (std::size_t i = 0; i < merged.failures.size(); ++i) {
+        EXPECT_EQ(merged.failures[i].index, i);
+    }
+    EXPECT_EQ(merged.failures_dropped,
+              48 - fuzz::CampaignSummary::kMaxFailures);
+}
+
+}  // namespace

@@ -17,6 +17,8 @@
 #include "fuzz/campaign.hpp"
 #include "runner/runner.hpp"
 #include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "verify/trace_arena.hpp"
 #include "system/delay_config.hpp"
 #include "system/soc.hpp"
 #include "system/testbenches.hpp"
@@ -114,6 +116,109 @@ TEST(Runner, ForEachVisitsEveryIndexExactlyOnce) {
     for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 
+TEST(Runner, PinnedTuningStillReducesInOrder) {
+    // A tiny window forces the backpressure path: workers must park on
+    // cv_space until the reducer frees slots, and the sweep must still
+    // complete with an in-order reduction.
+    for (const auto& [chunk, window] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {1, 1}, {1, 3}, {3, 3}, {5, 7}, {64, 64}}) {
+        runner::Tuning tuning;
+        tuning.chunk = chunk;
+        tuning.window = window;
+        std::vector<std::size_t> order;
+        runner::sweep(
+            97, 4, [](std::size_t i) { return i + 1; },
+            [&](std::size_t i, std::size_t&& v) {
+                EXPECT_EQ(v, i + 1);
+                order.push_back(i);
+            },
+            tuning);
+        ASSERT_EQ(order.size(), 97u) << "chunk=" << chunk;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            ASSERT_EQ(order[i], i) << "chunk=" << chunk;
+        }
+    }
+}
+
+TEST(Runner, ContextsAreReusedAcrossCases) {
+    // Each worker gets exactly one context for the whole sweep; the
+    // per-case work must never construct a new one.
+    std::atomic<int> ctx_built{0};
+    struct Ctx {
+        std::atomic<int>* built;
+        std::size_t cases = 0;
+        explicit Ctx(std::atomic<int>* b) : built(b) { b->fetch_add(1); }
+        Ctx(const Ctx&) = delete;
+        Ctx& operator=(const Ctx&) = delete;
+    };
+    std::size_t total = 0;
+    runner::sweep_ctx(
+        200, 4, [&] { return Ctx(&ctx_built); },
+        [](Ctx& ctx, std::size_t i) {
+            ++ctx.cases;
+            return i;
+        },
+        [&](std::size_t, std::size_t&&) { ++total; });
+    EXPECT_EQ(total, 200u);
+    EXPECT_LE(ctx_built.load(), 4);
+    EXPECT_GE(ctx_built.load(), 1);
+}
+
+TEST(Runner, MakeCtxFailurePropagates) {
+    EXPECT_THROW(
+        runner::sweep_ctx(
+            50, 4,
+            []() -> int { throw std::runtime_error("no context"); },
+            [](int&, std::size_t i) { return i; },
+            [](std::size_t, std::size_t&&) {}),
+        std::runtime_error);
+}
+
+TEST(Runner, WorkExceptionMidChunkPropagates) {
+    runner::Tuning tuning;
+    tuning.chunk = 8;
+    EXPECT_THROW(
+        runner::sweep(
+            64, 3,
+            [](std::size_t i) {
+                if (i == 29) throw std::logic_error("mid-chunk");
+                return i;
+            },
+            [](std::size_t, std::size_t&&) {}, tuning),
+        std::logic_error);
+}
+
+// --- shards ---
+
+TEST(RunnerShard, SelectionPartitionsIndices) {
+    const std::uint64_t n = 103;
+    for (const std::uint64_t count : {1u, 2u, 3u, 7u}) {
+        std::uint64_t covered = 0;
+        for (std::uint64_t idx = 0; idx < count; ++idx) {
+            const runner::Shard s{idx, count};
+            std::uint64_t mine = 0;
+            for (std::uint64_t g = 0; g < n; ++g) mine += s.selects(g);
+            EXPECT_EQ(mine, s.size_of(n)) << idx << "/" << count;
+            covered += mine;
+        }
+        EXPECT_EQ(covered, n) << "count=" << count;
+    }
+}
+
+TEST(RunnerShard, ParseShardAcceptsAndRejects) {
+    const auto ok = runner::parse_shard("2/5");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->index, 2u);
+    EXPECT_EQ(ok->count, 5u);
+    EXPECT_FALSE(ok->is_full());
+    EXPECT_TRUE((runner::Shard{0, 1}).is_full());
+    for (const char* bad : {"", "/", "3", "3/", "/4", "5/5", "6/4", "a/b",
+                            "1/2x", "-1/2"}) {
+        EXPECT_FALSE(runner::parse_shard(bad).has_value()) << bad;
+    }
+}
+
 // --- fuzz campaign: summary and callback stream are jobs-invariant ---
 
 fuzz::CampaignConfig pair_config() {
@@ -142,8 +247,9 @@ TEST(RunnerCampaign, FaultySummaryBitIdenticalAcrossJobs) {
     // The retained failing cases must be the same cases in the same order.
     ASSERT_EQ(s1.failures.size(), s8.failures.size());
     for (std::size_t i = 0; i < s1.failures.size(); ++i) {
-        EXPECT_TRUE(s1.failures[i].first == s8.failures[i].first);
-        EXPECT_TRUE(s1.failures[i].second == s8.failures[i].second);
+        EXPECT_EQ(s1.failures[i].index, s8.failures[i].index);
+        EXPECT_TRUE(s1.failures[i].c == s8.failures[i].c);
+        EXPECT_TRUE(s1.failures[i].report == s8.failures[i].report);
     }
 }
 
@@ -206,6 +312,48 @@ TEST(RunnerSweep, DeterminismSweepResultJobsInvariant) {
     EXPECT_EQ(r1.examples, r4.examples);
     // Paper §5: fault-free delay perturbation never diverges.
     EXPECT_TRUE(r1.all_match());
+}
+
+// --- memory: steady-state campaigns must not grow the pools ---
+
+TEST(RunnerSoak, ArenaAndSlabPoolsFlatAcrossRepeatedCampaigns) {
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 80;
+    cfg.classes = {fuzz::FaultClass::kTokenDropWire};
+    const fuzz::Campaign campaign(cfg);
+
+    // Warm-up: let the thread-local trace arena and scheduler slab pool
+    // reach their high-water marks (jobs=1 keeps all work on this thread).
+    campaign.run(8, 3, {}, 1);
+    campaign.run(8, 3, {}, 1);
+    const std::size_t arena_hwm =
+        verify::TraceArena::local().chunks_allocated();
+    const std::size_t slabs_hwm = sim::Scheduler::tls_pooled_slabs();
+
+    // Steady state: repeated same-shaped campaigns reuse pooled storage and
+    // never allocate new chunks or slabs.
+    for (int round = 0; round < 4; ++round) {
+        campaign.run(8, 3, {}, 1);
+        EXPECT_EQ(verify::TraceArena::local().chunks_allocated(), arena_hwm)
+            << "round " << round;
+        EXPECT_EQ(sim::Scheduler::tls_pooled_slabs(), slabs_hwm)
+            << "round " << round;
+    }
+}
+
+TEST(RunnerSoak, ArenaTrimReleasesIdleChunks) {
+    verify::TraceArena arena;
+    std::vector<verify::TraceArena::Chunk*> held;
+    for (int i = 0; i < 8; ++i) held.push_back(arena.acquire());
+    for (auto* c : held) arena.release(c);
+    EXPECT_EQ(arena.chunks_allocated(), 8u);
+    EXPECT_EQ(arena.chunks_free(), 8u);
+    EXPECT_EQ(arena.bytes_retained(),
+              8 * sizeof(verify::TraceArena::Chunk));
+    EXPECT_EQ(arena.trim(3), 5u);
+    EXPECT_EQ(arena.chunks_allocated(), 3u);
+    EXPECT_EQ(arena.chunks_free(), 3u);
 }
 
 }  // namespace

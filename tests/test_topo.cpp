@@ -193,7 +193,7 @@ TEST(TopoDeterminism, Mesh64SweepMatchesAtEveryJobsValue) {
     const auto r1 = harness.sweep(sweep, 1);
     EXPECT_TRUE(r1.all_match()) << (r1.examples.empty()
                                         ? std::string("no example")
-                                        : r1.examples.front());
+                                        : r1.examples.front().locus);
     EXPECT_EQ(r1.runs, 3u);
     EXPECT_EQ(r1, harness.sweep(sweep, 2));
     EXPECT_EQ(r1, harness.sweep(sweep, 4));

@@ -152,23 +152,45 @@ TEST(DeterminismHarness, CountsMatchesAndCollectsExamples) {
 
 TEST(SweepResult, AddExampleDeduplicatesAndBounds) {
     SweepResult r;
-    r.add_example("sb0: event 3");
-    r.add_example("sb0: event 3");  // duplicate: ignored
-    r.add_example("sb1: event 7");
+    r.add_example(3, "sb0: event 3");
+    r.add_example(9, "sb0: event 3");  // duplicate locus: ignored
+    r.add_example(7, "sb1: event 7");
     ASSERT_EQ(r.examples.size(), 2u);
-    EXPECT_EQ(r.examples[0], "sb0: event 3");
-    EXPECT_EQ(r.examples[1], "sb1: event 7");
+    EXPECT_EQ(r.examples[0].locus, "sb0: event 3");
+    EXPECT_EQ(r.examples[0].index, 3u);  // first-seen index is kept
+    EXPECT_EQ(r.examples[1].locus, "sb1: event 7");
+    EXPECT_EQ(r.examples[1].index, 7u);
 
     // Fill to the cap with distinct loci; further entries are dropped even
     // if novel, so a pathological sweep can't balloon the result struct.
     for (std::size_t i = r.examples.size(); i < SweepResult::kMaxExamples;
          ++i) {
-        r.add_example("locus " + std::to_string(i));
+        r.add_example(100 + i, "locus " + std::to_string(i));
     }
     EXPECT_EQ(r.examples.size(), SweepResult::kMaxExamples);
-    r.add_example("one too many");
+    r.add_example(999, "one too many");
     EXPECT_EQ(r.examples.size(), SweepResult::kMaxExamples);
-    for (const auto& e : r.examples) EXPECT_NE(e, "one too many");
+    for (const auto& e : r.examples) EXPECT_NE(e.locus, "one too many");
+}
+
+TEST(SweepResult, MergeSweepShardsReproducesSingleProcessRetention) {
+    // Global mismatch sequence: indices 0..19, locus "L<i % 12>" — twelve
+    // distinct loci, more than the cap, with duplicates across shards.
+    const auto locus_of = [](std::uint64_t i) {
+        return "L" + std::to_string(i % 12);
+    };
+    SweepResult single;
+    std::vector<SweepResult> shards(3);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        single.runs += 1;
+        single.mismatches += 1;
+        single.add_example(i, locus_of(i));
+        SweepResult& s = shards[i % 3];
+        s.runs += 1;
+        s.mismatches += 1;
+        s.add_example(i, locus_of(i));
+    }
+    EXPECT_EQ(merge_sweep_shards(shards), single);
 }
 
 TEST(TimingChecker, SlackAndViolationAccounting) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fuzz/campaign.hpp"
+#include "fuzz/checkpoint.hpp"
 #include "fuzz/fault.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
@@ -58,6 +59,12 @@ struct Options {
     std::string replay_path;
     std::string fixture;
     std::size_t jobs = 0;  ///< 0 = auto (hardware threads, ST_JOBS override)
+    runner::Shard shard;   ///< deterministic 1-of-N slice of the campaign
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 0;  ///< 0 = default (1024)
+    bool resume = false;
+    std::uint64_t stop_after = 0;  ///< 0 = run to completion
+    std::vector<std::string> merge_paths;
     bool quiet = false;
 };
 
@@ -120,6 +127,21 @@ void usage() {
         "  --jobs N           parallel campaign workers (default: hardware\n"
         "                     threads, ST_JOBS override); results are\n"
         "                     bit-identical at every N\n"
+        "  --shard I/N        run only the 1-of-N deterministic slice I of\n"
+        "                     the campaign's case indices; N completed shard\n"
+        "                     checkpoints --merge to the byte-identical\n"
+        "                     single-process summary\n"
+        "  --checkpoint FILE  write periodic campaign-progress images (and a\n"
+        "                     final one) to FILE; atomic, resumable\n"
+        "  --checkpoint-every K  reduced cases between images (default 1024)\n"
+        "  --resume           continue from --checkpoint FILE if it exists\n"
+        "                     (fresh start otherwise); the final summary is\n"
+        "                     bit-identical to an uninterrupted run\n"
+        "  --stop-after N     stop cleanly after N reduced cases (simulates\n"
+        "                     a mid-campaign kill for resume testing)\n"
+        "  --merge LIST       merge comma-separated completed shard\n"
+        "                     checkpoint files and print the combined\n"
+        "                     campaign summary\n"
         "  --quiet            print only summary lines\n");
 }
 
@@ -282,6 +304,76 @@ int run_repro(const fuzz::Repro& repro, const Options& opt) {
     return 0;
 }
 
+void print_summary_line(const char* label, const std::string& spec,
+                        std::uint64_t seed, const fuzz::CampaignSummary& s) {
+    std::printf(
+        "%s: spec=%s seed=%llu runs=%llu | deterministic=%llu "
+        "divergent=%llu deadlock=%llu invariant=%llu | fault-fired=%llu\n",
+        label, spec.c_str(), static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(s.runs),
+        static_cast<unsigned long long>(s.by_outcome[0]),
+        static_cast<unsigned long long>(s.by_outcome[1]),
+        static_cast<unsigned long long>(s.by_outcome[2]),
+        static_cast<unsigned long long>(s.by_outcome[3]),
+        static_cast<unsigned long long>(s.runs_with_fault_fired));
+}
+
+/// --merge: combine completed shard checkpoints into the single-process
+/// summary. Every file must belong to the same campaign, be complete, and
+/// together the shards must partition the case space exactly.
+int run_merge(const Options& opt) {
+    std::vector<fuzz::CampaignProgress> parts;
+    for (const auto& path : opt.merge_paths) {
+        parts.push_back(fuzz::load_progress_file(path));
+    }
+    const fuzz::CampaignKey& ref = parts.front().key;
+    std::set<std::uint64_t> indices;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const fuzz::CampaignProgress& p = parts[i];
+        if (!p.key.same_campaign(ref)) {
+            std::fprintf(stderr,
+                         "st_fuzz: '%s' belongs to a different campaign\n",
+                         opt.merge_paths[i].c_str());
+            return 2;
+        }
+        if (p.key.shard.count != parts.size() ||
+            !indices.insert(p.key.shard.index).second) {
+            std::fprintf(stderr,
+                         "st_fuzz: '%s' is shard %llu/%llu — expected %zu "
+                         "distinct shards of /%zu\n",
+                         opt.merge_paths[i].c_str(),
+                         static_cast<unsigned long long>(p.key.shard.index),
+                         static_cast<unsigned long long>(p.key.shard.count),
+                         parts.size(), parts.size());
+            return 2;
+        }
+        const std::uint64_t expect =
+            p.key.shard.size_of(p.key.n_runs);
+        if (p.completed != expect) {
+            std::fprintf(stderr,
+                         "st_fuzz: '%s' is incomplete (%llu of %llu cases)\n",
+                         opt.merge_paths[i].c_str(),
+                         static_cast<unsigned long long>(p.completed),
+                         static_cast<unsigned long long>(expect));
+            return 2;
+        }
+    }
+    std::vector<fuzz::CampaignSummary> summaries;
+    summaries.reserve(parts.size());
+    for (auto& p : parts) summaries.push_back(std::move(p.summary));
+    const fuzz::CampaignSummary merged = fuzz::merge_shards(summaries);
+    std::printf("merged %zu shard(s):\n", parts.size());
+    print_summary_line("campaign", ref.spec_name, ref.seed, merged);
+    if (!opt.quiet) {
+        for (const auto& f : merged.failures) {
+            std::printf("failure at run %llu:\n",
+                        static_cast<unsigned long long>(f.index));
+            print_case(f.c, f.report);
+        }
+    }
+    return 0;
+}
+
 int run_campaign(const Options& opt) {
     fuzz::CampaignConfig cfg;
     cfg.spec_name = opt.spec;
@@ -303,6 +395,22 @@ int run_campaign(const Options& opt) {
         expect = {fuzz::Outcome::kDeterministic};
     }
 
+    fuzz::CampaignControl ctl;
+    ctl.shard = opt.shard;
+    ctl.checkpoint_path = opt.checkpoint_path;
+    ctl.checkpoint_every = opt.checkpoint_every;
+    ctl.stop_after = opt.stop_after;
+    if (opt.resume) {
+        // The CLI resume is lenient so "rerun the same command line until it
+        // exits 0" works: a missing checkpoint file means a fresh start.
+        std::ifstream probe(opt.checkpoint_path, std::ios::binary);
+        ctl.resume = probe.good();
+        if (!ctl.resume && !opt.quiet) {
+            std::printf("no checkpoint at '%s'; starting fresh\n",
+                        opt.checkpoint_path.c_str());
+        }
+    }
+
     std::uint64_t unexpected = 0;
     std::uint64_t unfired = 0;
     const auto summary = campaign.run(
@@ -321,23 +429,25 @@ int run_campaign(const Options& opt) {
                 print_case(c, r);
             }
         },
-        runner::resolve_jobs(opt.jobs));
+        runner::resolve_jobs(opt.jobs), ctl);
 
-    std::printf(
-        "campaign: spec=%s seed=%llu runs=%llu | deterministic=%llu "
-        "divergent=%llu deadlock=%llu invariant=%llu | fault-fired=%llu\n",
-        opt.spec.c_str(), static_cast<unsigned long long>(opt.seed),
-        static_cast<unsigned long long>(summary.runs),
-        static_cast<unsigned long long>(summary.by_outcome[0]),
-        static_cast<unsigned long long>(summary.by_outcome[1]),
-        static_cast<unsigned long long>(summary.by_outcome[2]),
-        static_cast<unsigned long long>(summary.by_outcome[3]),
-        static_cast<unsigned long long>(summary.runs_with_fault_fired));
+    std::string label = "campaign";
+    if (!opt.shard.is_full()) {
+        label += " (shard " + std::to_string(opt.shard.index) + "/" +
+                 std::to_string(opt.shard.count) + ")";
+    }
+    print_summary_line(label.c_str(), opt.spec, opt.seed, summary);
+    if (opt.stop_after != 0 && summary.runs < opt.shard.size_of(opt.runs)) {
+        std::printf("stopped after %llu reduced case(s); resume with "
+                    "--resume --checkpoint %s\n",
+                    static_cast<unsigned long long>(summary.runs),
+                    opt.checkpoint_path.c_str());
+        return unexpected == 0 && unfired == 0 ? 0 : 1;
+    }
 
     bool ok = unexpected == 0 && unfired == 0;
     if (opt.do_shrink && !summary.failures.empty()) {
-        ok = shrink_and_report(campaign, summary.failures.front().first,
-                               opt) &&
+        ok = shrink_and_report(campaign, summary.failures.front().c, opt) &&
              ok;
     }
     return ok ? 0 : 1;
@@ -395,6 +505,37 @@ int main(int argc, char** argv) {
             opt.fixture = next();
         } else if (arg == "--jobs") {
             opt.jobs = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--shard") {
+            const std::string text = next();
+            const auto shard = runner::parse_shard(text);
+            if (!shard) {
+                std::fprintf(stderr,
+                             "st_fuzz: --shard expects I/N with I < N, got "
+                             "'%s'\n",
+                             text.c_str());
+                return 2;
+            }
+            opt.shard = *shard;
+        } else if (arg == "--checkpoint") {
+            opt.checkpoint_path = next();
+        } else if (arg == "--checkpoint-every") {
+            opt.checkpoint_every = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--stop-after") {
+            opt.stop_after = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--merge") {
+            std::istringstream is(next());
+            std::string tok;
+            while (std::getline(is, tok, ',')) {
+                if (!tok.empty()) opt.merge_paths.push_back(tok);
+            }
+            if (opt.merge_paths.empty()) {
+                std::fprintf(stderr,
+                             "st_fuzz: --merge expects a comma-separated "
+                             "list of checkpoint files\n");
+                return 2;
+            }
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -406,7 +547,14 @@ int main(int argc, char** argv) {
         }
     }
 
+    if ((opt.resume || opt.stop_after != 0) && opt.checkpoint_path.empty()) {
+        std::fprintf(stderr,
+                     "st_fuzz: --resume/--stop-after need --checkpoint\n");
+        return 2;
+    }
+
     try {
+        if (!opt.merge_paths.empty()) return run_merge(opt);
         if (!opt.replay_path.empty()) {
             std::ifstream in(opt.replay_path);
             if (!in) {

@@ -41,6 +41,7 @@ struct Options {
     bool lint = false;
     bool verify = false;
     std::size_t sweep_seeds = 0;  ///< 0 = no sweep
+    runner::Shard shard;          ///< 1-of-N slice of the sweep indices
     std::vector<std::size_t> jobs = {1, 2, 4};
     std::uint64_t cycles = 90;  ///< golden-trace horizon (local cycles)
     bool quiet = false;
@@ -60,6 +61,9 @@ void usage() {
         "                  aggregates must be bit-identical\n"
         "  --jobs LIST     comma-separated worker counts for --sweep\n"
         "                  (default 1,2,4)\n"
+        "  --shard I/N     run only the 1-of-N deterministic slice I of the\n"
+        "                  sweep; shard results merge to the full sweep\n"
+        "                  (verify::merge_sweep_shards)\n"
         "  --cycles N      golden-trace horizon in local cycles (default "
         "90)\n"
         "  --quiet         print only the final verdict lines\n");
@@ -124,6 +128,17 @@ int main(int argc, char** argv) {
             opt.verify = true;
         } else if (arg == "--sweep") {
             opt.sweep_seeds = parse_num("--sweep", next());
+        } else if (arg == "--shard") {
+            const char* text = next();
+            const auto shard = runner::parse_shard(text);
+            if (!shard) {
+                std::fprintf(stderr,
+                             "st_topo: --shard expects I/N with I < N, got "
+                             "'%s'\n",
+                             text);
+                return 2;
+            }
+            opt.shard = *shard;
         } else if (arg == "--cycles") {
             opt.cycles = parse_num("--cycles", next());
         } else if (arg == "--jobs") {
@@ -232,15 +247,23 @@ int main(int argc, char** argv) {
         verify::SweepResult reference;
         bool jobs_variance = false;
         for (const std::size_t jobs : opt.jobs) {
-            const auto r = harness.sweep(sweep, jobs);
-            std::printf("%s: sweep(jobs=%zu): %llu run(s), %llu match, "
+            const auto r = harness.sweep(sweep, jobs, opt.shard);
+            std::printf("%s: sweep(jobs=%zu%s): %llu run(s), %llu match, "
                         "%llu mismatch\n",
                         tag.c_str(), jobs,
+                        opt.shard.is_full()
+                            ? ""
+                            : (", shard " +
+                               std::to_string(opt.shard.index) + "/" +
+                               std::to_string(opt.shard.count))
+                                  .c_str(),
                         static_cast<unsigned long long>(r.runs),
                         static_cast<unsigned long long>(r.matches),
                         static_cast<unsigned long long>(r.mismatches));
             for (const auto& e : r.examples) {
-                std::printf("%s:   mismatch: %s\n", tag.c_str(), e.c_str());
+                std::printf("%s:   mismatch: run %llu: %s\n", tag.c_str(),
+                            static_cast<unsigned long long>(e.index),
+                            e.locus.c_str());
             }
             failed |= !r.all_match();
             if (first) {
