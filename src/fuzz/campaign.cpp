@@ -5,7 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fuzz/case_exec.hpp"
 #include "fuzz/checkpoint.hpp"
+#include "fuzz/gang_runner.hpp"
 #include "fuzz/injector.hpp"
 #include "runner/runner.hpp"
 #include "system/delay_config.hpp"
@@ -23,64 +25,6 @@ const char* const kOutcomeNames[kNumOutcomes] = {
     "deadlock",
     "invariant",
 };
-
-sim::Time max_effective_period(const sys::SocSpec& spec) {
-    sim::Time max_p = 1;
-    for (const auto& sb : spec.sbs) {
-        const sim::Time p =
-            sb.clock.base_period * std::max(1u, sb.clock.divider);
-        max_p = std::max(max_p, p);
-    }
-    return max_p;
-}
-
-/// Soc::run_cycles plus an event-budget watchdog. Returns true when every
-/// SB reached the cycle goal; `budget_expired` distinguishes livelock from
-/// quiescence / time overrun.
-bool run_bounded(sys::Soc& soc, std::uint64_t n_cycles, sim::Time deadline,
-                 std::uint64_t max_events, bool& budget_expired) {
-    soc.start();
-    budget_expired = false;
-    const auto goal_met = [&] {
-        for (std::size_t i = 0; i < soc.num_sbs(); ++i) {
-            if (soc.wrapper(i).clock().cycles() < n_cycles) return false;
-        }
-        return true;
-    };
-    auto& sched = soc.scheduler();
-    const std::uint64_t budget0 = sched.events_executed();
-    while (!goal_met()) {
-        if (sched.stop_requested()) {
-            // Cooperative early exit (streaming checker classified the run
-            // divergent): at most the event in flight ran past the mismatch.
-            return false;
-        }
-        if (sched.quiescent() || sched.next_event_time() > deadline) {
-            return false;
-        }
-        if (sched.events_executed() - budget0 >= max_events) {
-            budget_expired = true;
-            return false;
-        }
-        sched.step();
-    }
-    return true;
-}
-
-std::uint64_t total_protocol_errors(sys::Soc& soc) {
-    std::uint64_t n = 0;
-    const auto& spec = soc.spec();
-    for (std::size_t r = 0; r < spec.rings.size(); ++r) {
-        n += soc.ring_node(r, spec.rings[r].sb_a).protocol_errors();
-        n += soc.ring_node(r, spec.rings[r].sb_b).protocol_errors();
-    }
-    for (std::size_t r = 0; r < spec.multi_rings.size(); ++r) {
-        for (const auto& m : spec.multi_rings[r].members) {
-            n += soc.multi_ring_node(r, m.sb).protocol_errors();
-        }
-    }
-    return n;
-}
 
 }  // namespace
 
@@ -105,8 +49,7 @@ Campaign::Campaign(CampaignConfig cfg, sys::SocSpec spec)
     sys::Soc soc(spec_);
     bool budget_expired = false;
     const sim::Time deadline =
-        static_cast<sim::Time>(cfg_.cycles + 64) *
-        max_effective_period(spec_) * 8;
+        case_deadline(max_effective_period(spec_), cfg_.cycles);
     if (!run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
                      budget_expired)) {
         throw std::runtime_error("Campaign: golden run of spec '" +
@@ -151,8 +94,7 @@ RunReport CaseRunner::run(const FuzzCase& c) {
     const CampaignConfig& cfg = campaign.config();
     const sys::SocSpec perturbed = sys::apply(campaign.spec(), c.delays);
     const sim::Time deadline =
-        static_cast<sim::Time>(cfg.cycles + 64) *
-        max_effective_period(perturbed) * 8;
+        case_deadline(max_effective_period(perturbed), cfg.cycles);
 
     // The capture is reused across cases, backed by this worker thread's
     // arena. In streaming mode the checker stays subscribed across runs
@@ -201,62 +143,9 @@ RunReport CaseRunner::run(const FuzzCase& c) {
     bool budget_expired = false;
     const bool goal = run_bounded(soc, cfg.cycles, deadline, cfg.max_events,
                                   budget_expired);
-    const bool stopped_early = soc.scheduler().stop_requested();
-
-    RunReport r;
-    r.goal_met = goal;
-    r.faults_fired = injector.fired();
-    r.events = soc.scheduler().events_executed();
-    r.protocol_errors = total_protocol_errors(soc);
-
-    if (!monitor.violations().empty() || r.protocol_errors > 0) {
-        r.outcome = Outcome::kInvariantViolation;
-        if (!monitor.violations().empty()) {
-            r.detail = monitor.violations().front();
-        } else {
-            std::ostringstream os;
-            os << r.protocol_errors << " token protocol error(s)";
-            r.detail = os.str();
-        }
-        return r;
-    }
-    if (stopped_early && checker != nullptr && checker->diverged()) {
-        // The checker classified the run at its first mismatching event and
-        // stopped the scheduler; the remaining cycles could only have
-        // changed the verdict through an invariant violation (checked
-        // above), which early exit forgoes by being enabled only in
-        // fault-free campaigns.
-        const verify::TraceDiff diff = checker->finish();
-        r.outcome = Outcome::kTraceDivergent;
-        r.detail = diff.first_mismatch;
-        r.locus = diff.locus;
-        return r;
-    }
-    if (!goal) {
-        r.outcome = Outcome::kDeadlocked;
-        if (budget_expired) {
-            r.detail = "event budget expired (livelock watchdog)";
-        } else if (soc.deadlocked()) {
-            r.detail = "quiescent with stopped clock(s)";
-        } else {
-            r.detail = "cycle goal not met before deadline";
-        }
-        return r;
-    }
-    // Verdict: online (O(#SBs) for a deterministic run) or offline over the
-    // arrival-ordered capture — the two are bit-identical by construction.
-    const verify::TraceDiff diff =
-        checker != nullptr ? checker->finish()
-                           : verify::diff_capture(campaign.golden_index(),
-                                                  cap);
-    if (!diff.identical) {
-        r.outcome = Outcome::kTraceDivergent;
-        r.detail = diff.first_mismatch;
-        r.locus = diff.locus;
-        return r;
-    }
-    r.outcome = Outcome::kDeterministic;
-    return r;
+    return classify_case(soc, injector.fired(), goal, budget_expired,
+                         monitor.violations(), nullptr, checker,
+                         campaign.golden_index(), cap);
 }
 
 RunReport Campaign::run_case(const FuzzCase& c) const {
@@ -267,8 +156,8 @@ RunReport Campaign::run_case(const FuzzCase& c) const {
 RunReport probe_case(const sys::SocSpec& spec, const FuzzCase& c,
                      std::uint64_t cycles, std::uint64_t max_events) {
     const sys::SocSpec perturbed = sys::apply(spec, c.delays);
-    const sim::Time deadline = static_cast<sim::Time>(cycles + 64) *
-                               max_effective_period(perturbed) * 8;
+    const sim::Time deadline =
+        case_deadline(max_effective_period(perturbed), cycles);
     sys::Soc soc(perturbed);
     Injector injector(soc, c.faults);
     sys::InvariantMonitor monitor(soc);
@@ -431,36 +320,64 @@ CampaignSummary Campaign::run(
         ctl.checkpoint_every != 0 ? ctl.checkpoint_every : 1024;
     std::uint64_t since_image = 0;
 
-    // Each work item elaborates, injects, and runs its own private Soc
-    // (with its own Scheduler) through its worker's reusable CaseRunner;
-    // the golden index is shared read-only. Reduction happens in case-index
-    // order on this thread, so the summary is bit-identical whatever `jobs`
-    // is.
+    // Per-case reduction, shared by both engines: runs on the calling
+    // thread in strict case-index order, so counters, retained failures,
+    // the on_run observation sequence and every checkpoint image are
+    // bit-identical whatever `jobs` — or the gang width — is.
+    const auto reduce_case = [&](std::size_t k, const RunReport& r) {
+        const std::uint64_t gi = index[done + k];
+        ++s.runs;
+        ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
+        if (r.faults_fired > 0) ++s.runs_with_fault_fired;
+        if (r.outcome != Outcome::kDeterministic) {
+            s.add_failure(gi, cases[done + k], r);
+        }
+        if (on_run) {
+            on_run(static_cast<std::size_t>(gi), cases[done + k], r);
+        }
+        if (checkpointing && (++since_image >= every || k + 1 == todo)) {
+            save_progress_file(CampaignProgress{key, done + k + 1, s},
+                               ctl.checkpoint_path);
+            since_image = 0;
+        }
+    };
+
+    if (ctl.gang_width > 1) {
+        // Gang engine: each work item is a block of up to W consecutive
+        // shard-local cases run in lockstep on one worker's W persistent
+        // lanes (fuzz::GangRunner). Blocks reduce in order and unpack to
+        // the same per-case sequence, and the gang width is deliberately
+        // NOT part of the campaign key — a checkpoint written by either
+        // engine at any width resumes under the other.
+        const std::size_t w = ctl.gang_width;
+        const std::size_t blocks =
+            (static_cast<std::size_t>(todo) + w - 1) / w;
+        runner::sweep_ctx(
+            blocks, jobs, [this, w] { return GangRunner(*this, w); },
+            [&](GangRunner& g, std::size_t b) {
+                const std::size_t lo = b * w;
+                const std::size_t hi =
+                    std::min<std::size_t>(lo + w, static_cast<std::size_t>(todo));
+                return g.run_block(&cases[done + lo], hi - lo);
+            },
+            [&](std::size_t b, std::vector<RunReport>&& rs) {
+                for (std::size_t j = 0; j < rs.size(); ++j) {
+                    reduce_case(b * w + j, rs[j]);
+                }
+            });
+        return s;
+    }
+
+    // Scalar engine: each work item elaborates, injects, and runs its own
+    // private Soc (with its own Scheduler) through its worker's reusable
+    // CaseRunner; the golden index is shared read-only.
     runner::sweep_ctx(
         static_cast<std::size_t>(todo), jobs,
         [this] { return CaseRunner(*this); },
         [&](CaseRunner& runner, std::size_t k) {
             return runner.run(cases[done + k]);
         },
-        [&](std::size_t k, RunReport&& r) {
-            const std::uint64_t gi = index[done + k];
-            ++s.runs;
-            ++s.by_outcome[static_cast<std::size_t>(r.outcome)];
-            if (r.faults_fired > 0) ++s.runs_with_fault_fired;
-            if (r.outcome != Outcome::kDeterministic) {
-                s.add_failure(gi, cases[done + k], r);
-            }
-            if (on_run) {
-                on_run(static_cast<std::size_t>(gi), cases[done + k], r);
-            }
-            if (checkpointing &&
-                (++since_image >= every || k + 1 == todo)) {
-                save_progress_file(
-                    CampaignProgress{key, done + k + 1, s},
-                    ctl.checkpoint_path);
-                since_image = 0;
-            }
-        });
+        [&](std::size_t k, RunReport&& r) { reduce_case(k, r); });
     return s;
 }
 

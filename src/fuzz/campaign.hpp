@@ -164,6 +164,14 @@ struct CampaignControl {
     /// by the resume tests and CLI fixtures. The cut happens at a reduction
     /// boundary, so the written checkpoint is always consistent.
     std::uint64_t stop_after = 0;
+    /// Lanes per worker for the gang execution engine (st_fuzz --gang).
+    /// <= 1 runs the scalar CaseRunner path; W > 1 runs blocks of W
+    /// consecutive cases in lockstep on W persistent lanes per worker
+    /// (fuzz::GangRunner), with bit-identical summaries, failure lists,
+    /// checkpoints and on_run sequences. Composes freely with `jobs`,
+    /// `shard`, and checkpoint/resume; not part of the campaign key, so
+    /// checkpoints are portable between engines and widths.
+    std::size_t gang_width = 1;
 };
 
 class Campaign;

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "system/delay_config.hpp"
+#include "system/soc.hpp"
+#include "verify/streaming.hpp"
+
+namespace st::fuzz {
+
+/// Shared case-execution core of the scalar CaseRunner and the gang engine
+/// (fuzz::GangRunner). Both paths must produce bit-identical RunReports, so
+/// the bounded run loop, the deadline formula, and the outcome-precedence
+/// classification live here once — equivalence by shared code, verified by
+/// the differential suite in tests/test_gang.cpp.
+
+/// Slowest effective clock period of `spec` (base period x divider).
+sim::Time max_effective_period(const sys::SocSpec& spec);
+
+/// The campaign's per-case wall deadline: generous slack over the slowest
+/// clock so only a genuine stall (not a merely slow perturbation) misses
+/// the cycle goal.
+inline sim::Time case_deadline(sim::Time max_period, std::uint64_t cycles) {
+    return static_cast<sim::Time>(cycles + 64) * max_period * 8;
+}
+
+/// max_effective_period(sys::apply(nominal, delays)) without materializing
+/// the perturbed spec — the gang engine never elaborates one.
+sim::Time perturbed_max_effective_period(const sys::SocSpec& nominal,
+                                         const sys::DelayConfig& delays);
+
+/// Soc::run_cycles plus an event-budget watchdog. Returns true when every
+/// SB reached the cycle goal; `budget_expired` distinguishes livelock from
+/// quiescence / time overrun.
+bool run_bounded(sys::Soc& soc, std::uint64_t n_cycles, sim::Time deadline,
+                 std::uint64_t max_events, bool& budget_expired);
+
+/// Sum of protocol-error counters over every token node of `soc`.
+std::uint64_t total_protocol_errors(sys::Soc& soc);
+
+/// Classify a finished bounded run into a RunReport (Outcome precedence:
+/// invariant > deadlock > divergent). Reads the terminal simulation state
+/// (event counter, protocol errors, stop flag, deadlock witness) off `soc`.
+///
+/// `violations_tail` is non-null only for a peeled gang lane, whose monitor
+/// log is split across the lane (prefix) and the scalar finisher (suffix);
+/// an uninterrupted run's log is the concatenation, so "any violation" and
+/// "first violation" read across both in order.
+RunReport classify_case(sys::Soc& soc, std::uint64_t faults_fired, bool goal,
+                        bool budget_expired,
+                        const std::vector<std::string>& violations,
+                        const std::vector<std::string>* violations_tail,
+                        verify::StreamingChecker* checker,
+                        const verify::GoldenIndex& golden,
+                        const verify::RunCapture& cap);
+
+}  // namespace st::fuzz

@@ -1,0 +1,175 @@
+#include "fuzz/gang_runner.hpp"
+
+#include "fuzz/case_exec.hpp"
+#include "fuzz/injector.hpp"
+#include "gang/lockstep.hpp"
+#include "system/delay_config.hpp"
+
+namespace st::fuzz {
+
+GangRunner::GangRunner(const Campaign& campaign, std::size_t width,
+                       std::uint64_t window)
+    : campaign_(&campaign),
+      nominal_(sys::DelayConfig::nominal(campaign.spec())),
+      window_(window == 0 ? 1 : window) {
+    if (width == 0) width = 1;
+    gang::Lane::Options opt;
+    opt.golden =
+        campaign.config().streaming ? &campaign.golden_index() : nullptr;
+    opt.monitor = true;
+    lanes_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        lanes_.push_back(std::make_unique<gang::Lane>(campaign.spec(), opt));
+    }
+}
+
+std::vector<RunReport> GangRunner::run_block(const FuzzCase* cases,
+                                             std::size_t n) {
+    const Campaign& campaign = *campaign_;
+    const CampaignConfig& cfg = campaign.config();
+    if (n > lanes_.size()) n = lanes_.size();
+
+    std::vector<std::unique_ptr<Injector>> injectors(n);
+    std::vector<sim::Time> deadlines(n);
+    std::vector<gang::LaneGoal> goals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const FuzzCase& c = cases[i];
+        gang::Lane& lane = *lanes_[i];
+        deadlines[i] = case_deadline(
+            perturbed_max_effective_period(campaign.spec(), c.delays),
+            cfg.cycles);
+        // Early exit is sound only where divergence is the final word —
+        // same per-case decision as the scalar CaseRunner. A case that
+        // keeps it off becomes a peel candidate instead.
+        const bool fault_free = cfg.classes.empty() && c.faults.empty();
+        if (lane.checker() != nullptr) {
+            lane.checker()->set_early_exit(fault_free);
+        }
+
+        // Per-case setup in the scalar construction order: (prefix), then
+        // injector, then the live delay delta. The rewind stands in for
+        // "elaborate a fresh Soc": restore-equivalence makes the rewound
+        // lane's continuation bit-identical.
+        if (cfg.warmup_cycles == 0) {
+            lane.rewind();
+            injectors[i] = std::make_unique<Injector>(lane.soc(), c.faults);
+            sys::apply_live(lane.soc(), c.delays);
+        } else {
+            if (cfg.warmup_fork) {
+                lane.rewind(campaign.warmup_prefix());
+            } else {
+                lane.rewind();
+                sys::Soc& soc = lane.soc();
+                // Live delay registers (ring hops, clock/FIFO scaling) are
+                // not snapshot state, so the previous case's delta survives
+                // the rewind — restore the nominal point first or the
+                // re-simulated prefix is not the scalar's nominal warmup.
+                sys::apply_live(soc, nominal_);
+                // The scalar path constructs its monitor only at the fork
+                // point, so its warmup schedules no per-edge observer
+                // events. The lane's monitor is permanent; gate the
+                // observer event instead so the re-simulated prefix has
+                // the same event count and sequence as the scalar one.
+                for (std::size_t s = 0; s < soc.num_sbs(); ++s) {
+                    soc.wrapper(s).clock().set_edge_observers_enabled(false);
+                }
+                bool warm_budget = false;
+                run_bounded(soc, cfg.warmup_cycles, deadlines[i],
+                            cfg.max_events, warm_budget);
+                soc.settle();
+                for (std::size_t s = 0; s < soc.num_sbs(); ++s) {
+                    soc.wrapper(s).clock().set_edge_observers_enabled(true);
+                }
+                lane.monitor()->reset();
+            }
+            injectors[i] = std::make_unique<Injector>(lane.soc(), c.faults);
+            sys::apply_live(lane.soc(), c.delays);
+        }
+
+        goals[i].soc = &lane.soc();
+        goals[i].cycles = cfg.cycles;
+        goals[i].deadline = deadlines[i];
+        goals[i].max_events = cfg.max_events;
+        goals[i].checker = lane.checker();
+        goals[i].peel_on_divergence =
+            lane.checker() != nullptr && !fault_free;
+    }
+
+    const std::vector<gang::LaneStatus> statuses =
+        gang::run_lockstep(goals, window_);
+
+    std::vector<RunReport> reports(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        gang::Lane& lane = *lanes_[i];
+        const gang::LaneStatus& st = statuses[i];
+        if (st.peeled) {
+            reports[i] = finish_peeled(lane, *injectors[i], cases[i],
+                                       deadlines[i], st.budget_start);
+            continue;
+        }
+        reports[i] = classify_case(
+            lane.soc(), injectors[i]->fired(), st.goal_met,
+            st.budget_expired, lane.monitor()->violations(), nullptr,
+            lane.checker(), campaign.golden_index(), lane.capture());
+    }
+    return reports;
+}
+
+RunReport GangRunner::finish_peeled(gang::Lane& lane, Injector& injector,
+                                    const FuzzCase& c, sim::Time deadline,
+                                    std::uint64_t budget_start) {
+    const Campaign& campaign = *campaign_;
+    const CampaignConfig& cfg = campaign.config();
+    ++peels_;
+
+    // Snapshot handoff: settle the lane to a slot boundary and image it,
+    // injector trigger counters and pending fault events included.
+    lane.soc().settle();
+    const snap::Snapshot image = lane.soc().save_snapshot(
+        [&injector](snap::StateWriter& w) { injector.save_state(w); });
+
+    if (!finisher_) {
+        gang::Lane::Options opt;
+        opt.golden =
+            cfg.streaming ? &campaign.golden_index() : nullptr;
+        opt.monitor = true;
+        finisher_ = std::make_unique<gang::Lane>(campaign.spec(), opt);
+    }
+    if (finisher_->checker() != nullptr) {
+        // Peeled cases are faulted by construction: divergence already
+        // happened and cannot be the final word.
+        finisher_->checker()->set_early_exit(false);
+    }
+    // Re-arm the case's faults on the finisher inside the restore window;
+    // the attached checker re-derives its diverged state from the replayed
+    // trace prefix, so classification sees the same first mismatch.
+    Injector fin_injector(finisher_->soc(), c.faults,
+                          /*defer_spurious=*/true);
+    finisher_->rewind(image, [&fin_injector](snap::StateReader& r) {
+        fin_injector.restore_state(r);
+    });
+    // Ring hop delays are live registers, not snapshot state — re-apply the
+    // case delta (idempotent for the serialized clock/FIFO delays).
+    sys::apply_live(finisher_->soc(), c.delays);
+
+    gang::LaneGoal fin;
+    fin.soc = &finisher_->soc();
+    fin.cycles = cfg.cycles;
+    fin.deadline = deadline;
+    fin.max_events = cfg.max_events;
+    // The livelock budget spans the whole case, not just the suffix: the
+    // restored event counter continues from the lane's, so the lane's datum
+    // carries over unchanged.
+    fin.budget_start = budget_start;
+    const std::vector<gang::LaneStatus> st =
+        gang::run_lockstep({fin}, /*window=*/~0ull);
+
+    return classify_case(finisher_->soc(), fin_injector.fired(),
+                         st[0].goal_met, st[0].budget_expired,
+                         lane.monitor()->violations(),
+                         &finisher_->monitor()->violations(),
+                         finisher_->checker(), campaign.golden_index(),
+                         finisher_->capture());
+}
+
+}  // namespace st::fuzz

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "gang/lane.hpp"
+#include "system/delay_config.hpp"
+
+namespace st::fuzz {
+
+class Injector;
+
+/// Gang-execution counterpart of CaseRunner: one worker's W persistent
+/// lanes advance a block of up to W fuzz cases in lockstep windows, each
+/// lane carrying its own capture, streaming checker, invariant monitor and
+/// fault injector. Reports are bit-identical to CaseRunner::run's — both
+/// paths share the bounded-run semantics and the classification tail
+/// (fuzz/case_exec.hpp); the differential suite in tests/test_gang.cpp
+/// holds them to it.
+///
+/// Peeling: in a faulted case a trace divergence is not classification-
+/// final (Outcome precedence), so the lane cannot early-exit — but once
+/// diverged it has also stopped matching the golden stream the gang is
+/// marching through. Such a lane is withdrawn from the lockstep schedule,
+/// settled, snapshotted (injector counters included), and finished on a
+/// scalar finisher lane that restores the image, re-arms the pending fault
+/// events, and runs the identical suffix — the monitor log concatenates
+/// across the handoff, so the report matches the uninterrupted scalar run
+/// byte for byte (docs/PERF.md "Gang execution").
+///
+/// Construct on the worker thread that will call run_block (lane captures
+/// pin that thread's trace arena) — runner::sweep_ctx's make_ctx contract.
+class GangRunner {
+  public:
+    /// `window` is the lockstep visit length in events; peel checks happen
+    /// only at window boundaries, so tests that must observe a peel on
+    /// short cases pass a small window. The default is coarser than
+    /// gang::run_lockstep's: on one CPU the switch between lane working
+    /// sets is pure cache cost, and a typical case spans only a few
+    /// windows (docs/PERF.md "Gang execution").
+    GangRunner(const Campaign& campaign, std::size_t width,
+               std::uint64_t window = 16384);
+
+    GangRunner(const GangRunner&) = delete;
+    GangRunner& operator=(const GangRunner&) = delete;
+
+    std::size_t width() const { return lanes_.size(); }
+
+    /// Run `n <= width()` cases in lockstep; reports[i] corresponds to
+    /// cases[i] and is bit-identical to CaseRunner::run(cases[i]).
+    std::vector<RunReport> run_block(const FuzzCase* cases, std::size_t n);
+
+    /// Lanes handed off to the scalar finisher so far (instrumentation for
+    /// the peel tests).
+    std::uint64_t lanes_peeled() const { return peels_; }
+
+  private:
+    RunReport finish_peeled(gang::Lane& lane, Injector& injector,
+                            const FuzzCase& c, sim::Time deadline,
+                            std::uint64_t budget_start);
+
+    const Campaign* campaign_;
+    sys::DelayConfig nominal_;  ///< warmup re-simulation delay point
+    std::vector<std::unique_ptr<gang::Lane>> lanes_;
+    std::unique_ptr<gang::Lane> finisher_;  ///< created on first peel
+    std::uint64_t window_ = 2048;
+    std::uint64_t peels_ = 0;
+};
+
+}  // namespace st::fuzz

@@ -28,7 +28,7 @@ core::TokenNode& Injector::ring_endpoint(sys::Soc& soc,
 
 Injector::Injector(sys::Soc& soc, const std::vector<Fault>& faults,
                    bool defer_spurious)
-    : sched_(&soc.scheduler()) {
+    : sched_(&soc.scheduler()), soc_(&soc) {
     std::map<core::TokenNode*, std::vector<Trigger>> dup_groups;
     std::map<std::size_t, std::vector<Trigger>> fifo_groups;
     std::map<std::size_t, std::vector<Trigger>> clock_groups;
@@ -110,6 +110,7 @@ Injector::Injector(sys::Soc& soc, const std::vector<Fault>& faults,
     for (auto& [node, triggers] : dup_groups) {
         node_triggers_.push_back(std::move(triggers));
         const std::size_t g = node_triggers_.size() - 1;
+        hooked_nodes_.push_back(node);
         node->set_pass_fault([this, g] {
             unsigned copies = 1;
             for (auto& t : node_triggers_[g]) {
@@ -127,6 +128,7 @@ Injector::Injector(sys::Soc& soc, const std::vector<Fault>& faults,
     for (auto& [channel, triggers] : fifo_groups) {
         fifo_triggers_.push_back(std::move(triggers));
         const std::size_t g = fifo_triggers_.size() - 1;
+        hooked_fifos_.push_back(channel);
         soc.fifo(channel).set_stage_fault(
             [this, g](std::size_t, Word) {
                 achan::SelfTimedFifo::StageFault out;
@@ -149,6 +151,7 @@ Injector::Injector(sys::Soc& soc, const std::vector<Fault>& faults,
     for (auto& [sb, triggers] : clock_groups) {
         clock_triggers_.push_back(std::move(triggers));
         const std::size_t g = clock_triggers_.size() - 1;
+        hooked_clocks_.push_back(sb);
         soc.wrapper(sb).clock().set_restart_fault([this, g] {
             sim::Time extra = 0;
             for (auto& t : clock_triggers_[g]) {
@@ -162,6 +165,17 @@ Injector::Injector(sys::Soc& soc, const std::vector<Fault>& faults,
             return extra;
         });
     }
+}
+
+void Injector::detach() {
+    if (soc_ == nullptr) return;
+    if (!wire_drops_.empty()) sched_->set_interceptor({});
+    for (auto* node : hooked_nodes_) node->set_pass_fault({});
+    for (const std::size_t i : hooked_fifos_) soc_->fifo(i).set_stage_fault({});
+    for (const std::size_t sb : hooked_clocks_) {
+        soc_->wrapper(sb).clock().set_restart_fault({});
+    }
+    soc_ = nullptr;
 }
 
 void Injector::save_state(snap::StateWriter& w) const {

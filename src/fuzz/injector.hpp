@@ -30,6 +30,17 @@ class Injector {
     Injector(const Injector&) = delete;
     Injector& operator=(const Injector&) = delete;
 
+    ~Injector() { detach(); }
+
+    /// Remove every hook this Injector installed (scheduler interceptor,
+    /// node pass faults, FIFO stage faults, clock restart faults), so a
+    /// reused Soc never carries a previous case's fault plan into the next
+    /// run. Idempotent; the destructor calls it. Pending spurious-token
+    /// events are NOT descheduled — a gang lane's reset_from_image drops
+    /// them with the rest of the pending set, and a Soc torn down with the
+    /// Injector never fires them.
+    void detach();
+
     /// Number of fault occurrences that actually fired during the run.
     std::uint64_t fired() const { return fired_; }
 
@@ -62,6 +73,7 @@ class Injector {
     };
 
     sim::Scheduler* sched_ = nullptr;
+    sys::Soc* soc_ = nullptr;  ///< null once detached
     std::uint64_t fired_ = 0;
     std::vector<Spurious> spurious_;
     // Stable storage: hook lambdas capture `this` and index into these.
@@ -69,6 +81,10 @@ class Injector {
     std::vector<std::vector<Trigger>> node_triggers_;   // per faulted node
     std::vector<std::vector<Trigger>> fifo_triggers_;   // per faulted FIFO
     std::vector<std::vector<Trigger>> clock_triggers_;  // per faulted clock
+    // Hooked units, for detach().
+    std::vector<core::TokenNode*> hooked_nodes_;
+    std::vector<std::size_t> hooked_fifos_;
+    std::vector<std::size_t> hooked_clocks_;
 };
 
 }  // namespace st::fuzz

@@ -1,0 +1,83 @@
+#include "gang/delay_sweep.hpp"
+
+#include <memory>
+
+namespace st::gang {
+
+DelaySweepRunner::DelaySweepRunner(const sys::SocSpec& spec,
+                                   const verify::GoldenIndex& golden,
+                                   std::uint64_t cycles, sim::Time deadline,
+                                   std::size_t width, bool streaming,
+                                   std::uint64_t warmup,
+                                   const snap::Snapshot* prefix)
+    : spec_(&spec),
+      golden_(&golden),
+      cycles_(cycles),
+      deadline_(deadline),
+      warmup_(warmup),
+      prefix_(prefix) {
+    if (width == 0) width = 1;
+    Lane::Options opt;
+    opt.golden = streaming ? &golden : nullptr;
+    lanes_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        lanes_.push_back(std::make_unique<Lane>(spec, opt));
+    }
+}
+
+std::vector<verify::TraceDiff> DelaySweepRunner::run_block(
+    const sys::DelayConfig* batch, std::size_t n) {
+    if (n > lanes_.size()) n = lanes_.size();
+    std::vector<LaneGoal> goals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane& lane = *lanes_[i];
+        if (warmup_ > 0 && prefix_ != nullptr) {
+            lane.rewind(*prefix_);
+        } else {
+            lane.rewind();
+            if (warmup_ > 0) {
+                // Non-forked warm-up: re-simulate the nominal prefix on the
+                // lane itself, exactly as sys::WarmRunner does scalar-ly.
+                LaneGoal warm;
+                warm.soc = &lane.soc();
+                warm.cycles = warmup_;
+                warm.deadline = deadline_;
+                run_lockstep({warm});
+                lane.soc().settle();
+            }
+        }
+        // Perturb after the (nominal) prefix — for warmup == 0 this is the
+        // pristine state, making "rewind + apply_live" the live equivalent
+        // of elaborating the perturbed spec (restore-equivalence).
+        sys::apply_live(lane.soc(), batch[i]);
+        goals[i].soc = &lane.soc();
+        goals[i].cycles = cycles_;
+        goals[i].deadline = deadline_;
+    }
+    run_lockstep(goals);
+    std::vector<verify::TraceDiff> diffs;
+    diffs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Lane& lane = *lanes_[i];
+        diffs.push_back(lane.checker() != nullptr
+                            ? lane.checker()->finish()
+                            : verify::diff_capture(*golden_, lane.capture()));
+    }
+    return diffs;
+}
+
+std::function<std::vector<verify::TraceDiff>(const sys::DelayConfig*,
+                                             std::size_t)>
+make_delay_block_runner(const sys::SocSpec& spec,
+                        const verify::GoldenIndex& golden,
+                        std::uint64_t cycles, sim::Time deadline,
+                        std::size_t width, bool streaming,
+                        std::uint64_t warmup, const snap::Snapshot* prefix) {
+    auto runner = std::make_shared<DelaySweepRunner>(
+        spec, golden, cycles, deadline, width, streaming, warmup, prefix);
+    return [runner](const sys::DelayConfig* batch, std::size_t n) {
+        return runner->run_block(batch, n);
+    };
+}
+
+}  // namespace st::gang

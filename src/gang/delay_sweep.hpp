@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gang/lane.hpp"
+#include "gang/lockstep.hpp"
+#include "system/delay_config.hpp"
+#include "verify/io_trace.hpp"
+
+namespace st::gang {
+
+/// A per-worker gang block runner for delay-perturbation determinism
+/// sweeps: runs up to `width` DelayConfig cases in lockstep on persistent
+/// lanes and returns one TraceDiff per case, bit-identical to the scalar
+/// streaming pipeline (sys::WarmRunner under verify::DeterminismHarness).
+///
+/// This is the concrete gang front-end the harness's `set_gang` hook plugs
+/// in (verify::DeterminismHarness is generic in the perturbation type and
+/// cannot elaborate lanes itself). Construct via make_delay_block_runner —
+/// on the worker thread that will call it, per runner::sweep_ctx's
+/// make_ctx contract.
+class DelaySweepRunner {
+  public:
+    /// `golden`, `prefix` (optional warm-up fork image) and `spec` must
+    /// outlive the runner. `streaming` false elides the checkers and diffs
+    /// offline via verify::diff_capture (the differential/batch mode).
+    DelaySweepRunner(const sys::SocSpec& spec,
+                     const verify::GoldenIndex& golden, std::uint64_t cycles,
+                     sim::Time deadline, std::size_t width,
+                     bool streaming = true, std::uint64_t warmup = 0,
+                     const snap::Snapshot* prefix = nullptr);
+
+    DelaySweepRunner(const DelaySweepRunner&) = delete;
+    DelaySweepRunner& operator=(const DelaySweepRunner&) = delete;
+
+    /// Run `n <= width` perturbations in lockstep; diffs[i] is the verdict
+    /// for batch[i].
+    std::vector<verify::TraceDiff> run_block(const sys::DelayConfig* batch,
+                                             std::size_t n);
+
+    std::size_t width() const { return lanes_.size(); }
+
+  private:
+    const sys::SocSpec* spec_;
+    const verify::GoldenIndex* golden_;
+    std::uint64_t cycles_;
+    sim::Time deadline_;
+    std::uint64_t warmup_;
+    const snap::Snapshot* prefix_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// Shape-erased factory + block entry point for
+/// DeterminismHarness<DelayConfig>::set_gang: each invocation builds one
+/// worker's DelaySweepRunner (shared ownership keeps it alive inside the
+/// returned callable).
+std::function<std::vector<verify::TraceDiff>(const sys::DelayConfig*,
+                                             std::size_t)>
+make_delay_block_runner(const sys::SocSpec& spec,
+                        const verify::GoldenIndex& golden,
+                        std::uint64_t cycles, sim::Time deadline,
+                        std::size_t width, bool streaming = true,
+                        std::uint64_t warmup = 0,
+                        const snap::Snapshot* prefix = nullptr);
+
+}  // namespace st::gang

@@ -1,0 +1,28 @@
+#include "gang/lane.hpp"
+
+namespace st::gang {
+
+Lane::Lane(const sys::SocSpec& nominal_spec, const Options& opt) {
+    // Attachment order matches the scalar case path: checker onto the
+    // capture first, then the Soc (whose ctor begins the capture's run and
+    // registers the probes), then the monitor's clock observers — so every
+    // per-edge callback fires in the same relative order a scalar case sees.
+    if (opt.golden != nullptr) {
+        checker_ = std::make_unique<verify::StreamingChecker>(*opt.golden);
+        checker_->attach(cap_);
+    }
+    soc_ = std::make_unique<sys::Soc>(nominal_spec, &cap_);
+    if (opt.monitor) {
+        monitor_ = std::make_unique<sys::InvariantMonitor>(*soc_);
+    }
+    soc_->start();
+    pristine_ = soc_->pristine_image();
+}
+
+void Lane::rewind(const snap::Snapshot& image,
+                  const sys::Soc::ExtraRestore& extra) {
+    soc_->reset_from_image(image, extra);
+    if (monitor_) monitor_->reset();
+}
+
+}  // namespace st::gang

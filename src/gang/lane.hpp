@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+
+#include "snap/snapshot.hpp"
+#include "system/invariant_monitor.hpp"
+#include "system/soc.hpp"
+#include "verify/streaming.hpp"
+#include "verify/trace_arena.hpp"
+
+namespace st::gang {
+
+/// One persistent lane of the gang engine: a Soc elaborated once from the
+/// *nominal* spec, plus the per-run companions a scalar case would construct
+/// fresh each time — the trace capture, an (optional) attached streaming
+/// checker, and an (optional) invariant monitor.
+///
+/// The split mirrors the tentpole's program/state decomposition at the
+/// system level: the elaborated topology, the capture's slot table, the
+/// checker's golden binding, and the monitor's observer wiring are the
+/// immutable *program*, compiled once per lane; everything a run mutates is
+/// the *state*, rewound between cases from a snapshot image. The reset
+/// point is `pristine()` — an image of the freshly started Soc taken at
+/// construction, before any event executed — or any boundary snapshot from
+/// an identically elaborated Soc (a campaign's shared warm-up prefix, a
+/// peeled lane's mid-run handoff image).
+///
+/// Per-lane delay registers (clock periods, FIFO stage delays, ring hop
+/// delays) are nominal after every rewind; callers perturb them with
+/// `sys::apply_live`, exactly as the snapshot-forking warm-up path always
+/// has. Restore-equivalence is what makes a rewound lane bit-identical to a
+/// freshly elaborated scalar Soc (docs/PERF.md "Gang execution").
+///
+/// Construct on the thread that will run the lane (the capture pins that
+/// thread's trace arena), which `runner::sweep_ctx`'s make_ctx contract
+/// guarantees.
+class Lane {
+  public:
+    struct Options {
+        /// Attach a verify::StreamingChecker over this golden index
+        /// (nullptr: no online checking — the batch/offline mode).
+        const verify::GoldenIndex* golden = nullptr;
+        /// Attach a sys::InvariantMonitor (campaign lanes: yes; pure
+        /// determinism-sweep lanes: no, matching the scalar runners).
+        bool monitor = false;
+    };
+
+    Lane(const sys::SocSpec& nominal_spec, const Options& opt);
+
+    Lane(const Lane&) = delete;
+    Lane& operator=(const Lane&) = delete;
+
+    /// Rewind to the freshly-started nominal state. After this the lane is
+    /// indistinguishable from a just-elaborated, just-started Soc of the
+    /// nominal spec (with zero events executed).
+    void rewind() { rewind(pristine_); }
+
+    /// Rewind to an explicit boundary image (shared warm-up prefix, peel
+    /// handoff). `extra` restores snapshot chunks beyond the Soc's own —
+    /// e.g. a fuzz::Injector's trigger counters — inside the scheduler's
+    /// restore window. The monitor (if any) is re-armed from the restored
+    /// phases; a previously attached checker re-derives its verdict state
+    /// from the replayed trace prefix.
+    void rewind(const snap::Snapshot& image,
+                const sys::Soc::ExtraRestore& extra = {});
+
+    sys::Soc& soc() { return *soc_; }
+    verify::RunCapture& capture() { return cap_; }
+    verify::StreamingChecker* checker() { return checker_.get(); }
+    sys::InvariantMonitor* monitor() { return monitor_.get(); }
+    const snap::Snapshot& pristine() const { return pristine_; }
+
+  private:
+    verify::RunCapture cap_;
+    std::unique_ptr<verify::StreamingChecker> checker_;
+    std::unique_ptr<sys::Soc> soc_;
+    std::unique_ptr<sys::InvariantMonitor> monitor_;
+    snap::Snapshot pristine_;
+};
+
+}  // namespace st::gang

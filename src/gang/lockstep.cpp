@@ -1,0 +1,101 @@
+#include "gang/lockstep.hpp"
+
+namespace st::gang {
+
+namespace {
+
+/// Per-lane progress the round-robin keeps between visits.
+struct Active {
+    const LaneGoal* goal = nullptr;
+    LaneStatus* status = nullptr;
+    std::size_t lag = 0;  ///< first SB not yet at the cycle goal
+    bool done = false;
+};
+
+/// Advance one lane by at most `window` events; sets `done` when the lane
+/// reached a terminal condition. Mirrors the scalar bounded cycle loop
+/// check-for-check (fuzz run_bounded / Soc::run_cycles): interrupting at a
+/// window boundary and resuming later re-evaluates the same conditions in
+/// the same order, so the terminal event boundary is identical.
+void advance(Active& a, std::uint64_t window) {
+    sys::Soc& soc = *a.goal->soc;
+    auto& sched = soc.scheduler();
+    const std::uint64_t budget0 = a.status->budget_start;
+    std::uint64_t left = window;
+    for (;;) {
+        while (a.lag < soc.num_sbs() &&
+               soc.wrapper(a.lag).clock().cycles() >= a.goal->cycles) {
+            ++a.lag;
+        }
+        if (a.lag == soc.num_sbs()) {
+            a.done = true;
+            a.status->goal_met = true;
+            return;
+        }
+        while (soc.wrapper(a.lag).clock().cycles() < a.goal->cycles) {
+            if (sched.stop_requested()) {
+                a.done = true;
+                a.status->stopped_early = true;
+                return;
+            }
+            if (sched.quiescent() ||
+                sched.next_event_time() > a.goal->deadline) {
+                a.done = true;
+                return;
+            }
+            if (sched.events_executed() - budget0 >= a.goal->max_events) {
+                a.done = true;
+                a.status->budget_expired = true;
+                return;
+            }
+            if (left == 0) return;  // window exhausted — yield to next lane
+            sched.step();
+            --left;
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<LaneStatus> run_lockstep(const std::vector<LaneGoal>& goals,
+                                     std::uint64_t window) {
+    if (window == 0) window = 1;
+    std::vector<LaneStatus> statuses(goals.size());
+    std::vector<Active> act(goals.size());
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+        act[i].goal = &goals[i];
+        act[i].status = &statuses[i];
+        if (goals[i].soc == nullptr) {
+            act[i].done = true;
+            continue;
+        }
+        goals[i].soc->start();  // idempotent; scalar run_bounded parity
+        statuses[i].budget_start =
+            goals[i].budget_start != kBudgetFromEntry
+                ? goals[i].budget_start
+                : goals[i].soc->scheduler().events_executed();
+    }
+
+    for (bool any = true; any;) {
+        any = false;
+        for (auto& a : act) {
+            if (a.done) continue;
+            // Peel check at the window boundary only: by then the lane may
+            // have run a few events past the first mismatch, which is
+            // harmless — the scalar finisher executes the identical suffix
+            // from wherever the handoff lands, so the final state, counters
+            // and verdict do not depend on the peel point.
+            if (a.goal->peel_on_divergence && a.goal->checker != nullptr &&
+                a.goal->checker->diverged()) {
+                a.done = true;
+                a.status->peeled = true;
+                continue;
+            }
+            advance(a, window);
+            any = true;
+        }
+    }
+    return statuses;
+}
+
+}  // namespace st::gang

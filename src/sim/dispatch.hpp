@@ -1,0 +1,130 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace st::sim {
+
+/// The (time, priority, seq) dispatch core: a priority queue over the
+/// kernel's total event order, extracted out of `Scheduler` so every
+/// front-end — the scalar `sim::Scheduler` and the gang engine's lockstep
+/// lane drivers (`st::gang`) — shares one dispatch structure.
+///
+/// Ordering contract: entries pop in strictly increasing (time, priority,
+/// seq). Because `seq` is unique per queue, this is a *strict total order* —
+/// the pop sequence is a pure function of the pushed set, independent of the
+/// queue's internal arrangement. That is what licenses the implementation
+/// choices below (4-ary implicit heap, packed keys): they change only
+/// constant factors, never the order, so golden traces are byte-identical
+/// to the historical binary-heap kernel.
+///
+/// Implementation: a 4-ary implicit min-heap over 24-byte entries.
+///  * `priority` (3 bits) and `seq` (61 bits) pack into one u64 key, so an
+///    ordering compare is two u64 compares instead of three field compares.
+///  * 4-ary halves the tree depth of the hot sift-down at the cost of three
+///    extra child compares per level — a good trade when entries are small
+///    and the working set lives in L1/L2 (the common shallow-queue case).
+///  * The payload rides in the entry (a pointer into the owner's slab pool),
+///    so sifts move 24 bytes and never touch a callback.
+template <typename Payload>
+class DispatchCore {
+  public:
+    struct Entry {
+        Time t = 0;
+        std::uint64_t key = 0;  ///< (priority << kSeqBits) | seq
+        Payload payload{};
+    };
+
+    static constexpr unsigned kSeqBits = 61;
+    static constexpr std::uint64_t kSeqMask = (1ull << kSeqBits) - 1;
+
+    static std::uint64_t pack(int priority, std::uint64_t seq) {
+        assert(seq <= kSeqMask && "DispatchCore: seq overflows packed key");
+        assert(priority >= 0 && priority < 8);
+        return (static_cast<std::uint64_t>(priority) << kSeqBits) | seq;
+    }
+    static int priority_of(std::uint64_t key) {
+        return static_cast<int>(key >> kSeqBits);
+    }
+    static std::uint64_t seq_of(std::uint64_t key) { return key & kSeqMask; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /// Earliest entry. Precondition: !empty().
+    const Entry& front() const { return heap_.front(); }
+
+    void push(Time t, int priority, std::uint64_t seq, Payload payload) {
+        heap_.push_back(Entry{t, pack(priority, seq), payload});
+        sift_up(heap_.size() - 1);
+    }
+
+    /// Remove and return the earliest entry. Precondition: !empty().
+    Entry pop() {
+        Entry top = heap_.front();
+        const std::size_t n = heap_.size() - 1;
+        if (n > 0) {
+            heap_.front() = heap_[n];
+            heap_.pop_back();
+            sift_down(0);
+        } else {
+            heap_.pop_back();
+        }
+        return top;
+    }
+
+    /// Drop every pending entry (the gang lane-reset path). The caller owns
+    /// payload cleanup — iterate via drain() when payloads need releasing.
+    void clear() { heap_.clear(); }
+
+    /// Pop-all without ordering guarantees: hands each payload to `fn` and
+    /// leaves the queue empty. Used to recycle event records on reset.
+    template <typename Fn>
+    void drain(Fn&& fn) {
+        for (Entry& e : heap_) fn(e.payload);
+        heap_.clear();
+    }
+
+  private:
+    static bool earlier(const Entry& a, const Entry& b) {
+        if (a.t != b.t) return a.t < b.t;
+        return a.key < b.key;
+    }
+
+    void sift_up(std::size_t i) {
+        Entry e = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 4;
+            if (!earlier(e, heap_[parent])) break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    void sift_down(std::size_t i) {
+        const std::size_t n = heap_.size();
+        Entry e = heap_[i];
+        for (;;) {
+            const std::size_t first = 4 * i + 1;
+            if (first >= n) break;
+            std::size_t best = first;
+            const std::size_t last = std::min(first + 4, n);
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (earlier(heap_[c], heap_[best])) best = c;
+            }
+            if (!earlier(heap_[best], e)) break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = e;
+    }
+
+    std::vector<Entry> heap_;
+};
+
+}  // namespace st::sim

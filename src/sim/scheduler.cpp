@@ -80,22 +80,26 @@ std::uint64_t Scheduler::schedule_at(Time t, Priority p, EventTag tag,
     ev->tag = tag;
     ev->cb = std::move(cb);
     const std::uint64_t seq = next_seq_++;
-    heap_.push_back(HeapEntry{t, static_cast<int>(p), seq, ev});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    queue_.push(t, static_cast<int>(p), seq, ev);
     return seq;
 }
 
 std::uint64_t Scheduler::settle() {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.front().t == now_) {
+    while (!queue_.empty() && queue_.front().t == now_) {
         step();
         ++n;
     }
     return n;
 }
 
-void Scheduler::save_state(snap::StateWriter& w) const {
-    if (!at_slot_boundary()) {
+void Scheduler::clear_pending() {
+    queue_.drain([this](Event* ev) { release_event(ev); });
+    stop_requested_ = false;
+}
+
+void Scheduler::save_state(snap::StateWriter& w, bool require_boundary) const {
+    if (require_boundary && !at_slot_boundary()) {
         throw snap::SnapshotError(
             "Scheduler::save_state mid-slot — settle() first");
     }
@@ -104,12 +108,12 @@ void Scheduler::save_state(snap::StateWriter& w) const {
     w.u64(next_seq_);
     w.u64(executed_);
     w.u64(dropped_);
-    w.u64(heap_.size());
+    w.u64(queue_.size());
     w.end();
 }
 
 void Scheduler::begin_restore(snap::StateReader& r) {
-    if (!heap_.empty() || restoring_) {
+    if (!queue_.empty() || restoring_) {
         throw snap::SnapshotError(
             "Scheduler::begin_restore on a non-fresh scheduler");
     }
@@ -173,9 +177,7 @@ void Scheduler::end_restore() {
         Event* ev = acquire_event();
         ev->tag = s.tag;
         ev->cb = std::move(s.cb);
-        heap_.push_back(
-            HeapEntry{s.t, static_cast<int>(s.p), s.orig_seq, ev});
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        queue_.push(s.t, static_cast<int>(s.p), s.orig_seq, ev);
     }
     staged_.clear();
 }
@@ -208,12 +210,10 @@ void Scheduler::audit_step(Time t, int priority, const EventTag& tag) {
 }
 
 bool Scheduler::step() {
-    if (heap_.empty()) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const HeapEntry e = heap_.back();
-    heap_.pop_back();
+    if (queue_.empty()) return false;
+    const auto e = queue_.pop();
     now_ = e.t;
-    Event* ev = e.ev;
+    Event* ev = e.payload;
     if (interceptor_ && ev->tag.actor != nullptr &&
         !interceptor_(ev->tag, e.t)) {
         // Dropped: the transition never happened as far as any model can
@@ -223,7 +223,9 @@ bool Scheduler::step() {
         return true;
     }
     ++executed_;
-    if (audit_) audit_step(e.t, e.priority, ev->tag);
+    if (audit_) {
+        audit_step(e.t, DispatchCore<Event*>::priority_of(e.key), ev->tag);
+    }
     // Move the callback out and recycle the record *before* invoking: the
     // callback is free to schedule new events (which may reuse this record).
     Callback cb = std::move(ev->cb);
@@ -234,7 +236,7 @@ bool Scheduler::step() {
 
 std::uint64_t Scheduler::run_until(Time t_end) {
     std::uint64_t n = 0;
-    while (!stop_requested_ && !heap_.empty() && heap_.front().t <= t_end) {
+    while (!stop_requested_ && !queue_.empty() && queue_.front().t <= t_end) {
         step();
         ++n;
     }

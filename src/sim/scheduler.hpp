@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/dispatch.hpp"
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 #include "snap/state_io.hpp"
@@ -58,12 +59,14 @@ struct RaceRecord {
 ///
 /// **Hot path**: callbacks are stored in a move-only small-buffer type
 /// (`SmallFn`, no heap allocation for the models' capture sizes) inside
-/// pool-allocated event records. The pending-event heap orders fixed-size
-/// (time, priority, seq, pointer) keys only, so sift operations never move a
-/// callback, and records return to a free list after execution — steady-state
-/// simulation performs no allocation per event. The order is byte-for-byte
-/// the same (time, priority, seq) total order as the original
-/// `std::priority_queue` kernel; golden traces are unchanged.
+/// pool-allocated event records. Ordering lives in `sim::DispatchCore` — the
+/// (time, priority, seq) dispatch kernel shared with the gang engine's
+/// lockstep front-end (`st::gang`) — whose packed 24-byte entries order
+/// fixed-size keys only, so sift operations never move a callback, and
+/// records return to a free list after execution: steady-state simulation
+/// performs no allocation per event. The order is byte-for-byte the same
+/// (time, priority, seq) total order as the original `std::priority_queue`
+/// kernel; golden traces are unchanged.
 ///
 /// A Scheduler is confined to one thread. Run-level parallelism lives in
 /// `st::runner`, strictly *across* independent SoC instances, each owning a
@@ -130,11 +133,11 @@ class Scheduler {
 
     /// True when no event is pending — with stopped clocks this means the
     /// system is quiescent (the deadlock detector builds on this).
-    bool quiescent() const { return heap_.empty(); }
+    bool quiescent() const { return queue_.empty(); }
 
     /// Time of the earliest pending event, or kNever when quiescent.
     Time next_event_time() const {
-        return heap_.empty() ? kNever : heap_.front().t;
+        return queue_.empty() ? kNever : queue_.front().t;
     }
 
     /// Total events executed since construction.
@@ -172,7 +175,11 @@ class Scheduler {
     /// callback would run; returning false drops the event silently — the
     /// model of a transition lost on an asynchronous wire. Untagged events
     /// always execute, so the kernel's own bookkeeping cannot be faulted.
-    using Interceptor = std::function<bool(const EventTag&, Time)>;
+    ///
+    /// Small-buffer type (same machinery as the event callbacks), so
+    /// installing a fault plan — and consulting it per tagged event — stays
+    /// on the allocation-free hot path of fault-injected campaigns.
+    using Interceptor = BasicSmallFn<bool(const EventTag&, Time)>;
     void set_interceptor(Interceptor fn) { interceptor_ = std::move(fn); }
 
     /// Events dropped by the interceptor (not counted in events_executed()).
@@ -183,8 +190,15 @@ class Scheduler {
     /// states in which a snapshot may be taken (mid-slot the two-phase
     /// clock-edge protocol is half-applied).
     bool at_slot_boundary() const {
-        return heap_.empty() || heap_.front().t > now_;
+        return queue_.empty() || queue_.front().t > now_;
     }
+
+    /// Drop every pending event, recycling the records, and clear any stop
+    /// request. Counters (now, seq, executed, dropped) are left as-is — the
+    /// gang engine's lane reset calls this immediately before a restore,
+    /// which overwrites them from the pristine image. The interceptor and
+    /// race-audit configuration are wiring, not run state, and survive.
+    void clear_pending();
 
     /// Execute every event scheduled at exactly now(). Behaviour-neutral:
     /// these events would run before anything else anyway, in this order.
@@ -196,7 +210,12 @@ class Scheduler {
     /// cannot be; instead every component records the (fire time, seq) of
     /// its in-flight events and re-arms them on restore. The count saved
     /// here cross-checks that no component forgot.
-    void save_state(snap::StateWriter& w) const;
+    ///
+    /// `require_boundary = false` skips the slot-boundary precondition: only
+    /// valid when nothing has executed yet (Soc::pristine_image — a freshly
+    /// started system whose first edges sit at t=0 is still consistent,
+    /// since no two-phase edge protocol can be half-applied).
+    void save_state(snap::StateWriter& w, bool require_boundary = true) const;
 
     /// Begin a restore: load counters, then accept rearm() calls from the
     /// components' restore_state methods. schedule_at is rejected until
@@ -226,28 +245,11 @@ class Scheduler {
     void clear_races() { races_.clear(); }
 
   private:
-    /// Pool-resident payload: everything the heap does not need for ordering.
+    /// Pool-resident payload: everything the dispatch core does not need
+    /// for ordering.
     struct Event {
         EventTag tag;
         Callback cb;
-    };
-
-    /// Heap element: the total-order key plus the payload pointer. 40 bytes,
-    /// trivially movable — sifts never touch a callback.
-    struct HeapEntry {
-        Time t = 0;
-        int priority = 0;
-        std::uint64_t seq = 0;
-        Event* ev = nullptr;
-    };
-    /// "a runs later than b" — the std::push_heap comparator that keeps the
-    /// *earliest* (time, priority, seq) at the front.
-    struct Later {
-        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-            if (a.t != b.t) return a.t > b.t;
-            if (a.priority != b.priority) return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
     };
 
     static constexpr std::size_t kSlabSize = 64;
@@ -278,8 +280,8 @@ class Scheduler {
     std::uint64_t expected_pending_ = 0;
     std::vector<Staged> staged_;
 
-    std::vector<HeapEntry> heap_;
-    // Slab pool: fixed-size chunks keep Event addresses stable (heap entries
+    DispatchCore<Event*> queue_;
+    // Slab pool: fixed-size chunks keep Event addresses stable (queue entries
     // point into them); the free list recycles records across the whole life
     // of the scheduler.
     std::vector<std::unique_ptr<Event[]>> slabs_;

@@ -8,19 +8,30 @@
 
 namespace st::sim {
 
-/// Move-only `void()` callable with small-buffer-optimised storage.
+template <typename Sig>
+class BasicSmallFn;
+
+/// Move-only callable with small-buffer-optimised storage, generic in its
+/// call signature.
 ///
-/// This is the scheduler's event callback type. The event hot path schedules
-/// millions of tiny lambdas — `[this]`, `[this, cycle]`, `[this, i, fault]` —
-/// whose captures fit in a few machine words; `std::function` heap-allocates
-/// and type-erases through a copyable interface neither of which the kernel
-/// needs. SmallFn stores any callable whose state fits `kInlineSize` bytes
-/// (and is nothrow-move-constructible) inline in the event itself; larger or
-/// throwing-move callables fall back to a single heap allocation.
+/// This is the scheduler's event-callback machinery. The event hot path
+/// schedules millions of tiny lambdas — `[this]`, `[this, cycle]`,
+/// `[this, i, fault]` — whose captures fit in a few machine words;
+/// `std::function` heap-allocates and type-erases through a copyable
+/// interface neither of which the kernel needs. BasicSmallFn stores any
+/// callable whose state fits `kInlineSize` bytes (and is
+/// nothrow-move-constructible) inline; larger or throwing-move callables
+/// fall back to a single heap allocation.
 ///
 /// Being move-only it also accepts captures `std::function` cannot
 /// (e.g. `std::unique_ptr`), which models "this event owns its payload".
-class SmallFn {
+///
+/// Two instantiations ship: `SmallFn` (`void()`, the event callback) and
+/// `Scheduler::Interceptor` (`bool(const EventTag&, Time)`, the fault
+/// surface) — the latter so fault-injected campaigns keep the
+/// allocation-free hot path end to end.
+template <typename R, typename... Args>
+class BasicSmallFn<R(Args...)> {
   public:
     /// Inline capture budget. Covers every callback the shipped models
     /// schedule (typically `this` + a couple of scalars) with room for a
@@ -28,13 +39,15 @@ class SmallFn {
     /// sites, nothing in the hot path spills to the heap.
     static constexpr std::size_t kInlineSize = 48;
 
-    SmallFn() noexcept = default;
-    SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+    BasicSmallFn() noexcept = default;
+    // NOLINTNEXTLINE(google-explicit-constructor)
+    BasicSmallFn(std::nullptr_t) noexcept {}
 
     template <typename F, typename D = std::decay_t<F>,
-              typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
-                                          std::is_invocable_r_v<void, D&>>>
-    SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, BasicSmallFn> &&
+                  std::is_invocable_r_v<R, D&, Args...>>>
+    BasicSmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
         if constexpr (fits_inline<D>()) {
             ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
             ops_ = &kInlineOps<D>;
@@ -45,9 +58,9 @@ class SmallFn {
         }
     }
 
-    SmallFn(SmallFn&& other) noexcept { steal(other); }
+    BasicSmallFn(BasicSmallFn&& other) noexcept { steal(other); }
 
-    SmallFn& operator=(SmallFn&& other) noexcept {
+    BasicSmallFn& operator=(BasicSmallFn&& other) noexcept {
         if (this != &other) {
             reset();
             steal(other);
@@ -55,15 +68,15 @@ class SmallFn {
         return *this;
     }
 
-    SmallFn(const SmallFn&) = delete;
-    SmallFn& operator=(const SmallFn&) = delete;
+    BasicSmallFn(const BasicSmallFn&) = delete;
+    BasicSmallFn& operator=(const BasicSmallFn&) = delete;
 
-    ~SmallFn() { reset(); }
+    ~BasicSmallFn() { reset(); }
 
-    /// Invoke. Calling an empty SmallFn is a programming error.
-    void operator()() {
-        assert(ops_ != nullptr && "SmallFn: invoking empty callback");
-        ops_->invoke(buf_);
+    /// Invoke. Calling an empty BasicSmallFn is a programming error.
+    R operator()(Args... args) {
+        assert(ops_ != nullptr && "BasicSmallFn: invoking empty callback");
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
     }
 
     explicit operator bool() const noexcept { return ops_ != nullptr; }
@@ -76,15 +89,15 @@ class SmallFn {
         }
     }
 
-  private:
-    struct Ops {
-        void (*invoke)(void*);
-        /// Move-construct the callable into `dst` from `src`, destroying the
-        /// `src` copy. Must not throw: relocation happens inside move ctors.
-        void (*relocate)(void* dst, void* src) noexcept;
-        void (*destroy)(void*) noexcept;
-    };
+    /// True when the stored callable (if any) lives in the inline buffer —
+    /// instrumentation for the allocation-regression tests.
+    bool is_inline() const noexcept {
+        return ops_ != nullptr && ops_->inline_storage;
+    }
 
+    /// Compile-time check that a callable type stays inline. Hot-path call
+    /// sites static_assert this so a capture that grows past the budget is
+    /// a build error, not a silent per-event heap allocation.
     template <typename D>
     static constexpr bool fits_inline() {
         return sizeof(D) <= kInlineSize &&
@@ -92,20 +105,37 @@ class SmallFn {
                std::is_nothrow_move_constructible_v<D>;
     }
 
+  private:
+    struct Ops {
+        R (*invoke)(void*, Args&&...);
+        /// Move-construct the callable into `dst` from `src`, destroying the
+        /// `src` copy. Must not throw: relocation happens inside move ctors.
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+        bool inline_storage;
+    };
+
     template <typename D>
     static constexpr Ops kInlineOps = {
-        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<D*>(p)))(
+                std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) noexcept {
             D* s = std::launder(reinterpret_cast<D*>(src));
             ::new (dst) D(std::move(*s));
             s->~D();
         },
         [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+        true,
     };
 
     template <typename D>
     static constexpr Ops kHeapOps = {
-        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<D**>(p)))(
+                std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) noexcept {
             using P = D*;
             ::new (dst) P(*std::launder(reinterpret_cast<P*>(src)));
@@ -113,9 +143,10 @@ class SmallFn {
         [](void* p) noexcept {
             delete *std::launder(reinterpret_cast<D**>(p));
         },
+        false,
     };
 
-    void steal(SmallFn& other) noexcept {
+    void steal(BasicSmallFn& other) noexcept {
         if (other.ops_ != nullptr) {
             ops_ = other.ops_;
             ops_->relocate(buf_, other.buf_);
@@ -126,5 +157,8 @@ class SmallFn {
     alignas(std::max_align_t) unsigned char buf_[kInlineSize];
     const Ops* ops_ = nullptr;
 };
+
+/// The scheduler's event callback: move-only `void()` with inline storage.
+using SmallFn = BasicSmallFn<void()>;
 
 }  // namespace st::sim

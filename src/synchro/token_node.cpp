@@ -63,6 +63,7 @@ void TokenNode::commit(std::uint64_t) {
 void TokenNode::pass_token() {
     hold_ctr_ = hold_reg_;  // immediate preset (event E)
     phase_ = Phase::kRecycling;
+    if (phase_obs_) phase_obs_(phase_);
     recycle_ctr_ = recycle_reg_;
     sb_en_ = false;
     token_here_ = false;
@@ -75,6 +76,7 @@ void TokenNode::pass_token() {
 
 void TokenNode::enter_holding() {
     phase_ = Phase::kHolding;
+    if (phase_obs_) phase_obs_(phase_);
     hold_ctr_ = hold_reg_;
     sb_en_ = true;
     clken_ = true;

@@ -90,6 +90,16 @@ class TokenNode final : public clk::ClockSink,
         pass_fault_ = std::move(fn);
     }
 
+    /// Opt-in observer (invariant monitor): invoked synchronously after
+    /// every phase transition with the new phase, letting the monitor keep
+    /// per-ring holding counts incrementally instead of polling every node
+    /// of every ring at every check. One slot; the monitor owns it.
+    /// NOT fired by restore_state — a restorer re-derives its counts after
+    /// the restore completes (InvariantMonitor::reset).
+    void set_phase_observer(std::function<void(Phase)> fn) {
+        phase_obs_ = std::move(fn);
+    }
+
     // --- observation ---
     Phase phase() const { return phase_; }
     bool token_here() const { return token_here_; }
@@ -115,6 +125,7 @@ class TokenNode final : public clk::ClockSink,
     std::string name_;
     std::function<void()> pass_fn_;
     std::function<unsigned()> pass_fault_;
+    std::function<void(Phase)> phase_obs_;
     SbWrapper* wrapper_ = nullptr;
 
     std::uint32_t hold_reg_;

@@ -1,73 +1,135 @@
 #include "system/invariant_monitor.hpp"
 
-#include <sstream>
-
 namespace st::sys {
 
+namespace {
+using Phase = core::TokenNode::Phase;
+
+/// Apply one phase transition to a holder count, keeping `flagged` (the
+/// number of counts at-or-above `limit`) in sync.
+void apply_transition(std::uint8_t& holders, Phase now, std::uint8_t limit,
+                      std::size_t& flagged) {
+    if (now == Phase::kHolding) {
+        if (++holders == limit) ++flagged;
+    } else {
+        if (holders-- == limit) --flagged;
+    }
+}
+}  // namespace
+
 InvariantMonitor::InvariantMonitor(Soc& soc) : soc_(soc) {
+    ring_holders_.assign(soc_.num_rings(), 0);
+    multi_holders_.assign(soc_.num_multi_rings(), 0);
+    // Each TokenNode belongs to exactly one ring (or one multi-ring
+    // membership), so the single observer slot per node is enough.
+    for (std::size_t r = 0; r < soc_.num_rings(); ++r) {
+        const auto& spec = soc_.spec().rings[r];
+        for (const std::size_t sb : {spec.sb_a, spec.sb_b}) {
+            soc_.ring_node(r, sb).set_phase_observer([this, r](Phase now) {
+                apply_transition(ring_holders_[r], now, 2, rings_both_);
+            });
+        }
+    }
+    for (std::size_t r = 0; r < soc_.num_multi_rings(); ++r) {
+        const auto& spec = soc_.spec().multi_rings[r];
+        for (const auto& m : spec.members) {
+            soc_.multi_ring_node(r, m.sb).set_phase_observer(
+                [this, r](Phase now) {
+                    apply_transition(multi_holders_[r], now, 2, multis_over_);
+                });
+        }
+    }
+    recount();
+    wrappers_.resize(soc_.num_sbs());
     for (std::size_t i = 0; i < soc_.num_sbs(); ++i) {
-        soc_.wrapper(i).clock().on_edge(
+        auto& w = soc_.wrapper(i);
+        wrappers_[i].clock = &w.clock();
+        for (std::size_t n = 0; n < w.num_nodes(); ++n) {
+            wrappers_[i].nodes.push_back(&w.node(n));
+        }
+        w.clock().on_edge(
             [this, i](std::uint64_t cycle, sim::Time) { check(i, cycle); });
     }
 }
 
-void InvariantMonitor::record(const std::string& what) {
-    if (violations_.size() < kMaxRecorded) violations_.push_back(what);
+void InvariantMonitor::reset() {
+    violations_.clear();
+    checks_ = 0;
+    recount();
+}
+
+void InvariantMonitor::recount() {
+    rings_both_ = 0;
+    multis_over_ = 0;
+    for (std::size_t r = 0; r < soc_.num_rings(); ++r) {
+        const auto& spec = soc_.spec().rings[r];
+        std::uint8_t holders = 0;
+        for (const std::size_t sb : {spec.sb_a, spec.sb_b}) {
+            if (soc_.ring_node(r, sb).phase() == Phase::kHolding) ++holders;
+        }
+        ring_holders_[r] = holders;
+        if (holders >= 2) ++rings_both_;
+    }
+    for (std::size_t r = 0; r < soc_.num_multi_rings(); ++r) {
+        const auto& spec = soc_.spec().multi_rings[r];
+        std::uint8_t holders = 0;
+        for (const auto& m : spec.members) {
+            if (soc_.multi_ring_node(r, m.sb).phase() == Phase::kHolding) {
+                ++holders;
+            }
+        }
+        multi_holders_[r] = holders;
+        if (holders >= 2) ++multis_over_;
+    }
+}
+
+void InvariantMonitor::record(std::string what) {
+    if (violations_.size() < kMaxRecorded) violations_.push_back(std::move(what));
 }
 
 void InvariantMonitor::check(std::size_t wrapper_index, std::uint64_t cycle) {
     ++checks_;
-    auto& w = soc_.wrapper(wrapper_index);
+    const WrapperCtx& w = wrappers_[wrapper_index];
+    const bool running = !w.clock->stopped();
 
-    for (std::size_t n = 0; n < w.num_nodes(); ++n) {
-        const auto& node = w.node(n);
-        std::ostringstream loc;
-        loc << node.name() << " @cycle " << cycle << ": ";
-        if (node.sb_en() &&
-            node.phase() != core::TokenNode::Phase::kHolding) {
-            record(loc.str() + "sb_en asserted while not holding");
-        }
-        if (node.waiting() && node.clken()) {
-            record(loc.str() + "waiting with clken asserted");
-        }
-        if (node.protocol_errors() != 0) {
-            record(loc.str() + "token protocol error observed");
-        }
-        if (!w.clock().stopped() && !node.clken()) {
+    for (const core::TokenNode* np : w.nodes) {
+        const auto& node = *np;
+        const bool bad_en = node.sb_en() && node.phase() != Phase::kHolding;
+        const bool bad_wait = node.waiting() && node.clken();
+        const bool bad_proto = node.protocol_errors() != 0;
+        const bool bad_clk = running && !node.clken();
+        if (!(bad_en || bad_wait || bad_proto || bad_clk)) continue;
+        // Slow path: a violation is in force — now pay for formatting.
+        const std::string loc =
+            node.name() + " @cycle " + std::to_string(cycle) + ": ";
+        if (bad_en) record(loc + "sb_en asserted while not holding");
+        if (bad_wait) record(loc + "waiting with clken asserted");
+        if (bad_proto) record(loc + "token protocol error observed");
+        if (bad_clk) {
             // Settled post-edge state: a deasserted clken must have stopped
             // the clock by now (the post-commit gate runs before monitors).
-            record(loc.str() + "clken low but clock still running");
+            record(loc + "clken low but clock still running");
         }
     }
 
-    // Single-token mutual exclusion per ring (both endpoints visible).
-    for (std::size_t r = 0; r < soc_.num_rings(); ++r) {
-        const auto& spec = soc_.spec().rings[r];
-        const auto& a = soc_.ring_node(r, spec.sb_a);
-        const auto& b = soc_.ring_node(r, spec.sb_b);
-        if (a.phase() == core::TokenNode::Phase::kHolding &&
-            b.phase() == core::TokenNode::Phase::kHolding) {
-            std::ostringstream os;
-            os << "ring '" << soc_.ring(r).name()
-               << "' @cycle " << cycle << ": both endpoints holding";
-            record(os.str());
+    // Single-token mutual exclusion per ring (both endpoints visible). The
+    // counts are maintained by the nodes' phase observers; scanning for the
+    // offending ring only happens while some ring is actually violated.
+    if (rings_both_ != 0) {
+        for (std::size_t r = 0; r < soc_.num_rings(); ++r) {
+            if (ring_holders_[r] < 2) continue;
+            record("ring '" + soc_.ring(r).name() + "' @cycle " +
+                   std::to_string(cycle) + ": both endpoints holding");
         }
     }
     // Multi-rings: at most one member holding (token-bus arbitration).
-    for (std::size_t r = 0; r < soc_.num_multi_rings(); ++r) {
-        const auto& spec = soc_.spec().multi_rings[r];
-        std::size_t holders = 0;
-        for (const auto& m : spec.members) {
-            if (soc_.multi_ring_node(r, m.sb).phase() ==
-                core::TokenNode::Phase::kHolding) {
-                ++holders;
-            }
-        }
-        if (holders > 1) {
-            std::ostringstream os;
-            os << "multi-ring '" << soc_.multi_ring(r).name() << "' @cycle "
-               << cycle << ": " << holders << " members holding";
-            record(os.str());
+    if (multis_over_ != 0) {
+        for (std::size_t r = 0; r < soc_.num_multi_rings(); ++r) {
+            if (multi_holders_[r] < 2) continue;
+            record("multi-ring '" + soc_.multi_ring(r).name() + "' @cycle " +
+                   std::to_string(cycle) + ": " +
+                   std::to_string(static_cast<unsigned>(multi_holders_[r])) +
+                   " members holding");
         }
     }
 }

@@ -138,20 +138,26 @@ void Soc::start() {
 
 bool Soc::run_cycles(std::uint64_t n_cycles, sim::Time deadline) {
     start();
-    const auto goal_met = [&] {
-        for (const auto& w : wrappers_) {
-            if (w->clock().cycles() < n_cycles) return false;
+    // O(1) per event: watch one laggard wrapper at a time instead of
+    // re-scanning every SB before every step. Cycle counts only grow, so
+    // once a wrapper meets the goal it stays met, and the run still stops
+    // at exactly the event that brings the last unmet wrapper to the goal —
+    // the same boundary the full-scan formulation stopped at.
+    std::size_t lag = 0;
+    for (;;) {
+        while (lag < wrappers_.size() &&
+               wrappers_[lag]->clock().cycles() >= n_cycles) {
+            ++lag;
         }
-        return true;
-    };
-    while (!goal_met()) {
-        if (sched_.stop_requested()) return false;  // cooperative early exit
-        if (sched_.quiescent() || sched_.next_event_time() > deadline) {
-            return false;
+        if (lag == wrappers_.size()) return true;
+        while (wrappers_[lag]->clock().cycles() < n_cycles) {
+            if (sched_.stop_requested()) return false;  // cooperative exit
+            if (sched_.quiescent() || sched_.next_event_time() > deadline) {
+                return false;
+            }
+            sched_.step();
         }
-        sched_.step();
     }
-    return true;
 }
 
 bool Soc::deadlocked() const {
@@ -182,6 +188,26 @@ snap::Snapshot Soc::save_snapshot(const ExtraSave& extra) const {
         throw snap::SnapshotError("Soc::save_snapshot: not started");
     }
     snap::StateWriter w;
+    write_image(w, extra, /*require_boundary=*/true);
+    return snap::Snapshot(w.take());
+}
+
+snap::Snapshot Soc::pristine_image(const ExtraSave& extra) const {
+    if (!started_) {
+        throw snap::SnapshotError("Soc::pristine_image: not started");
+    }
+    if (sched_.events_executed() != 0) {
+        throw snap::SnapshotError(
+            "Soc::pristine_image: events already executed — use "
+            "save_snapshot at a slot boundary instead");
+    }
+    snap::StateWriter w;
+    write_image(w, extra, /*require_boundary=*/false);
+    return snap::Snapshot(w.take());
+}
+
+void Soc::write_image(snap::StateWriter& w, const ExtraSave& extra,
+                      bool require_boundary) const {
     w.begin_group("soc");
 
     // Structural fingerprint: restore validates the target Soc was
@@ -198,7 +224,7 @@ snap::Snapshot Soc::save_snapshot(const ExtraSave& extra) const {
     w.u32(static_cast<std::uint32_t>(fifos_.size()));
     w.end();
 
-    sched_.save_state(w);
+    sched_.save_state(w, require_boundary);
     for (const auto& wr : wrappers_) {
         w.begin_group("wrapper");
         wr->clock().save_state(w);
@@ -221,7 +247,6 @@ snap::Snapshot Soc::save_snapshot(const ExtraSave& extra) const {
     if (extra) extra(w);
 
     w.end();
-    return snap::Snapshot(w.take());
 }
 
 void Soc::restore_snapshot(const snap::Snapshot& snapshot,
@@ -238,7 +263,21 @@ void Soc::restore_snapshot(const snap::Snapshot& snapshot,
         probes_.push_back(
             std::make_unique<verify::TraceProbe>(*wr, *capture_));
     }
+    read_image(snapshot, extra);
+}
 
+void Soc::reset_from_image(const snap::Snapshot& image,
+                           const ExtraRestore& extra) {
+    if (!started_) {
+        throw snap::SnapshotError("Soc::reset_from_image: not started");
+    }
+    sched_.clear_pending();
+    capture_->rewind_run();
+    read_image(image, extra);
+}
+
+void Soc::read_image(const snap::Snapshot& snapshot,
+                     const ExtraRestore& extra) {
     snap::StateReader r(snapshot.bytes());
     r.enter("soc");
 

@@ -111,9 +111,33 @@ class Soc {
     void restore_snapshot(const snap::Snapshot& snapshot,
                           const ExtraRestore& extra = {});
 
+    /// Image of this Soc in its freshly-started state (started, nothing
+    /// executed yet): the gang engine's per-lane reset point. Unlike
+    /// save_snapshot it tolerates the first clock edges pending at exactly
+    /// t=0 (a clock with phase 0) — with zero events executed no two-phase
+    /// edge protocol can be half-applied, so the state is consistent.
+    snap::Snapshot pristine_image(const ExtraSave& extra = {}) const;
+
+    /// Rewind a *running* Soc to an image taken from this (or an identically
+    /// elaborated) Soc — pristine_image for a lane reset, save_snapshot for
+    /// a mid-run handoff. Pending events are dropped, the capture is rewound
+    /// in place (probe slots and an attached StreamingChecker survive), and
+    /// every component restores; on return this Soc continues exactly where
+    /// the imaged one stood. Persistent wiring (observers, monitors, bound
+    /// checkers) is untouched; per-case hooks (fault injectors) must be
+    /// detached by their owners before reuse.
+    void reset_from_image(const snap::Snapshot& image,
+                          const ExtraRestore& extra = {});
+
     const SocSpec& spec() const { return spec_; }
 
   private:
+    /// Shared save/restore bodies (snapshot and image paths differ only in
+    /// preconditions and capture/probe lifecycle).
+    void write_image(snap::StateWriter& w, const ExtraSave& extra,
+                     bool require_boundary) const;
+    void read_image(const snap::Snapshot& snapshot,
+                    const ExtraRestore& extra);
     SocSpec spec_;
     sim::Scheduler sched_;
     std::vector<std::unique_ptr<core::SbWrapper>> wrappers_;

@@ -34,6 +34,12 @@ void RunCapture::begin_run() {
     if (checker_ != nullptr) checker_->begin_run();
 }
 
+void RunCapture::rewind_run() {
+    for (auto& s : streams_) s.clear();
+    next_seq_ = 0;
+    if (checker_ != nullptr) checker_->begin_run();
+}
+
 void RunCapture::request_stop() {
     if (sched_ != nullptr) sched_->request_stop();
 }

@@ -211,6 +211,13 @@ class RunCapture {
     /// The attached checker is KEPT — attach once, run many.
     void begin_run();
 
+    /// Reset for the next run of the SAME Soc (gang lane reuse): clear
+    /// every registered stream in place — slots stay valid, so the probes
+    /// already wired into the wrappers keep recording — restart the arrival
+    /// counter and rewind the attached checker. The scheduler binding is
+    /// kept: the lane's scheduler persists across runs.
+    void rewind_run();
+
     /// Bind the scheduler driving the run so an attached checker can
     /// request a cooperative stop on divergence.
     void bind_scheduler(sim::Scheduler* sched) { sched_ = sched; }

@@ -296,6 +296,60 @@ TEST(Scheduler, DestroysCallbackStateAfterExecution) {
     EXPECT_EQ(token.use_count(), 1);  // pool slot must not pin the capture
 }
 
+TEST(Scheduler, InterceptorStorageStaysInlineInSteadyState) {
+    // The fault-injection surface is consulted on every tagged event, so
+    // its storage must be the same small-buffer machinery as the event
+    // callbacks — an injector-shaped capture (object pointer + a couple of
+    // words of plan state) may never spill to the heap. The static_assert
+    // turns a capture grown past the budget into a build error instead of
+    // a silent per-campaign allocation.
+    Scheduler s;
+    std::uint64_t consulted = 0;
+    std::uint64_t plan[3] = {0, 0, 0};  // never matches a real timestamp
+    auto plan_fn = [&consulted, &plan](const EventTag&, Time t) {
+        ++consulted;
+        return t != plan[1];
+    };
+    static_assert(Scheduler::Interceptor::fits_inline<decltype(plan_fn)>(),
+                  "injector-shaped interceptor captures must stay inline");
+    Scheduler::Interceptor stored(std::move(plan_fn));
+    EXPECT_TRUE(stored.is_inline());
+    s.set_interceptor(std::move(stored));
+
+    // Steady state: a long tagged self-rescheduling chain with the
+    // interceptor armed recycles event records exactly like the untagged
+    // chain — the pool's high-water mark stays flat across repeat runs, so
+    // neither the callback nor the per-event interceptor consult allocates.
+    int actor = 0;
+    std::uint64_t left = 5'000;
+    struct Hop {
+        Scheduler* s;
+        int* actor;
+        std::uint64_t* left;
+        void operator()() const {
+            if (--*left > 0) {
+                s->schedule_at(s->now() + 1, Priority::kDefault,
+                               EventTag{actor, "hop"}, Hop{s, actor, left});
+            }
+        }
+    };
+    s.schedule_at(1, Priority::kDefault, EventTag{&actor, "hop"},
+                  Hop{&s, &actor, &left});
+    s.run();
+    EXPECT_EQ(left, 0u);
+    EXPECT_EQ(consulted, 5'000u);
+    EXPECT_EQ(s.events_dropped(), 0u);
+    const auto cap = s.pool_capacity();
+    EXPECT_LE(cap, 64u);
+    for (int round = 0; round < 50; ++round) {
+        std::uint64_t more = 100;
+        s.schedule_at(s.now() + 1, Priority::kDefault,
+                      EventTag{&actor, "hop"}, Hop{&s, &actor, &more});
+        s.run();
+    }
+    EXPECT_EQ(s.pool_capacity(), cap);
+}
+
 TEST(Scheduler, DroppedEventsReleaseTheirCallbacks) {
     Scheduler s;
     int actor = 0;
