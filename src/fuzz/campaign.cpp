@@ -43,13 +43,16 @@ Campaign::Campaign(CampaignConfig cfg)
     : Campaign(cfg, sys::make_named_spec(cfg.spec_name)) {}
 
 Campaign::Campaign(CampaignConfig cfg, sys::SocSpec spec)
-    : cfg_(std::move(cfg)), spec_(std::move(spec)) {
+    : cfg_(std::move(cfg)),
+      prog_(gang::Program::get(
+          std::make_shared<const sys::SocSpec>(std::move(spec)))) {
     // Golden: nominal delays, no faults. Must meet the cycle goal — a spec
-    // that cannot run fault-free nominally is a configuration error.
-    sys::Soc soc(spec_);
+    // that cannot run fault-free nominally is a configuration error. The
+    // Soc shares the program's spec rather than copying it.
+    sys::Soc soc(prog_->spec_ptr());
     bool budget_expired = false;
     const sim::Time deadline =
-        case_deadline(max_effective_period(spec_), cfg_.cycles);
+        case_deadline(max_effective_period(this->spec()), cfg_.cycles);
     if (!run_bounded(soc, cfg_.cycles, deadline, cfg_.max_events,
                      budget_expired)) {
         throw std::runtime_error("Campaign: golden run of spec '" +
@@ -68,11 +71,12 @@ Campaign::Campaign(CampaignConfig cfg, sys::SocSpec spec)
             // Shared prefix: nominal delays, no faults, snapshotted once at
             // a slot boundary. The golden run above proved the nominal spec
             // reaches cfg_.cycles, so this shorter leg cannot fail.
-            sys::Soc warm(spec_);
+            sys::Soc warm(prog_->spec_ptr());
             run_bounded(warm, cfg_.warmup_cycles, deadline, cfg_.max_events,
                         budget_expired);
             warm.settle();
             prefix_ = warm.save_snapshot();
+            prefix_plan_ = snap::RewindPlan(prefix_.bytes());
         }
     }
 }
@@ -92,9 +96,12 @@ CaseRunner::CaseRunner(const Campaign& campaign) : campaign_(&campaign) {
 RunReport CaseRunner::run(const FuzzCase& c) {
     const Campaign& campaign = *campaign_;
     const CampaignConfig& cfg = campaign.config();
-    const sys::SocSpec perturbed = sys::apply(campaign.spec(), c.delays);
+    // One spec copy per case (the perturbation), shared with the Soc by
+    // pointer — the nominal program spec itself is never copied.
+    auto perturbed = std::make_shared<const sys::SocSpec>(
+        sys::apply(campaign.spec(), c.delays));
     const sim::Time deadline =
-        case_deadline(max_effective_period(perturbed), cfg.cycles);
+        case_deadline(max_effective_period(*perturbed), cfg.cycles);
 
     // The capture is reused across cases, backed by this worker thread's
     // arena. In streaming mode the checker stays subscribed across runs
@@ -115,7 +122,7 @@ RunReport CaseRunner::run(const FuzzCase& c) {
     std::unique_ptr<Injector> injector_owner;
     std::unique_ptr<sys::InvariantMonitor> monitor_owner;
     if (cfg.warmup_cycles == 0) {
-        soc_owner = std::make_unique<sys::Soc>(perturbed, &cap);
+        soc_owner = std::make_unique<sys::Soc>(std::move(perturbed), &cap);
         injector_owner = std::make_unique<Injector>(*soc_owner, c.faults);
         monitor_owner = std::make_unique<sys::InvariantMonitor>(*soc_owner);
     } else {
@@ -123,9 +130,11 @@ RunReport CaseRunner::run(const FuzzCase& c) {
         // re-simulated), then the case delta applied live. Both prefix
         // variants land in the identical state — restore-equivalence — so
         // the continuation, and therefore the report, is bit-identical.
-        soc_owner = std::make_unique<sys::Soc>(campaign.spec(), &cap);
+        soc_owner =
+            std::make_unique<sys::Soc>(campaign.program()->spec_ptr(), &cap);
         if (cfg.warmup_fork) {
-            soc_owner->restore_snapshot(campaign.warmup_prefix());
+            soc_owner->restore_snapshot(campaign.warmup_prefix(),
+                                        campaign.warmup_prefix_plan());
         } else {
             bool warm_budget = false;
             run_bounded(*soc_owner, cfg.warmup_cycles, deadline,
@@ -204,34 +213,34 @@ Fault Campaign::random_fault(sim::Rng& rng) const {
         case FaultClass::kTokenDropWire:
         case FaultClass::kTokenDuplicate:
             f.unit = rng.next_below(std::max<std::size_t>(
-                1, spec_.rings.size()));
+                1, spec().rings.size()));
             f.side = rng.next_below(2);
             f.nth = rng.next_in(1, 4);
             break;
         case FaultClass::kSpuriousToken:
             f.unit = rng.next_below(std::max<std::size_t>(
-                1, spec_.rings.size()));
+                1, spec().rings.size()));
             f.side = rng.next_below(2);
             f.nth = 1;
             // Inject somewhere in the first half of the run window.
             f.value = rng.next_in(
-                1, (cfg_.cycles / 2 + 1) * max_effective_period(spec_));
+                1, (cfg_.cycles / 2 + 1) * max_effective_period(spec()));
             break;
         case FaultClass::kFifoStall:
             f.unit = rng.next_below(std::max<std::size_t>(
-                1, spec_.channels.size()));
+                1, spec().channels.size()));
             f.nth = rng.next_in(1, 8);
             f.value = rng.next_in(1, 20) * 100;  ///< up to 2 ns extra
             break;
         case FaultClass::kFifoStuckData:
             f.unit = rng.next_below(std::max<std::size_t>(
-                1, spec_.channels.size()));
+                1, spec().channels.size()));
             f.nth = rng.next_in(1, 8);
             f.value = rng.next_u64();
             break;
         case FaultClass::kRestartGlitch:
             f.unit = rng.next_below(std::max<std::size_t>(
-                1, spec_.sbs.size()));
+                1, spec().sbs.size()));
             f.nth = rng.next_in(1, 4);
             f.value = rng.next_in(1, 20) * 100;
             break;
@@ -242,7 +251,7 @@ Fault Campaign::random_fault(sim::Rng& rng) const {
 FuzzCase Campaign::random_case(sim::Rng& rng) const {
     static constexpr unsigned kGrid[] = {50, 75, 100, 150, 200};
     FuzzCase c;
-    c.delays = sys::DelayConfig::nominal(spec_);
+    c.delays = sys::DelayConfig::nominal(spec());
     for (std::size_t d = 0; d < c.delays.dimensions(); ++d) {
         c.delays.set(d, kGrid[rng.next_below(5)]);
     }

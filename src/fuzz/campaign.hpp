@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fuzz/fault.hpp"
+#include "gang/program.hpp"
 #include "runner/runner.hpp"
 #include "sim/random.hpp"
 #include "snap/snapshot.hpp"
@@ -218,7 +219,14 @@ class Campaign {
     Campaign(CampaignConfig cfg, sys::SocSpec spec);
 
     const CampaignConfig& config() const { return cfg_; }
-    const sys::SocSpec& spec() const { return spec_; }
+    const sys::SocSpec& spec() const { return prog_->spec(); }
+    /// The shared immutable program every engine of this campaign runs —
+    /// gang lanes, scalar CaseRunners, and warm-snapshot forks all hold
+    /// this one object (process-wide via the Program registry when the
+    /// spec carries a program_key).
+    const std::shared_ptr<const gang::Program>& program() const {
+        return prog_;
+    }
     const verify::TraceSet& golden() const { return golden_; }
     const verify::GoldenIndex& golden_index() const { return golden_index_; }
 
@@ -261,15 +269,22 @@ class Campaign {
 
     /// Snapshot of the shared warm-up prefix (empty when warmup_cycles == 0).
     const snap::Snapshot& warmup_prefix() const { return prefix_; }
+    /// Pre-validated parse plan for warmup_prefix() (nullptr when off):
+    /// every forked case restores the same prefix bytes, so they share one
+    /// plan instead of re-parsing the framing per case.
+    const snap::RewindPlan* warmup_prefix_plan() const {
+        return prefix_plan_.built() ? &prefix_plan_ : nullptr;
+    }
 
   private:
     Fault random_fault(sim::Rng& rng) const;
 
     CampaignConfig cfg_;
-    sys::SocSpec spec_;
+    std::shared_ptr<const gang::Program> prog_;
     verify::TraceSet golden_;
     verify::GoldenIndex golden_index_;
     snap::Snapshot prefix_;
+    snap::RewindPlan prefix_plan_;
 };
 
 /// Classify one case against `spec` WITHOUT a golden run: elaborate the

@@ -19,7 +19,11 @@ GangRunner::GangRunner(const Campaign& campaign, std::size_t width,
     opt.monitor = true;
     lanes_.reserve(width);
     for (std::size_t i = 0; i < width; ++i) {
-        lanes_.push_back(std::make_unique<gang::Lane>(campaign.spec(), opt));
+        // Every lane (of every worker) shares the campaign's one Program —
+        // spec, pristine image, and rewind plan are elaborated exactly once
+        // per process, not once per lane.
+        lanes_.push_back(
+            std::make_unique<gang::Lane>(campaign.program(), opt));
     }
 }
 
@@ -56,7 +60,8 @@ std::vector<RunReport> GangRunner::run_block(const FuzzCase* cases,
             sys::apply_live(lane.soc(), c.delays);
         } else {
             if (cfg.warmup_fork) {
-                lane.rewind(campaign.warmup_prefix());
+                lane.rewind(campaign.warmup_prefix(),
+                            campaign.warmup_prefix_plan());
             } else {
                 lane.rewind();
                 sys::Soc& soc = lane.soc();
@@ -133,7 +138,7 @@ RunReport GangRunner::finish_peeled(gang::Lane& lane, Injector& injector,
         opt.golden =
             cfg.streaming ? &campaign.golden_index() : nullptr;
         opt.monitor = true;
-        finisher_ = std::make_unique<gang::Lane>(campaign.spec(), opt);
+        finisher_ = std::make_unique<gang::Lane>(campaign.program(), opt);
     }
     if (finisher_->checker() != nullptr) {
         // Peeled cases are faulted by construction: divergence already

@@ -10,18 +10,19 @@ DelaySweepRunner::DelaySweepRunner(const sys::SocSpec& spec,
                                    std::size_t width, bool streaming,
                                    std::uint64_t warmup,
                                    const snap::Snapshot* prefix)
-    : spec_(&spec),
+    : prog_(Program::get(spec)),
       golden_(&golden),
       cycles_(cycles),
       deadline_(deadline),
       warmup_(warmup),
       prefix_(prefix) {
     if (width == 0) width = 1;
+    if (prefix_ != nullptr) prefix_plan_ = snap::RewindPlan(prefix_->bytes());
     Lane::Options opt;
     opt.golden = streaming ? &golden : nullptr;
     lanes_.reserve(width);
     for (std::size_t i = 0; i < width; ++i) {
-        lanes_.push_back(std::make_unique<Lane>(spec, opt));
+        lanes_.push_back(std::make_unique<Lane>(prog_, opt));
     }
 }
 
@@ -32,7 +33,7 @@ std::vector<verify::TraceDiff> DelaySweepRunner::run_block(
     for (std::size_t i = 0; i < n; ++i) {
         Lane& lane = *lanes_[i];
         if (warmup_ > 0 && prefix_ != nullptr) {
-            lane.rewind(*prefix_);
+            lane.rewind(*prefix_, &prefix_plan_);
         } else {
             lane.rewind();
             if (warmup_ > 0) {

@@ -42,13 +42,23 @@ class DelaySweepRunner {
 
     std::size_t width() const { return lanes_.size(); }
 
+    /// The shared program this runner's lanes execute (registry-resolved
+    /// from the spec's program_key — identical pointer to any other holder
+    /// on the same key).
+    const std::shared_ptr<const Program>& program() const { return prog_; }
+
   private:
-    const sys::SocSpec* spec_;
+    /// One shared program for every lane of this runner (and, through the
+    /// registry, for every other runner on the same spec key).
+    std::shared_ptr<const Program> prog_;
     const verify::GoldenIndex* golden_;
     std::uint64_t cycles_;
     sim::Time deadline_;
     std::uint64_t warmup_;
     const snap::Snapshot* prefix_;
+    /// Pre-validated plan for *prefix_ — every lane of every block rewinds
+    /// to the same prefix image, so parse it once.
+    snap::RewindPlan prefix_plan_;
     std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

@@ -2,7 +2,8 @@
 
 namespace st::gang {
 
-Lane::Lane(const sys::SocSpec& nominal_spec, const Options& opt) {
+Lane::Lane(std::shared_ptr<const Program> program, const Options& opt)
+    : prog_(std::move(program)) {
     // Attachment order matches the scalar case path: checker onto the
     // capture first, then the Soc (whose ctor begins the capture's run and
     // registers the probes), then the monitor's clock observers — so every
@@ -11,17 +12,26 @@ Lane::Lane(const sys::SocSpec& nominal_spec, const Options& opt) {
         checker_ = std::make_unique<verify::StreamingChecker>(*opt.golden);
         checker_->attach(cap_);
     }
-    soc_ = std::make_unique<sys::Soc>(nominal_spec, &cap_);
+    soc_ = std::make_unique<sys::Soc>(prog_->spec_ptr(), &cap_);
     if (opt.monitor) {
         monitor_ = std::make_unique<sys::InvariantMonitor>(*soc_);
     }
     soc_->start();
-    pristine_ = soc_->pristine_image();
+}
+
+void Lane::rewind() {
+    soc_->reset_from_image(prog_->pristine(), &prog_->plan());
+    if (monitor_) monitor_->reset();
 }
 
 void Lane::rewind(const snap::Snapshot& image,
                   const sys::Soc::ExtraRestore& extra) {
-    soc_->reset_from_image(image, extra);
+    rewind(image, nullptr, extra);
+}
+
+void Lane::rewind(const snap::Snapshot& image, const snap::RewindPlan* plan,
+                  const sys::Soc::ExtraRestore& extra) {
+    soc_->reset_from_image(image, plan, extra);
     if (monitor_) monitor_->reset();
 }
 

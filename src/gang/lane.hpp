@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "gang/program.hpp"
 #include "snap/snapshot.hpp"
 #include "system/invariant_monitor.hpp"
 #include "system/soc.hpp"
@@ -15,15 +16,16 @@ namespace st::gang {
 /// fresh each time — the trace capture, an (optional) attached streaming
 /// checker, and an (optional) invariant monitor.
 ///
-/// The split mirrors the tentpole's program/state decomposition at the
-/// system level: the elaborated topology, the capture's slot table, the
-/// checker's golden binding, and the monitor's observer wiring are the
-/// immutable *program*, compiled once per lane; everything a run mutates is
-/// the *state*, rewound between cases from a snapshot image. The reset
-/// point is `pristine()` — an image of the freshly started Soc taken at
-/// construction, before any event executed — or any boundary snapshot from
-/// an identically elaborated Soc (a campaign's shared warm-up prefix, a
-/// peeled lane's mid-run handoff image).
+/// The program/state decomposition: the gang::Program — spec, pristine
+/// image, and its pre-validated rewind plan — is process-wide and shared by
+/// every lane on the same spec digest (one elaboration, one serialization,
+/// one plan per process, not per lane). What stays per-lane is exactly what
+/// a run mutates: the Soc's live state, the capture's streams, the
+/// checker's verdict, the monitor's phase trackers. The reset point is
+/// `pristine()` — the Program's image of the freshly started Soc, restored
+/// through the plan so a rewind re-parses no framing — or any boundary
+/// snapshot from an identically elaborated Soc (a campaign's shared
+/// warm-up prefix, a peeled lane's mid-run handoff image).
 ///
 /// Per-lane delay registers (clock periods, FIFO stage delays, ring hop
 /// delays) are nominal after every rewind; callers perturb them with
@@ -45,37 +47,48 @@ class Lane {
         bool monitor = false;
     };
 
-    Lane(const sys::SocSpec& nominal_spec, const Options& opt);
+    /// Share `program` (the normal path: every lane of a gang hands in the
+    /// same Program, usually via Program::get).
+    Lane(std::shared_ptr<const Program> program, const Options& opt);
+    /// Convenience: resolve the program through the registry first.
+    Lane(const sys::SocSpec& nominal_spec, const Options& opt)
+        : Lane(Program::get(nominal_spec), opt) {}
 
     Lane(const Lane&) = delete;
     Lane& operator=(const Lane&) = delete;
 
     /// Rewind to the freshly-started nominal state. After this the lane is
     /// indistinguishable from a just-elaborated, just-started Soc of the
-    /// nominal spec (with zero events executed).
-    void rewind() { rewind(pristine_); }
+    /// nominal spec (with zero events executed). Uses the program's rewind
+    /// plan, so no snapshot framing is re-parsed.
+    void rewind();
 
     /// Rewind to an explicit boundary image (shared warm-up prefix, peel
     /// handoff). `extra` restores snapshot chunks beyond the Soc's own —
     /// e.g. a fuzz::Injector's trigger counters — inside the scheduler's
     /// restore window. The monitor (if any) is re-armed from the restored
     /// phases; a previously attached checker re-derives its verdict state
-    /// from the replayed trace prefix.
+    /// from the replayed trace prefix. Pass the image's RewindPlan when the
+    /// caller rewinds to it repeatedly (a campaign's warm-up prefix).
     void rewind(const snap::Snapshot& image,
+                const sys::Soc::ExtraRestore& extra = {});
+    void rewind(const snap::Snapshot& image, const snap::RewindPlan* plan,
                 const sys::Soc::ExtraRestore& extra = {});
 
     sys::Soc& soc() { return *soc_; }
     verify::RunCapture& capture() { return cap_; }
     verify::StreamingChecker* checker() { return checker_.get(); }
     sys::InvariantMonitor* monitor() { return monitor_.get(); }
-    const snap::Snapshot& pristine() const { return pristine_; }
+    /// The shared immutable program this lane runs.
+    const std::shared_ptr<const Program>& program() const { return prog_; }
+    const snap::Snapshot& pristine() const { return prog_->pristine(); }
 
   private:
+    std::shared_ptr<const Program> prog_;
     verify::RunCapture cap_;
     std::unique_ptr<verify::StreamingChecker> checker_;
     std::unique_ptr<sys::Soc> soc_;
     std::unique_ptr<sys::InvariantMonitor> monitor_;
-    snap::Snapshot pristine_;
 };
 
 }  // namespace st::gang

@@ -1,5 +1,8 @@
 #include "snap/state_io.hpp"
 
+#include <cassert>
+#include <cstring>
+
 namespace st::snap {
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
@@ -78,14 +81,62 @@ std::vector<std::uint8_t> StateWriter::take() {
     return std::move(buf_);
 }
 
-// ---------------------------------------------------------------- reader
+// ----------------------------------------------------------- rewind plan
 
-std::uint64_t StateReader::limit() const {
-    return ends_.empty() ? size_ : ends_.back();
+void RewindPlan::build(const std::uint8_t* data, std::size_t n) {
+    if (n == 0) throw SnapshotError("rewind plan over empty image");
+    chunks_.clear();
+    // Iterative pre-order walk with the same framing checks enter() makes.
+    // Each header is parsed exactly once; group bodies recurse via the
+    // explicit `pending` stack of body-end offsets.
+    std::vector<std::size_t> pending;  // innermost group body end, last
+    std::size_t pos = 0;
+    const auto fail = [](std::size_t at, const char* what) {
+        throw SnapshotError("rewind plan: " + std::string(what) +
+                            " at offset " + std::to_string(at));
+    };
+    while (true) {
+        while (!pending.empty() && pos == pending.back()) pending.pop_back();
+        if (pending.empty() && pos == n) break;
+        const std::size_t end = pending.empty() ? n : pending.back();
+        const std::size_t hdr = pos;
+        if (pos + 2 > end) fail(pos, "truncated chunk header");
+        const std::uint16_t name_len =
+            static_cast<std::uint16_t>(data[pos] | (data[pos + 1] << 8));
+        pos += 2;
+        if (name_len == 0 || pos + name_len > end) fail(hdr, "bad chunk name");
+        const std::size_t name_off = pos;
+        pos += name_len;
+        if (pos + 2 + 1 + 8 > end) fail(hdr, "truncated chunk header");
+        const std::uint16_t version =
+            static_cast<std::uint16_t>(data[pos] | (data[pos + 1] << 8));
+        pos += 2;
+        const std::uint8_t kind = data[pos++];
+        if (kind > 1) fail(hdr, "bad chunk kind");
+        std::uint64_t body = 0;
+        for (int i = 0; i < 8; ++i) {
+            body |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        }
+        pos += 8;
+        if (body > end - pos) fail(hdr, "chunk body overruns parent");
+        const std::size_t body_end = pos + static_cast<std::size_t>(body);
+        chunks_.push_back(ChunkSpan{hdr, pos, body_end,
+                                    static_cast<std::uint32_t>(name_off),
+                                    name_len, version});
+        if (kind == 1) {
+            pending.push_back(body_end);  // descend into the group body
+        } else {
+            pos = body_end;
+        }
+    }
+    size_ = n;
+    digest_ = fnv1a(data, n);
 }
 
+// ---------------------------------------------------------------- reader
+
 void StateReader::need(std::size_t n) const {
-    if (pos_ + n > limit()) {
+    if (pos_ + n > limit_) {
         throw SnapshotError("truncated image (need " + std::to_string(n) +
                             " bytes at offset " + std::to_string(pos_) + ")");
     }
@@ -144,7 +195,7 @@ std::vector<std::uint8_t> StateReader::blob() {
 }
 
 std::string StateReader::peek() {
-    if (pos_ >= limit()) return {};
+    if (pos_ >= limit_) return {};
     const std::size_t saved = pos_;
     const std::uint16_t len = u16();
     need(len);
@@ -155,14 +206,40 @@ std::string StateReader::peek() {
 
 std::uint16_t StateReader::enter(const std::string& name,
                                  std::uint16_t max_version) {
+    if (plan_ != nullptr) {
+        // Trusted fast path: the restore walk over a fixed image is
+        // deterministic, so the plan's pre-order table *is* the enter()
+        // sequence. Cross-check the cursors so any desync (reader bug,
+        // wrong image) throws instead of silently misreading.
+        if (chunk_idx_ >= plan_->chunks_.size() ||
+            plan_->chunks_[chunk_idx_].hdr_off != pos_) {
+            throw SnapshotError("rewind plan desync entering '" + name +
+                                "' at offset " + std::to_string(pos_));
+        }
+        const RewindPlan::ChunkSpan& c = plan_->chunks_[chunk_idx_++];
+        assert(c.name_len == name.size() &&
+               std::memcmp(buf_ + c.name_off, name.data(), name.size()) == 0 &&
+               "rewind plan chunk name mismatch");
+        if (c.version > max_version) {
+            throw SnapshotError("chunk '" + name + "' has version " +
+                                std::to_string(c.version) +
+                                "; this build reads <= " +
+                                std::to_string(max_version));
+        }
+        pos_ = static_cast<std::size_t>(c.body_begin);
+        limit_ = static_cast<std::size_t>(c.body_end);
+        ends_.push_back(limit_);
+        return c.version;
+    }
     const std::uint16_t len = u16();
     need(len);
-    std::string got(reinterpret_cast<const char*>(buf_ + pos_), len);
-    pos_ += len;
-    if (got != name) {
+    if (len != name.size() ||
+        std::memcmp(buf_ + pos_, name.data(), len) != 0) {
+        std::string got(reinterpret_cast<const char*>(buf_ + pos_), len);
         throw SnapshotError("expected chunk '" + name + "', found '" + got +
                             "'");
     }
+    pos_ += len;
     const std::uint16_t version = u16();
     if (version > max_version) {
         throw SnapshotError("chunk '" + name + "' has version " +
@@ -177,7 +254,8 @@ std::uint16_t StateReader::enter(const std::string& name,
     }
     const std::uint64_t body = u64();
     need(static_cast<std::size_t>(body));
-    ends_.push_back(pos_ + static_cast<std::size_t>(body));
+    limit_ = pos_ + static_cast<std::size_t>(body);
+    ends_.push_back(limit_);
     return version;
 }
 
@@ -189,6 +267,7 @@ void StateReader::leave() {
                             " unread bytes");
     }
     ends_.pop_back();
+    limit_ = ends_.empty() ? size_ : ends_.back();
 }
 
 }  // namespace st::snap

@@ -66,15 +66,83 @@ class StateWriter {
     std::vector<std::size_t> open_;
 };
 
+/// Pre-validated parse plan for one *fixed* snapshot image: the flattened
+/// pre-order chunk table (header offset, version, body span) produced by a
+/// single strict walk of the image bytes. Building the plan performs every
+/// framing check the strict reader would (bounds, kind, nesting), so a
+/// StateReader constructed over the *same bytes* with the plan can resolve
+/// each enter() by table lookup — no name decode/compare, no per-chunk
+/// re-validation — while primitive reads keep their bounds checks.
+///
+/// This is the delta that makes gang-lane rewind cheap: the pristine image
+/// never changes between cases, yet a strict restore re-parses and
+/// re-validates all of its framing every time. The plan hoists that work
+/// to once per (process, image). Identity is the caller's contract — pair
+/// a plan only with the byte buffer it was built from (compare
+/// image_size()/image_digest() once; `sys::Soc::reset_from_image` does).
+class RewindPlan {
+  public:
+    RewindPlan() = default;
+    /// Build by strict-walking `image`; throws SnapshotError if malformed.
+    explicit RewindPlan(const std::vector<std::uint8_t>& image) {
+        build(image.data(), image.size());
+    }
+    RewindPlan(const std::uint8_t* data, std::size_t n) { build(data, n); }
+
+    bool built() const { return size_ != 0; }
+    std::size_t image_size() const { return size_; }
+    /// FNV-1a of the full image the plan was built from.
+    std::uint64_t image_digest() const { return digest_; }
+    std::size_t num_chunks() const { return chunks_.size(); }
+
+  private:
+    friend class StateReader;
+    /// One chunk of the walked image, in pre-order.
+    struct ChunkSpan {
+        std::uint64_t hdr_off;     ///< offset of the name_len field
+        std::uint64_t body_begin;  ///< first body byte
+        std::uint64_t body_end;    ///< one past the last body byte
+        std::uint32_t name_off;    ///< offset of the name bytes
+        std::uint16_t name_len;
+        std::uint16_t version;
+    };
+    void build(const std::uint8_t* data, std::size_t n);
+
+    std::vector<ChunkSpan> chunks_;
+    std::size_t size_ = 0;
+    std::uint64_t digest_ = 0;
+};
+
 /// Deserializer for the snapshot chunk format. Strict by design: chunk
 /// names must match exactly, every body byte must be consumed before
 /// leave(), and versions newer than the caller expects are rejected.
+///
+/// A reader constructed with a RewindPlan runs in *trusted* mode: enter()
+/// follows the plan's chunk table in O(1) instead of decoding and comparing
+/// the chunk name. Framing trust is earned, not assumed — the plan itself
+/// was a strict walk, every enter() still cross-checks the plan cursor
+/// against the byte cursor (a desync throws), leave() still requires full
+/// body consumption, and primitive reads keep their bounds checks.
 class StateReader {
   public:
     explicit StateReader(const std::vector<std::uint8_t>& image)
-        : buf_(image.data()), size_(image.size()) {}
+        : buf_(image.data()), size_(image.size()), limit_(image.size()) {}
     StateReader(const std::uint8_t* data, std::size_t n)
-        : buf_(data), size_(n) {}
+        : buf_(data), size_(n), limit_(n) {}
+    /// Trusted mode: `plan` must have been built from exactly these bytes.
+    /// Size is checked here; content identity is the caller's contract
+    /// (verify image_digest() once per pairing).
+    StateReader(const std::vector<std::uint8_t>& image, const RewindPlan& plan)
+        : buf_(image.data()),
+          size_(image.size()),
+          limit_(image.size()),
+          plan_(&plan) {
+        if (plan.image_size() != image.size()) {
+            throw SnapshotError("rewind plan is for a different image (" +
+                                std::to_string(plan.image_size()) + " vs " +
+                                std::to_string(image.size()) + " bytes)");
+        }
+    }
 
     /// Enter the next chunk; its name must equal `name` and its version
     /// must be <= max_version. Returns the chunk's version.
@@ -98,15 +166,23 @@ class StateReader {
     /// True when every byte of the image has been consumed.
     bool done() const { return pos_ == size_; }
 
+    /// True when this reader resolves chunks through a RewindPlan.
+    bool trusted() const { return plan_ != nullptr; }
+
   private:
-    std::uint64_t limit() const;
     void need(std::size_t n) const;
 
     const std::uint8_t* buf_;
     std::size_t size_;
     std::size_t pos_ = 0;
+    /// End offset of the innermost open chunk body (size_ at top level);
+    /// cached so the per-primitive bounds check is one compare.
+    std::size_t limit_;
     /// End offset of each open chunk body, innermost last.
     std::vector<std::size_t> ends_;
+    /// Non-null in trusted mode; cursor into its pre-order chunk table.
+    const RewindPlan* plan_ = nullptr;
+    std::size_t chunk_idx_ = 0;
 };
 
 }  // namespace st::snap

@@ -4,7 +4,9 @@
 
 namespace st::sys {
 
-Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
+Soc::Soc(std::shared_ptr<const SocSpec> spec, verify::RunCapture* capture)
+    : spec_(std::move(spec)) {
+    if (!spec_) throw std::invalid_argument("Soc: null spec");
     if (capture != nullptr) {
         capture_ = capture;
     } else {
@@ -18,7 +20,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
     capture_->bind_scheduler(&sched_);
 
     // 1. Wrappers (clock + SB).
-    for (const auto& s : spec_.sbs) {
+    for (const auto& s : spec_->sbs) {
         if (!s.make_kernel) {
             throw std::invalid_argument("Soc: SB '" + s.name + "' has no kernel");
         }
@@ -27,7 +29,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
     }
 
     // 2. Token rings: one node per endpoint wrapper.
-    for (const auto& r : spec_.rings) {
+    for (const auto& r : spec_->rings) {
         if (r.sb_a >= wrappers_.size() || r.sb_b >= wrappers_.size() ||
             r.sb_a == r.sb_b) {
             throw std::invalid_argument("Soc: ring '" + r.name + "' endpoints invalid");
@@ -47,7 +49,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
     }
 
     // 2b. Multi-rings (shared-bus token rings across >2 SBs).
-    for (const auto& mr : spec_.multi_rings) {
+    for (const auto& mr : spec_->multi_rings) {
         if (mr.members.size() < 2) {
             throw std::invalid_argument(
                 "Soc: multi-ring '" + mr.name + "' needs >= 2 members");
@@ -78,7 +80,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
 
     // 3. Channels: FIFO + output interface at the source, input interface at
     //    the destination, both gated by the ring's node in their wrapper.
-    for (const auto& c : spec_.channels) {
+    for (const auto& c : spec_->channels) {
         core::TokenNode* src_node = nullptr;
         core::TokenNode* dst_node = nullptr;
         if (c.on_multi_ring) {
@@ -86,7 +88,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
                 throw std::invalid_argument(
                     "Soc: channel '" + c.name + "' bad multi-ring");
             }
-            const auto& mr = spec_.multi_rings[c.ring];
+            const auto& mr = spec_->multi_rings[c.ring];
             for (std::size_t m = 0; m < mr.members.size(); ++m) {
                 if (mr.members[m].sb == c.from_sb) {
                     src_node = multi_ring_nodes_[c.ring][m];
@@ -103,7 +105,7 @@ Soc::Soc(const SocSpec& spec, verify::RunCapture* capture) : spec_(spec) {
             if (c.ring >= rings_.size()) {
                 throw std::invalid_argument("Soc: channel '" + c.name + "' bad ring");
             }
-            const auto& r = spec_.rings[c.ring];
+            const auto& r = spec_->rings[c.ring];
             const bool forward = (c.from_sb == r.sb_a && c.to_sb == r.sb_b);
             const bool backward = (c.from_sb == r.sb_b && c.to_sb == r.sb_a);
             if (!forward && !backward) {
@@ -169,14 +171,14 @@ bool Soc::deadlocked() const {
 }
 
 core::TokenNode& Soc::ring_node(std::size_t r, std::size_t sb) {
-    const auto& spec = spec_.rings.at(r);
+    const auto& spec = spec_->rings.at(r);
     if (spec.sb_a == sb) return *ring_nodes_.at(r).first;
     if (spec.sb_b == sb) return *ring_nodes_.at(r).second;
     throw std::invalid_argument("Soc::ring_node: SB not on ring");
 }
 
 core::TokenNode& Soc::multi_ring_node(std::size_t r, std::size_t sb) {
-    const auto& spec = spec_.multi_rings.at(r);
+    const auto& spec = spec_->multi_rings.at(r);
     for (std::size_t m = 0; m < spec.members.size(); ++m) {
         if (spec.members[m].sb == sb) return *multi_ring_nodes_.at(r).at(m);
     }
@@ -250,6 +252,27 @@ void Soc::write_image(snap::StateWriter& w, const ExtraSave& extra,
 }
 
 void Soc::restore_snapshot(const snap::Snapshot& snapshot,
+                           const snap::RewindPlan* plan,
+                           const ExtraRestore& extra) {
+    if (plan == nullptr || !plan->built()) {
+        restore_snapshot(snapshot, extra);
+        return;
+    }
+    if (started_) {
+        throw snap::SnapshotError(
+            "Soc::restore_snapshot: target must be freshly constructed");
+    }
+    started_ = true;
+    for (auto& wr : wrappers_) {
+        wr->finalize();
+        probes_.push_back(
+            std::make_unique<verify::TraceProbe>(*wr, *capture_));
+    }
+    snap::StateReader r(snapshot.bytes(), *plan);
+    read_image(r, extra);
+}
+
+void Soc::restore_snapshot(const snap::Snapshot& snapshot,
                            const ExtraRestore& extra) {
     if (started_) {
         throw snap::SnapshotError(
@@ -263,22 +286,48 @@ void Soc::restore_snapshot(const snap::Snapshot& snapshot,
         probes_.push_back(
             std::make_unique<verify::TraceProbe>(*wr, *capture_));
     }
-    read_image(snapshot, extra);
+    snap::StateReader r(snapshot.bytes());
+    read_image(r, extra);
 }
 
 void Soc::reset_from_image(const snap::Snapshot& image,
+                           const ExtraRestore& extra) {
+    reset_from_image(image, nullptr, extra);
+}
+
+void Soc::reset_from_image(const snap::Snapshot& image,
+                           const snap::RewindPlan* plan,
                            const ExtraRestore& extra) {
     if (!started_) {
         throw snap::SnapshotError("Soc::reset_from_image: not started");
     }
     sched_.clear_pending();
     capture_->rewind_run();
-    read_image(image, extra);
+    const std::vector<std::uint8_t>& bytes = image.bytes();
+    if (plan != nullptr && plan == verified_plan_ &&
+        bytes.data() == verified_data_ && bytes.size() == verified_size_) {
+        // This exact (image, plan) pairing already survived a strict
+        // restore: the restore walk is a pure function of the image bytes,
+        // so the trusted parse revisits only spans the strict pass proved.
+        snap::StateReader r(bytes, *plan);
+        read_image(r, extra);
+        return;
+    }
+    snap::StateReader r(bytes);
+    read_image(r, extra);
+    // Strict restore succeeded — remember the pairing if the plan really
+    // describes these bytes (one digest compare, amortized over every
+    // later rewind of the same image).
+    if (plan != nullptr && plan->built() &&
+        plan->image_size() == bytes.size() &&
+        plan->image_digest() == image.digest()) {
+        verified_plan_ = plan;
+        verified_data_ = bytes.data();
+        verified_size_ = bytes.size();
+    }
 }
 
-void Soc::read_image(const snap::Snapshot& snapshot,
-                     const ExtraRestore& extra) {
-    snap::StateReader r(snapshot.bytes());
+void Soc::read_image(snap::StateReader& r, const ExtraRestore& extra) {
     r.enter("soc");
 
     r.enter("shape");
@@ -344,8 +393,8 @@ verify::TraceSet Soc::traces() const {
 
 verify::TimingReport Soc::audit_timing() const {
     verify::TimingChecker checker;
-    for (std::size_t i = 0; i < spec_.channels.size(); ++i) {
-        const auto& c = spec_.channels[i];
+    for (std::size_t i = 0; i < spec_->channels.size(); ++i) {
+        const auto& c = spec_->channels[i];
         const sim::Time t_src = wrappers_[c.from_sb]->clock().effective_period();
         const sim::Time t_dst = wrappers_[c.to_sb]->clock().effective_period();
         const auto& fifo = *fifos_[i];
@@ -374,7 +423,7 @@ verify::TimingReport Soc::audit_timing() const {
         if (c.on_multi_ring) {
             // Sum the hop delays from the source member to the destination
             // member along the ring order.
-            const auto& mr = spec_.multi_rings[c.ring];
+            const auto& mr = spec_->multi_rings[c.ring];
             std::size_t src = 0;
             std::size_t dst = 0;
             for (std::size_t m = 0; m < mr.members.size(); ++m) {
@@ -386,7 +435,7 @@ verify::TimingReport Soc::audit_timing() const {
                 token_wire += mr.members[m].hop_delay;
             }
         } else {
-            const auto& r = spec_.rings[c.ring];
+            const auto& r = spec_->rings[c.ring];
             token_wire = c.from_sb == r.sb_a ? r.delay_ab : r.delay_ba;
         }
         const sim::Time token_path = token_wire + t_dst;
@@ -402,7 +451,7 @@ verify::TimingReport Soc::audit_timing() const {
         const sim::Time rtz = achan::post_accept_link_latency(c.tail_link);
         checker.require(
             c.name + ".restart_vs_pending", rtz,
-            spec_.sbs[c.from_sb].clock.restart_delay);
+            spec_->sbs[c.from_sb].clock.restart_delay);
     }
     return checker.report();
 }

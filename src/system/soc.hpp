@@ -30,7 +30,16 @@ class Soc {
     /// a single capture (arena chunks, attached StreamingChecker) across
     /// many cases — the ctor calls `capture->begin_run()` and binds the
     /// scheduler, so each Soc is one "run" of the capture.
-    explicit Soc(const SocSpec& spec, verify::RunCapture* capture = nullptr);
+    ///
+    /// The spec is the Soc's immutable program: it is only read, never
+    /// copied per-run state. The shared_ptr overload shares one spec across
+    /// every Soc elaborated from it (gang lanes, sweep contexts, campaign
+    /// case runners); the const& overload copies for callers whose spec is
+    /// transient.
+    explicit Soc(std::shared_ptr<const SocSpec> spec,
+                 verify::RunCapture* capture = nullptr);
+    explicit Soc(const SocSpec& spec, verify::RunCapture* capture = nullptr)
+        : Soc(std::make_shared<const SocSpec>(spec), capture) {}
 
     Soc(const Soc&) = delete;
     Soc& operator=(const Soc&) = delete;
@@ -111,6 +120,15 @@ class Soc {
     void restore_snapshot(const snap::Snapshot& snapshot,
                           const ExtraRestore& extra = {});
 
+    /// restore_snapshot through a pre-validated parse plan. Contract: `plan`
+    /// was built from `snapshot.bytes()` (the builder's strict walk is the
+    /// validation pass); nullptr falls back to the strict parse. The warm-
+    /// fork campaign path restores the same prefix image for every case —
+    /// one plan replaces per-case framing re-parses.
+    void restore_snapshot(const snap::Snapshot& snapshot,
+                          const snap::RewindPlan* plan,
+                          const ExtraRestore& extra = {});
+
     /// Image of this Soc in its freshly-started state (started, nothing
     /// executed yet): the gang engine's per-lane reset point. Unlike
     /// save_snapshot it tolerates the first clock edges pending at exactly
@@ -129,16 +147,27 @@ class Soc {
     void reset_from_image(const snap::Snapshot& image,
                           const ExtraRestore& extra = {});
 
-    const SocSpec& spec() const { return spec_; }
+    /// Rewind through a pre-validated snap::RewindPlan — the gang engine's
+    /// per-case reset. The first call with a given (image, plan) pairing
+    /// runs the strict restore and verifies the plan matches the image
+    /// (size + digest); once verified, later calls with the same pairing
+    /// take the trusted O(1)-per-chunk parse. Passing nullptr (or an
+    /// unverifiable plan) degrades to the strict path — behaviour, traces,
+    /// and digests are identical either way.
+    void reset_from_image(const snap::Snapshot& image,
+                          const snap::RewindPlan* plan,
+                          const ExtraRestore& extra = {});
+
+    const SocSpec& spec() const { return *spec_; }
+    const std::shared_ptr<const SocSpec>& spec_ptr() const { return spec_; }
 
   private:
     /// Shared save/restore bodies (snapshot and image paths differ only in
     /// preconditions and capture/probe lifecycle).
     void write_image(snap::StateWriter& w, const ExtraSave& extra,
                      bool require_boundary) const;
-    void read_image(const snap::Snapshot& snapshot,
-                    const ExtraRestore& extra);
-    SocSpec spec_;
+    void read_image(snap::StateReader& r, const ExtraRestore& extra);
+    std::shared_ptr<const SocSpec> spec_;
     sim::Scheduler sched_;
     std::vector<std::unique_ptr<core::SbWrapper>> wrappers_;
     std::vector<std::unique_ptr<core::TokenRing>> rings_;
@@ -152,6 +181,12 @@ class Soc {
     verify::RunCapture* capture_ = nullptr;
     std::vector<std::unique_ptr<verify::TraceProbe>> probes_;
     bool started_ = false;
+    /// The (image, plan) pairing proven consistent by a strict restore;
+    /// identity is by plan pointer + image data pointer/size, so a moved or
+    /// regenerated image re-verifies (digest compare) before trusting.
+    const snap::RewindPlan* verified_plan_ = nullptr;
+    const std::uint8_t* verified_data_ = nullptr;
+    std::size_t verified_size_ = 0;
 };
 
 }  // namespace st::sys

@@ -8,17 +8,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fuzz/campaign.hpp"
 #include "fuzz/gang_runner.hpp"
+#include "fuzz/injector.hpp"
 #include "fuzz/shrink.hpp"
 #include "gang/delay_sweep.hpp"
+#include "gang/program.hpp"
 #include "sim/random.hpp"
 #include "sva/spec_text.hpp"
 #include "system/delay_config.hpp"
@@ -384,6 +388,177 @@ TEST(GangHarness, DelaySweepMatchesScalarAcrossGrid) {
                 << "jobs=" << jobs << " gang=" << gang;
         }
     }
+}
+
+// --- shared program & delta rewind ---------------------------------------
+
+/// Exercise one campaign's lane through a fault-free case, a faulted case,
+/// and a peel-style mid-run handoff; after each, both rewind flavours —
+/// the plan (delta) path and a fresh strict full restore — must land the
+/// lane on the program's exact pristine state, witnessed by re-serializing
+/// the live state and comparing digests.
+void check_rewind_equivalence(const fuzz::Campaign& campaign,
+                              std::uint64_t cycles) {
+    gang::Lane::Options opt;
+    opt.golden = &campaign.golden_index();
+    opt.monitor = true;
+    gang::Lane lane(campaign.program(), opt);
+    const std::uint64_t pristine = lane.pristine().digest();
+    const sim::Time deadline = sim::ms(2000);
+
+    sim::Rng rng(91);
+    const auto dirty = [&](gang::Lane& l, const fuzz::FuzzCase& c,
+                           std::uint64_t n) {
+        // Injector scoped per case, as GangRunner scopes its own: rewinds
+        // happen with no per-case hooks attached.
+        fuzz::Injector inj(l.soc(), c.faults);
+        sys::apply_live(l.soc(), c.delays);
+        l.soc().run_cycles(n, deadline);
+    };
+
+    // Fault-free, then faulted: plan rewind vs strict restore, both back
+    // to the pristine digest.
+    for (int k = 0; k < 2; ++k) {
+        fuzz::FuzzCase c = campaign.random_case(rng);
+        if (k == 0) c.faults.clear();
+        SCOPED_TRACE(k == 0 ? "fault-free" : "faulted");
+
+        lane.rewind();
+        dirty(lane, c, cycles);
+        lane.rewind();  // delta path through the shared plan
+        EXPECT_EQ(lane.soc().pristine_image().digest(), pristine);
+
+        dirty(lane, c, cycles);
+        lane.soc().reset_from_image(lane.pristine());  // strict full parse
+        EXPECT_EQ(lane.soc().pristine_image().digest(), pristine);
+    }
+
+    // Peel-style handoff: image the lane mid-case with the injector's
+    // counters, restore onto a finisher lane sharing the same program, run
+    // the finisher out — then plan-rewind both lanes. The handoff must
+    // leave no residue in either.
+    const fuzz::FuzzCase pc = campaign.random_case(rng);
+    lane.rewind();
+    snap::Snapshot handoff;
+    {
+        fuzz::Injector inj(lane.soc(), pc.faults);
+        sys::apply_live(lane.soc(), pc.delays);
+        lane.soc().run_cycles(cycles / 2, deadline);
+        lane.soc().settle();
+        handoff = lane.soc().save_snapshot(
+            [&inj](snap::StateWriter& w) { inj.save_state(w); });
+    }
+    gang::Lane finisher(campaign.program(), opt);
+    EXPECT_EQ(finisher.program().get(), lane.program().get());
+    {
+        fuzz::Injector fin_inj(finisher.soc(), pc.faults,
+                               /*defer_spurious=*/true);
+        finisher.rewind(handoff, [&fin_inj](snap::StateReader& r) {
+            fin_inj.restore_state(r);
+        });
+        sys::apply_live(finisher.soc(), pc.delays);
+        finisher.soc().run_cycles(cycles, deadline);
+    }
+    finisher.rewind();
+    EXPECT_EQ(finisher.soc().pristine_image().digest(), pristine);
+    lane.rewind();
+    EXPECT_EQ(lane.soc().pristine_image().digest(), pristine);
+}
+
+TEST(GangRewind, PlanRewindMatchesStrictRestoreShippedSpecs) {
+    for (const auto& name : sys::named_specs()) {
+        SCOPED_TRACE(name);
+        fuzz::CampaignConfig cfg;
+        cfg.spec_name = name;
+        cfg.cycles = 40;
+        cfg.classes = name == "bus"
+                          ? std::vector<fuzz::FaultClass>{
+                                fuzz::FaultClass::kFifoStall,
+                                fuzz::FaultClass::kRestartGlitch}
+                          : fuzz::all_fault_classes();
+        const fuzz::Campaign campaign(cfg);
+        check_rewind_equivalence(campaign, cfg.cycles);
+    }
+}
+
+TEST(GangRewind, PlanRewindMatchesStrictRestoreTopoFixtures) {
+    for (const char* file : {"mesh_8x8.stspec", "star_64.stspec"}) {
+        SCOPED_TRACE(file);
+        fuzz::CampaignConfig cfg;
+        cfg.spec_name = file;
+        cfg.cycles = 40;
+        cfg.classes = fuzz::all_fault_classes();
+        const fuzz::Campaign campaign(cfg, fixture_spec(file));
+        check_rewind_equivalence(campaign, cfg.cycles);
+    }
+}
+
+// --- program registry sharing --------------------------------------------
+
+// Every holder on one spec key — lanes, the campaign itself, a sweep
+// context's DelaySweepRunner — must hand back the identical Program
+// object, not an equivalent copy: one elaboration, one pristine image, one
+// plan per process.
+TEST(GangProgram, LanesCampaignAndSweepContextShareOneProgram) {
+    fuzz::CampaignConfig cfg;
+    cfg.spec_name = "pair";
+    cfg.cycles = 40;
+    const fuzz::Campaign campaign(cfg);
+
+    const sys::SocSpec spec = sys::make_named_spec("pair");
+    gang::Lane a(spec, {});
+    gang::Lane b(spec, {});
+    EXPECT_EQ(a.program().get(), b.program().get());
+    EXPECT_EQ(a.program().get(), campaign.program().get());
+
+    gang::DelaySweepRunner sweep(spec, campaign.golden_index(), cfg.cycles,
+                                 sim::ms(2000), /*width=*/2);
+    EXPECT_EQ(sweep.program().get(), campaign.program().get());
+
+    // A perturbed spec is a different program: its key is cleared, so it
+    // gets a private elaboration, never the nominal registry entry.
+    auto dc = sys::DelayConfig::nominal(spec);
+    dc.set(0, 150);
+    const sys::SocSpec perturbed = sys::apply(spec, dc);
+    EXPECT_TRUE(perturbed.program_key.empty());
+    EXPECT_NE(gang::Program::get(perturbed).get(), a.program().get());
+}
+
+// A concurrent race on one never-seen key must yield exactly one registry
+// entry and one elaboration (construction happens under the registry
+// lock); every thread gets the identical pointer. Run under TSan in CI.
+TEST(GangProgram, ConcurrentGetYieldsExactlyOneEntry) {
+    sys::SocSpec spec = sys::make_named_spec("pair");
+    spec.program_key = "test:concurrent-get";
+    const std::uint64_t misses0 = gang::Program::registry_misses();
+    const std::uint64_t hits0 = gang::Program::registry_hits();
+    const std::size_t entries0 = gang::Program::registry_entries();
+
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::shared_ptr<const gang::Program>> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load()) std::this_thread::yield();
+            got[static_cast<std::size_t>(i)] = gang::Program::get(spec);
+        });
+    }
+    while (ready.load() < kThreads) std::this_thread::yield();
+    go.store(true);
+    for (auto& t : threads) t.join();
+
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_NE(got[static_cast<std::size_t>(i)], nullptr);
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].get(), got[0].get());
+    }
+    EXPECT_EQ(gang::Program::registry_misses(), misses0 + 1);
+    EXPECT_EQ(gang::Program::registry_hits(),
+              hits0 + static_cast<std::uint64_t>(kThreads) - 1);
+    EXPECT_EQ(gang::Program::registry_entries(), entries0 + 1);
 }
 
 }  // namespace
